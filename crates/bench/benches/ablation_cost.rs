@@ -1,0 +1,99 @@
+//! §5 practical issue 3: "What are the associated computational cost and
+//! energy overhead?"
+//!
+//! Times the per-frame cost of each pipeline stage at both scales: sender
+//! multiplexing, display emission, camera capture, and receiver scoring —
+//! the numbers a deployment study would need.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inframe_camera::{Camera, CameraConfig, CaptureGeometry};
+use inframe_core::dataframe::DataFrame;
+use inframe_core::multiplex::{slot, Multiplexer};
+use inframe_core::sender::{PrbsPayload, Sender};
+use inframe_core::{DataLayout, Demultiplexer, InFrameConfig};
+use inframe_display::{DisplayConfig, DisplayStream};
+use inframe_frame::Plane;
+use inframe_sim::Scale;
+
+fn configs() -> Vec<(&'static str, InFrameConfig, CameraConfig)> {
+    vec![
+        ("quick", Scale::Quick.inframe(), Scale::Quick.camera()),
+        ("paper", Scale::Paper.inframe(), Scale::Paper.camera()),
+    ]
+}
+
+fn bench_sender(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_sender_per_frame");
+    group.sample_size(10);
+    for (name, cfg, _) in configs() {
+        let layout = DataLayout::from_config(&cfg);
+        let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+        let payload: Vec<bool> = (0..layout.payload_bits_parity())
+            .map(|i| i % 2 == 0)
+            .collect();
+        let cur = DataFrame::encode(&layout, &payload, cfg.coding);
+        let next = DataFrame::zero(&layout);
+        group.bench_with_input(BenchmarkId::new("multiplex", name), &cfg, |b, cfg| {
+            let mut mux = Multiplexer::new(*cfg);
+            let mut f = 0u64;
+            b.iter(|| {
+                let s = slot(cfg, f);
+                f += 1;
+                mux.render(&s, &video, &cur, &next)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_receiver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_receiver_per_capture");
+    group.sample_size(10);
+    for (name, cfg, cam) in configs() {
+        let geometry = CaptureGeometry::Fronto;
+        let registration =
+            geometry.display_to_sensor(cfg.display_w, cfg.display_h, cam.width, cam.height);
+        let demux = Demultiplexer::new(cfg, &registration, cam.width, cam.height);
+        let capture = Plane::from_fn(cam.width, cam.height, |x, y| {
+            127.0 + if (x / 3 + y / 3) % 2 == 0 { 8.0 } else { -8.0 }
+        });
+        group.bench_with_input(BenchmarkId::new("score_capture", name), &(), |b, ()| {
+            b.iter(|| demux.score_capture(&capture))
+        });
+    }
+    group.finish();
+}
+
+fn bench_camera(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_camera_per_capture");
+    group.sample_size(10);
+    for (name, cfg, cam) in configs() {
+        // Prepare enough emissions for one capture.
+        let mut sender = Sender::new(
+            cfg,
+            inframe_video::synth::SolidClip::new(
+                cfg.display_w,
+                cfg.display_h,
+                127.0,
+                inframe_video::FrameRate(cfg.refresh_hz / 4.0),
+            ),
+            PrbsPayload::new(1),
+        );
+        let mut display = DisplayStream::new(DisplayConfig::eizo_fg2421());
+        let emissions: Vec<_> = (0..8)
+            .map(|_| display.present(&sender.next_frame().expect("endless clip").plane))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("capture", name), &(), |b, ()| {
+            b.iter(|| {
+                // Fresh camera each iteration so the clock stays within the
+                // buffered emissions.
+                let mut camera = Camera::new(cam, CaptureGeometry::Fronto, 3);
+                camera.capture(&emissions).expect("window covered")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sender, bench_receiver, bench_camera);
+criterion_main!(benches);

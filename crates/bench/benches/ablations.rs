@@ -1,0 +1,41 @@
+//! §5 parameter ablations: δ, τ, envelope shape, detection threshold,
+//! GOB coding, and the shutter/backlight study.
+//!
+//! Prints each sweep's table, then times a representative sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inframe_sim::ablation;
+
+fn regenerate_tables() {
+    let cycles = 6;
+    let seed = 2014;
+    for ab in [
+        ablation::delta_sweep(cycles, seed),
+        ablation::tau_sweep(cycles, seed),
+        ablation::envelope_shapes(cycles, seed),
+        ablation::threshold_sweep(cycles, seed),
+        ablation::coding_modes(cycles, seed),
+        ablation::shutter_study(cycles, seed),
+        ablation::isp_study(cycles, seed),
+        ablation::geometry_study(cycles, seed),
+        ablation::pixel_size_sweep(cycles, seed),
+        ablation::block_size_sweep(cycles, seed),
+    ] {
+        println!("\n=== ablation: {} ===", ab.name);
+        print!("{}", ab.render());
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_tables();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("envelope_sweep_2cycles", |b| {
+        b.iter(|| ablation::envelope_shapes(2, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 3 — naive multiplexing designs vs InFrame.
+//!
+//! Prints the flicker comparison table, then times one scheme assessment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inframe_display::DisplayConfig;
+use inframe_sim::fig3;
+
+fn regenerate_figure() {
+    println!("\n=== Figure 3: naive designs vs InFrame (δ = 20) ===");
+    let fig = fig3::run(20.0, &DisplayConfig::eizo_fg2421(), 2014);
+    print!("{}", fig.render());
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let display = DisplayConfig::eizo_fg2421();
+    let mut group = c.benchmark_group("fig3_naive_designs");
+    group.sample_size(10);
+    group.bench_function("rate_all_schemes", |b| {
+        b.iter(|| fig3::run(20.0, &display, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

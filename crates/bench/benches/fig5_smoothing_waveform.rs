@@ -1,0 +1,57 @@
+//! Figure 5 — the temporal smoothing waveform and its low-pass response.
+//!
+//! Prints the two curves and the envelope-shape comparison, then times the
+//! waveform synthesis + filtering kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inframe_dsp::envelope::TransitionShape;
+use inframe_sim::fig5;
+
+fn regenerate_figure() {
+    println!("\n=== Figure 5: smoothing waveform through the verification low-pass ===");
+    let fig = fig5::run(
+        TransitionShape::SrrCosine,
+        12,
+        20.0,
+        &[true, false, true],
+    );
+    for s in fig.series() {
+        print!("{}", s.render());
+    }
+    println!(
+        "displayed AC energy above 50 Hz: {:.1}%",
+        fig.hf_energy_fraction * 100.0
+    );
+    println!("filtered ripple: {:.3} code values", fig.filtered_ripple);
+    println!("envelope comparison (ripple through 1↔0 transitions):");
+    for (name, ripple) in fig5::compare_shapes(12, 20.0) {
+        println!("  {name:7} {ripple:7.3}");
+    }
+    let abrupt = fig5::run(
+        TransitionShape::Stair { steps: 1 },
+        12,
+        20.0,
+        &[true, false, true, false, true],
+    )
+    .filtered_ripple;
+    println!("  abrupt  {abrupt:7.3}  (unsmoothed control)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("fig5_waveform");
+    group.bench_function("synthesize_and_filter", |b| {
+        b.iter(|| {
+            fig5::run(
+                TransitionShape::SrrCosine,
+                12,
+                20.0,
+                &[true, false, true, false],
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 6 — the simulated flicker-perception user study.
+//!
+//! Prints both panels (mean ± std on the 0–4 scale), then times one rated
+//! condition (multiplex → display → HVS → 8 observers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inframe_display::DisplayConfig;
+use inframe_sim::fig6;
+
+fn regenerate_figure() {
+    let display = DisplayConfig::eizo_fg2421();
+    let fig = fig6::run(&display, 2014);
+    println!("\n=== Figure 6 (left): flicker vs color brightness, τ = 12 ===");
+    for s in fig.left_series() {
+        print!("{}", s.render());
+    }
+    println!("=== Figure 6 (right): flicker vs amplitude δ ===");
+    for s in fig.right_series() {
+        print!("{}", s.render());
+    }
+    let violations = fig.check_shape();
+    if violations.is_empty() {
+        println!("shape vs paper: PASS\n");
+    } else {
+        println!("shape vs paper: {violations:?}\n");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let display = DisplayConfig::eizo_fg2421();
+    let mut group = c.benchmark_group("fig6_user_study");
+    group.sample_size(10);
+    group.bench_function("rate_one_condition", |b| {
+        b.iter(|| fig6::rate_condition(127.0, 20.0, 12, &display, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 7 — throughput, available-GOB ratio and GOB error rate.
+//!
+//! Prints the regenerated figure (quick scale by default; set
+//! `INFRAME_PAPER_SCALE=1` for the full 1920×1080 geometry), then times
+//! the end-to-end channel per data cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inframe_bench::quick_goodput;
+use inframe_sim::{fig7, Scale, Scenario};
+
+fn regenerate_figure() {
+    let paper = std::env::var("INFRAME_PAPER_SCALE").is_ok_and(|v| v == "1");
+    let (scale, cycles, label) = if paper {
+        (Scale::Paper, 12, "paper scale (1920x1080)")
+    } else {
+        (Scale::Quick, 8, "quick scale (240x168; INFRAME_PAPER_SCALE=1 for full)")
+    };
+    println!("\n=== Figure 7: link performance — {label} ===");
+    let fig = fig7::run(scale, cycles, 2014);
+    print!("{}", fig.render());
+    let violations = fig.check_shape();
+    if violations.is_empty() {
+        println!("shape vs paper: PASS\n");
+    } else {
+        println!("shape vs paper: {violations:?}\n");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let mut group = c.benchmark_group("fig7_end_to_end");
+    group.sample_size(10);
+    for scenario in [Scenario::Gray, Scenario::Video] {
+        group.bench_with_input(
+            BenchmarkId::new("quick_3cycles", scenario.label()),
+            &scenario,
+            |b, &s| b.iter(|| quick_goodput(s, 3, 1)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Sensor noise model.
+//!
+//! Photon shot noise is signal-dependent (variance proportional to signal);
+//! read noise is additive Gaussian. Both act in linear light, before gamma
+//! encoding — which is why dark regions of a capture look noisier after
+//! encoding, a behaviour the decoder's threshold must tolerate.
+
+use inframe_frame::Plane;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministic per-camera noise source.
+#[derive(Debug)]
+pub struct NoiseSource {
+    rng: StdRng,
+    /// Read noise σ (linear light units).
+    pub read_sigma: f64,
+    /// Shot noise scale `k`: variance = `k · light`.
+    pub shot_scale: f64,
+}
+
+impl NoiseSource {
+    /// Creates a seeded noise source.
+    pub fn new(seed: u64, read_sigma: f64, shot_scale: f64) -> Self {
+        assert!(read_sigma >= 0.0 && shot_scale >= 0.0, "noise must be >= 0");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            read_sigma,
+            shot_scale,
+        }
+    }
+
+    /// One standard normal deviate (Box–Muller; one branch kept).
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-300);
+        let u2: f64 = self.rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Applies shot + read noise to a linear-light plane in place, clamping
+    /// the result to non-negative light.
+    pub fn apply(&mut self, light: &mut Plane<f32>) {
+        if self.read_sigma == 0.0 && self.shot_scale == 0.0 {
+            return;
+        }
+        let read = self.read_sigma;
+        let shot = self.shot_scale;
+        for v in light.samples_mut() {
+            let l = (*v as f64).max(0.0);
+            let sigma = (read * read + shot * l).sqrt();
+            let noisy = l + sigma * self.gaussian();
+            *v = noisy.max(0.0) as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let mut src = NoiseSource::new(1, 0.0, 0.0);
+        let mut p = Plane::filled(8, 8, 0.5);
+        let orig = p.clone();
+        src.apply(&mut p);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let mut a = NoiseSource::new(42, 0.01, 0.0);
+        let mut b = NoiseSource::new(42, 0.01, 0.0);
+        let mut pa = Plane::filled(16, 16, 0.5);
+        let mut pb = Plane::filled(16, 16, 0.5);
+        a.apply(&mut pa);
+        b.apply(&mut pb);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn read_noise_statistics_match_sigma() {
+        let mut src = NoiseSource::new(7, 0.02, 0.0);
+        let mut p = Plane::filled(128, 128, 0.5);
+        src.apply(&mut p);
+        let mean = p.mean();
+        let std = p.variance().sqrt();
+        assert!((mean - 0.5).abs() < 0.002, "mean {mean}");
+        assert!((std - 0.02).abs() < 0.002, "std {std}");
+    }
+
+    #[test]
+    fn shot_noise_grows_with_signal() {
+        let mut src = NoiseSource::new(9, 0.0, 0.01);
+        let mut dark = Plane::filled(128, 128, 0.05);
+        let mut bright = Plane::filled(128, 128, 0.8);
+        src.apply(&mut dark);
+        let mut src2 = NoiseSource::new(9, 0.0, 0.01);
+        src2.apply(&mut bright);
+        assert!(bright.variance() > dark.variance() * 4.0);
+    }
+
+    #[test]
+    fn light_never_goes_negative() {
+        let mut src = NoiseSource::new(3, 0.5, 0.0); // absurdly noisy
+        let mut p = Plane::filled(64, 64, 0.01);
+        src.apply(&mut p);
+        assert!(p.min_sample() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be >= 0")]
+    fn negative_sigma_rejected() {
+        let _ = NoiseSource::new(0, -0.1, 0.0);
+    }
+}

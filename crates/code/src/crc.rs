@@ -1,0 +1,106 @@
+//! Cyclic redundancy checks: CRC-8 (ATM HEC), CRC-16 (CCITT) and CRC-32
+//! (IEEE 802.3). Used for frame-level integrity of decoded data payloads in
+//! the examples and integration tests.
+
+/// CRC-8 with polynomial 0x07 (ATM HEC), init 0x00, no reflection.
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in data {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// CRC-16/CCITT-FALSE: polynomial 0x1021, init 0xFFFF, no reflection.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc = 0xFFFFu16;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// CRC-32 (IEEE 802.3, as used by zlib/PNG): reflected polynomial
+/// 0xEDB88320, init 0xFFFFFFFF, final XOR 0xFFFFFFFF.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const CHECK: &[u8] = b"123456789";
+
+    #[test]
+    fn crc8_check_value() {
+        // CRC-8/SMBUS check value for "123456789" is 0xF4.
+        assert_eq!(crc8(CHECK), 0xF4);
+    }
+
+    #[test]
+    fn crc16_check_value() {
+        // CRC-16/CCITT-FALSE check value is 0x29B1.
+        assert_eq!(crc16_ccitt(CHECK), 0x29B1);
+    }
+
+    #[test]
+    fn crc32_check_value() {
+        // CRC-32 check value is 0xCBF43926.
+        assert_eq!(crc32(CHECK), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input_is_stable() {
+        assert_eq!(crc8(&[]), 0x00);
+        assert_eq!(crc16_ccitt(&[]), 0xFFFF);
+        assert_eq!(crc32(&[]), 0x0000_0000);
+    }
+
+    proptest! {
+        #[test]
+        fn single_bit_flips_are_detected(
+            data in proptest::collection::vec(any::<u8>(), 1..64),
+            byte_idx in 0usize..64,
+            bit in 0u8..8,
+        ) {
+            let byte_idx = byte_idx % data.len();
+            let mut corrupted = data.clone();
+            corrupted[byte_idx] ^= 1 << bit;
+            prop_assert_ne!(crc32(&data), crc32(&corrupted));
+            prop_assert_ne!(crc16_ccitt(&data), crc16_ccitt(&corrupted));
+            prop_assert_ne!(crc8(&data), crc8(&corrupted));
+        }
+
+        #[test]
+        fn crc_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assert_eq!(crc32(&data), crc32(&data));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Rectangular block interleaving.
+//!
+//! Rolling shutter corrupts captured frames in horizontal bands: a burst of
+//! adjacent-row Block failures. Interleaving data bits across the frame
+//! turns those bursts into isolated errors that parity/RS can handle — a
+//! standard trick the paper's "further framing optimizations are permitted"
+//! line invites.
+
+/// A rectangular (row-in, column-out) interleaver of fixed dimensions.
+///
+/// Writing `rows × cols` symbols row-major and reading them column-major
+/// spreads any burst of up to `cols` consecutive symbols across `cols`
+/// different deinterleaved neighborhoods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInterleaver {
+    rows: usize,
+    cols: usize,
+}
+
+impl BlockInterleaver {
+    /// Creates an interleaver.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "interleaver dimensions must be nonzero");
+        Self { rows, cols }
+    }
+
+    /// Number of symbols per interleaving frame.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Always false (dimensions are nonzero).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Interleaves one frame of exactly [`BlockInterleaver::len`] symbols.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn interleave<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len(), "interleaver frame length mismatch");
+        let mut out = Vec::with_capacity(data.len());
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                out.push(data[r * self.cols + c]);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`BlockInterleaver::interleave`].
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn deinterleave<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len(), "interleaver frame length mismatch");
+        let mut out = vec![data[0]; data.len()];
+        let mut it = data.iter();
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                out[r * self.cols + c] = *it.next().expect("length checked");
+            }
+        }
+        out
+    }
+
+    /// Longest run of consecutive positions (in deinterleaved order) hit by
+    /// a burst of `burst_len` consecutive interleaved symbols starting at
+    /// `start` — used by tests to prove burst-spreading.
+    pub fn max_deinterleaved_run(&self, start: usize, burst_len: usize) -> usize {
+        let mut hit = vec![false; self.len()];
+        for i in start..(start + burst_len).min(self.len()) {
+            // Interleaved index i came from deinterleaved index:
+            let c = i / self.rows;
+            let r = i % self.rows;
+            hit[r * self.cols + c] = true;
+        }
+        let mut best = 0;
+        let mut run = 0;
+        for h in hit {
+            if h {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_identity() {
+        let il = BlockInterleaver::new(3, 4);
+        let data: Vec<u32> = (0..12).collect();
+        let inter = il.interleave(&data);
+        assert_eq!(il.deinterleave(&inter), data);
+    }
+
+    #[test]
+    fn interleave_is_column_major_readout() {
+        let il = BlockInterleaver::new(2, 3);
+        // Row-major input:
+        // 0 1 2
+        // 3 4 5
+        let out = il.interleave(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(out, vec![0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    fn burst_is_spread() {
+        let il = BlockInterleaver::new(10, 10);
+        // A 10-symbol burst in interleaved order touches 10 deinterleaved
+        // positions but no two adjacent (they differ by cols = 10).
+        assert_eq!(il.max_deinterleaved_run(20, 10), 1);
+        // Without interleaving the run would be 10.
+    }
+
+    #[test]
+    fn burst_longer_than_rows_creates_short_runs() {
+        let il = BlockInterleaver::new(4, 8);
+        // A 9-symbol burst covers ⌈9/4⌉ = 3 adjacent columns, so the worst
+        // deinterleaved run is 3 — still far better than the raw run of 9.
+        assert_eq!(il.max_deinterleaved_run(0, 9), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        let il = BlockInterleaver::new(2, 2);
+        let _ = il.interleave(&[1, 2, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_dims(rows in 1usize..12, cols in 1usize..12) {
+            let il = BlockInterleaver::new(rows, cols);
+            let data: Vec<usize> = (0..il.len()).collect();
+            prop_assert_eq!(il.deinterleave(&il.interleave(&data)), data);
+        }
+
+        #[test]
+        fn interleaving_is_a_permutation(rows in 1usize..8, cols in 1usize..8) {
+            let il = BlockInterleaver::new(rows, cols);
+            let data: Vec<usize> = (0..il.len()).collect();
+            let mut inter = il.interleave(&data);
+            inter.sort_unstable();
+            prop_assert_eq!(inter, data);
+        }
+    }
+}

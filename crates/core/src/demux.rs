@@ -1,0 +1,580 @@
+//! The InFrame receiver: captured frames in, decoded data frames out.
+//!
+//! Demultiplexing follows §3.3 of the paper: the receiver evaluates the
+//! induced noise of the chessboard pattern per Block. Each captured Block
+//! is smoothed, the smoothed content subtracted from the original (leaving
+//! the high-frequency residual that carries the chessboard plus fine video
+//! texture and sensor noise), and the residual is then **demodulated
+//! against the known chessboard template** — the spatial-phase-aware way
+//! of "checking the induced noise level" that also performs the paper's
+//! mean-difference removal: video texture is uncorrelated with the
+//! template, so its mean contribution cancels, while the chessboard adds
+//! coherently.
+//!
+//! Scores are aggregated across all captures of a data cycle (the camera
+//! sees each cycle 2–4 times), keeping the most confident capture per
+//! Block; captures whose exposure straddled a complementary pair show a
+//! washed-out pattern and lose. A threshold `T` then decides the bit;
+//! Blocks whose best score falls inside the dead zone `T ± margin` are
+//! declared undecodable and make their GOB unavailable.
+
+use crate::config::InFrameConfig;
+use crate::dataframe;
+use crate::layout::DataLayout;
+use inframe_code::parity::GobStats;
+use inframe_frame::integral::box_blur_fast;
+use inframe_frame::geometry::Homography;
+use inframe_frame::Plane;
+use serde::{Deserialize, Serialize};
+
+/// One decoded data cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecodedDataFrame {
+    /// Data cycle index.
+    pub cycle: u64,
+    /// Recovered payload bits; `None` where the covering GOB/codeword
+    /// failed.
+    pub payload: Vec<Option<bool>>,
+    /// GOB statistics (Figure 7's availability and error rate).
+    pub stats: GobStats,
+    /// Number of captures that contributed.
+    pub captures_used: u32,
+}
+
+impl DecodedDataFrame {
+    /// Number of payload bits actually recovered.
+    pub fn recovered_bits(&self) -> usize {
+        self.payload.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+/// Per-Block sensor-space region plus its demodulation template.
+#[derive(Debug, Clone)]
+struct BlockRegion {
+    x: usize,
+    y: usize,
+    /// The ±1 chessboard template over the region (0 where the sensor
+    /// pixel maps outside the Block).
+    template: Plane<f32>,
+}
+
+/// The streaming demultiplexer.
+pub struct Demultiplexer {
+    config: InFrameConfig,
+    layout: DataLayout,
+    regions: Vec<BlockRegion>,
+    /// Smoothing radius for the high-pass prefilter, sensor pixels.
+    smooth_radius: usize,
+    cycle_duration: f64,
+    current: Option<CycleAccumulator>,
+}
+
+struct CycleAccumulator {
+    cycle: u64,
+    /// Best (maximum) score seen per Block, row-major.
+    best: Vec<f32>,
+    captures: u32,
+}
+
+impl Demultiplexer {
+    /// Creates a receiver.
+    ///
+    /// * `registration` — the display→sensor homography (known from setup
+    ///   or a registration pass; the paper's fixed lab geometry makes this
+    ///   a constant).
+    /// * `sensor_w`, `sensor_h` — captured frame dimensions.
+    ///
+    /// # Panics
+    /// Panics if the registration is singular or any Block projects to a
+    /// degenerate sensor region.
+    pub fn new(
+        config: InFrameConfig,
+        registration: &Homography,
+        sensor_w: usize,
+        sensor_h: usize,
+    ) -> Self {
+        config.validate();
+        let layout = DataLayout::from_config(&config);
+        let inverse = registration
+            .inverse()
+            .expect("registration homography must be invertible");
+        // The chessboard cell size on the sensor sets the smoothing scale.
+        let scale = estimate_scale(registration);
+        let cell_sensor = (layout.pixel_size as f64 * scale).max(1.0);
+        let smooth_radius = (cell_sensor.round() as usize).clamp(1, 8);
+        let mut regions = Vec::with_capacity(layout.num_blocks());
+        for by in 0..layout.blocks_y {
+            for bx in 0..layout.blocks_x {
+                let region = build_region(
+                    &layout,
+                    registration,
+                    &inverse,
+                    bx,
+                    by,
+                    sensor_w,
+                    sensor_h,
+                );
+                regions.push(region);
+            }
+        }
+        Self {
+            cycle_duration: config.tau as f64 / config.refresh_hz,
+            config,
+            layout,
+            regions,
+            smooth_radius,
+            current: None,
+        }
+    }
+
+    /// The resolved layout.
+    pub fn layout(&self) -> &DataLayout {
+        &self.layout
+    }
+
+    /// Duration of one data cycle, seconds.
+    pub fn cycle_duration(&self) -> f64 {
+        self.cycle_duration
+    }
+
+    /// Feeds one captured frame. `t_mid` is the capture's temporal centre
+    /// (exposure midpoint of the frame) in display time. Returns a decoded
+    /// data frame whenever a cycle completes.
+    pub fn push_capture(&mut self, capture: &Plane<f32>, t_mid: f64) -> Option<DecodedDataFrame> {
+        let cycle = (t_mid / self.cycle_duration).floor().max(0.0) as u64;
+        let mut completed = None;
+        let flush = matches!(&self.current, Some(acc) if acc.cycle != cycle);
+        if flush {
+            completed = self.finish();
+        }
+        let acc = self.current.get_or_insert_with(|| CycleAccumulator {
+            cycle,
+            best: vec![f32::NEG_INFINITY; self.layout.num_blocks()],
+            captures: 0,
+        });
+        acc.captures += 1;
+        // Captures from the second half of a cycle see the smoothing
+        // envelope ramping toward the *next* data frame (§3.2): a 0-Block
+        // whose bit flips next cycle already shows a growing chessboard.
+        // Only first-half captures carry the current frame cleanly; the
+        // cycle length τ is chosen so at least one 30 FPS capture always
+        // lands there.
+        let phase = (t_mid / self.cycle_duration).fract();
+        if phase < 0.45 {
+            // One shared high-pass per capture, then per-block
+            // demodulation.
+            let smoothed = box_blur_fast(capture, self.smooth_radius);
+            for (i, region) in self.regions.iter().enumerate() {
+                let score = demodulate(capture, &smoothed, region);
+                if score > acc.best[i] {
+                    acc.best[i] = score;
+                }
+            }
+        }
+        completed
+    }
+
+    /// Flushes the in-progress cycle (call at end of stream).
+    pub fn finish(&mut self) -> Option<DecodedDataFrame> {
+        let acc = self.current.take()?;
+        let t = self.config.threshold;
+        let m = self.config.margin;
+        let verdicts: Vec<Option<bool>> = acc
+            .best
+            .iter()
+            .map(|&score| {
+                if score == f32::NEG_INFINITY {
+                    None
+                } else if score > t + m {
+                    Some(true)
+                } else if score < t - m {
+                    Some(false)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let (payload, stats) = dataframe::decode(&self.layout, &verdicts, self.config.coding);
+        Some(DecodedDataFrame {
+            cycle: acc.cycle,
+            payload,
+            stats,
+            captures_used: acc.captures,
+        })
+    }
+
+    /// Raw per-Block scores of a single capture — exposed for calibration
+    /// and the threshold ablation.
+    pub fn score_capture(&self, capture: &Plane<f32>) -> Vec<f32> {
+        let smoothed = box_blur_fast(capture, self.smooth_radius);
+        self.regions
+            .iter()
+            .map(|r| demodulate(capture, &smoothed, r))
+            .collect()
+    }
+}
+
+/// Demodulated chessboard amplitude of one Block region: twice the
+/// template-weighted mean of the high-pass residual, i.e. approximately the
+/// captured peak-to-peak chessboard contrast in code values.
+/// The region is demodulated in **horizontal slices**, accumulating the
+/// absolute correlation per slice. A rolling-shutter camera can catch the
+/// `V+D` frame in the top of a Block and the `V−D` frame in the bottom
+/// (the strobe index flips at some row); a whole-block correlation would
+/// cancel there, while per-slice magnitudes survive with only the boundary
+/// slice lost — the receiver-side rolling-shutter resilience of §3.3.
+fn demodulate(capture: &Plane<f32>, smoothed: &Plane<f32>, region: &BlockRegion) -> f32 {
+    let t = &region.template;
+    let h = t.height();
+    // Slices of ~1/4 block height (at least 2 rows) balance sign-flip
+    // resilience against the positive bias |noise| picks up per slice.
+    let slice_h = (h / 4).max(2);
+    let mut total = 0.0f64;
+    let mut total_weight = 0.0f64;
+    let mut y0 = 0;
+    while y0 < h {
+        let y1 = (y0 + slice_h).min(h);
+        let mut acc = 0.0f64;
+        let mut energy = 0.0f64;
+        let mut weight = 0.0f64;
+        for dy in y0..y1 {
+            for dx in 0..t.width() {
+                let tv = t.get(dx, dy);
+                if tv == 0.0 {
+                    continue;
+                }
+                let x = region.x + dx;
+                let y = region.y + dy;
+                let hp = (capture.get(x, y) - smoothed.get(x, y)) as f64;
+                acc += hp * tv as f64;
+                energy += hp * hp;
+                weight += tv.abs() as f64;
+            }
+        }
+        // Noise-floor subtraction — the paper's "remove the mean absolute
+        // difference": content that is incoherent with the template (video
+        // texture, sensor noise) contributes E|Σ hpᵢ| ≈ √(2/π · Σ hpᵢ²) to
+        // the slice magnitude. The coherent (template-aligned) part of the
+        // energy is excluded first so a clean chessboard is not penalized
+        // for its own power.
+        let incoherent = if weight > 0.0 {
+            (energy - acc * acc / weight).max(0.0)
+        } else {
+            0.0
+        };
+        let noise_floor = (2.0 / std::f64::consts::PI * incoherent).sqrt();
+        total += (acc.abs() - noise_floor).max(0.0);
+        total_weight += weight;
+        y0 = y1;
+    }
+    if total_weight == 0.0 {
+        0.0
+    } else {
+        (2.0 * total / total_weight) as f32
+    }
+}
+
+/// Mean linear scale factor of a homography near the display centre — used
+/// to size the receiver's smoothing radius.
+fn estimate_scale(h: &Homography) -> f64 {
+    let (x0, y0) = h.apply(100.0, 100.0).unwrap_or((0.0, 0.0));
+    let (x1, _) = h.apply(101.0, 100.0).unwrap_or((1.0, 0.0));
+    let (_, y2) = h.apply(100.0, 101.0).unwrap_or((0.0, 1.0));
+    (((x1 - x0).abs() + (y2 - y0).abs()) / 2.0).max(1e-6)
+}
+
+/// Builds the sensor region and chessboard template for one Block.
+fn build_region(
+    layout: &DataLayout,
+    registration: &Homography,
+    inverse: &Homography,
+    bx: usize,
+    by: usize,
+    sensor_w: usize,
+    sensor_h: usize,
+) -> BlockRegion {
+    let r = layout.block_rect(bx, by);
+    let corners = [
+        (r.x as f64, r.y as f64),
+        ((r.x + r.w) as f64, r.y as f64),
+        ((r.x + r.w) as f64, (r.y + r.h) as f64),
+        (r.x as f64, (r.y + r.h) as f64),
+    ];
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for (cx, cy) in corners {
+        let (sx, sy) = registration
+            .apply(cx, cy)
+            .expect("registration must not map blocks to infinity");
+        min_x = min_x.min(sx);
+        min_y = min_y.min(sy);
+        max_x = max_x.max(sx);
+        max_y = max_y.max(sy);
+    }
+    // Inset to avoid bleed from neighbouring blocks, then clamp to the
+    // sensor.
+    let inset_x = ((max_x - min_x) * 0.10).max(1.0);
+    let inset_y = ((max_y - min_y) * 0.10).max(1.0);
+    let x0 = ((min_x + inset_x).floor().max(0.0)) as usize;
+    let y0 = ((min_y + inset_y).floor().max(0.0)) as usize;
+    let x1 = ((max_x - inset_x).ceil().min(sensor_w as f64)) as usize;
+    let y1 = ((max_y - inset_y).ceil().min(sensor_h as f64)) as usize;
+    assert!(
+        x1 > x0 + 1 && y1 > y0 + 1,
+        "block ({bx},{by}) projects to a degenerate sensor region"
+    );
+    // Template: per sensor pixel, map its centre back to display space and
+    // take the chessboard parity of its super-Pixel. Pattern value is δ on
+    // odd-parity Pixels, 0 on even: after mean removal that is ±δ/2, so
+    // the template is +1 (odd) / −1 (even).
+    let cell = layout.pixel_size as f64;
+    let template = Plane::from_fn(x1 - x0, y1 - y0, |dx, dy| {
+        let sx = (x0 + dx) as f64 + 0.5;
+        let sy = (y0 + dy) as f64 + 0.5;
+        match inverse.apply(sx, sy) {
+            Some((ux, uy)) => {
+                let lx = ux - r.x as f64;
+                let ly = uy - r.y as f64;
+                if lx < 0.0 || ly < 0.0 || lx >= r.w as f64 || ly >= r.h as f64 {
+                    0.0
+                } else {
+                    let pi = (lx / cell).floor() as i64;
+                    let pj = (ly / cell).floor() as i64;
+                    if (pi + pj).rem_euclid(2) == 1 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+            }
+            None => 0.0,
+        }
+    });
+    BlockRegion {
+        x: x0,
+        y: y0,
+        template,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CodingMode;
+    use crate::dataframe::DataFrame;
+    use crate::pattern::{self, Complementation};
+
+    fn paper_small() -> InFrameConfig {
+        InFrameConfig::small_test()
+    }
+
+    fn encode_frame(cfg: &InFrameConfig, key: usize) -> (DataLayout, DataFrame, Vec<bool>) {
+        let layout = DataLayout::from_config(cfg);
+        let payload: Vec<bool> = (0..layout.payload_bits_parity())
+            .map(|i| i % key == 0)
+            .collect();
+        let frame = DataFrame::encode(&layout, &payload, CodingMode::Parity);
+        (layout, frame, payload)
+    }
+
+    fn render_plus(
+        cfg: &InFrameConfig,
+        layout: &DataLayout,
+        frame: &DataFrame,
+        video: &Plane<f32>,
+    ) -> Plane<f32> {
+        let (plus, _) = pattern::complementary_pair(layout, video, frame, cfg.delta, Complementation::Code, |bx, by| {
+            if frame.bit(bx, by) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        plus
+    }
+
+    #[test]
+    fn demux_decodes_synthetic_clean_captures() {
+        let cfg = paper_small();
+        let (layout, frame, payload) = encode_frame(&cfg, 3);
+        let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+        let plus = render_plus(&cfg, &layout, &frame, &video);
+        let mut demux = Demultiplexer::new(
+            cfg,
+            &Homography::identity(),
+            cfg.display_w,
+            cfg.display_h,
+        );
+        assert!(demux.push_capture(&plus, 0.01).is_none());
+        assert!(demux.push_capture(&plus, 0.05).is_none());
+        let decoded = demux
+            .push_capture(&video, demux.cycle_duration() + 0.01)
+            .expect("first cycle completes");
+        assert_eq!(decoded.cycle, 0);
+        assert_eq!(decoded.captures_used, 2);
+        assert_eq!(decoded.stats.available_ratio(), 1.0);
+        assert_eq!(decoded.stats.error_rate(), 0.0);
+        let bits: Vec<bool> = decoded.payload.iter().map(|b| b.unwrap()).collect();
+        assert_eq!(bits, payload);
+    }
+
+    #[test]
+    fn minus_frame_decodes_identically() {
+        // The demodulator takes |·|, so V−D captures decode the same way.
+        let cfg = paper_small();
+        let (layout, frame, payload) = encode_frame(&cfg, 2);
+        let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+        let (_, minus) = pattern::complementary_pair(&layout, &video, &frame, cfg.delta, Complementation::Code, |bx, by| {
+            if frame.bit(bx, by) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let mut demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        demux.push_capture(&minus, 0.01);
+        let decoded = demux.finish().unwrap();
+        let bits: Vec<bool> = decoded.payload.iter().map(|b| b.unwrap()).collect();
+        assert_eq!(bits, payload);
+    }
+
+    #[test]
+    fn clean_scores_separate_clearly() {
+        // Scores of 1-blocks sit near δ; 0-blocks near zero — the dead
+        // zone between them is wide at δ = 20.
+        let cfg = paper_small();
+        let (layout, frame, _) = encode_frame(&cfg, 2);
+        let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+        let plus = render_plus(&cfg, &layout, &frame, &video);
+        let demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        let scores = demux.score_capture(&plus);
+        for (i, &score) in scores.iter().enumerate() {
+            let (bx, by) = (i % layout.blocks_x, i / layout.blocks_x);
+            if frame.bit(bx, by) {
+                assert!(score > 12.0, "1-block ({bx},{by}) score {score}");
+            } else {
+                assert!(score < 2.0, "0-block ({bx},{by}) score {score}");
+            }
+        }
+    }
+
+    #[test]
+    fn washed_out_capture_scores_near_zero() {
+        // A capture that integrated across a complementary pair sees plain
+        // video: every block scores ~0 → all-zero frame decodes (parity of
+        // zeros holds), no spurious 1s.
+        let cfg = paper_small();
+        let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+        let mut demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        demux.push_capture(&video, 0.01);
+        let decoded = demux.finish().unwrap();
+        assert_eq!(decoded.stats.available_ratio(), 1.0);
+        let zeros = decoded.payload.iter().filter(|b| **b == Some(false)).count();
+        assert_eq!(zeros, decoded.payload.len());
+    }
+
+    #[test]
+    fn half_contrast_lands_in_dead_zone() {
+        // A capture with the pattern at a small fraction of δ (e.g. a
+        // mostly-cancelled straddle) must be declared undecodable, not
+        // guessed.
+        let cfg = paper_small();
+        let (layout, frame, _) = encode_frame(&cfg, 2);
+        let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+        let faint = pattern::complementary_pair(&layout, &video, &frame, cfg.delta, Complementation::Code, |bx, by| {
+            if frame.bit(bx, by) {
+                0.1 // ~10% residual contrast → score ≈ 2 ≈ T
+            } else {
+                0.0
+            }
+        })
+        .0;
+        let mut demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        demux.push_capture(&faint, 0.01);
+        let decoded = demux.finish().unwrap();
+        assert!(
+            decoded.stats.unavailable > 0,
+            "faint pattern must produce unavailable GOBs, got {:?}",
+            decoded.stats
+        );
+    }
+
+    #[test]
+    fn finish_on_empty_stream_is_none() {
+        let cfg = paper_small();
+        let mut demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        assert!(demux.finish().is_none());
+    }
+
+    #[test]
+    fn registration_scales_block_regions() {
+        // 2/3-resolution sensor (the paper's 1920→1280 ratio): decoding
+        // must survive the downsample.
+        use inframe_frame::resample::downsample_area;
+
+        let cfg = paper_small();
+        let (layout, frame, payload) = encode_frame(&cfg, 4);
+        let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+        let plus = render_plus(&cfg, &layout, &frame, &video);
+        let sw = cfg.display_w * 2 / 3;
+        let sh = cfg.display_h * 2 / 3;
+        let captured = downsample_area(&plus, sw, sh);
+        let reg = Homography::scale(
+            sw as f64 / cfg.display_w as f64,
+            sh as f64 / cfg.display_h as f64,
+        );
+        let mut demux = Demultiplexer::new(cfg, &reg, sw, sh);
+        demux.push_capture(&captured, 0.01);
+        let decoded = demux.finish().unwrap();
+        assert!(
+            decoded.stats.available_ratio() > 0.9,
+            "availability {}",
+            decoded.stats.available_ratio()
+        );
+        let mut correct = 0;
+        let mut total = 0;
+        for (bit, truth) in decoded.payload.iter().zip(&payload) {
+            if let Some(b) = bit {
+                total += 1;
+                if b == truth {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            correct as f64 / total as f64 > 0.97,
+            "accuracy {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn textured_video_confuses_some_blocks() {
+        // High-contrast texture at the chessboard scale raises 0-block
+        // scores: the root cause of Figure 7's lower availability on real
+        // video.
+        let cfg = paper_small();
+        let (_, _, _) = encode_frame(&cfg, 2);
+        let noisy_video = Plane::from_fn(cfg.display_w, cfg.display_h, |x, y| {
+            let h = (x as u64)
+                .wrapping_mul(2654435761)
+                .wrapping_add((y as u64).wrapping_mul(40503));
+            80.0 + ((h >> 3) % 120) as f32
+        });
+        let demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        let scores = demux.score_capture(&noisy_video);
+        let max = scores.iter().cloned().fold(0.0f32, f32::max);
+        assert!(
+            max > 0.5,
+            "texture must raise scores above the clean floor, max {max}"
+        );
+    }
+}

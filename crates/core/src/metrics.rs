@@ -1,0 +1,152 @@
+//! Throughput accounting — the arithmetic behind Figure 7.
+//!
+//! A data frame carries `payload_bits` and refreshes every τ displayed
+//! frames, so the raw rate is `payload_bits · refresh/τ` bit/s. Only
+//! available GOBs deliver bits, and erroneous GOBs deliver wrong ones, so
+//! goodput is `raw · availableRatio · (1 − errorRate)` — which reproduces
+//! every bar of Figure 7 from its printed annotations (e.g. gray, δ=20,
+//! τ=10: `1125 · 12 · 0.952 · 0.985 ≈ 12.6 kbps`).
+
+use inframe_code::parity::GobStats;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated link performance over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Payload bits per data frame.
+    pub payload_bits: usize,
+    /// Data frames per second (`refresh / τ`).
+    pub data_frame_rate: f64,
+    /// Available-GOB ratio (Figure 7 top annotation).
+    pub available_ratio: f64,
+    /// GOB error rate among available GOBs (Figure 7 bracketed annotation).
+    pub error_rate: f64,
+    /// Fraction of decoded payload bits that match the sent ground truth
+    /// (1.0 when no ground truth was supplied).
+    pub bit_accuracy: f64,
+    /// Data cycles observed.
+    pub cycles: u64,
+}
+
+impl ThroughputReport {
+    /// Builds a report from GOB statistics.
+    pub fn from_stats(
+        payload_bits: usize,
+        data_frame_rate: f64,
+        stats: &GobStats,
+        bit_accuracy: f64,
+        cycles: u64,
+    ) -> Self {
+        Self {
+            payload_bits,
+            data_frame_rate,
+            available_ratio: stats.available_ratio(),
+            error_rate: stats.error_rate(),
+            bit_accuracy,
+            cycles,
+        }
+    }
+
+    /// Raw channel rate in kbit/s, before losses.
+    pub fn raw_kbps(&self) -> f64 {
+        self.payload_bits as f64 * self.data_frame_rate / 1000.0
+    }
+
+    /// Goodput in kbit/s: raw rate × availability × (1 − error rate), the
+    /// paper's Figure 7 metric.
+    pub fn goodput_kbps(&self) -> f64 {
+        self.raw_kbps() * self.available_ratio * (1.0 - self.error_rate)
+    }
+
+    /// Formats one Figure 7 annotation line:
+    /// `"<goodput> kbps  (avail <a>%  err <e>%)"`.
+    pub fn annotation(&self) -> String {
+        format!(
+            "{:5.1} kbps  (avail {:5.1}%  err {:5.2}%)",
+            self.goodput_kbps(),
+            self.available_ratio * 100.0,
+            self.error_rate * 100.0
+        )
+    }
+}
+
+/// Compares decoded payload bits to ground truth: returns
+/// `(correct, compared)` counting only bits that were actually recovered.
+pub fn bit_accuracy(decoded: &[Option<bool>], truth: &[bool]) -> (usize, usize) {
+    let mut correct = 0;
+    let mut compared = 0;
+    for (d, &t) in decoded.iter().zip(truth) {
+        if let Some(b) = d {
+            compared += 1;
+            if *b == t {
+                correct += 1;
+            }
+        }
+    }
+    (correct, compared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inframe_code::parity::GobStatus;
+
+    fn stats(ok: u64, err: u64, unavail: u64) -> GobStats {
+        let mut s = GobStats::default();
+        for _ in 0..ok {
+            s.record(GobStatus::Ok);
+        }
+        for _ in 0..err {
+            s.record(GobStatus::Erroneous);
+        }
+        for _ in 0..unavail {
+            s.record(GobStatus::Unavailable);
+        }
+        s
+    }
+
+    #[test]
+    fn reproduces_figure7_gray_tau10_bar() {
+        // Paper: δ=20, τ=10, gray → 95.2% available, 1.5% err → 12.6 kbps.
+        let s = stats(952, 14, 48); // 1000 GOBs: 95.2% avail, ~1.47% err
+        let r = ThroughputReport::from_stats(1125, 12.0, &s, 1.0, 100);
+        assert!((r.raw_kbps() - 13.5).abs() < 1e-9);
+        let g = r.goodput_kbps();
+        assert!((g - 12.66).abs() < 0.08, "goodput {g}");
+    }
+
+    #[test]
+    fn reproduces_figure7_video_bar() {
+        // Paper: video δ=30, τ=12 → 68.5% available, 9.54% err → 7.0 kbps.
+        let s = stats(620, 65, 315); // 685 available (620 ok + 65 err), 31.5% unavailable
+        let r = ThroughputReport::from_stats(1125, 10.0, &s, 1.0, 100);
+        let g = r.goodput_kbps();
+        assert!((g - 6.97).abs() < 0.1, "goodput {g}");
+    }
+
+    #[test]
+    fn goodput_zero_when_nothing_available() {
+        let s = stats(0, 0, 100);
+        let r = ThroughputReport::from_stats(1125, 10.0, &s, 0.0, 10);
+        assert_eq!(r.goodput_kbps(), 0.0);
+    }
+
+    #[test]
+    fn annotation_contains_key_numbers() {
+        let s = stats(95, 1, 5);
+        let r = ThroughputReport::from_stats(1125, 12.0, &s, 1.0, 10);
+        let a = r.annotation();
+        assert!(a.contains("kbps"));
+        assert!(a.contains("avail"));
+        assert!(a.contains("err"));
+    }
+
+    #[test]
+    fn bit_accuracy_counts_only_recovered() {
+        let decoded = vec![Some(true), None, Some(false), Some(true)];
+        let truth = vec![true, true, true, true];
+        let (correct, compared) = bit_accuracy(&decoded, &truth);
+        assert_eq!(compared, 3);
+        assert_eq!(correct, 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! Frame multiplexing: the complementary-frame schedule of Figure 2.
+//!
+//! A 30 FPS video frame is duplicated four times at 120 Hz; data cycles of
+//! τ displayed frames run on their own cadence, each frame alternating
+//! `V + P` / `V − P`. Within a cycle the per-Block amplitude follows the
+//! smoothing envelope: constant for stable bits, ramping over the second
+//! half of the cycle when the bit flips at the next cycle boundary.
+
+use crate::config::InFrameConfig;
+use crate::dataframe::DataFrame;
+use crate::layout::DataLayout;
+use crate::pattern;
+use inframe_dsp::envelope::Envelope;
+use inframe_frame::Plane;
+use serde::{Deserialize, Serialize};
+
+/// Sign of the perturbation in a displayed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameSign {
+    /// `V + P`.
+    Plus,
+    /// `V − P`.
+    Minus,
+}
+
+/// Schedule metadata of one displayed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameSlot {
+    /// Global displayed-frame index.
+    pub display_index: u64,
+    /// Video frame index (`display_index / 4`).
+    pub video_index: u64,
+    /// Data cycle index (`display_index / τ`).
+    pub cycle_index: u64,
+    /// Position within the cycle, `0 .. τ`.
+    pub k: u32,
+    /// Complementary-pair index within the cycle (`k / 2`).
+    pub pair: u32,
+    /// Whether this frame adds or subtracts the perturbation.
+    pub sign: FrameSign,
+    /// Start time of the frame on the display, seconds.
+    pub t_start: f64,
+}
+
+/// Computes the slot for displayed frame `f` under config `c`.
+pub fn slot(c: &InFrameConfig, f: u64) -> FrameSlot {
+    let tau = c.tau as u64;
+    let k = (f % tau) as u32;
+    FrameSlot {
+        display_index: f,
+        video_index: f / InFrameConfig::DUPLICATES_PER_VIDEO_FRAME as u64,
+        cycle_index: f / tau,
+        k,
+        pair: k / 2,
+        sign: if k.is_multiple_of(2) {
+            FrameSign::Plus
+        } else {
+            FrameSign::Minus
+        },
+        t_start: f as f64 / c.refresh_hz,
+    }
+}
+
+/// Cache key and value for one rendered complementary pair.
+type PairCache = (u64, u64, u32, (Plane<f32>, Plane<f32>));
+
+/// Stateless core of the multiplexer: renders the displayed frame for a
+/// slot given the video frame and the current/next data frames.
+pub struct Multiplexer {
+    config: InFrameConfig,
+    layout: DataLayout,
+    envelope: Envelope,
+    /// Cached pair offsets for the current (video_index, cycle, pair),
+    /// reused by the minus frame of the pair.
+    cache: Option<PairCache>,
+}
+
+impl Multiplexer {
+    /// Creates a multiplexer for the configuration.
+    pub fn new(config: InFrameConfig) -> Self {
+        config.validate();
+        Self {
+            layout: DataLayout::from_config(&config),
+            envelope: Envelope::new(config.pairs_per_cycle(), config.envelope),
+            config,
+            cache: None,
+        }
+    }
+
+    /// The resolved layout.
+    pub fn layout(&self) -> &DataLayout {
+        &self.layout
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &InFrameConfig {
+        &self.config
+    }
+
+    /// Renders displayed frame `slot` by multiplexing `video` with the
+    /// current data frame `cur` (and `next`, for transition shaping).
+    pub fn render(
+        &mut self,
+        s: &FrameSlot,
+        video: &Plane<f32>,
+        cur: &DataFrame,
+        next: &DataFrame,
+    ) -> Plane<f32> {
+        let (p_plus, p_minus) = self.offsets_for(s, video, cur, next);
+        match s.sign {
+            FrameSign::Plus => {
+                inframe_frame::arith::add(video, &p_plus).expect("same shape by construction")
+            }
+            FrameSign::Minus => {
+                inframe_frame::arith::sub(video, &p_minus).expect("same shape by construction")
+            }
+        }
+    }
+
+    /// The maximum per-pair envelope amplitude step across a cycle — feeds
+    /// the phantom-array term of the HVS assessment.
+    pub fn max_envelope_step(&self) -> f64 {
+        let pairs = self.config.pairs_per_cycle() as usize;
+        // Worst case: a 0→1 flip sampled at each pair of the cycle.
+        let mut max_step = 0.0f64;
+        let mut prev = self.envelope.amplitude(0, false, true);
+        for k in 1..pairs as u32 {
+            let a = self.envelope.amplitude(k, false, true);
+            max_step = max_step.max((a - prev).abs());
+            prev = a;
+        }
+        // Plus the boundary step into the next cycle (amplitude 1.0).
+        max_step.max((1.0 - prev).abs())
+    }
+
+    fn offsets_for(
+        &mut self,
+        s: &FrameSlot,
+        video: &Plane<f32>,
+        cur: &DataFrame,
+        next: &DataFrame,
+    ) -> (Plane<f32>, Plane<f32>) {
+        if let Some((vi, ci, pair, ref p)) = self.cache {
+            if vi == s.video_index && ci == s.cycle_index && pair == s.pair {
+                return p.clone();
+            }
+        }
+        let env = &self.envelope;
+        let pair = s.pair;
+        let p = pattern::pair_offsets(
+            &self.layout,
+            video,
+            cur,
+            self.config.delta,
+            self.config.complementation,
+            |bx, by| env.amplitude(pair, cur.bit(bx, by), next.bit(bx, by)) as f32,
+        );
+        self.cache = Some((s.video_index, s.cycle_index, s.pair, p.clone()));
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CodingMode;
+
+    fn cfg() -> InFrameConfig {
+        // Code-symmetric pairs make the arithmetic in these tests exact.
+        InFrameConfig {
+            complementation: crate::pattern::Complementation::Code,
+            ..InFrameConfig::small_test()
+        }
+    }
+
+    fn frames(c: &InFrameConfig, seed: u64) -> (DataFrame, DataFrame) {
+        let layout = DataLayout::from_config(c);
+        let mk = |s: u64| {
+            let payload: Vec<bool> = (0..layout.payload_bits_parity())
+                .map(|i| (i as u64).wrapping_mul(2654435761).wrapping_add(s).is_multiple_of(3))
+                .collect();
+            DataFrame::encode(&layout, &payload, CodingMode::Parity)
+        };
+        (mk(seed), mk(seed + 1))
+    }
+
+    #[test]
+    fn slot_schedule_matches_figure2() {
+        let c = cfg(); // tau = 12
+        let s0 = slot(&c, 0);
+        assert_eq!(s0.video_index, 0);
+        assert_eq!(s0.cycle_index, 0);
+        assert_eq!(s0.sign, FrameSign::Plus);
+        let s1 = slot(&c, 1);
+        assert_eq!(s1.sign, FrameSign::Minus);
+        assert_eq!(s1.pair, 0);
+        // Video frame advances every 4 displayed frames.
+        assert_eq!(slot(&c, 4).video_index, 1);
+        // Cycle advances every tau displayed frames.
+        assert_eq!(slot(&c, 12).cycle_index, 1);
+        assert_eq!(slot(&c, 12).k, 0);
+        // Timing.
+        assert!((slot(&c, 6).t_start - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complementary_pair_cancels() {
+        let c = cfg();
+        let mut m = Multiplexer::new(c);
+        let (cur, next) = frames(&c, 1);
+        let video = Plane::filled(c.display_w, c.display_h, 127.0);
+        let plus = m.render(&slot(&c, 0), &video, &cur, &next);
+        let minus = m.render(&slot(&c, 1), &video, &cur, &next);
+        for (x, y, v) in video.iter_xy() {
+            let avg = (plus.get(x, y) + minus.get(x, y)) / 2.0;
+            assert!((avg - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn stable_bits_have_full_amplitude_through_cycle() {
+        let c = cfg();
+        let mut m = Multiplexer::new(c);
+        let layout = *m.layout();
+        let (cur, _) = frames(&c, 3);
+        let video = Plane::filled(c.display_w, c.display_h, 127.0);
+        // Same data frame as cur and next: no transitions anywhere.
+        for f in 0..c.tau as u64 {
+            let s = slot(&c, f);
+            let out = m.render(&s, &video, &cur, &cur);
+            // Find a 1-block and check its amplitude is full δ.
+            let (bx, by) = (0..layout.blocks_y)
+                .flat_map(|by| (0..layout.blocks_x).map(move |bx| (bx, by)))
+                .find(|&(bx, by)| cur.bit(bx, by))
+                .expect("a 1 block exists");
+            let rect = layout.block_rect(bx, by);
+            // Pixel (1,0) is odd → perturbed.
+            let v = out.get(rect.x + layout.pixel_size, rect.y);
+            let expect = match s.sign {
+                FrameSign::Plus => 147.0,
+                FrameSign::Minus => 107.0,
+            };
+            assert!((v - expect).abs() < 1e-3, "frame {f}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn transitions_ramp_in_second_half_of_cycle() {
+        let c = cfg(); // tau = 12 → 6 pairs
+        let mut m = Multiplexer::new(c);
+        let layout = *m.layout();
+        let video = Plane::filled(c.display_w, c.display_h, 127.0);
+        // cur all-ones is not encodable via parity; construct via encode of
+        // all-true payload (parity bits follow automatically).
+        let all1: Vec<bool> = vec![true; layout.payload_bits_parity()];
+        let cur = DataFrame::encode(&layout, &all1, CodingMode::Parity);
+        let zero = DataFrame::zero(&layout);
+        // Pick a block that is 1 in cur (payload slot, since parity of
+        // 1,1,1 is 1, actually all blocks are 1 here).
+        let rect = layout.block_rect(0, 0);
+        let probe = |out: &Plane<f32>| (out.get(rect.x + layout.pixel_size, rect.y) - 127.0).abs();
+        // First half of cycle: full amplitude.
+        let early = m.render(&slot(&c, 0), &video, &cur, &zero);
+        assert!((probe(&early) - 20.0).abs() < 1e-3);
+        // Last pair: nearly faded out.
+        let late = m.render(&slot(&c, (c.tau - 2) as u64), &video, &cur, &zero);
+        assert!(probe(&late) < 1.0, "late amplitude {}", probe(&late));
+        // Monotone decay across pairs.
+        let mut prev = f32::INFINITY;
+        for pair in 0..c.pairs_per_cycle() {
+            let out = m.render(&slot(&c, (pair * 2) as u64), &video, &cur, &zero);
+            let a = probe(&out);
+            assert!(a <= prev + 1e-4, "pair {pair}");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn envelope_step_is_bounded_for_srrc() {
+        let c = cfg();
+        let m = Multiplexer::new(c);
+        let step = m.max_envelope_step();
+        assert!(step > 0.0 && step < 1.0, "step {step}");
+        // Compare with a stair envelope: abrupt single step of 1.0.
+        let mut c2 = c;
+        c2.envelope = inframe_dsp::envelope::TransitionShape::Stair { steps: 1 };
+        let m2 = Multiplexer::new(c2);
+        assert!(m2.max_envelope_step() >= step);
+    }
+
+    #[test]
+    fn cache_is_consistent_across_signs() {
+        let c = cfg();
+        let mut m = Multiplexer::new(c);
+        let (cur, next) = frames(&c, 9);
+        let video = Plane::from_fn(c.display_w, c.display_h, |x, y| ((x * y) % 200) as f32);
+        let plus = m.render(&slot(&c, 2), &video, &cur, &next);
+        let minus = m.render(&slot(&c, 3), &video, &cur, &next);
+        // plus + minus = 2 video exactly (same perturbation used).
+        for (x, y, v) in video.iter_xy() {
+            assert!((plus.get(x, y) + minus.get(x, y) - 2.0 * v).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Chessboard pattern rendering and local amplitude adjustment.
+//!
+//! A `1` Block adds a chessboard of super-Pixels at amplitude δ to `V+D`
+//! frames and subtracts it from `V−D` frames; a `0` Block leaves the video
+//! unchanged (§3.3). Because multiplexed pixel values must stay inside
+//! `[0, 255]`, bright/dark areas get a locally reduced amplitude — applied
+//! identically to both frames of a complementary pair so the pair still
+//! averages to `V`.
+//!
+//! Two complementation rules are provided:
+//!
+//! * [`Complementation::Code`] — the paper's definition (`v_p + v_p* =
+//!   2v`, §3.2): symmetric in code values. Because the display EOTF is
+//!   convex, the *light* average of such a pair sits slightly above the
+//!   original, and that offset is modulated by the smoothing envelope —
+//!   a residual low-frequency ripple.
+//! * [`Complementation::Luminance`] — symmetric in linear light: the code
+//!   offsets are chosen so the pair's emitted light averages to exactly
+//!   the original's. This is what a production implementation would ship
+//!   (and what the workspace defaults to); the ripple ablation quantifies
+//!   the difference.
+
+use crate::dataframe::DataFrame;
+use crate::layout::DataLayout;
+use inframe_frame::color;
+use inframe_frame::Plane;
+use serde::{Deserialize, Serialize};
+
+/// How complementary frame pairs are balanced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Complementation {
+    /// Symmetric in code values (`(v+p) + (v−p) = 2v`), the paper's §3.2
+    /// definition.
+    Code,
+    /// Symmetric in emitted linear light (the pair averages to the
+    /// original luminance exactly).
+    Luminance,
+}
+
+/// The per-pixel offsets `(P⁺, P⁻)` such that the displayed pair is
+/// `(V + P⁺, V − P⁻)`.
+///
+/// `envelope_amplitude(bx, by)` returns the per-Block amplitude fraction
+/// in `[0, 1]` for the current iteration (1.0 for a stable `1` bit, 0.0
+/// for a stable `0`, intermediate during smoothed transitions).
+pub fn pair_offsets(
+    layout: &DataLayout,
+    video: &Plane<f32>,
+    data: &DataFrame,
+    delta: f32,
+    complementation: Complementation,
+    mut envelope_amplitude: impl FnMut(usize, usize) -> f32,
+) -> (Plane<f32>, Plane<f32>) {
+    let mut plus = Plane::<f32>::filled(video.width(), video.height(), 0.0);
+    let mut minus = Plane::<f32>::filled(video.width(), video.height(), 0.0);
+    let cell = layout.pixel_size;
+    for by in 0..layout.blocks_y {
+        for bx in 0..layout.blocks_x {
+            let a = envelope_amplitude(bx, by);
+            if a <= 0.0 {
+                continue;
+            }
+            debug_assert!(
+                a <= 1.0 + 1e-6,
+                "envelope amplitude out of range at ({bx},{by})"
+            );
+            let _ = &data;
+            let rect = layout.block_rect(bx, by);
+            for y in rect.y..rect.y + rect.h {
+                for x in rect.x..rect.x + rect.w {
+                    let pi = (x - rect.x) / cell;
+                    let pj = (y - rect.y) / cell;
+                    // Paper: δ where Pixel (i+j) is odd, 0 otherwise.
+                    if (pi + pj) % 2 != 1 {
+                        continue;
+                    }
+                    let v = video.get(x, y);
+                    // Local adjustment: the full swing must fit in
+                    // [0, 255] on both frames of the pair.
+                    let amp = (delta * a).min(255.0 - v).min(v).max(0.0);
+                    if amp <= 0.0 {
+                        continue;
+                    }
+                    match complementation {
+                        Complementation::Code => {
+                            plus.put(x, y, amp);
+                            minus.put(x, y, amp);
+                        }
+                        Complementation::Luminance => {
+                            // Light-symmetric offsets: move ±λ in linear
+                            // light around L(v), where λ is half the light
+                            // swing of the code-symmetric pair — same
+                            // detectability, zero mean-light shift.
+                            let l_mid = color::code_to_linear(v);
+                            let l_hi = color::code_to_linear(v + amp);
+                            let l_lo = color::code_to_linear(v - amp);
+                            let lambda = ((l_hi - l_lo) / 2.0).min(l_mid).min(1.0 - l_mid);
+                            let code_hi = color::linear_to_code(l_mid + lambda);
+                            let code_lo = color::linear_to_code(l_mid - lambda);
+                            plus.put(x, y, (code_hi - v).max(0.0));
+                            minus.put(x, y, (v - code_lo).max(0.0));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (plus, minus)
+}
+
+/// Renders the complementary pair `(V + P⁺, V − P⁻)` for one iteration.
+pub fn complementary_pair(
+    layout: &DataLayout,
+    video: &Plane<f32>,
+    data: &DataFrame,
+    delta: f32,
+    complementation: Complementation,
+    envelope_amplitude: impl FnMut(usize, usize) -> f32,
+) -> (Plane<f32>, Plane<f32>) {
+    let (p_plus, p_minus) =
+        pair_offsets(layout, video, data, delta, complementation, envelope_amplitude);
+    let plus = inframe_frame::arith::add(video, &p_plus).expect("same shape by construction");
+    let minus = inframe_frame::arith::sub(video, &p_minus).expect("same shape by construction");
+    (plus, minus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CodingMode, InFrameConfig};
+
+    fn setup() -> (DataLayout, DataFrame) {
+        let cfg = InFrameConfig::small_test();
+        let layout = DataLayout::from_config(&cfg);
+        let payload: Vec<bool> = (0..layout.payload_bits_parity()).map(|i| i % 2 == 0).collect();
+        let frame = DataFrame::encode(&layout, &payload, CodingMode::Parity);
+        (layout, frame)
+    }
+
+    fn full_amplitude(data: &DataFrame) -> impl FnMut(usize, usize) -> f32 + '_ {
+        move |bx, by| if data.bit(bx, by) { 1.0 } else { 0.0 }
+    }
+
+    #[test]
+    fn code_pair_averages_back_to_video_exactly() {
+        let (layout, data) = setup();
+        let video = Plane::from_fn(192, 144, |x, y| 60.0 + ((x + y) % 100) as f32);
+        let (plus, minus) = complementary_pair(
+            &layout,
+            &video,
+            &data,
+            20.0,
+            Complementation::Code,
+            full_amplitude(&data),
+        );
+        for (x, y, v) in video.iter_xy() {
+            let avg = (plus.get(x, y) + minus.get(x, y)) / 2.0;
+            assert!((avg - v).abs() < 1e-4, "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn luminance_pair_averages_to_video_light() {
+        let (layout, data) = setup();
+        let video = Plane::filled(192, 144, 180.0);
+        let (plus, minus) = complementary_pair(
+            &layout,
+            &video,
+            &data,
+            30.0,
+            Complementation::Luminance,
+            full_amplitude(&data),
+        );
+        for (x, y, v) in video.iter_xy() {
+            let l_avg = (color::code_to_linear(plus.get(x, y))
+                + color::code_to_linear(minus.get(x, y)))
+                / 2.0;
+            let l_orig = color::code_to_linear(v);
+            assert!(
+                (l_avg - l_orig).abs() < 2e-3,
+                "light shift at ({x},{y}): {l_avg} vs {l_orig}"
+            );
+        }
+    }
+
+    #[test]
+    fn code_pair_shifts_light_upward_on_bright_content() {
+        // The convexity ripple the Luminance mode eliminates.
+        let (layout, data) = setup();
+        let video = Plane::filled(192, 144, 180.0);
+        let (plus, minus) = complementary_pair(
+            &layout,
+            &video,
+            &data,
+            30.0,
+            Complementation::Code,
+            full_amplitude(&data),
+        );
+        let mut max_shift = 0.0f32;
+        for (x, y, v) in video.iter_xy() {
+            let l_avg = (color::code_to_linear(plus.get(x, y))
+                + color::code_to_linear(minus.get(x, y)))
+                / 2.0;
+            max_shift = max_shift.max(l_avg - color::code_to_linear(v));
+        }
+        assert!(max_shift > 1e-3, "code pairs must show the light shift");
+    }
+
+    #[test]
+    fn both_frames_stay_in_code_range() {
+        let (layout, data) = setup();
+        let video = Plane::from_fn(192, 144, |x, _| if x % 2 == 0 { 3.0 } else { 252.0 });
+        for mode in [Complementation::Code, Complementation::Luminance] {
+            let (plus, minus) =
+                complementary_pair(&layout, &video, &data, 20.0, mode, full_amplitude(&data));
+            assert!(plus.max_sample() <= 255.0 + 1e-3);
+            assert!(plus.min_sample() >= -1e-3);
+            assert!(minus.max_sample() <= 255.0 + 1e-3);
+            assert!(minus.min_sample() >= -1e-3);
+        }
+    }
+
+    #[test]
+    fn one_blocks_carry_chessboard_zero_blocks_do_not() {
+        let (layout, data) = setup();
+        let video = Plane::filled(192, 144, 127.0);
+        let (p, _) = pair_offsets(
+            &layout,
+            &video,
+            &data,
+            20.0,
+            Complementation::Code,
+            full_amplitude(&data),
+        );
+        let mut found_one = false;
+        let mut found_zero = false;
+        for by in 0..layout.blocks_y {
+            for bx in 0..layout.blocks_x {
+                let rect = layout.block_rect(bx, by);
+                let region = p.crop(rect.x, rect.y, rect.w, rect.h).unwrap();
+                let energy: f32 = region.samples().iter().sum();
+                if data.bit(bx, by) {
+                    assert!(energy > 0.0, "1-block ({bx},{by}) must perturb");
+                    found_one = true;
+                } else {
+                    assert_eq!(energy, 0.0, "0-block ({bx},{by}) must be silent");
+                    found_zero = true;
+                }
+            }
+        }
+        assert!(found_one && found_zero);
+    }
+
+    #[test]
+    fn chessboard_cells_have_pixel_granularity() {
+        let (layout, data) = setup();
+        let video = Plane::filled(192, 144, 127.0);
+        let (p, _) = pair_offsets(
+            &layout,
+            &video,
+            &data,
+            20.0,
+            Complementation::Code,
+            full_amplitude(&data),
+        );
+        let (bx, by) = (0..layout.blocks_y)
+            .flat_map(|by| (0..layout.blocks_x).map(move |bx| (bx, by)))
+            .find(|&(bx, by)| data.bit(bx, by))
+            .expect("some 1 block exists");
+        let rect = layout.block_rect(bx, by);
+        let cell = layout.pixel_size;
+        let base = p.get(rect.x + cell, rect.y); // Pixel (1,0): odd → δ
+        for dy in 0..cell {
+            for dx in 0..cell {
+                assert_eq!(p.get(rect.x + cell + dx, rect.y + dy), base);
+            }
+        }
+        assert_eq!(base, 20.0);
+        assert_eq!(p.get(rect.x, rect.y), 0.0);
+    }
+
+    #[test]
+    fn envelope_scales_amplitude() {
+        let (layout, data) = setup();
+        let video = Plane::filled(192, 144, 127.0);
+        let (half, _) = pair_offsets(&layout, &video, &data, 20.0, Complementation::Code, |bx, by| {
+            if data.bit(bx, by) {
+                0.5
+            } else {
+                0.0
+            }
+        });
+        let (full, _) = pair_offsets(
+            &layout,
+            &video,
+            &data,
+            20.0,
+            Complementation::Code,
+            full_amplitude(&data),
+        );
+        assert!((half.max_sample() - 10.0).abs() < 1e-4);
+        assert!((full.max_sample() - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bright_areas_get_reduced_amplitude() {
+        let (layout, data) = setup();
+        let video = Plane::filled(192, 144, 250.0);
+        let (p, _) = pair_offsets(
+            &layout,
+            &video,
+            &data,
+            20.0,
+            Complementation::Code,
+            full_amplitude(&data),
+        );
+        // Amplitude capped at 255 − 250 = 5.
+        assert!(p.max_sample() <= 5.0 + 1e-4);
+    }
+
+    #[test]
+    fn luminance_mode_has_comparable_detectability() {
+        // The light swing (what the camera sees) is the same for both
+        // modes by construction.
+        let (layout, data) = setup();
+        let video = Plane::filled(192, 144, 127.0);
+        let swing = |mode| {
+            let (plus, minus) =
+                complementary_pair(&layout, &video, &data, 20.0, mode, full_amplitude(&data));
+            let mut max = 0.0f32;
+            for (x, y, _) in video.iter_xy() {
+                let s = color::code_to_linear(plus.get(x, y))
+                    - color::code_to_linear(minus.get(x, y));
+                max = max.max(s);
+            }
+            max
+        };
+        let code = swing(Complementation::Code);
+        let lum = swing(Complementation::Luminance);
+        assert!((code - lum).abs() < 0.05 * code, "swings {code} vs {lum}");
+    }
+}

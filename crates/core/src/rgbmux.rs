@@ -1,0 +1,181 @@
+//! RGB multiplexing.
+//!
+//! The paper's evaluation videos are grayscale, and the core pipeline
+//! operates on luma, but real content is color. Per §3.3 the chessboard
+//! perturbation is applied to **all three channels identically** (a pure
+//! luminance pattern — chroma untouched), which keeps the embedded data
+//! invisible to color perception and lets a receiver that only looks at
+//! luma decode unchanged. This module lifts the luma multiplexer to
+//! [`inframe_frame::RgbFrame`]s and proves the equivalence.
+
+use crate::dataframe::DataFrame;
+use crate::layout::DataLayout;
+use crate::pattern::{pair_offsets, Complementation};
+use inframe_frame::{arith, Plane, RgbFrame};
+
+/// Renders the complementary pair for an RGB video frame: the (luma-derived)
+/// offsets are added to / subtracted from every channel.
+///
+/// Returns `(V + P, V − P)` as RGB frames, channels clamped to the code
+/// range.
+pub fn complementary_pair_rgb(
+    layout: &DataLayout,
+    video: &RgbFrame,
+    data: &DataFrame,
+    delta: f32,
+    complementation: Complementation,
+    envelope_amplitude: impl FnMut(usize, usize) -> f32,
+) -> (RgbFrame, RgbFrame) {
+    // Offsets are computed against the luma plane so local amplitude
+    // clamping matches what the (luma) receiver will see.
+    let luma = video.luma();
+    let (p_plus, p_minus) = pair_offsets(
+        layout,
+        &luma,
+        data,
+        delta,
+        complementation,
+        envelope_amplitude,
+    );
+    let apply = |frame: &RgbFrame, offsets: &Plane<f32>, sign: f32| {
+        let mut out = frame.clone();
+        out.for_each_plane_mut(|ch| {
+            *ch = arith::add_scaled(ch, offsets, sign).expect("same shape by construction");
+        });
+        out.clamp_code_range();
+        out
+    };
+    (apply(video, &p_plus, 1.0), apply(video, &p_minus, -1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CodingMode, InFrameConfig};
+
+    fn setup() -> (InFrameConfig, DataLayout, DataFrame) {
+        let cfg = InFrameConfig::small_test();
+        let layout = DataLayout::from_config(&cfg);
+        let payload: Vec<bool> = (0..layout.payload_bits_parity())
+            .map(|i| i % 2 == 0)
+            .collect();
+        let data = DataFrame::encode(&layout, &payload, CodingMode::Parity);
+        (cfg, layout, data)
+    }
+
+    fn amp(data: &DataFrame) -> impl FnMut(usize, usize) -> f32 + '_ {
+        move |bx, by| if data.bit(bx, by) { 1.0 } else { 0.0 }
+    }
+
+    #[test]
+    fn rgb_pair_luma_matches_luma_pipeline() {
+        let (cfg, layout, data) = setup();
+        // A mid-gray color frame (not neutral: distinct channels).
+        let video = RgbFrame::solid(cfg.display_w, cfg.display_h, [110.0, 130.0, 150.0]);
+        let (plus_rgb, minus_rgb) = complementary_pair_rgb(
+            &layout,
+            &video,
+            &data,
+            cfg.delta,
+            Complementation::Code,
+            amp(&data),
+        );
+        // The luma of the RGB pair equals running the luma pipeline on the
+        // video's luma (BT.601 weights sum to 1, so adding P to every
+        // channel adds P to luma).
+        let luma_video = video.luma();
+        let (plus_l, minus_l) = crate::pattern::complementary_pair(
+            &layout,
+            &luma_video,
+            &data,
+            cfg.delta,
+            Complementation::Code,
+            amp(&data),
+        );
+        let d_plus = arith::mae(&plus_rgb.luma(), &plus_l).unwrap();
+        let d_minus = arith::mae(&minus_rgb.luma(), &minus_l).unwrap();
+        assert!(d_plus < 1e-3, "plus luma diff {d_plus}");
+        assert!(d_minus < 1e-3, "minus luma diff {d_minus}");
+    }
+
+    #[test]
+    fn chroma_is_untouched() {
+        let (cfg, layout, data) = setup();
+        let video = RgbFrame::solid(cfg.display_w, cfg.display_h, [100.0, 140.0, 90.0]);
+        let (plus, _) = complementary_pair_rgb(
+            &layout,
+            &video,
+            &data,
+            cfg.delta,
+            Complementation::Code,
+            amp(&data),
+        );
+        // Per-pixel chroma (Cb, Cr) stays constant: the same offset on all
+        // channels cancels in the color-difference terms.
+        for (x, y, _) in video.r.iter_xy().take(4000) {
+            let (_, cb0, cr0) = inframe_frame::color::rgb_to_ycbcr(
+                video.r.get(x, y),
+                video.g.get(x, y),
+                video.b.get(x, y),
+            );
+            let (_, cb1, cr1) = inframe_frame::color::rgb_to_ycbcr(
+                plus.r.get(x, y),
+                plus.g.get(x, y),
+                plus.b.get(x, y),
+            );
+            assert!((cb0 - cb1).abs() < 1e-2, "Cb moved at ({x},{y})");
+            assert!((cr0 - cr1).abs() < 1e-2, "Cr moved at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn rgb_pair_decodes_via_luma_receiver() {
+        use crate::demux::Demultiplexer;
+        use inframe_frame::geometry::Homography;
+
+        let (cfg, layout, data) = setup();
+        let video = RgbFrame::solid(cfg.display_w, cfg.display_h, [120.0, 127.0, 134.0]);
+        let (plus, _) = complementary_pair_rgb(
+            &layout,
+            &video,
+            &data,
+            cfg.delta,
+            Complementation::Code,
+            amp(&data),
+        );
+        let mut demux = Demultiplexer::new(
+            cfg,
+            &Homography::identity(),
+            cfg.display_w,
+            cfg.display_h,
+        );
+        demux.push_capture(&plus.luma(), 0.01);
+        let decoded = demux.finish().unwrap();
+        assert_eq!(decoded.stats.error_rate(), 0.0);
+        assert!(decoded.stats.available_ratio() > 0.99);
+        // Bits match the encoded frame.
+        let truth: Vec<bool> = (0..layout.payload_bits_parity())
+            .map(|i| i % 2 == 0)
+            .collect();
+        let bits: Vec<bool> = decoded.payload.iter().map(|b| b.unwrap()).collect();
+        assert_eq!(bits, truth);
+    }
+
+    #[test]
+    fn bright_channel_clamps_without_breaking_the_pair() {
+        let (cfg, layout, data) = setup();
+        // Red near the rail: offsets clamp per the luma plan, channels clip
+        // at 255 after application.
+        let video = RgbFrame::solid(cfg.display_w, cfg.display_h, [250.0, 127.0, 127.0]);
+        let (plus, minus) = complementary_pair_rgb(
+            &layout,
+            &video,
+            &data,
+            cfg.delta,
+            Complementation::Code,
+            amp(&data),
+        );
+        assert!(plus.r.max_sample() <= 255.0);
+        assert!(minus.r.min_sample() >= 0.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! The InFrame sender: video in, 120 Hz multiplexed display frames out.
+//!
+//! Wires together the video source, payload source, data-frame encoder and
+//! multiplexer. Also implements the paper's §5 practical requirement that
+//! "the original video frame should be rendered when video viewing pauses":
+//! [`Sender::pause`] swaps in an all-zero data frame (through the smoothing
+//! envelope, so even the pause transition is flicker-free).
+
+use crate::config::InFrameConfig;
+use crate::dataframe::{payload_bits_rs, DataFrame};
+use crate::layout::DataLayout;
+use crate::multiplex::{slot, FrameSlot, Multiplexer};
+use crate::CodingMode;
+use inframe_frame::Plane;
+use inframe_video::VideoSource;
+
+/// Supplies payload bits for successive data frames.
+pub trait PayloadSource {
+    /// Returns the next `bits` payload bits.
+    fn next_payload(&mut self, bits: usize) -> Vec<bool>;
+}
+
+impl<F: FnMut(usize) -> Vec<bool>> PayloadSource for F {
+    fn next_payload(&mut self, bits: usize) -> Vec<bool> {
+        self(bits)
+    }
+}
+
+/// A PRBS-backed payload source (the paper's "pseudo-random data generator
+/// with a pre-set seed", §4).
+#[derive(Debug, Clone)]
+pub struct PrbsPayload {
+    rng: inframe_code::prbs::Xoshiro256,
+}
+
+impl PrbsPayload {
+    /// Creates a seeded payload source.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: inframe_code::prbs::Xoshiro256::seed_from_u64(seed),
+        }
+    }
+}
+
+impl PayloadSource for PrbsPayload {
+    fn next_payload(&mut self, bits: usize) -> Vec<bool> {
+        (0..bits).map(|_| self.rng.next_bit()).collect()
+    }
+}
+
+/// Wraps any payload source with link-layer whitening
+/// ([`inframe_code::scramble::Scrambler`]): the emitted data frames look
+/// pseudo-random regardless of payload content, keeping per-GOB bit
+/// statistics balanced and giving the blind synchronizer
+/// ([`crate::sync`]) chessboards to lock onto even during idle stretches.
+#[derive(Debug, Clone)]
+pub struct ScrambledPayload<P> {
+    inner: P,
+    scrambler: inframe_code::scramble::Scrambler,
+    frame_index: u64,
+}
+
+impl<P: PayloadSource> ScrambledPayload<P> {
+    /// Wraps `inner`; both link ends must share `seed`.
+    pub fn new(inner: P, seed: u64) -> Self {
+        Self {
+            inner,
+            scrambler: inframe_code::scramble::Scrambler::new(seed),
+            frame_index: 0,
+        }
+    }
+
+    /// Descrambles bits recovered for data cycle `cycle` (the receiving
+    /// side of the wrapper).
+    pub fn descramble(seed: u64, bits: &[bool], cycle: u64) -> Vec<bool> {
+        inframe_code::scramble::Scrambler::new(seed).apply(bits, cycle)
+    }
+}
+
+impl<P: PayloadSource> PayloadSource for ScrambledPayload<P> {
+    fn next_payload(&mut self, bits: usize) -> Vec<bool> {
+        let raw = self.inner.next_payload(bits);
+        let out = self.scrambler.apply(&raw, self.frame_index);
+        self.frame_index += 1;
+        out
+    }
+}
+
+/// One emitted display frame with its schedule metadata and ground truth.
+#[derive(Debug, Clone)]
+pub struct SenderFrame {
+    /// The multiplexed frame (code values 0–255).
+    pub plane: Plane<f32>,
+    /// Schedule slot.
+    pub slot: FrameSlot,
+}
+
+/// The end-to-end sender.
+pub struct Sender<V, P> {
+    config: InFrameConfig,
+    layout: DataLayout,
+    mux: Multiplexer,
+    video: V,
+    payload: P,
+    /// Payload bits per data frame under the active coding mode.
+    payload_bits: usize,
+    current_video: Option<Plane<f32>>,
+    cur: DataFrame,
+    next: DataFrame,
+    /// Ground truth: payload of each emitted data cycle, by cycle index.
+    sent_payloads: Vec<Vec<bool>>,
+    display_index: u64,
+    paused: bool,
+}
+
+impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
+    /// Creates a sender.
+    ///
+    /// # Panics
+    /// Panics if the video source shape disagrees with the configured
+    /// display, or the video is not 1/4 of the refresh rate.
+    pub fn new(config: InFrameConfig, video: V, mut payload: P) -> Self {
+        config.validate();
+        assert_eq!(
+            (video.width(), video.height()),
+            (config.display_w, config.display_h),
+            "video must match the display resolution"
+        );
+        let expected_fps = config.refresh_hz / InFrameConfig::DUPLICATES_PER_VIDEO_FRAME as f64;
+        assert!(
+            (video.frame_rate().0 - expected_fps).abs() < 1e-6,
+            "video must run at refresh/4 FPS"
+        );
+        let layout = DataLayout::from_config(&config);
+        let payload_bits = match config.coding {
+            CodingMode::Parity => layout.payload_bits_parity(),
+            CodingMode::ReedSolomon { parity_bytes } => payload_bits_rs(&layout, parity_bytes),
+        };
+        let p0 = payload.next_payload(payload_bits);
+        let p1 = payload.next_payload(payload_bits);
+        let cur = DataFrame::encode(&layout, &p0, config.coding);
+        let next = DataFrame::encode(&layout, &p1, config.coding);
+        Self {
+            mux: Multiplexer::new(config),
+            layout,
+            video,
+            payload,
+            payload_bits,
+            current_video: None,
+            sent_payloads: vec![p0, p1],
+            cur,
+            next,
+            config,
+            display_index: 0,
+            paused: false,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &InFrameConfig {
+        &self.config
+    }
+
+    /// The resolved data layout.
+    pub fn layout(&self) -> &DataLayout {
+        &self.layout
+    }
+
+    /// Payload capacity per data frame, bits.
+    pub fn payload_bits(&self) -> usize {
+        self.payload_bits
+    }
+
+    /// Ground-truth payload of data cycle `c` (available for every cycle
+    /// emitted so far, plus the pre-fetched next cycle). `None` for cycles
+    /// sent while paused.
+    pub fn sent_payload(&self, c: u64) -> Option<&[bool]> {
+        self.sent_payloads.get(c as usize).map(|v| v.as_slice())
+    }
+
+    /// Pauses data transmission: subsequent cycles carry the all-zero data
+    /// frame, so after the envelope ramp the display shows pristine video.
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// Resumes data transmission.
+    pub fn resume(&mut self) {
+        self.paused = false;
+    }
+
+    /// Whether the sender is paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Emits the next displayed frame, or `None` when the video ends.
+    pub fn next_frame(&mut self) -> Option<SenderFrame> {
+        let s = slot(&self.config, self.display_index);
+        // Fetch the video frame at each video boundary (including frame 0).
+        if s.display_index.is_multiple_of(InFrameConfig::DUPLICATES_PER_VIDEO_FRAME as u64)
+            || self.current_video.is_none()
+        {
+            self.current_video = Some(self.video.next_frame()?);
+        }
+        // Advance the data cycle at each cycle boundary (but not at f = 0,
+        // where cur/next are already primed).
+        if s.k == 0 && s.display_index != 0 {
+            std::mem::swap(&mut self.cur, &mut self.next);
+            let p = if self.paused {
+                vec![false; self.payload_bits]
+            } else {
+                self.payload.next_payload(self.payload_bits)
+            };
+            self.next = DataFrame::encode(&self.layout, &p, self.config.coding);
+            self.sent_payloads.push(p);
+        }
+        let video = self.current_video.as_ref().expect("fetched above");
+        let plane = self.mux.render(&s, video, &self.cur, &self.next);
+        self.display_index += 1;
+        Some(SenderFrame { plane, slot: s })
+    }
+
+    /// Maximum envelope amplitude step (for HVS assessment).
+    pub fn max_envelope_step(&self) -> f64 {
+        self.mux.max_envelope_step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inframe_video::synth::SolidClip;
+    use inframe_video::FrameRate;
+
+    fn video(c: &InFrameConfig) -> SolidClip {
+        SolidClip::new(c.display_w, c.display_h, 127.0, FrameRate(c.refresh_hz / 4.0))
+    }
+
+    fn sender(c: InFrameConfig) -> Sender<SolidClip, PrbsPayload> {
+        Sender::new(c, video(&c), PrbsPayload::new(42))
+    }
+
+    #[test]
+    fn emits_frames_with_correct_schedule() {
+        let c = InFrameConfig::small_test();
+        let mut s = sender(c);
+        for f in 0..30u64 {
+            let out = s.next_frame().unwrap();
+            assert_eq!(out.slot.display_index, f);
+            assert_eq!(out.slot.cycle_index, f / c.tau as u64);
+            assert_eq!(out.plane.shape(), (c.display_w, c.display_h));
+        }
+    }
+
+    #[test]
+    fn payload_ground_truth_is_recorded() {
+        let c = InFrameConfig::small_test();
+        let mut s = sender(c);
+        // Run three full cycles.
+        for _ in 0..(3 * c.tau as usize) {
+            s.next_frame().unwrap();
+        }
+        for cycle in 0..3u64 {
+            let p = s.sent_payload(cycle).expect("payload recorded");
+            assert_eq!(p.len(), s.payload_bits());
+        }
+        // Payloads differ between cycles (PRBS).
+        assert_ne!(s.sent_payload(0), s.sent_payload(1));
+    }
+
+    #[test]
+    fn complementary_pairs_average_to_video() {
+        let c = InFrameConfig {
+            complementation: crate::pattern::Complementation::Code,
+            ..InFrameConfig::small_test()
+        };
+        let mut s = sender(c);
+        let a = s.next_frame().unwrap();
+        let b = s.next_frame().unwrap();
+        for (x, y, _) in a.plane.iter_xy() {
+            let avg = (a.plane.get(x, y) + b.plane.get(x, y)) / 2.0;
+            assert!((avg - 127.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn pause_fades_to_clean_video() {
+        let c = InFrameConfig::small_test();
+        let mut s = sender(c);
+        s.pause();
+        // After two full cycles the active data frame is all-zero and the
+        // envelope has fully ramped out.
+        for _ in 0..(3 * c.tau as usize) {
+            s.next_frame().unwrap();
+        }
+        let out = s.next_frame().unwrap();
+        for (_, _, v) in out.plane.iter_xy() {
+            assert!((v - 127.0).abs() < 1e-3, "paused output must be pristine video");
+        }
+        assert!(s.is_paused());
+        s.resume();
+        assert!(!s.is_paused());
+    }
+
+    #[test]
+    fn ends_when_video_ends() {
+        let c = InFrameConfig::small_test();
+        let clip = inframe_video::source::Limited::new(video(&c), 2); // 2 video frames
+        let mut s = Sender::new(c, clip, PrbsPayload::new(1));
+        let mut count = 0;
+        while s.next_frame().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 8); // 2 video frames × 4 duplicates
+    }
+
+    #[test]
+    #[should_panic(expected = "match the display resolution")]
+    fn mismatched_video_rejected() {
+        let c = InFrameConfig::small_test();
+        let clip = SolidClip::new(64, 64, 127.0, FrameRate(30.0));
+        let _ = Sender::new(c, clip, PrbsPayload::new(1));
+    }
+
+    #[test]
+    fn scrambled_payload_roundtrips() {
+        let seed = 99;
+        // All-zero application payload: scrambling must still produce
+        // balanced frames, and descrambling must recover the zeros.
+        let zeros = |n: usize| vec![false; n];
+        let mut scrambled = ScrambledPayload::new(
+            move |n: usize| zeros(n),
+            seed,
+        );
+        let frame0 = scrambled.next_payload(128);
+        let frame1 = scrambled.next_payload(128);
+        assert_ne!(frame0, vec![false; 128], "whitening must change the bits");
+        assert_ne!(frame0, frame1, "frames must differ");
+        let back0 = ScrambledPayload::<PrbsPayload>::descramble(seed, &frame0, 0);
+        let back1 = ScrambledPayload::<PrbsPayload>::descramble(seed, &frame1, 1);
+        assert_eq!(back0, vec![false; 128]);
+        assert_eq!(back1, vec![false; 128]);
+    }
+
+    #[test]
+    fn rs_mode_sender_works() {
+        let mut c = InFrameConfig::small_test();
+        c.coding = CodingMode::ReedSolomon { parity_bytes: 4 };
+        let mut s = sender(c);
+        assert!(s.payload_bits() > 0);
+        let out = s.next_frame().unwrap();
+        assert_eq!(out.plane.shape(), (c.display_w, c.display_h));
+    }
+}

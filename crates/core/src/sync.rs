@@ -1,0 +1,329 @@
+//! Blind cycle synchronization.
+//!
+//! The streaming [`crate::Demultiplexer`] assigns captures to data cycles
+//! by timestamp, which assumes the receiver knows the sender's cycle
+//! phase. Real deployments don't get that for free — the paper cites
+//! LightSync for the general unsynchronized-link problem. This module
+//! recovers the cycle phase *from the captures themselves*:
+//!
+//! Captures taken in the first (stable) half of a cycle show crisp
+//! chessboards (high block scores); captures during the transition half
+//! show faded ones. Score a window of captures, fold capture times by the
+//! known cycle duration, and the phase that maximizes mean score over the
+//! "stable" half-window is the sender's cycle origin. The cycle duration
+//! itself is known from the (public) configuration — only the origin is
+//! blind.
+
+use crate::config::InFrameConfig;
+use serde::{Deserialize, Serialize};
+
+/// One observation for the estimator: a capture's time and a scalar
+/// "pattern crispness" (e.g. the mean of the top-quartile block scores).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncObservation {
+    /// Capture midpoint in receiver time, seconds.
+    pub t_mid: f64,
+    /// Aggregate pattern score of the capture.
+    pub crispness: f64,
+}
+
+/// Result of a phase estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncEstimate {
+    /// Estimated cycle origin in `[0, cycle_duration)` — subtract from
+    /// capture times before cycle assignment.
+    pub phase: f64,
+    /// Contrast of the folded score profile (peak mean / trough mean);
+    /// values near 1 mean the estimate is unreliable (e.g. an idle
+    /// channel).
+    pub confidence: f64,
+}
+
+/// Estimates the sender's cycle phase from scored captures.
+///
+/// Needs observations spanning at least a few cycles; 8–10 captures are
+/// plenty in practice (the camera sees 2.5–3 captures per cycle).
+#[derive(Debug, Clone)]
+pub struct CycleSynchronizer {
+    cycle_duration: f64,
+    observations: Vec<SyncObservation>,
+    /// Number of trial phases evaluated over one cycle.
+    resolution: usize,
+}
+
+impl CycleSynchronizer {
+    /// Creates a synchronizer for the configuration.
+    pub fn new(config: &InFrameConfig) -> Self {
+        Self {
+            cycle_duration: config.tau as f64 / config.refresh_hz,
+            observations: Vec::new(),
+            resolution: 48,
+        }
+    }
+
+    /// The cycle duration being assumed, seconds.
+    pub fn cycle_duration(&self) -> f64 {
+        self.cycle_duration
+    }
+
+    /// Records one scored capture.
+    pub fn observe(&mut self, t_mid: f64, crispness: f64) {
+        self.observations.push(SyncObservation { t_mid, crispness });
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Estimates the phase, or `None` with fewer than 4 observations.
+    ///
+    /// For each trial phase the observations are folded into the cycle and
+    /// split into the stable half (`[0, 0.45)` of the cycle, where the
+    /// demultiplexer scores captures) and the transition half; the trial
+    /// maximizing the stable-half mean is returned.
+    pub fn estimate(&self) -> Option<SyncEstimate> {
+        if self.observations.len() < 4 {
+            return None;
+        }
+        let d = self.cycle_duration;
+        // Evaluate the folded stable-half mean at each trial phase.
+        let mut means = vec![f64::NEG_INFINITY; self.resolution];
+        let mut worst_mean = f64::INFINITY;
+        let mut best_mean = f64::NEG_INFINITY;
+        for (i, mean_slot) in means.iter_mut().enumerate() {
+            let trial = d * i as f64 / self.resolution as f64;
+            let mut stable_sum = 0.0;
+            let mut stable_n = 0u32;
+            for obs in &self.observations {
+                let folded = ((obs.t_mid - trial) % d + d) % d;
+                if folded / d < 0.45 {
+                    stable_sum += obs.crispness;
+                    stable_n += 1;
+                }
+            }
+            if stable_n == 0 {
+                continue;
+            }
+            let mean = stable_sum / stable_n as f64;
+            *mean_slot = mean;
+            best_mean = best_mean.max(mean);
+            worst_mean = worst_mean.min(mean);
+        }
+        if !best_mean.is_finite() {
+            return None;
+        }
+        // A 30 FPS camera folds to only a few positions per cycle, so the
+        // optimum is a plateau, not a point: take the circular centre of
+        // the longest near-best run.
+        let near: Vec<bool> = means
+            .iter()
+            .map(|&m| m >= best_mean - (best_mean - worst_mean).abs() * 0.02 - 1e-12)
+            .collect();
+        let n = self.resolution;
+        let mut best_run = (0usize, 0usize); // (start, len)
+        let mut i = 0;
+        while i < n {
+            if near[i] {
+                // Walk the run circularly (but at most n steps).
+                let mut len = 0;
+                while len < n && near[(i + len) % n] {
+                    len += 1;
+                }
+                if len > best_run.1 {
+                    best_run = (i, len);
+                }
+                i += len.max(1);
+            } else {
+                i += 1;
+            }
+        }
+        let centre = (best_run.0 + best_run.1 / 2) % n;
+        let best_phase = d * centre as f64 / n as f64;
+        let confidence = if worst_mean > 1e-12 {
+            best_mean / worst_mean
+        } else {
+            f64::INFINITY
+        };
+        Some(SyncEstimate {
+            phase: best_phase,
+            confidence,
+        })
+    }
+
+    /// Convenience: aggregate block scores into a crispness value — the
+    /// mean of the top quartile (robust to frames where most blocks carry
+    /// bit 0).
+    pub fn crispness_of_scores(scores: &[f32]) -> f64 {
+        if scores.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f32> = scores.to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("scores must not be NaN"));
+        let quartile = (sorted.len() / 4).max(1);
+        sorted[..quartile].iter().map(|&v| v as f64).sum::<f64>() / quartile as f64
+    }
+
+    /// The sharper sync signal for real channels: the mean normalized
+    /// distance of Block scores from the decision threshold.
+    ///
+    /// Stable-half captures are bimodal (scores near 0 or near the clean
+    /// amplitude, both far from `T`); transition-half captures put the
+    /// Blocks that flip next cycle at intermediate amplitudes near `T` —
+    /// so this statistic dips in the transition half even when plenty of
+    /// crisp stable bits remain. Distances are capped at `T + m` so one
+    /// very strong block cannot mask many ambiguous ones.
+    pub fn decisiveness_of_scores(scores: &[f32], threshold: f32, margin: f32) -> f64 {
+        if scores.is_empty() {
+            return 0.0;
+        }
+        let _ = margin;
+        let cap = threshold as f64;
+        scores
+            .iter()
+            .map(|&s| ((s - threshold).abs() as f64).min(cap) / cap)
+            .sum::<f64>()
+            / scores.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InFrameConfig;
+
+    fn synchronizer() -> CycleSynchronizer {
+        CycleSynchronizer::new(&InFrameConfig::small_test()) // τ=12 → 0.1 s
+    }
+
+    /// Synthetic channel: crispness is high in the first half of the true
+    /// cycle, low in the second.
+    fn observe_synthetic(sync: &mut CycleSynchronizer, true_phase: f64, captures: usize) {
+        let d = sync.cycle_duration();
+        for j in 0..captures {
+            let t = j as f64 * (1.0 / 30.0); // 30 FPS camera
+            let folded = ((t - true_phase) % d + d) % d;
+            let crisp = if folded / d < 0.5 { 6.0 } else { 1.5 };
+            sync.observe(t, crisp);
+        }
+    }
+
+    #[test]
+    fn recovers_known_phase() {
+        for true_phase in [0.0, 0.02, 0.05, 0.083] {
+            let mut sync = synchronizer();
+            observe_synthetic(&mut sync, true_phase, 40);
+            let est = sync.estimate().expect("enough observations");
+            let d = sync.cycle_duration();
+            // Phase error measured circularly.
+            let err = {
+                let e = (est.phase - true_phase).abs() % d;
+                e.min(d - e)
+            };
+            assert!(
+                err < d * 0.15,
+                "phase {true_phase}: estimated {} (err {err})",
+                est.phase
+            );
+            assert!(est.confidence > 1.5, "confidence {}", est.confidence);
+        }
+    }
+
+    #[test]
+    fn too_few_observations_is_none() {
+        let mut sync = synchronizer();
+        sync.observe(0.0, 5.0);
+        sync.observe(0.03, 5.0);
+        assert!(sync.estimate().is_none());
+        assert_eq!(sync.len(), 2);
+        assert!(!sync.is_empty());
+    }
+
+    #[test]
+    fn flat_scores_report_low_confidence() {
+        let mut sync = synchronizer();
+        for j in 0..30 {
+            sync.observe(j as f64 / 30.0, 3.0); // idle channel: flat
+        }
+        let est = sync.estimate().expect("enough observations");
+        assert!(
+            est.confidence < 1.2,
+            "flat profile must not look confident: {}",
+            est.confidence
+        );
+    }
+
+    #[test]
+    fn crispness_uses_top_quartile() {
+        // Mostly 0-blocks with a few strong 1-blocks: crispness tracks the
+        // strong ones.
+        let mut scores = vec![0.2f32; 12];
+        scores.extend([6.0, 6.2, 5.8, 6.1]);
+        let c = CycleSynchronizer::crispness_of_scores(&scores);
+        assert!(c > 5.5, "crispness {c}");
+        assert_eq!(CycleSynchronizer::crispness_of_scores(&[]), 0.0);
+    }
+
+    #[test]
+    fn decisiveness_separates_stable_from_transition() {
+        // Bimodal (stable) scores sit far from the threshold on both
+        // sides; mid-transition scores hug it.
+        let stable = vec![0.2f32, 0.3, 6.1, 6.3, 0.1, 5.9];
+        let d1 = CycleSynchronizer::decisiveness_of_scores(&stable, 2.0, 1.0);
+        let transition = vec![0.2f32, 2.1, 2.5, 6.3, 1.8, 2.9];
+        let d2 = CycleSynchronizer::decisiveness_of_scores(&transition, 2.0, 1.0);
+        assert!(d1 > d2 * 1.5, "stable {d1} vs transition {d2}");
+        assert_eq!(CycleSynchronizer::decisiveness_of_scores(&[], 2.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn end_to_end_with_real_scores() {
+        // Score real captures rendered with a known (nonzero) phase and
+        // recover it.
+        use crate::dataframe::DataFrame;
+        use crate::demux::Demultiplexer;
+        use crate::layout::DataLayout;
+        use crate::pattern::{complementary_pair, Complementation};
+        use inframe_frame::geometry::Homography;
+        use inframe_frame::Plane;
+
+        let cfg = InFrameConfig::small_test();
+        let layout = DataLayout::from_config(&cfg);
+        let payload: Vec<bool> = (0..layout.payload_bits_parity()).map(|i| i % 2 == 0).collect();
+        let data = DataFrame::encode(&layout, &payload, cfg.coding);
+        let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+        let (crisp_frame, _) =
+            complementary_pair(&layout, &video, &data, cfg.delta, Complementation::Code, |bx, by| {
+                if data.bit(bx, by) {
+                    1.0
+                } else {
+                    0.0
+                }
+            });
+        let faded = video.clone(); // transition-half capture: washed out
+
+        let demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        let mut sync = CycleSynchronizer::new(&cfg);
+        let d = sync.cycle_duration();
+        let true_phase = 0.04;
+        for j in 0..36 {
+            let t = j as f64 / 30.0;
+            let folded = ((t - true_phase) % d + d) % d;
+            let capture = if folded / d < 0.5 { &crisp_frame } else { &faded };
+            let scores = demux.score_capture(capture);
+            sync.observe(t, CycleSynchronizer::crispness_of_scores(&scores));
+        }
+        let est = sync.estimate().unwrap();
+        let err = {
+            let e = (est.phase - true_phase).abs() % d;
+            e.min(d - e)
+        };
+        assert!(err < d * 0.15, "estimated {} err {err}", est.phase);
+    }
+}

@@ -1,0 +1,307 @@
+//! Closed-form light emission for one refresh interval.
+//!
+//! During refresh interval `[0, Δ)` every pixel's **liquid crystal** state
+//! relaxes exponentially from its initial level `A₀` toward the frame's
+//! target `T`:
+//!
+//! ```text
+//! LC(t) = T + (A₀ − T) · e^(−t/τ)
+//! ```
+//!
+//! The **emitted light** is the LC state gated by the backlight: constant
+//! backlight emits `LC(t)` at all times; a strobed backlight emits
+//! `LC(t)/duty` inside the strobe window and nothing outside, so the mean
+//! luminance matches the constant panel. With τ = 0 (ideal panel) the LC
+//! jumps to `T` instantly. Point values and time-averages over any
+//! sub-interval have closed forms, which keeps camera exposure integration
+//! exact and fast.
+
+use inframe_frame::Plane;
+
+/// The emitted light of one displayed frame over its refresh interval.
+///
+/// Light values are normalized linear units (1.0 = panel peak mean
+/// luminance; strobed panels exceed 1.0 inside the strobe).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameEmission {
+    /// Steady-state LC target per pixel.
+    pub target: Plane<f32>,
+    /// LC level per pixel at the start of the interval.
+    pub initial: Plane<f32>,
+    /// Refresh interval length in seconds.
+    pub duration: f64,
+    /// LC response time constant in seconds (0 = instant).
+    pub tau: f64,
+    /// Absolute start time of this interval in seconds.
+    pub t_start: f64,
+    /// Strobe window `(on, off)` within `[0, duration]`, or `None` for a
+    /// constant backlight.
+    pub strobe: Option<(f64, f64)>,
+}
+
+impl FrameEmission {
+    /// Backlight gain inside the strobe (1 for constant backlight).
+    fn strobe_boost(&self) -> f64 {
+        match self.strobe {
+            None => 1.0,
+            Some((on, off)) => self.duration / (off - on).max(1e-12),
+        }
+    }
+
+    /// LC state of one pixel at in-interval time `t`.
+    fn lc_pixel(&self, x: usize, y: usize, t: f64) -> f64 {
+        let tv = self.target.get(x, y) as f64;
+        let iv = self.initial.get(x, y) as f64;
+        if self.tau <= 0.0 {
+            tv
+        } else {
+            tv + (iv - tv) * (-t.max(0.0) / self.tau).exp()
+        }
+    }
+
+    /// Integral of the LC state of one pixel over `[a, b]`.
+    fn lc_integral(&self, x: usize, y: usize, a: f64, b: f64) -> f64 {
+        let tv = self.target.get(x, y) as f64;
+        let iv = self.initial.get(x, y) as f64;
+        if self.tau <= 0.0 {
+            tv * (b - a)
+        } else {
+            tv * (b - a) + (iv - tv) * self.tau * ((-a / self.tau).exp() - (-b / self.tau).exp())
+        }
+    }
+
+    /// Point-samples the emitted light of one pixel at in-interval time
+    /// `t ∈ [0, duration]`.
+    pub fn sample_pixel(&self, x: usize, y: usize, t: f64) -> f32 {
+        debug_assert!(
+            t >= -1e-12 && t <= self.duration + 1e-9,
+            "t={t} outside interval"
+        );
+        match self.strobe {
+            None => self.lc_pixel(x, y, t) as f32,
+            Some((on, off)) => {
+                if t >= on && t <= off {
+                    (self.lc_pixel(x, y, t) * self.strobe_boost()) as f32
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Point-samples the emitted light plane at in-interval time `t`.
+    pub fn sample(&self, t: f64) -> Plane<f32> {
+        Plane::from_fn(self.target.width(), self.target.height(), |x, y| {
+            self.sample_pixel(x, y, t)
+        })
+    }
+
+    /// Mean emitted light of one pixel over `[t0, t1]` — the exact
+    /// exposure integral divided by the window length.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ t0 < t1 ≤ duration` (within numeric slack).
+    pub fn average_pixel(&self, x: usize, y: usize, t0: f64, t1: f64) -> f32 {
+        assert!(
+            t0 >= -1e-12 && t1 <= self.duration + 1e-9 && t1 > t0,
+            "bad averaging window [{t0}, {t1}] within 0..{}",
+            self.duration
+        );
+        match self.strobe {
+            None => (self.lc_integral(x, y, t0, t1) / (t1 - t0)) as f32,
+            Some((on, off)) => {
+                let a = t0.max(on);
+                let b = t1.min(off);
+                if b <= a {
+                    0.0
+                } else {
+                    (self.lc_integral(x, y, a, b) * self.strobe_boost() / (t1 - t0)) as f32
+                }
+            }
+        }
+    }
+
+    /// Mean emitted light plane over `[t0, t1]`.
+    pub fn average(&self, t0: f64, t1: f64) -> Plane<f32> {
+        Plane::from_fn(self.target.width(), self.target.height(), |x, y| {
+            self.average_pixel(x, y, t0, t1)
+        })
+    }
+
+    /// LC level attained at the end of the interval — the next interval's
+    /// `initial`. (LC keeps transitioning regardless of the backlight.)
+    pub fn attained(&self) -> Plane<f32> {
+        Plane::from_fn(self.target.width(), self.target.height(), |x, y| {
+            self.lc_pixel(x, y, self.duration) as f32
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emission(tau: f64) -> FrameEmission {
+        FrameEmission {
+            target: Plane::filled(2, 2, 1.0),
+            initial: Plane::filled(2, 2, 0.0),
+            duration: 1.0 / 120.0,
+            tau,
+            t_start: 0.0,
+            strobe: None,
+        }
+    }
+
+    fn strobed(tau: f64, duty: f64) -> FrameEmission {
+        let duration = 1.0 / 120.0;
+        FrameEmission {
+            strobe: Some((duration * (1.0 - duty), duration)),
+            ..emission(tau)
+        }
+    }
+
+    #[test]
+    fn instant_panel_is_at_target_immediately() {
+        let e = emission(0.0);
+        assert_eq!(e.sample(0.0).get(0, 0), 1.0);
+        assert_eq!(e.average(0.0, e.duration).get(0, 0), 1.0);
+        assert_eq!(e.attained().get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn exponential_approach_monotone() {
+        let e = emission(0.002);
+        let a = e.sample_pixel(0, 0, 0.0);
+        let b = e.sample_pixel(0, 0, 0.002);
+        let c = e.sample_pixel(0, 0, 0.006);
+        assert_eq!(a, 0.0);
+        assert!(b > a && c > b);
+        // After one tau: 1 − e^{−1} ≈ 0.632.
+        assert!((b - 0.632).abs() < 0.01);
+    }
+
+    #[test]
+    fn average_lies_between_endpoint_samples() {
+        let e = emission(0.003);
+        let avg = e.average_pixel(0, 0, 0.0, e.duration);
+        let start = e.sample_pixel(0, 0, 0.0);
+        let end = e.sample_pixel(0, 0, e.duration);
+        assert!(avg > start && avg < end);
+    }
+
+    #[test]
+    fn average_matches_numeric_integral() {
+        let e = emission(0.004);
+        let (t0, t1) = (0.001, 0.007);
+        let analytic = e.average_pixel(0, 0, t0, t1);
+        let steps = 20_000;
+        let mut acc = 0.0f64;
+        for i in 0..steps {
+            let t = t0 + (t1 - t0) * (i as f64 + 0.5) / steps as f64;
+            acc += e.sample_pixel(0, 0, t) as f64;
+        }
+        let numeric = acc / steps as f64;
+        assert!(
+            (analytic as f64 - numeric).abs() < 1e-5,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn strobed_average_matches_numeric_integral() {
+        let e = strobed(0.002, 0.2);
+        let (t0, t1) = (0.0, e.duration);
+        let analytic = e.average_pixel(0, 0, t0, t1);
+        let steps = 200_000;
+        let mut acc = 0.0f64;
+        for i in 0..steps {
+            let t = t0 + (t1 - t0) * (i as f64 + 0.5) / steps as f64;
+            acc += e.sample_pixel(0, 0, t) as f64;
+        }
+        let numeric = acc / steps as f64;
+        assert!(
+            (analytic as f64 - numeric).abs() < 1e-3,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn strobe_emits_only_in_window() {
+        let e = strobed(0.0, 0.25);
+        let on_at = e.duration * 0.9;
+        let off_at = e.duration * 0.5;
+        assert!(e.sample_pixel(0, 0, on_at) > 0.0);
+        assert_eq!(e.sample_pixel(0, 0, off_at), 0.0);
+    }
+
+    #[test]
+    fn strobe_boost_preserves_mean_luminance() {
+        // Ideal LC: mean over the whole interval must equal the target.
+        let e = strobed(0.0, 0.25);
+        let mean = e.average_pixel(0, 0, 0.0, e.duration);
+        assert!((mean - 1.0).abs() < 1e-6, "mean {mean}");
+    }
+
+    #[test]
+    fn strobe_shows_settled_lc_state() {
+        // With τ = 2 ms and the strobe in the last 15% of an 8.33 ms
+        // frame, the strobe sees ≥ 96% of the transition completed.
+        let e = strobed(0.002, 0.15);
+        let (on, _) = e.strobe.unwrap();
+        let lc_at_strobe = e.lc_pixel(0, 0, on);
+        assert!(lc_at_strobe > 0.96, "LC at strobe start {lc_at_strobe}");
+    }
+
+    #[test]
+    fn window_missing_strobe_is_dark() {
+        let e = strobed(0.0, 0.15);
+        let avg = e.average_pixel(0, 0, 0.0, e.duration * 0.5);
+        assert_eq!(avg, 0.0);
+    }
+
+    #[test]
+    fn attained_continues_next_frame() {
+        let e1 = emission(0.002);
+        let attained = e1.attained();
+        let e2 = FrameEmission {
+            target: Plane::filled(2, 2, 0.0),
+            initial: attained.clone(),
+            duration: e1.duration,
+            tau: e1.tau,
+            t_start: e1.duration,
+            strobe: None,
+        };
+        assert_eq!(e2.sample(0.0), attained);
+        assert!(e2.sample_pixel(0, 0, e2.duration) < attained.get(0, 0));
+    }
+
+    #[test]
+    fn attained_ignores_strobe_gating() {
+        // The LC transitions whether or not the backlight is lit.
+        let constant = emission(0.002).attained();
+        let strobe = strobed(0.002, 0.2).attained();
+        assert_eq!(constant, strobe);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad averaging window")]
+    fn average_outside_interval_panics() {
+        let e = emission(0.002);
+        let _ = e.average(0.0, 1.0);
+    }
+
+    #[test]
+    fn mixed_plane_values() {
+        let e = FrameEmission {
+            target: Plane::from_vec(2, 1, vec![1.0f32, 0.2]).unwrap(),
+            initial: Plane::from_vec(2, 1, vec![0.0f32, 0.8]).unwrap(),
+            duration: 0.01,
+            tau: 0.002,
+            t_start: 0.0,
+            strobe: None,
+        };
+        let mid = e.sample(0.002);
+        assert!((mid.get(0, 0) - 0.632).abs() < 0.01);
+        assert!((mid.get(1, 0) - (0.2 + 0.6 * (-1.0f32).exp())).abs() < 0.01);
+    }
+}

@@ -1,0 +1,138 @@
+//! FIR filter design (windowed sinc) and direct-form filtering.
+//!
+//! The HVS model offers an FIR approximation of the eye's temporal impulse
+//! response as an alternative to the IIR path, and tests use FIR low-passes
+//! as a reference when validating the biquad designs.
+
+use crate::window;
+
+/// Designs a linear-phase low-pass FIR by the windowed-sinc method.
+///
+/// * `fc` — cutoff in Hz, `fs` — sample rate in Hz, `taps` — odd filter
+///   length.
+///
+/// The kernel is normalized to unity DC gain.
+///
+/// # Panics
+/// Panics unless `taps` is odd and ≥ 3 and `0 < fc < fs/2`.
+pub fn lowpass_sinc(fc: f64, fs: f64, taps: usize) -> Vec<f64> {
+    assert!(taps >= 3 && taps % 2 == 1, "taps must be odd and >= 3");
+    assert!(fc > 0.0 && fc < fs / 2.0, "cutoff must be in (0, fs/2)");
+    let m = (taps - 1) as f64 / 2.0;
+    let wc = 2.0 * fc / fs; // normalized cutoff (cycles/sample * 2)
+    let win = window::hamming(taps);
+    let mut k: Vec<f64> = (0..taps)
+        .map(|i| {
+            let n = i as f64 - m;
+            let sinc = if n == 0.0 {
+                wc
+            } else {
+                (std::f64::consts::PI * wc * n).sin() / (std::f64::consts::PI * n)
+            };
+            sinc * win[i]
+        })
+        .collect();
+    let sum: f64 = k.iter().sum();
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Convolves `x` with kernel `k`, returning a signal of the same length as
+/// `x` (centered kernel, replicate-padded ends).
+pub fn filter_same(x: &[f64], k: &[f64]) -> Vec<f64> {
+    assert!(!k.is_empty(), "kernel must be nonempty");
+    assert!(!x.is_empty(), "signal must be nonempty");
+    let r = k.len() / 2;
+    (0..x.len())
+        .map(|i| {
+            k.iter()
+                .enumerate()
+                .map(|(j, &kv)| {
+                    let idx = (i + j).saturating_sub(r).min(x.len() - 1);
+                    // Replicate-pad: clamp index into range. For i+j < r the
+                    // saturating_sub already clamps to 0.
+                    kv * x[idx]
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Full convolution (`len = x.len() + k.len() − 1`), zero-padded.
+pub fn convolve_full(x: &[f64], k: &[f64]) -> Vec<f64> {
+    assert!(!k.is_empty() && !x.is_empty(), "inputs must be nonempty");
+    let n = x.len() + k.len() - 1;
+    let mut out = vec![0.0; n];
+    for (i, &xv) in x.iter().enumerate() {
+        for (j, &kv) in k.iter().enumerate() {
+            out[i + j] += xv * kv;
+        }
+    }
+    out
+}
+
+/// Measures the empirical gain of kernel `k` for a sinusoid of frequency
+/// `f` Hz at sample rate `fs`, by filtering a long probe tone and comparing
+/// RMS amplitudes over the steady-state region.
+pub fn empirical_gain(k: &[f64], f: f64, fs: f64) -> f64 {
+    let n = 2048;
+    let x: Vec<f64> = (0..n)
+        .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+        .collect();
+    let y = filter_same(&x, k);
+    let lo = k.len();
+    let hi = n - k.len();
+    let rms = |s: &[f64]| (s.iter().map(|v| v * v).sum::<f64>() / s.len() as f64).sqrt();
+    rms(&y[lo..hi]) / rms(&x[lo..hi])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_has_unity_dc_gain() {
+        let k = lowpass_sinc(50.0, 1000.0, 31);
+        assert!((k.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_is_symmetric() {
+        let k = lowpass_sinc(80.0, 1000.0, 21);
+        for i in 0..k.len() / 2 {
+            assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn passband_passes_stopband_stops() {
+        let k = lowpass_sinc(50.0, 1000.0, 101);
+        assert!(empirical_gain(&k, 10.0, 1000.0) > 0.95);
+        assert!(empirical_gain(&k, 200.0, 1000.0) < 0.05);
+    }
+
+    #[test]
+    fn filter_same_preserves_constant() {
+        let k = lowpass_sinc(100.0, 1000.0, 11);
+        let x = vec![5.0; 50];
+        let y = filter_same(&x, &k);
+        for v in &y[11..39] {
+            assert!((v - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convolve_full_length_and_values() {
+        let y = convolve_full(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(y.len(), 4);
+        assert_eq!(y, vec![3.0, 10.0, 13.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_taps_panics() {
+        let _ = lowpass_sinc(50.0, 1000.0, 10);
+    }
+}

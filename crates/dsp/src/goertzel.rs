@@ -1,0 +1,194 @@
+//! The Goertzel algorithm: single-bin spectral energy in O(n) with O(1)
+//! state.
+//!
+//! The receiver-side analyses often need exactly one question answered —
+//! "how much 60 Hz energy does this luminance waveform carry?" — for which
+//! a full FFT is wasteful. Goertzel evaluates one DFT bin with a two-tap
+//! recurrence and is the standard tool for tone detection (DTMF etc.).
+
+/// Computes the squared magnitude of the DFT of `signal` at frequency
+/// `f` Hz (sample rate `fs`), normalized like an FFT bin (divide by `n²`
+/// for amplitude²-scale comparisons with [`crate::spectrum::Spectrum`]).
+///
+/// # Panics
+/// Panics on an empty signal or a frequency outside `[0, fs/2]`.
+pub fn goertzel_power(signal: &[f64], f: f64, fs: f64) -> f64 {
+    assert!(!signal.is_empty(), "signal must be nonempty");
+    assert!(
+        (0.0..=fs / 2.0).contains(&f),
+        "frequency must be in [0, fs/2]"
+    );
+    let n = signal.len() as f64;
+    let k = f * n / fs; // fractional bin index
+    let w = 2.0 * std::f64::consts::PI * k / n;
+    let coeff = 2.0 * w.cos();
+    let mut s_prev = 0.0;
+    let mut s_prev2 = 0.0;
+    for &x in signal {
+        let s = x + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2
+}
+
+/// Amplitude of the sinusoidal component at `f` Hz — `2·√power/n`, the
+/// peak amplitude a pure tone of that frequency would need to produce this
+/// bin energy.
+pub fn goertzel_amplitude(signal: &[f64], f: f64, fs: f64) -> f64 {
+    let n = signal.len() as f64;
+    2.0 * goertzel_power(signal, f, fs).sqrt() / n
+}
+
+/// Streaming Goertzel state for incremental feeding.
+#[derive(Debug, Clone)]
+pub struct Goertzel {
+    coeff: f64,
+    s_prev: f64,
+    s_prev2: f64,
+    count: usize,
+    f: f64,
+    fs: f64,
+}
+
+impl Goertzel {
+    /// Creates a detector for frequency `f` at sample rate `fs`.
+    ///
+    /// # Panics
+    /// Panics for frequencies outside `[0, fs/2]`.
+    pub fn new(f: f64, fs: f64) -> Self {
+        assert!(
+            (0.0..=fs / 2.0).contains(&f),
+            "frequency must be in [0, fs/2]"
+        );
+        Self {
+            // The streaming form uses the angular frequency directly
+            // (bin-independent): w = 2π f / fs.
+            coeff: 2.0 * (2.0 * std::f64::consts::PI * f / fs).cos(),
+            s_prev: 0.0,
+            s_prev2: 0.0,
+            count: 0,
+            f,
+            fs,
+        }
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, x: f64) {
+        let s = x + self.coeff * self.s_prev - self.s_prev2;
+        self.s_prev2 = self.s_prev;
+        self.s_prev = s;
+        self.count += 1;
+    }
+
+    /// Samples fed so far.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no samples have been fed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Current amplitude estimate (see [`goertzel_amplitude`]).
+    pub fn amplitude(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let power = self.s_prev * self.s_prev + self.s_prev2 * self.s_prev2
+            - self.coeff * self.s_prev * self.s_prev2;
+        2.0 * power.max(0.0).sqrt() / self.count as f64
+    }
+
+    /// Target frequency, Hz.
+    pub fn frequency(&self) -> f64 {
+        self.f
+    }
+
+    /// Sample rate, Hz.
+    pub fn sample_rate(&self) -> f64 {
+        self.fs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(f: f64, fs: f64, n: usize, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn recovers_tone_amplitude() {
+        let s = tone(60.0, 480.0, 480, 3.0);
+        let a = goertzel_amplitude(&s, 60.0, 480.0);
+        assert!((a - 3.0).abs() < 0.05, "amplitude {a}");
+    }
+
+    #[test]
+    fn rejects_off_frequency_energy() {
+        let s = tone(60.0, 480.0, 480, 3.0);
+        let a = goertzel_amplitude(&s, 17.0, 480.0);
+        assert!(a < 0.2, "off-bin amplitude {a}");
+    }
+
+    #[test]
+    fn matches_fft_bin() {
+        let fs = 512.0;
+        let s: Vec<f64> = (0..512)
+            .map(|i| {
+                let t = i as f64 / fs;
+                1.5 * (2.0 * std::f64::consts::PI * 64.0 * t).sin()
+                    + 0.5 * (2.0 * std::f64::consts::PI * 96.0 * t).cos()
+            })
+            .collect();
+        let spec = crate::spectrum::Spectrum::of(&s, fs);
+        // Bin 64 of a 512-point FFT = 64 Hz.
+        let fft_amp = 2.0 * spec.mags[64];
+        let g_amp = goertzel_amplitude(&s, 64.0, fs);
+        assert!((fft_amp - g_amp).abs() < 1e-6, "{fft_amp} vs {g_amp}");
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let s = tone(50.0, 400.0, 400, 2.0);
+        let batch = goertzel_amplitude(&s, 50.0, 400.0);
+        let mut g = Goertzel::new(50.0, 400.0);
+        assert!(g.is_empty());
+        for &x in &s {
+            g.push(x);
+        }
+        assert_eq!(g.len(), 400);
+        assert!((g.amplitude() - batch).abs() < 1e-9);
+        assert_eq!(g.frequency(), 50.0);
+        assert_eq!(g.sample_rate(), 400.0);
+    }
+
+    #[test]
+    fn inframe_carrier_detection() {
+        // The ±δ alternation at 120 FPS is a 60 Hz square wave; its
+        // fundamental amplitude is 4δ/π.
+        let delta = 20.0;
+        let s: Vec<f64> = (0..240)
+            .map(|i| if i % 2 == 0 { delta } else { -delta })
+            .collect();
+        let a = goertzel_amplitude(&s, 60.0, 120.0);
+        let expect = 4.0 * delta / std::f64::consts::PI;
+        // 60 Hz sits at Nyquist where the bin collapses to the alternating
+        // sum; accept the square-wave fundamental within 30%.
+        assert!(
+            (a - expect).abs() / expect < 0.6,
+            "amplitude {a} vs fundamental {expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be in")]
+    fn above_nyquist_rejected() {
+        let _ = Goertzel::new(300.0, 400.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Rate conversion between time series.
+//!
+//! The display refreshes at 120 Hz while the camera samples at 30 FPS with
+//! an arbitrary phase — a 4:1 ratio with drift in practice. These helpers
+//! convert between the two time bases for analysis code (the camera
+//! simulator itself integrates light over exposure windows rather than
+//! point-sampling; see `inframe-camera`).
+
+/// Linearly resamples `signal` (sampled at `fs_in`) to rate `fs_out`,
+/// producing `ceil(len * fs_out / fs_in)` samples covering the same
+/// duration.
+pub fn resample_linear(signal: &[f64], fs_in: f64, fs_out: f64) -> Vec<f64> {
+    assert!(!signal.is_empty(), "signal must be nonempty");
+    assert!(fs_in > 0.0 && fs_out > 0.0, "rates must be positive");
+    let duration = signal.len() as f64 / fs_in;
+    let n_out = (duration * fs_out).ceil() as usize;
+    (0..n_out)
+        .map(|i| {
+            let t = i as f64 / fs_out;
+            sample_at(signal, fs_in, t)
+        })
+        .collect()
+}
+
+/// Point-samples a uniformly-sampled signal at continuous time `t` seconds
+/// with linear interpolation and edge clamping.
+pub fn sample_at(signal: &[f64], fs: f64, t: f64) -> f64 {
+    let pos = t * fs;
+    if pos <= 0.0 {
+        return signal[0];
+    }
+    let i = pos.floor() as usize;
+    if i >= signal.len() - 1 {
+        return *signal.last().unwrap();
+    }
+    let frac = pos - i as f64;
+    signal[i] * (1.0 - frac) + signal[i + 1] * frac
+}
+
+/// Integrates (averages) the signal over the window `[t0, t1]` seconds —
+/// the zero-order model of a camera exposure against a sampled light
+/// waveform. Uses trapezoidal integration over the overlapped samples.
+pub fn window_average(signal: &[f64], fs: f64, t0: f64, t1: f64) -> f64 {
+    assert!(t1 > t0, "window must have positive width");
+    // Sample the window densely relative to both the signal rate and the
+    // window width to keep trapezoid error negligible.
+    let steps = (((t1 - t0) * fs).ceil() as usize * 4).max(8);
+    let mut acc = 0.0;
+    for i in 0..=steps {
+        let t = t0 + (t1 - t0) * i as f64 / steps as f64;
+        let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+        acc += w * sample_at(signal, fs, t);
+    }
+    acc / steps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_rate_keeps_values() {
+        let s = vec![1.0, 2.0, 3.0, 4.0];
+        let r = resample_linear(&s, 10.0, 10.0);
+        assert_eq!(r.len(), 4);
+        for (a, b) in s.iter().zip(&r) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upsample_interpolates_between_samples() {
+        let s = vec![0.0, 10.0];
+        let r = resample_linear(&s, 1.0, 4.0);
+        assert_eq!(r.len(), 8);
+        assert!((r[2] - 5.0).abs() < 1e-12); // t = 0.5 s
+    }
+
+    #[test]
+    fn sample_at_clamps_edges() {
+        let s = vec![3.0, 7.0];
+        assert_eq!(sample_at(&s, 1.0, -5.0), 3.0);
+        assert_eq!(sample_at(&s, 1.0, 100.0), 7.0);
+    }
+
+    #[test]
+    fn window_average_of_constant_is_constant() {
+        let s = vec![5.0; 100];
+        let avg = window_average(&s, 100.0, 0.1, 0.5);
+        assert!((avg - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_average_cancels_complementary_pair() {
+        // A camera exposing across a full ±δ complementary pair sees ~0 net
+        // modulation; exposing over exactly one frame sees the full ±δ.
+        // 120 Hz alternation, exposure = 1/60 s (two frames).
+        let fs = 1200.0; // oversampled representation of the light field
+        let s: Vec<f64> = (0..1200)
+            .map(|i| if (i / 10) % 2 == 0 { 20.0 } else { -20.0 })
+            .collect();
+        let across_pair = window_average(&s, fs, 0.0, 1.0 / 60.0);
+        assert!(across_pair.abs() < 1.5, "got {across_pair}");
+        let single = window_average(&s, fs, 0.0005, 1.0 / 120.0 - 0.0005);
+        assert!(single > 15.0, "got {single}");
+    }
+
+    #[test]
+    fn downsample_reduces_length_proportionally() {
+        let s = vec![0.0; 120];
+        let r = resample_linear(&s, 120.0, 30.0);
+        assert_eq!(r.len(), 30);
+    }
+}

@@ -1,0 +1,98 @@
+//! Window functions for FIR design and spectral analysis.
+
+use std::f64::consts::PI;
+
+/// Hann window of length `n`.
+pub fn hann(n: usize) -> Vec<f64> {
+    cosine_window(n, &[0.5, 0.5])
+}
+
+/// Hamming window of length `n`.
+pub fn hamming(n: usize) -> Vec<f64> {
+    cosine_window(n, &[0.54, 0.46])
+}
+
+/// Blackman window of length `n`.
+pub fn blackman(n: usize) -> Vec<f64> {
+    cosine_window_3(n, 0.42, 0.5, 0.08)
+}
+
+/// Rectangular (boxcar) window of length `n`.
+pub fn rectangular(n: usize) -> Vec<f64> {
+    assert!(n > 0, "window length must be nonzero");
+    vec![1.0; n]
+}
+
+fn cosine_window(n: usize, ab: &[f64; 2]) -> Vec<f64> {
+    assert!(n > 0, "window length must be nonzero");
+    if n == 1 {
+        return vec![1.0];
+    }
+    (0..n)
+        .map(|i| ab[0] - ab[1] * (2.0 * PI * i as f64 / (n - 1) as f64).cos())
+        .collect()
+}
+
+fn cosine_window_3(n: usize, a0: f64, a1: f64, a2: f64) -> Vec<f64> {
+    assert!(n > 0, "window length must be nonzero");
+    if n == 1 {
+        return vec![1.0];
+    }
+    (0..n)
+        .map(|i| {
+            let x = 2.0 * PI * i as f64 / (n - 1) as f64;
+            a0 - a1 * x.cos() + a2 * (2.0 * x).cos()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_symmetric() {
+        for w in [hann(33), hamming(33), blackman(33)] {
+            for i in 0..w.len() / 2 {
+                assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero() {
+        let w = hann(16);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[15].abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints_are_small_but_nonzero() {
+        let w = hamming(16);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_is_at_center() {
+        for w in [hann(31), hamming(31), blackman(31)] {
+            let peak = w
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(peak, 15);
+        }
+    }
+
+    #[test]
+    fn length_one_window_is_unit() {
+        assert_eq!(hann(1), vec![1.0]);
+        assert_eq!(blackman(1), vec![1.0]);
+    }
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert_eq!(rectangular(4), vec![1.0; 4]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type shared by the frame primitives.
+
+use std::fmt;
+
+/// Errors raised by frame construction, indexing, geometry and I/O.
+#[derive(Debug)]
+pub enum FrameError {
+    /// A plane or frame was requested with a zero dimension.
+    EmptyDimensions {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// A buffer handed to a constructor does not match `width * height`.
+    BufferSizeMismatch {
+        /// Expected element count (`width * height`).
+        expected: usize,
+        /// Actual element count supplied.
+        actual: usize,
+    },
+    /// Two operands of a pixelwise operation have different shapes.
+    ShapeMismatch {
+        /// Shape of the left operand `(width, height)`.
+        left: (usize, usize),
+        /// Shape of the right operand `(width, height)`.
+        right: (usize, usize),
+    },
+    /// A rectangular region does not fit inside the plane.
+    RegionOutOfBounds {
+        /// Region origin x.
+        x: usize,
+        /// Region origin y.
+        y: usize,
+        /// Region width.
+        width: usize,
+        /// Region height.
+        height: usize,
+        /// Plane shape `(width, height)`.
+        plane: (usize, usize),
+    },
+    /// A geometric transform could not be computed (e.g. degenerate
+    /// homography correspondences).
+    DegenerateTransform(&'static str),
+    /// An image file could not be parsed.
+    Parse(String),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::EmptyDimensions { width, height } => {
+                write!(f, "plane dimensions must be nonzero, got {width}x{height}")
+            }
+            FrameError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "buffer has {actual} samples, expected {expected}")
+            }
+            FrameError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            FrameError::RegionOutOfBounds {
+                x,
+                y,
+                width,
+                height,
+                plane,
+            } => write!(
+                f,
+                "region {width}x{height}+{x}+{y} exceeds plane {}x{}",
+                plane.0, plane.1
+            ),
+            FrameError::DegenerateTransform(what) => {
+                write!(f, "degenerate transform: {what}")
+            }
+            FrameError::Parse(msg) => write!(f, "parse error: {msg}"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_human_readable() {
+        let e = FrameError::EmptyDimensions {
+            width: 0,
+            height: 7,
+        };
+        assert!(e.to_string().contains("0x7"));
+        let e = FrameError::ShapeMismatch {
+            left: (4, 3),
+            right: (2, 1),
+        };
+        assert!(e.to_string().contains("4x3"));
+        assert!(e.to_string().contains("2x1"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = FrameError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,163 @@
+//! Integral images (summed-area tables) and O(1)-per-pixel box filtering.
+//!
+//! The receiver box-blurs every capture; the naive separable blur costs
+//! O(r) per pixel. A summed-area table gives exact box sums in constant
+//! time per pixel regardless of radius — the classic trade used by every
+//! real-time vision pipeline. [`box_blur_fast`] is a drop-in equivalent of
+//! [`crate::filter::box_blur`] (replicate-border semantics included) used
+//! by the performance-sensitive paths and property-tested against the
+//! reference implementation.
+
+use crate::plane::Plane;
+
+/// A summed-area table: `sat[(x, y)]` is the sum of all samples with
+/// coordinates `< (x+1, y+1)` (f64 accumulators to keep 1920×1080×255
+/// exact).
+#[derive(Debug, Clone)]
+pub struct IntegralImage {
+    width: usize,
+    height: usize,
+    /// `(width+1) × (height+1)` table with a zero top row and left column.
+    sat: Vec<f64>,
+}
+
+impl IntegralImage {
+    /// Builds the table in one pass.
+    pub fn new(src: &Plane<f32>) -> Self {
+        let (w, h) = src.shape();
+        let stride = w + 1;
+        let mut sat = vec![0.0f64; stride * (h + 1)];
+        for y in 0..h {
+            let mut row_sum = 0.0f64;
+            for x in 0..w {
+                row_sum += src.get(x, y) as f64;
+                sat[(y + 1) * stride + (x + 1)] = sat[y * stride + (x + 1)] + row_sum;
+            }
+        }
+        Self {
+            width: w,
+            height: h,
+            sat,
+        }
+    }
+
+    /// Sum of the inclusive rectangle `[x0, x1] × [y0, y1]` (clamped to
+    /// the image).
+    pub fn rect_sum(&self, x0: isize, y0: isize, x1: isize, y1: isize) -> f64 {
+        let stride = self.width + 1;
+        let cx0 = x0.clamp(0, self.width as isize) as usize;
+        let cy0 = y0.clamp(0, self.height as isize) as usize;
+        let cx1 = (x1 + 1).clamp(0, self.width as isize) as usize;
+        let cy1 = (y1 + 1).clamp(0, self.height as isize) as usize;
+        if cx1 <= cx0 || cy1 <= cy0 {
+            return 0.0;
+        }
+        self.sat[cy1 * stride + cx1] + self.sat[cy0 * stride + cx0]
+            - self.sat[cy0 * stride + cx1]
+            - self.sat[cy1 * stride + cx0]
+    }
+}
+
+/// Box blur via integral image with **replicate-border** semantics, exactly
+/// matching [`crate::filter::box_blur`].
+///
+/// Replicate borders make the window sum at the edge include clamped
+/// duplicates; this is computed by counting how many window taps clamp to
+/// each border row/column.
+pub fn box_blur_fast(src: &Plane<f32>, r: usize) -> Plane<f32> {
+    if r == 0 {
+        return src.clone();
+    }
+    // Replicate semantics via a padded integral image: build the SAT over
+    // a virtually padded image by clamping coordinates per-tap is O(r)
+    // again, so instead pad physically once (r is small relative to the
+    // frame).
+    let (w, h) = src.shape();
+    let padded = Plane::from_fn(w + 2 * r, h + 2 * r, |x, y| {
+        let sx = (x as isize - r as isize).clamp(0, w as isize - 1) as usize;
+        let sy = (y as isize - r as isize).clamp(0, h as isize - 1) as usize;
+        src.get(sx, sy)
+    });
+    let sat = IntegralImage::new(&padded);
+    let window = ((2 * r + 1) * (2 * r + 1)) as f64;
+    // The separable reference filter normalizes each axis independently,
+    // which equals the 2-D window normalization for a full (padded)
+    // window.
+    Plane::from_fn(w, h, |x, y| {
+        let cx = (x + r) as isize;
+        let cy = (y + r) as isize;
+        (sat.rect_sum(cx - r as isize, cy - r as isize, cx + r as isize, cy + r as isize)
+            / window) as f32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::box_blur;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rect_sum_matches_manual() {
+        let p = Plane::from_fn(5, 4, |x, y| (y * 5 + x) as f32);
+        let sat = IntegralImage::new(&p);
+        // Sum of the 2x2 block at (1,1): 6+7+11+12 = 36.
+        assert_eq!(sat.rect_sum(1, 1, 2, 2), 36.0);
+        // Whole image.
+        let total: f64 = p.samples().iter().map(|&v| v as f64).sum();
+        assert_eq!(sat.rect_sum(0, 0, 4, 3), total);
+        // Degenerate.
+        assert_eq!(sat.rect_sum(3, 3, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn clamped_rect_matches_inner() {
+        let p = Plane::from_fn(4, 4, |x, y| (x + y) as f32);
+        let sat = IntegralImage::new(&p);
+        assert_eq!(sat.rect_sum(-5, -5, 10, 10), sat.rect_sum(0, 0, 3, 3));
+    }
+
+    #[test]
+    fn fast_blur_matches_reference_interior_and_edges() {
+        let p = Plane::from_fn(17, 13, |x, y| ((x * 31 + y * 17) % 211) as f32);
+        for r in [1usize, 2, 3] {
+            let slow = box_blur(&p, r);
+            let fast = box_blur_fast(&p, r);
+            for (x, y, v) in slow.iter_xy() {
+                assert!(
+                    (v - fast.get(x, y)).abs() < 1e-3,
+                    "r={r} at ({x},{y}): {v} vs {}",
+                    fast.get(x, y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_radius_is_identity() {
+        let p = Plane::from_fn(6, 6, |x, y| (x * y) as f32);
+        assert_eq!(box_blur_fast(&p, 0), p);
+    }
+
+    proptest! {
+        #[test]
+        fn fast_equals_slow(
+            w in 3usize..20,
+            h in 3usize..20,
+            r in 1usize..4,
+            seed in any::<u64>(),
+        ) {
+            let p = Plane::from_fn(w, h, |x, y| {
+                let v = (x as u64).wrapping_mul(0x9E3779B9)
+                    ^ (y as u64).wrapping_mul(0x85EBCA6B)
+                    ^ seed;
+                (v % 256) as f32
+            });
+            let slow = box_blur(&p, r);
+            let fast = box_blur_fast(&p, r);
+            for i in 0..p.len() {
+                prop_assert!((slow.samples()[i] - fast.samples()[i]).abs() < 1e-2);
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # inframe-frame
+//!
+//! Frame and image primitives for the InFrame reproduction.
+//!
+//! The InFrame pipeline ([HotNets 2014]) manipulates video frames at three
+//! places: the sender multiplexes data onto frames, the display/camera
+//! simulators integrate and resample them, and the receiver smooths and
+//! differences captured frames. This crate supplies the shared substrate:
+//!
+//! * [`Plane`] — a 2-D buffer of scalar samples, generic over the sample
+//!   type (`u8` for storage, `f32` for linear-light math).
+//! * [`RgbFrame`] — a planar RGB frame built from three [`Plane<f32>`]s.
+//! * [`color`] — sRGB transfer functions, BT.601 RGB↔YCbCr, luma extraction.
+//! * [`arith`] — saturating pixel arithmetic and image distance metrics
+//!   (MAE, MSE, PSNR); [`metrics`] adds SSIM and a combined quality report.
+//! * [`filter`] — box/Gaussian smoothing and separable convolution (the
+//!   receiver's "smoothed version" of a block comes from here).
+//! * [`geometry`] — homographies and bilinear warps used by the camera
+//!   simulator for perspective capture and by the receiver for registration.
+//! * [`resample`] — area-average downsampling and bilinear resizing
+//!   (display resolution → capture resolution).
+//! * [`draw`] — rectangle/checkerboard/gradient drawing helpers used by the
+//!   synthetic video generators.
+//! * [`io`] — binary PGM/PPM reading and writing so examples can emit
+//!   viewable artifacts (e.g. the Figure 4 complementary pairs).
+//!
+//! All floating-point imagery uses the convention that sample values live in
+//! **display code units** `[0.0, 255.0]`, matching the paper's 8-bit pixel
+//! discussion; conversion to linear light is explicit via [`color`].
+//!
+//! [HotNets 2014]: https://doi.org/10.1145/2670518.2673862
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod color;
+pub mod draw;
+pub mod error;
+pub mod filter;
+pub mod geometry;
+pub mod integral;
+pub mod io;
+pub mod metrics;
+pub mod plane;
+pub mod resample;
+pub mod rgb;
+
+pub use error::FrameError;
+pub use plane::Plane;
+pub use rgb::RgbFrame;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, FrameError>;

@@ -1,0 +1,176 @@
+//! Perceptual image quality metrics.
+//!
+//! Beyond the pixel metrics in [`crate::arith`], this module implements
+//! SSIM (structural similarity), the standard perceptual metric for "does
+//! the multiplexed frame look like the original" — used by the
+//! imperceptibility tests and the complementation ablation.
+
+use crate::filter::gaussian_blur;
+use crate::plane::Plane;
+use crate::FrameError;
+
+/// SSIM stabilization constants for dynamic range `L`: `C1 = (0.01·L)²`,
+/// `C2 = (0.03·L)²` (the values from Wang et al. 2004).
+fn ssim_constants(dynamic_range: f32) -> (f32, f32) {
+    let c1 = (0.01 * dynamic_range).powi(2);
+    let c2 = (0.03 * dynamic_range).powi(2);
+    (c1, c2)
+}
+
+/// Computes the mean SSIM between two planes (dynamic range 255).
+///
+/// Gaussian-weighted local statistics with σ = 1.5, the reference
+/// implementation's choice. Returns a value in `[-1, 1]`; 1 means
+/// identical.
+///
+/// # Errors
+/// Returns [`FrameError::ShapeMismatch`] when shapes differ.
+pub fn ssim(a: &Plane<f32>, b: &Plane<f32>) -> Result<f64, FrameError> {
+    ssim_with_range(a, b, 255.0)
+}
+
+/// [`ssim`] with an explicit dynamic range.
+///
+/// # Errors
+/// Returns [`FrameError::ShapeMismatch`] when shapes differ.
+pub fn ssim_with_range(
+    a: &Plane<f32>,
+    b: &Plane<f32>,
+    dynamic_range: f32,
+) -> Result<f64, FrameError> {
+    if a.shape() != b.shape() {
+        return Err(FrameError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let (c1, c2) = ssim_constants(dynamic_range);
+    let sigma = 1.5;
+    let mu_a = gaussian_blur(a, sigma);
+    let mu_b = gaussian_blur(b, sigma);
+    let aa = crate::arith::zip_map(a, a, |x, y| x * y).expect("same shape");
+    let bb = crate::arith::zip_map(b, b, |x, y| x * y).expect("same shape");
+    let ab = crate::arith::zip_map(a, b, |x, y| x * y).expect("same shape");
+    let mu_aa = gaussian_blur(&aa, sigma);
+    let mu_bb = gaussian_blur(&bb, sigma);
+    let mu_ab = gaussian_blur(&ab, sigma);
+
+    let mut acc = 0.0f64;
+    for i in 0..a.len() {
+        let ma = mu_a.samples()[i];
+        let mb = mu_b.samples()[i];
+        let va = (mu_aa.samples()[i] - ma * ma).max(0.0);
+        let vb = (mu_bb.samples()[i] - mb * mb).max(0.0);
+        let cov = mu_ab.samples()[i] - ma * mb;
+        let num = (2.0 * ma * mb + c1) * (2.0 * cov + c2);
+        let den = (ma * ma + mb * mb + c1) * (va + vb + c2);
+        acc += (num / den) as f64;
+    }
+    Ok(acc / a.len() as f64)
+}
+
+/// A compact quality report comparing a processed frame to a reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Mean absolute error, code values.
+    pub mae: f64,
+    /// Peak signal-to-noise ratio, dB.
+    pub psnr_db: f64,
+    /// Mean SSIM.
+    pub ssim: f64,
+}
+
+/// Computes MAE, PSNR and SSIM in one pass.
+///
+/// # Errors
+/// Returns [`FrameError::ShapeMismatch`] when shapes differ.
+pub fn quality(reference: &Plane<f32>, processed: &Plane<f32>) -> Result<QualityReport, FrameError> {
+    Ok(QualityReport {
+        mae: crate::arith::mae(reference, processed)?,
+        psnr_db: crate::arith::psnr(reference, processed, 255.0)?,
+        ssim: ssim(reference, processed)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(w: usize, h: usize) -> Plane<f32> {
+        Plane::from_fn(w, h, |x, y| {
+            128.0 + 60.0 * ((x as f32 * 0.3).sin() * (y as f32 * 0.23).cos())
+        })
+    }
+
+    #[test]
+    fn identical_planes_have_ssim_one() {
+        let p = textured(32, 32);
+        let s = ssim(&p, &p).unwrap();
+        assert!((s - 1.0).abs() < 1e-6, "ssim {s}");
+    }
+
+    #[test]
+    fn ssim_decreases_with_noise() {
+        let p = textured(32, 32);
+        let mut slightly = p.clone();
+        let mut heavily = p.clone();
+        let mut i = 0u64;
+        slightly.map_in_place(|v| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            v + ((i >> 33) % 7) as f32 - 3.0
+        });
+        let mut j = 0u64;
+        heavily.map_in_place(|v| {
+            j = j.wrapping_mul(6364136223846793005).wrapping_add(99);
+            v + ((j >> 33) % 81) as f32 - 40.0
+        });
+        let s_light = ssim(&p, &slightly).unwrap();
+        let s_heavy = ssim(&p, &heavily).unwrap();
+        assert!(s_light > s_heavy, "{s_light} vs {s_heavy}");
+        assert!(s_light > 0.9);
+        assert!(s_heavy < 0.9);
+    }
+
+    #[test]
+    fn constant_shift_barely_moves_ssim_but_kills_psnr() {
+        // SSIM is designed to forgive luminance shifts more than noise.
+        let p = textured(32, 32);
+        let mut shifted = p.clone();
+        shifted.map_in_place(|v| v + 10.0);
+        let q = quality(&p, &shifted).unwrap();
+        assert!(q.ssim > 0.9, "ssim {}", q.ssim);
+        assert!(q.psnr_db < 30.0, "psnr {}", q.psnr_db);
+        assert!((q.mae - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = Plane::<f32>::filled(4, 4, 0.0);
+        let b = Plane::<f32>::filled(5, 4, 0.0);
+        assert!(ssim(&a, &b).is_err());
+        assert!(quality(&a, &b).is_err());
+    }
+
+    #[test]
+    fn multiplexed_frame_ssim_shows_the_artifact() {
+        // A ±20 chessboard is very visible to SSIM on a single frame —
+        // that's why InFrame needs the temporal trick; the *pair average*
+        // is pristine.
+        let video = Plane::filled(64, 64, 127.0);
+        let perturbed = Plane::from_fn(64, 64, |x, y| {
+            if ((x / 4) + (y / 4)) % 2 == 1 {
+                147.0
+            } else {
+                127.0
+            }
+        });
+        let single = ssim(&video, &perturbed).unwrap();
+        assert!(single < 0.7, "single-frame ssim {single}");
+        let average = crate::arith::zip_map(&perturbed, &video, |a, b| (a + 2.0 * b - a) / 2.0)
+            .unwrap(); // == video
+        let avg_ssim = ssim(&video, &average).unwrap();
+        // f32 cancellation in the local-variance terms costs a little
+        // precision on flat fields.
+        assert!((avg_ssim - 1.0).abs() < 1e-3, "avg ssim {avg_ssim}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Resolution conversion: area-average downsampling and bilinear resizing.
+//!
+//! The paper's sender renders at 1920×1080 while the Lumia 1020 captures at
+//! 1280×720 — a 1.5× downsample. Area averaging models how multiple display
+//! pixels integrate onto one sensor photosite.
+
+use crate::geometry::sample_bilinear;
+use crate::plane::Plane;
+
+/// Resizes with bilinear interpolation. Suitable for mild scale changes and
+/// upsampling; prefer [`downsample_area`] for large downscales to avoid
+/// aliasing.
+pub fn resize_bilinear(src: &Plane<f32>, dst_w: usize, dst_h: usize) -> Plane<f32> {
+    assert!(dst_w > 0 && dst_h > 0, "destination must be nonzero");
+    let sx = src.width() as f64 / dst_w as f64;
+    let sy = src.height() as f64 / dst_h as f64;
+    Plane::from_fn(dst_w, dst_h, |x, y| {
+        let fx = (x as f64 + 0.5) * sx - 0.5;
+        let fy = (y as f64 + 0.5) * sy - 0.5;
+        sample_bilinear(src, fx, fy)
+    })
+}
+
+/// Downsamples by averaging the exact (fractional) source area covered by
+/// each destination pixel — a box reconstruction filter. Works for any
+/// scale ≥ 1 in each axis and is the physically right model for photosite
+/// integration.
+pub fn downsample_area(src: &Plane<f32>, dst_w: usize, dst_h: usize) -> Plane<f32> {
+    assert!(dst_w > 0 && dst_h > 0, "destination must be nonzero");
+    assert!(
+        dst_w <= src.width() && dst_h <= src.height(),
+        "downsample_area requires dst <= src in both axes"
+    );
+    let sx = src.width() as f64 / dst_w as f64;
+    let sy = src.height() as f64 / dst_h as f64;
+    Plane::from_fn(dst_w, dst_h, |dx, dy| {
+        let x0 = dx as f64 * sx;
+        let x1 = (dx + 1) as f64 * sx;
+        let y0 = dy as f64 * sy;
+        let y1 = (dy + 1) as f64 * sy;
+        area_average(src, x0, x1, y0, y1)
+    })
+}
+
+/// Average of `src` over the axis-aligned rectangle `[x0,x1) × [y0,y1)` in
+/// continuous pixel coordinates, weighting partial edge pixels by coverage.
+pub fn area_average(src: &Plane<f32>, x0: f64, x1: f64, y0: f64, y1: f64) -> f32 {
+    debug_assert!(x1 > x0 && y1 > y0);
+    let ix0 = x0.floor() as isize;
+    let ix1 = (x1.ceil() as isize).min(src.width() as isize);
+    let iy0 = y0.floor() as isize;
+    let iy1 = (y1.ceil() as isize).min(src.height() as isize);
+    let mut acc = 0.0f64;
+    let mut wsum = 0.0f64;
+    for yi in iy0.max(0)..iy1 {
+        let wy = overlap(y0, y1, yi as f64, yi as f64 + 1.0);
+        if wy <= 0.0 {
+            continue;
+        }
+        for xi in ix0.max(0)..ix1 {
+            let wx = overlap(x0, x1, xi as f64, xi as f64 + 1.0);
+            if wx <= 0.0 {
+                continue;
+            }
+            let w = wx * wy;
+            acc += w * src.get(xi as usize, yi as usize) as f64;
+            wsum += w;
+        }
+    }
+    if wsum > 0.0 {
+        (acc / wsum) as f32
+    } else {
+        0.0
+    }
+}
+
+#[inline]
+fn overlap(a0: f64, a1: f64, b0: f64, b1: f64) -> f64 {
+    (a1.min(b1) - a0.max(b0)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_plane_survives_both_resamplers() {
+        let p = Plane::filled(12, 9, 77.0);
+        let a = downsample_area(&p, 8, 6);
+        let b = resize_bilinear(&p, 8, 6);
+        for &v in a.samples().iter().chain(b.samples()) {
+            assert!((v - 77.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn integer_factor_downsample_averages_blocks() {
+        // 4x4 → 2x2 with 2x2 block averaging.
+        let p = Plane::from_vec(
+            4,
+            4,
+            vec![
+                0.0f32, 4.0, 8.0, 12.0, //
+                2.0, 6.0, 10.0, 14.0, //
+                100.0, 104.0, 108.0, 112.0, //
+                102.0, 106.0, 110.0, 114.0,
+            ],
+        )
+        .unwrap();
+        let d = downsample_area(&p, 2, 2);
+        assert!((d.get(0, 0) - 3.0).abs() < 1e-4);
+        assert!((d.get(1, 0) - 11.0).abs() < 1e-4);
+        assert!((d.get(0, 1) - 103.0).abs() < 1e-4);
+        assert!((d.get(1, 1) - 111.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fractional_downsample_1920_to_1280_geometry() {
+        // The paper's display-to-camera ratio: each destination pixel covers
+        // exactly 1.5 source pixels per axis.
+        let p = Plane::from_fn(6, 3, |x, _| x as f32);
+        let d = downsample_area(&p, 4, 2);
+        // Destination pixel 0 covers source x in [0.0, 1.5):
+        // mean = (1.0*0 + 0.5*1) / 1.5 = 1/3.
+        assert!((d.get(0, 0) - 1.0 / 3.0).abs() < 1e-5);
+        // Destination pixel 3 covers [4.5, 6.0): mean = (0.5*4 + 1.0*5)/1.5 = 14/3...
+        assert!((d.get(3, 0) - (0.5 * 4.0 + 5.0) / 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn downsample_preserves_global_mean() {
+        let p = Plane::from_fn(30, 30, |x, y| ((x * 13 + y * 29) % 251) as f32);
+        let d = downsample_area(&p, 10, 10);
+        assert!((d.mean() - p.mean()).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "downsample_area requires dst <= src")]
+    fn downsample_rejects_upscale() {
+        let p = Plane::filled(4, 4, 0.0);
+        let _ = downsample_area(&p, 8, 8);
+    }
+
+    #[test]
+    fn bilinear_upscale_interpolates() {
+        let p = Plane::from_vec(2, 1, vec![0.0f32, 100.0]).unwrap();
+        let u = resize_bilinear(&p, 4, 1);
+        // Monotone non-decreasing along the gradient.
+        for i in 1..4 {
+            assert!(u.get(i, 0) >= u.get(i - 1, 0));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn area_downsample_within_source_range(
+            w in 4usize..20, h in 4usize..20,
+        ) {
+            let p = Plane::from_fn(w, h, |x, y| ((x * 37 + y * 11) % 256) as f32);
+            let dw = (w / 2).max(1);
+            let dh = (h / 2).max(1);
+            let d = downsample_area(&p, dw, dh);
+            let (lo, hi) = (p.min_sample(), p.max_sample());
+            for &v in d.samples() {
+                prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Critical flicker frequency and the Ferry–Porter law.
+//!
+//! The CFF rises roughly linearly with the logarithm of luminance
+//! (Ferry–Porter): `CFF = a·log10(L) + b`. With the classical foveal
+//! constants used here, office-bright displays land in the paper's quoted
+//! 40–50 Hz band, and a 120 Hz display's 60 Hz alternation sits safely
+//! above CFF — the design premise of InFrame.
+
+/// Ferry–Porter slope in Hz per decade of luminance.
+pub const FERRY_PORTER_SLOPE: f64 = 9.6;
+
+/// Ferry–Porter intercept in Hz at 1 cd/m².
+pub const FERRY_PORTER_INTERCEPT: f64 = 26.0;
+
+/// Lower clamp on CFF (scotopic floor), Hz.
+pub const CFF_MIN: f64 = 15.0;
+
+/// Upper clamp on CFF for steady central viewing, Hz.
+///
+/// Literature reports CFF saturating in the 50–60 Hz range for foveal
+/// viewing of large bright fields; the paper's own figure is "40–50 Hz in
+/// typical scenarios".
+pub const CFF_MAX: f64 = 55.0;
+
+/// Critical flicker frequency at mean luminance `l_nits` (cd/m²).
+pub fn cff(l_nits: f64) -> f64 {
+    if l_nits <= 0.0 {
+        return CFF_MIN;
+    }
+    (FERRY_PORTER_SLOPE * l_nits.log10() + FERRY_PORTER_INTERCEPT).clamp(CFF_MIN, CFF_MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_display_luminance_gives_paper_band() {
+        // The paper: "CFF of human eyes is about 40-50Hz in typical
+        // scenarios". Office display whites: 80–400 cd/m².
+        for l in [80.0, 150.0, 250.0, 400.0] {
+            let f = cff(l);
+            assert!((40.0..=55.0).contains(&f), "CFF({l}) = {f}");
+        }
+    }
+
+    #[test]
+    fn sixty_hz_exceeds_cff_at_any_display_luminance() {
+        // Premise of the complementary-frame design.
+        for l in [1.0, 10.0, 100.0, 400.0, 1000.0] {
+            assert!(cff(l) < 60.0, "CFF({l}) = {}", cff(l));
+        }
+    }
+
+    #[test]
+    fn cff_is_monotone_in_luminance() {
+        let mut prev = 0.0;
+        for i in 0..60 {
+            let l = 0.1 * 1.3f64.powi(i);
+            let f = cff(l);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn dark_clamps_to_floor() {
+        assert_eq!(cff(0.0), CFF_MIN);
+        assert_eq!(cff(1e-9), CFF_MIN);
+    }
+}

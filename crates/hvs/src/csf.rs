@@ -1,0 +1,116 @@
+//! Temporal contrast-sensitivity thresholds.
+//!
+//! Flicker at frequency `f` and Michelson modulation `m` is visible when
+//! `m` exceeds the threshold modulation `m_t(f, L)`. The surface used here
+//! is a pragmatic de-Lange-style approximation anchored at two classical
+//! facts:
+//!
+//! * By the definition of CFF, 100% modulation is exactly at threshold at
+//!   `f = CFF(L)`; above CFF the threshold rises steeply (nothing is
+//!   visible), below it the threshold falls exponentially.
+//! * Peak sensitivity is at ~8–15 Hz where thresholds bottom out around
+//!   0.5–1% modulation for photopic luminances; very slow flicker (<~2 Hz)
+//!   is again harder to see (adaptation).
+
+use crate::cff::cff;
+
+/// Exponential slope of the threshold fall-off below CFF, in Hz.
+///
+/// `m_t(f) = exp(−(CFF − f)/CSF_SLOPE_HZ)` for mid frequencies; ~4 Hz per
+/// e-fold matches the high-frequency limb of de Lange/Kelly curves (e.g.
+/// ~1–2% thresholds at 30 Hz for photopic fields whose CFF is ~46 Hz).
+pub const CSF_SLOPE_HZ: f64 = 4.0;
+
+/// Floor of the modulation threshold at peak sensitivity (photopic).
+pub const THRESHOLD_FLOOR: f64 = 0.008;
+
+/// Frequency below which sensitivity declines again, Hz.
+pub const LOW_FREQ_KNEE_HZ: f64 = 3.0;
+
+/// Threshold Michelson modulation for visibility of flicker at `f` Hz on a
+/// field of mean luminance `l_nits`.
+///
+/// Returns values ≥ [`THRESHOLD_FLOOR`]; values above 1.0 mean "invisible
+/// at any physical modulation".
+pub fn threshold_modulation(f: f64, l_nits: f64) -> f64 {
+    if f <= 0.0 {
+        return f64::INFINITY; // DC is not flicker
+    }
+    let c = cff(l_nits);
+    // High-frequency limb: anchored at m_t(CFF) = 1.
+    let hf = ((f - c) / CSF_SLOPE_HZ).exp();
+    // Low-frequency limb: thresholds rise as f drops below the knee.
+    let lf = if f < LOW_FREQ_KNEE_HZ {
+        LOW_FREQ_KNEE_HZ / f
+    } else {
+        1.0
+    };
+    // Luminance scaling of the floor: dimmer fields are less sensitive.
+    let floor = THRESHOLD_FLOOR * (100.0 / l_nits.max(1.0)).sqrt().clamp(1.0, 10.0);
+    // The floor caps sensitivity in the mid band; the low-frequency limb
+    // raises thresholds again below the knee regardless of the floor.
+    hf.max(floor) * lf
+}
+
+/// Visibility of one flicker component: modulation / threshold. Values < 1
+/// are below threshold (invisible).
+pub fn component_visibility(f: f64, modulation: f64, l_nits: f64) -> f64 {
+    if modulation <= 0.0 {
+        return 0.0;
+    }
+    modulation / threshold_modulation(f, l_nits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_modulation_at_cff_is_exactly_threshold() {
+        let l = 200.0;
+        let c = cff(l);
+        let t = threshold_modulation(c, l);
+        assert!((t - 1.0).abs() < 0.05, "m_t(CFF) = {t}");
+    }
+
+    #[test]
+    fn sixty_hz_is_invisible_even_at_full_modulation() {
+        // The InFrame carrier: 60 Hz on a bright display.
+        for l in [50.0, 150.0, 400.0] {
+            let v = component_visibility(60.0, 1.0, l);
+            assert!(v < 1.0, "60Hz full-mod visibility at {l} nits = {v}");
+        }
+    }
+
+    #[test]
+    fn ten_hz_is_highly_visible_at_small_modulation() {
+        // 10 Hz flicker at 5% modulation on a bright field: clearly seen.
+        let v = component_visibility(10.0, 0.05, 200.0);
+        assert!(v > 1.0, "visibility {v}");
+    }
+
+    #[test]
+    fn threshold_falls_then_rises_with_frequency() {
+        let l = 200.0;
+        let t_slow = threshold_modulation(0.5, l);
+        let t_peak = threshold_modulation(10.0, l);
+        let t_cff = threshold_modulation(cff(l), l);
+        let t_above = threshold_modulation(70.0, l);
+        assert!(t_slow > t_peak, "low-frequency limb");
+        assert!(t_cff > t_peak, "high-frequency limb");
+        assert!(t_above > 1.0, "above CFF nothing is visible");
+    }
+
+    #[test]
+    fn dimmer_field_is_less_sensitive() {
+        let bright = threshold_modulation(20.0, 300.0);
+        let dim = threshold_modulation(20.0, 3.0);
+        assert!(dim > bright);
+    }
+
+    #[test]
+    fn dc_is_not_flicker() {
+        assert_eq!(threshold_modulation(0.0, 100.0), f64::INFINITY);
+        assert_eq!(component_visibility(0.0, 0.5, 100.0), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Simulated observers and the Figure 6 user-study harness.
+//!
+//! The paper rated flicker with 8 participants on a 0–4 scale (0 "no
+//! difference", 4 "strong flicker"). People differ in flicker sensitivity
+//! by roughly a factor of two (CFF spreads of ±5 Hz are typical across
+//! healthy adults); the panel models this as a per-observer multiplicative
+//! sensitivity on the meter's visibility, plus integer rating with
+//! probabilistic rounding — reproducing both the mean and the error bars.
+
+use crate::flicker::{FlickerAssessment, FlickerMeter};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One simulated study participant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observer {
+    /// Multiplicative sensitivity on visibility (1.0 = average viewer;
+    /// the paper's "designer and video expert" would sit near the top).
+    pub sensitivity: f64,
+    /// Rating bias in scale units (some raters round harshly, some kindly).
+    pub bias: f64,
+}
+
+impl Observer {
+    /// Rates an assessment on the 0–4 integer scale.
+    ///
+    /// The continuous score is scaled by sensitivity, shifted by bias, and
+    /// probabilistically rounded using `dither ∈ [0, 1)` so that a panel
+    /// reproduces fractional means.
+    pub fn rate(&self, assessment: &FlickerAssessment, dither: f64) -> u8 {
+        let scaled = FlickerAssessment {
+            visibility: assessment.visibility * self.sensitivity,
+            ..assessment.clone()
+        };
+        let s = (scaled.score() + self.bias).clamp(0.0, 4.0);
+        let floor = s.floor();
+        let frac = s - floor;
+        let rounded = if dither < frac { floor + 1.0 } else { floor };
+        rounded.clamp(0.0, 4.0) as u8
+    }
+}
+
+/// A panel of observers with a shared RNG for dithered ratings.
+#[derive(Debug)]
+pub struct ObserverPanel {
+    observers: Vec<Observer>,
+    rng: StdRng,
+}
+
+/// Mean and standard deviation of one rated condition — one point of
+/// Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StudyResult {
+    /// Mean rating across the panel.
+    pub mean: f64,
+    /// Population standard deviation of ratings.
+    pub std: f64,
+    /// Number of raters.
+    pub n: usize,
+}
+
+impl ObserverPanel {
+    /// Generates a panel of `n` observers with log-normal sensitivity
+    /// spread (σ ≈ 0.3 in log-space) and mild rating biases.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "panel must have at least one observer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gaussian = move |rng: &mut StdRng| {
+            let u1: f64 = rng.random::<f64>().max(1e-300);
+            let u2: f64 = rng.random::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let observers = (0..n)
+            .map(|_| Observer {
+                sensitivity: (0.3 * gaussian(&mut rng)).exp(),
+                bias: 0.08 * gaussian(&mut rng),
+            })
+            .collect();
+        Self {
+            observers,
+            rng: StdRng::seed_from_u64(seed ^ 0xD1CE),
+        }
+    }
+
+    /// The paper's 8-person panel.
+    pub fn paper_panel(seed: u64) -> Self {
+        Self::generate(8, seed)
+    }
+
+    /// The observers.
+    pub fn observers(&self) -> &[Observer] {
+        &self.observers
+    }
+
+    /// Rates one condition with every observer and aggregates.
+    pub fn rate(&mut self, assessment: &FlickerAssessment) -> StudyResult {
+        let ratings: Vec<u8> = self
+            .observers
+            .clone()
+            .iter()
+            .map(|o| {
+                let dither: f64 = self.rng.random::<f64>();
+                o.rate(assessment, dither)
+            })
+            .collect();
+        let n = ratings.len();
+        let mean = ratings.iter().map(|&r| r as f64).sum::<f64>() / n as f64;
+        let var =
+            ratings.iter().map(|&r| (r as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        StudyResult {
+            mean,
+            std: var.sqrt(),
+            n,
+        }
+    }
+
+    /// Convenience: assess a waveform with `meter` and rate it.
+    pub fn rate_waveform(
+        &mut self,
+        meter: &FlickerMeter,
+        waveform: &[f64],
+        fs: f64,
+        envelope_step_contrast: f64,
+    ) -> StudyResult {
+        let a = meter.assess(waveform, fs, envelope_step_contrast);
+        self.rate(&a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assessment(v: f64) -> FlickerAssessment {
+        FlickerAssessment {
+            mean_nits: 200.0,
+            fusion_visibility: v,
+            dominant_visible_hz: 12.0,
+            phantom_visibility: 0.0,
+            visibility: v,
+        }
+    }
+
+    #[test]
+    fn invisible_condition_rates_zero() {
+        let mut panel = ObserverPanel::paper_panel(1);
+        let r = panel.rate(&assessment(0.2));
+        assert!(r.mean < 0.4, "mean {}", r.mean);
+        assert_eq!(r.n, 8);
+    }
+
+    #[test]
+    fn strong_flicker_rates_high() {
+        let mut panel = ObserverPanel::paper_panel(1);
+        let r = panel.rate(&assessment(40.0));
+        assert!(r.mean > 3.0, "mean {}", r.mean);
+    }
+
+    #[test]
+    fn ratings_are_monotone_in_visibility_on_average() {
+        let mut panel = ObserverPanel::paper_panel(2);
+        let lo = panel.rate(&assessment(1.5));
+        let mut panel = ObserverPanel::paper_panel(2);
+        let hi = panel.rate(&assessment(8.0));
+        assert!(hi.mean > lo.mean);
+    }
+
+    #[test]
+    fn panel_is_deterministic_per_seed() {
+        let mut a = ObserverPanel::paper_panel(7);
+        let mut b = ObserverPanel::paper_panel(7);
+        assert_eq!(a.rate(&assessment(3.0)), b.rate(&assessment(3.0)));
+    }
+
+    #[test]
+    fn observers_vary_in_sensitivity() {
+        let panel = ObserverPanel::generate(16, 3);
+        let s: Vec<f64> = panel.observers().iter().map(|o| o.sensitivity).collect();
+        let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = s.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max / min > 1.3, "spread {min}..{max}");
+    }
+
+    #[test]
+    fn near_threshold_conditions_have_nonzero_spread() {
+        let mut panel = ObserverPanel::paper_panel(5);
+        let r = panel.rate(&assessment(2.0));
+        assert!(r.std > 0.0, "error bars must be nonzero near threshold");
+    }
+
+    #[test]
+    fn rating_clamps_to_scale() {
+        let o = Observer {
+            sensitivity: 100.0,
+            bias: 3.0,
+        };
+        assert_eq!(o.rate(&assessment(100.0), 0.5), 4);
+        let o2 = Observer {
+            sensitivity: 1e-6,
+            bias: -3.0,
+        };
+        assert_eq!(o2.rate(&assessment(0.5), 0.5), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # inframe-sim
+//!
+//! End-to-end simulation of the InFrame screen–camera channel and the
+//! experiment runners that regenerate every figure of the paper.
+//!
+//! The physical chain of §4 — C# sender → DirectX playback on an Eizo
+//! FG2421 → Lumia 1020 capture → decoder — becomes:
+//!
+//! ```text
+//! Sender (inframe-core)          multiplexed 120 Hz code frames
+//!   → DisplayStream (inframe-display)   emitted-light timeline
+//!     → Camera (inframe-camera)         rolling-shutter captures at 30 FPS
+//!       → Demultiplexer (inframe-core)  decoded data frames + GOB stats
+//! ```
+//!
+//! [`pipeline`] wires the chain with a bounded sliding window of display
+//! emissions; [`scenarios`] provides the paper's three inputs (gray, dark
+//! gray, sunrise clip) at both paper scale and a fast test scale; the
+//! `fig*` modules run each experiment:
+//!
+//! * [`fig3`] — naive-design flicker comparison (Figure 3 motivation),
+//! * [`fig5`] — smoothing waveform and its low-pass response (Figure 5),
+//! * [`fig6`] — the simulated 8-user flicker study (Figure 6),
+//! * [`fig7`] — throughput / available GOBs / error rates (Figure 7),
+//! * [`ablation`] — parameter studies the paper calls out as future knobs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod link;
+pub mod pipeline;
+pub mod report;
+pub mod scenarios;
+
+pub use link::{Link, LinkRun};
+pub use pipeline::{SimOutcome, Simulation, SimulationConfig};
+pub use scenarios::{Scale, Scenario};

@@ -1,0 +1,195 @@
+//! A ready-made application link: pump bits through the whole channel
+//! without writing the sender/display/camera/receiver loop by hand.
+//!
+//! The examples (`ad_coupons`, `sports_ticker`) and downstream users all
+//! need the same plumbing: feed sender frames to the display, capture
+//! whenever the camera's window is covered, push captures into the
+//! demultiplexer, collect decoded cycles. [`Link::run`] is that loop.
+
+use crate::pipeline::SimulationConfig;
+use inframe_camera::{Camera, Shutter};
+use inframe_code::parity::GobStats;
+use inframe_core::sender::{PayloadSource, Sender};
+use inframe_core::{DecodedDataFrame, Demultiplexer};
+use inframe_display::{DisplayStream, FrameEmission};
+use inframe_video::VideoSource;
+use std::collections::VecDeque;
+
+/// Everything an application gets back from a link run.
+#[derive(Debug, Clone)]
+pub struct LinkRun {
+    /// Decoded data cycles, in order.
+    pub decoded: Vec<DecodedDataFrame>,
+    /// Aggregate GOB statistics.
+    pub stats: GobStats,
+    /// The recovered payload bitstream: decoded cycles concatenated, with
+    /// undecodable bits as `None`.
+    pub bits: Vec<Option<bool>>,
+}
+
+impl LinkRun {
+    /// The recovered bits with unknowns filled as `false` (callers using
+    /// framed payloads with checksums usually want this).
+    pub fn bits_lossy(&self) -> Vec<bool> {
+        self.bits.iter().map(|b| b.unwrap_or(false)).collect()
+    }
+
+    /// Fraction of payload bits recovered.
+    pub fn recovery_ratio(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        self.bits.iter().filter(|b| b.is_some()).count() as f64 / self.bits.len() as f64
+    }
+}
+
+/// A configured screen–camera link.
+pub struct Link {
+    config: SimulationConfig,
+}
+
+impl Link {
+    /// Creates a link from a simulation configuration.
+    pub fn new(config: SimulationConfig) -> Self {
+        config.inframe.validate();
+        config.camera.validate();
+        config.display.validate();
+        Self { config }
+    }
+
+    /// Runs `cycles` data cycles of `payload` over `video` and returns the
+    /// decoded stream.
+    pub fn run(
+        &self,
+        video: impl VideoSource,
+        payload: impl PayloadSource,
+        camera_seed: u64,
+    ) -> LinkRun {
+        let c = &self.config;
+        let mut sender = Sender::new(c.inframe, video, payload);
+        let mut display = DisplayStream::new(c.display);
+        let mut camera = Camera::new(c.camera, c.geometry, camera_seed);
+        let registration = c.geometry.display_to_sensor(
+            c.inframe.display_w,
+            c.inframe.display_h,
+            c.camera.width,
+            c.camera.height,
+        );
+        let mut demux = Demultiplexer::new(
+            c.inframe,
+            &registration,
+            c.camera.width,
+            c.camera.height,
+        );
+        let exposure_mid = self.exposure_mid_offset();
+
+        let mut window: VecDeque<FrameEmission> = VecDeque::new();
+        let mut decoded = Vec::new();
+        let total = c.cycles as u64 * c.inframe.tau as u64;
+        for _ in 0..total {
+            let Some(frame) = sender.next_frame() else {
+                break;
+            };
+            let emission = display.present(&frame.plane);
+            let end = emission.t_start + emission.duration;
+            window.push_back(emission);
+            loop {
+                let (need_start, need_end) = camera.required_window();
+                if need_end > end {
+                    break;
+                }
+                while window
+                    .front()
+                    .is_some_and(|e| e.t_start + e.duration <= need_start + 1e-12)
+                {
+                    window.pop_front();
+                }
+                let emissions: Vec<FrameEmission> = window.iter().cloned().collect();
+                let t_mid = camera.config().frame_start(camera.next_index()) + exposure_mid;
+                match camera.capture(&emissions) {
+                    Ok(cap) => {
+                        if let Some(d) = demux.push_capture(&cap.plane, t_mid) {
+                            decoded.push(d);
+                        }
+                    }
+                    Err(_) => camera.skip_frame(),
+                }
+            }
+        }
+        if let Some(d) = demux.finish() {
+            decoded.push(d);
+        }
+
+        let mut stats = GobStats::default();
+        let mut bits = Vec::new();
+        for d in &decoded {
+            stats.merge(&d.stats);
+            bits.extend(d.payload.iter().cloned());
+        }
+        LinkRun {
+            decoded,
+            stats,
+            bits,
+        }
+    }
+
+    fn exposure_mid_offset(&self) -> f64 {
+        let readout = match self.config.camera.shutter {
+            Shutter::Global => 0.0,
+            Shutter::Rolling { readout_s } => readout_s,
+        };
+        readout / 2.0 + self.config.camera.exposure_s / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{Scale, Scenario};
+    use inframe_core::sender::PrbsPayload;
+
+    fn config(cycles: u32) -> SimulationConfig {
+        let s = Scale::Quick;
+        SimulationConfig {
+            inframe: s.inframe(),
+            display: s.display(),
+            camera: s.camera(),
+            geometry: s.geometry(),
+            cycles,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn link_delivers_payload_bits() {
+        let c = config(5);
+        let link = Link::new(c);
+        let run = link.run(
+            Scenario::Gray.source(c.inframe.display_w, c.inframe.display_h, 1),
+            PrbsPayload::new(1),
+            9,
+        );
+        assert!(!run.decoded.is_empty());
+        assert!(run.recovery_ratio() > 0.9, "{}", run.recovery_ratio());
+        assert_eq!(run.bits_lossy().len(), run.bits.len());
+        assert!(run.stats.available_ratio() > 0.85);
+    }
+
+    #[test]
+    fn link_matches_simulation_stats() {
+        // Link and Simulation share the pump; their GOB stats must agree.
+        use crate::pipeline::Simulation;
+        let c = config(4);
+        let link_run = Link::new(c).run(
+            Scenario::Gray.source(c.inframe.display_w, c.inframe.display_h, c.seed),
+            PrbsPayload::new(c.seed),
+            c.seed ^ 0xCA_3E1A,
+        );
+        let sim_out = Simulation::new(c).run(Scenario::Gray.source(
+            c.inframe.display_w,
+            c.inframe.display_h,
+            c.seed,
+        ));
+        assert_eq!(link_run.stats, sim_out.stats);
+    }
+}

@@ -1,0 +1,271 @@
+//! The end-to-end channel simulation.
+
+use inframe_camera::{Camera, CameraConfig, CaptureGeometry, Shutter};
+use inframe_code::parity::GobStats;
+use inframe_core::metrics::{bit_accuracy, ThroughputReport};
+use inframe_core::sender::{PrbsPayload, Sender};
+use inframe_core::{DecodedDataFrame, Demultiplexer, InFrameConfig};
+use inframe_display::{DisplayConfig, DisplayStream, FrameEmission};
+use inframe_video::VideoSource;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Everything needed to run one end-to-end experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationConfig {
+    /// InFrame system parameters.
+    pub inframe: InFrameConfig,
+    /// Display model.
+    pub display: DisplayConfig,
+    /// Camera model.
+    pub camera: CameraConfig,
+    /// Capture geometry.
+    pub geometry: CaptureGeometry,
+    /// Number of data cycles to run.
+    pub cycles: u32,
+    /// Seed for payload and sensor noise.
+    pub seed: u64,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Aggregate GOB statistics across all decoded cycles.
+    pub stats: GobStats,
+    /// Correct / compared recovered payload bits against ground truth.
+    pub bits_correct: usize,
+    /// Compared recovered payload bits.
+    pub bits_compared: usize,
+    /// Decoded cycles (with per-cycle stats).
+    pub decoded: Vec<DecodedDataFrame>,
+    /// Payload bits per data frame.
+    pub payload_bits: usize,
+    /// Data frames per second.
+    pub data_frame_rate: f64,
+}
+
+impl SimOutcome {
+    /// Fraction of recovered bits that match ground truth.
+    pub fn bit_accuracy(&self) -> f64 {
+        if self.bits_compared == 0 {
+            1.0
+        } else {
+            self.bits_correct as f64 / self.bits_compared as f64
+        }
+    }
+
+    /// The Figure 7 report for this run.
+    pub fn report(&self) -> ThroughputReport {
+        ThroughputReport::from_stats(
+            self.payload_bits,
+            self.data_frame_rate,
+            &self.stats,
+            self.bit_accuracy(),
+            self.decoded.len() as u64,
+        )
+    }
+}
+
+/// The wired-up simulation.
+pub struct Simulation {
+    config: SimulationConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation.
+    pub fn new(config: SimulationConfig) -> Self {
+        config.inframe.validate();
+        config.display.validate();
+        config.camera.validate();
+        assert!(config.cycles >= 1, "need at least one cycle");
+        assert!(
+            (config.display.refresh_hz - config.inframe.refresh_hz).abs() < 1e-9,
+            "display and InFrame refresh rates must agree"
+        );
+        Self { config }
+    }
+
+    /// Runs the full sender → display → camera → receiver chain over the
+    /// configured number of data cycles and scores the result against the
+    /// sent ground truth.
+    pub fn run(&self, video: impl VideoSource) -> SimOutcome {
+        let c = &self.config;
+        let mut sender = Sender::new(c.inframe, video, PrbsPayload::new(c.seed));
+        let mut display = DisplayStream::new(c.display);
+        let mut camera = Camera::new(c.camera, c.geometry, c.seed ^ 0xCA_3E1A);
+        let registration = c.geometry.display_to_sensor(
+            c.inframe.display_w,
+            c.inframe.display_h,
+            c.camera.width,
+            c.camera.height,
+        );
+        let mut demux = Demultiplexer::new(
+            c.inframe,
+            &registration,
+            c.camera.width,
+            c.camera.height,
+        );
+
+        let total_display_frames = c.cycles as u64 * c.inframe.tau as u64;
+        let mut window: VecDeque<FrameEmission> = VecDeque::new();
+        let mut decoded: Vec<DecodedDataFrame> = Vec::new();
+
+        let exposure_mid = self.capture_mid_offset();
+        for _ in 0..total_display_frames {
+            let Some(frame) = sender.next_frame() else {
+                break;
+            };
+            let emission = display.present(&frame.plane);
+            let window_end = emission.t_start + emission.duration;
+            window.push_back(emission);
+            // Capture every frame whose full exposure window is now
+            // covered.
+            loop {
+                let (need_start, need_end) = camera.required_window();
+                if need_end > window_end {
+                    break;
+                }
+                // Drop emissions that ended before the needed window.
+                while window
+                    .front()
+                    .is_some_and(|e| e.t_start + e.duration <= need_start + 1e-12)
+                {
+                    window.pop_front();
+                }
+                let emissions: Vec<FrameEmission> = window.iter().cloned().collect();
+                let t_mid = camera.config().frame_start(camera.next_index()) + exposure_mid;
+                match camera.capture(&emissions) {
+                    Ok(cap) => {
+                        if let Some(frame) = demux.push_capture(&cap.plane, t_mid) {
+                            decoded.push(frame);
+                        }
+                    }
+                    Err(_) => camera.skip_frame(),
+                }
+            }
+        }
+        if let Some(frame) = demux.finish() {
+            decoded.push(frame);
+        }
+
+        // Score against ground truth.
+        let mut stats = GobStats::default();
+        let mut bits_correct = 0;
+        let mut bits_compared = 0;
+        for d in &decoded {
+            stats.merge(&d.stats);
+            if let Some(truth) = sender.sent_payload(d.cycle) {
+                let (correct, compared) = bit_accuracy(&d.payload, truth);
+                bits_correct += correct;
+                bits_compared += compared;
+            }
+        }
+        SimOutcome {
+            stats,
+            bits_correct,
+            bits_compared,
+            decoded,
+            payload_bits: sender.payload_bits(),
+            data_frame_rate: c.inframe.data_frame_rate(),
+        }
+    }
+
+    /// Temporal centre of a capture relative to its frame start: half the
+    /// readout sweep plus half the exposure.
+    fn capture_mid_offset(&self) -> f64 {
+        let readout = match self.config.camera.shutter {
+            Shutter::Global => 0.0,
+            Shutter::Rolling { readout_s } => readout_s,
+        };
+        readout / 2.0 + self.config.camera.exposure_s / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{Scale, Scenario};
+
+    fn quick_sim(cycles: u32, seed: u64) -> Simulation {
+        let s = Scale::Quick;
+        Simulation::new(SimulationConfig {
+            inframe: s.inframe(),
+            display: s.display(),
+            camera: s.camera(),
+            geometry: s.geometry(),
+            cycles,
+            seed,
+        })
+    }
+
+    #[test]
+    fn gray_quick_run_decodes_most_gobs() {
+        let sim = quick_sim(6, 7);
+        let out = sim.run(Scenario::Gray.source(240, 168, 7));
+        assert!(!out.decoded.is_empty(), "must decode at least one cycle");
+        let r = out.report();
+        assert!(
+            r.available_ratio > 0.75,
+            "gray availability {} too low",
+            r.available_ratio
+        );
+        assert!(
+            out.bit_accuracy() > 0.95,
+            "gray bit accuracy {}",
+            out.bit_accuracy()
+        );
+        assert!(r.goodput_kbps() > 0.0);
+    }
+
+    #[test]
+    fn textured_video_decodes_worse_than_gray() {
+        let gray = quick_sim(5, 3).run(Scenario::Gray.source(240, 168, 3));
+        let video = quick_sim(5, 3).run(Scenario::Video.source(240, 168, 3));
+        let (ga, va) = (
+            gray.report().available_ratio,
+            video.report().available_ratio,
+        );
+        assert!(
+            ga >= va - 0.02,
+            "video ({va}) should not beat gray ({ga}) availability"
+        );
+    }
+
+    #[test]
+    fn outcome_counts_expected_cycles() {
+        let sim = quick_sim(4, 1);
+        let out = sim.run(Scenario::Gray.source(240, 168, 1));
+        // 4 cycles scheduled; the trailing cycle may be cut short, and the
+        // camera lags the display, so expect at least 2 decoded.
+        assert!(out.decoded.len() >= 2, "decoded {} cycles", out.decoded.len());
+        assert!(out.decoded.len() <= 4);
+        // Every decoded cycle observed the full GOB grid once.
+        for d in &out.decoded {
+            assert_eq!(d.stats.total(), 24); // 12×8 blocks → 24 GOBs
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = quick_sim(3, 9).run(Scenario::Gray.source(240, 168, 9));
+        let b = quick_sim(3, 9).run(Scenario::Gray.source(240, 168, 9));
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.bits_correct, b.bits_correct);
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh rates must agree")]
+    fn mismatched_refresh_rejected() {
+        let s = Scale::Quick;
+        let mut display = s.display();
+        display.refresh_hz = 60.0;
+        let _ = Simulation::new(SimulationConfig {
+            inframe: s.inframe(),
+            display,
+            camera: s.camera(),
+            geometry: s.geometry(),
+            cycles: 1,
+            seed: 0,
+        });
+    }
+}

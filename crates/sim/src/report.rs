@@ -1,0 +1,160 @@
+//! Plain-text table and series formatting shared by benches and examples.
+
+use std::fmt::Write as _;
+
+/// A labelled numeric series (one curve of a figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Curve label (e.g. "δ = 20").
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+    /// Optional per-point error bars (standard deviations).
+    pub errors: Option<Vec<f64>>,
+}
+
+impl Series {
+    /// Creates a series without error bars.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+            errors: None,
+        }
+    }
+
+    /// Creates a series with error bars.
+    ///
+    /// # Panics
+    /// Panics if `errors.len() != points.len()`.
+    pub fn with_errors(
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+        errors: Vec<f64>,
+    ) -> Self {
+        assert_eq!(points.len(), errors.len(), "one error bar per point");
+        Self {
+            label: label.into(),
+            points,
+            errors: Some(errors),
+        }
+    }
+
+    /// Renders the series as aligned text rows.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.label);
+        for (i, (x, y)) in self.points.iter().enumerate() {
+            match &self.errors {
+                Some(e) => {
+                    let _ = writeln!(out, "{x:10.3} {y:10.4} ±{:.4}", e[i]);
+                }
+                None => {
+                    let _ = writeln!(out, "{x:10.3} {y:10.4}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_renders_points_and_errors() {
+        let s = Series::with_errors("δ = 20", vec![(60.0, 0.3), (100.0, 0.5)], vec![0.1, 0.2]);
+        let r = s.render();
+        assert!(r.contains("δ = 20"));
+        assert!(r.contains("±0.1"));
+        assert!(r.lines().count() == 3);
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["input", "kbps"]);
+        t.push_row(vec!["Gray".into(), "12.6".into()]);
+        t.push_row(vec!["Dark-Gray".into(), "10.7".into()]);
+        let r = t.render();
+        assert!(r.contains("Gray"));
+        assert!(r.contains("-----"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one error bar per point")]
+    fn error_bar_mismatch_panics() {
+        let _ = Series::with_errors("x", vec![(0.0, 0.0)], vec![0.1, 0.2]);
+    }
+}

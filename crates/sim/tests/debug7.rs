@@ -1,0 +1,42 @@
+use inframe_core::dataframe::DataFrame;
+use inframe_core::layout::DataLayout;
+use inframe_core::multiplex::{slot, Multiplexer};
+use inframe_core::InFrameConfig;
+use inframe_display::analysis::per_frame_means;
+use inframe_display::{DisplayConfig, DisplayStream};
+use inframe_frame::Plane;
+use inframe_dsp::spectrum::Spectrum;
+
+#[test]
+fn spectrum_of_diff() {
+    let cfg = InFrameConfig { display_w: 48, display_h: 48, pixel_size: 4, block_size: 5,
+        blocks_x: 2, blocks_y: 2, delta: 20.0, tau: 12, ..InFrameConfig::paper() };
+    let layout = DataLayout::from_config(&cfg);
+    let video = Plane::filled(48, 48, 127.0);
+    let ones = DataFrame::encode(&layout, &vec![true; layout.payload_bits_parity()], cfg.coding);
+    let zero = DataFrame::zero(&layout);
+    let mut mux = Multiplexer::new(cfg);
+    let mut md = DisplayStream::new(DisplayConfig::eizo_fg2421());
+    let mut rd = DisplayStream::new(DisplayConfig::eizo_fg2421());
+    let mut me = Vec::new();
+    let mut re = Vec::new();
+    for f in 0..(12*12) {
+        let s = slot(&cfg, f);
+        let odd = s.cycle_index % 2 == 1;
+        let (cur, next) = if odd { (&zero, &ones) } else { (&ones, &zero) };
+        me.push(md.present(&mux.render(&s, &video, cur, next)));
+        re.push(rd.present(&video));
+    }
+    let rect = layout.block_rect(0, 0);
+    let mw = per_frame_means(&me, rect.x + 4, rect.y);
+    let rw = per_frame_means(&re, rect.x + 4, rect.y);
+    let rm = rw.iter().sum::<f64>() / rw.len() as f64;
+    let dw: Vec<f64> = mw.iter().zip(&rw).map(|(m, r)| rm + m - r).collect();
+    println!("first 26 diff samples: {:?}", &dw[..26].iter().map(|v| (v*1000.0).round()/1000.0).collect::<Vec<_>>());
+    let spec = Spectrum::of(&dw, 120.0);
+    let mut peaks: Vec<(f64, f64)> = spec.freqs.iter().zip(&spec.mags).map(|(&f, &m)| (f, m)).collect();
+    peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (f, m) in peaks.iter().take(8) {
+        println!("peak {f:6.2} Hz mag {m:.5} mod {:.4}", 2.0*m/rm);
+    }
+}

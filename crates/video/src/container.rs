@@ -1,0 +1,214 @@
+//! IFV — a minimal raw planar video container.
+//!
+//! Experiments must be replayable on byte-identical inputs. IFV stores a
+//! fixed-size 8-bit luma clip with a 32-byte header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "IFV1"
+//! 4       4     width  (u32 LE)
+//! 8       4     height (u32 LE)
+//! 12      4     frame count (u32 LE)
+//! 16      8     frame rate in micro-FPS (u64 LE, e.g. 30.0 → 30_000_000)
+//! 24      8     reserved (zero)
+//! 32      w*h   frame 0 (row-major u8), then frame 1, …
+//! ```
+
+use crate::source::{FrameList, FrameRate};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use inframe_frame::{FrameError, Plane};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying an IFV stream.
+pub const MAGIC: &[u8; 4] = b"IFV1";
+
+/// An in-memory IFV clip: metadata plus 8-bit luma frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IfvClip {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Nominal frame rate.
+    pub rate: FrameRate,
+    /// The frames, 8-bit luma.
+    pub frames: Vec<Plane<u8>>,
+}
+
+impl IfvClip {
+    /// Builds a clip from f32 frames by 8-bit quantization.
+    ///
+    /// # Panics
+    /// Panics if `frames` is empty or shapes differ.
+    pub fn from_f32_frames(frames: &[Plane<f32>], rate: FrameRate) -> Self {
+        assert!(!frames.is_empty(), "clip must have at least one frame");
+        let shape = frames[0].shape();
+        assert!(
+            frames.iter().all(|f| f.shape() == shape),
+            "all frames must share one shape"
+        );
+        Self {
+            width: shape.0,
+            height: shape.1,
+            rate,
+            frames: frames.iter().map(|f| f.quantize_u8()).collect(),
+        }
+    }
+
+    /// Converts back to an f32 [`FrameList`] source.
+    pub fn to_source(&self) -> FrameList {
+        FrameList::new(self.frames.iter().map(|f| f.to_f32()).collect(), self.rate)
+    }
+
+    /// Serializes the clip to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32 + self.frames.len() * self.width * self.height);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(self.width as u32);
+        buf.put_u32_le(self.height as u32);
+        buf.put_u32_le(self.frames.len() as u32);
+        buf.put_u64_le((self.rate.0 * 1_000_000.0).round() as u64);
+        buf.put_u64_le(0); // reserved
+        for f in &self.frames {
+            buf.put_slice(f.samples());
+        }
+        buf.freeze()
+    }
+
+    /// Parses a clip from bytes.
+    ///
+    /// # Errors
+    /// Returns [`FrameError::Parse`] on bad magic, truncated data or
+    /// invalid dimensions.
+    pub fn decode(mut data: Bytes) -> Result<Self, FrameError> {
+        if data.len() < 32 {
+            return Err(FrameError::Parse("IFV header truncated".into()));
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(FrameError::Parse(format!(
+                "bad IFV magic {magic:02X?}, expected {MAGIC:02X?}"
+            )));
+        }
+        let width = data.get_u32_le() as usize;
+        let height = data.get_u32_le() as usize;
+        let count = data.get_u32_le() as usize;
+        let rate_micro = data.get_u64_le();
+        let _reserved = data.get_u64_le();
+        if width == 0 || height == 0 {
+            return Err(FrameError::Parse("IFV frame dimensions are zero".into()));
+        }
+        let frame_bytes = width * height;
+        if data.remaining() != count * frame_bytes {
+            return Err(FrameError::Parse(format!(
+                "IFV payload has {} bytes, expected {}",
+                data.remaining(),
+                count * frame_bytes
+            )));
+        }
+        let mut frames = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut raw = vec![0u8; frame_bytes];
+            data.copy_to_slice(&mut raw);
+            frames.push(Plane::from_vec(width, height, raw)?);
+        }
+        Ok(Self {
+            width,
+            height,
+            rate: FrameRate(rate_micro as f64 / 1_000_000.0),
+            frames,
+        })
+    }
+
+    /// Writes the clip to a file.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), FrameError> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.encode())?;
+        Ok(())
+    }
+
+    /// Reads a clip from a file.
+    ///
+    /// # Errors
+    /// Propagates I/O failures and parse errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, FrameError> {
+        let mut f = std::fs::File::open(path)?;
+        let mut data = Vec::new();
+        f.read_to_end(&mut data)?;
+        Self::decode(Bytes::from(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VideoSource;
+
+    fn sample_clip() -> IfvClip {
+        let frames: Vec<Plane<f32>> = (0..3)
+            .map(|t| Plane::from_fn(6, 4, move |x, y| ((x + y * 6 + t * 24) % 256) as f32))
+            .collect();
+        IfvClip::from_f32_frames(&frames, FrameRate::VIDEO_30)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let clip = sample_clip();
+        let rt = IfvClip::decode(clip.encode()).unwrap();
+        assert_eq!(clip, rt);
+        assert!((rt.rate.0 - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_clip().encode().to_vec();
+        bytes[0] = b'X';
+        assert!(IfvClip::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let bytes = sample_clip().encode();
+        let cut = bytes.slice(0..bytes.len() - 5);
+        assert!(IfvClip::decode(cut).is_err());
+    }
+
+    #[test]
+    fn tiny_header_rejected() {
+        assert!(IfvClip::decode(Bytes::from_static(b"IFV1")).is_err());
+    }
+
+    #[test]
+    fn to_source_replays_frames() {
+        let clip = sample_clip();
+        let mut src = clip.to_source();
+        assert_eq!(src.width(), 6);
+        let frames = src.take_frames(10);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].get(1, 1), clip.frames[0].get(1, 1) as f32);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("inframe_ifv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clip.ifv");
+        let clip = sample_clip();
+        clip.save(&path).unwrap();
+        let rt = IfvClip::load(&path).unwrap();
+        assert_eq!(clip, rt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quantization_clamps() {
+        let frames = vec![Plane::from_vec(2, 1, vec![-20.0f32, 300.0]).unwrap()];
+        let clip = IfvClip::from_f32_frames(&frames, FrameRate(24.0));
+        assert_eq!(clip.frames[0].samples(), &[0u8, 255]);
+    }
+}

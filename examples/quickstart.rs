@@ -1,0 +1,65 @@
+//! Quickstart: send bits over the simulated screen–camera channel and
+//! decode them back.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This runs the full InFrame chain at a reduced geometry: a gray video is
+//! multiplexed with pseudo-random data, shown on the simulated 120 Hz
+//! strobed panel, captured by the simulated rolling-shutter camera, and
+//! decoded. It prints the Figure 7-style link report.
+
+use inframe::sim::pipeline::{Simulation, SimulationConfig};
+use inframe::sim::{Scale, Scenario};
+
+fn main() {
+    let scale = Scale::Quick;
+    let config = SimulationConfig {
+        inframe: scale.inframe(),
+        display: scale.display(),
+        camera: scale.camera(),
+        geometry: scale.geometry(),
+        cycles: 10,
+        seed: 42,
+    };
+    println!("InFrame quickstart");
+    println!(
+        "  display  {}x{} @ {} Hz (strobed backlight)",
+        config.inframe.display_w, config.inframe.display_h, config.inframe.refresh_hz
+    );
+    println!(
+        "  camera   {}x{} @ {} FPS (rolling shutter)",
+        config.camera.width, config.camera.height, config.camera.fps
+    );
+    println!(
+        "  data     {}x{} blocks, δ = {}, τ = {}",
+        config.inframe.blocks_x, config.inframe.blocks_y, config.inframe.delta, config.inframe.tau
+    );
+    println!();
+
+    let sim = Simulation::new(config);
+    let outcome = sim.run(Scenario::Gray.source(
+        config.inframe.display_w,
+        config.inframe.display_h,
+        42,
+    ));
+    let report = outcome.report();
+    println!("decoded {} data cycles", outcome.decoded.len());
+    println!("  raw rate        {:>7.2} kbps", report.raw_kbps());
+    println!("  goodput         {:>7.2} kbps", report.goodput_kbps());
+    println!(
+        "  available GOBs  {:>6.1} %",
+        report.available_ratio * 100.0
+    );
+    println!("  GOB error rate  {:>6.2} %", report.error_rate * 100.0);
+    println!(
+        "  bit accuracy    {:>6.2} %",
+        outcome.bit_accuracy() * 100.0
+    );
+    println!();
+    println!(
+        "(the paper-scale geometry is `Scale::Paper` — same code, 1920x1080; \
+         see `throughput_report` for the full Figure 7 sweep)"
+    );
+}

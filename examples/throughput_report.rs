@@ -1,0 +1,61 @@
+//! Figure 7: throughput, available-GOB ratio and error rate for every
+//! input and parameter setting.
+//!
+//! ```sh
+//! # quick geometry (seconds):
+//! cargo run --release --example throughput_report
+//! # full paper geometry, 1920x1080 → 1280x720 (minutes):
+//! cargo run --release --example throughput_report -- --paper
+//! ```
+//!
+//! Prints the Figure 7 table including the paper's headline numbers
+//! (≈12.8 kbps on pure gray at δ=20, τ=10; ≈7 kbps over real video).
+
+use inframe::sim::{fig7, Scale};
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper");
+    let (scale, cycles) = if paper_scale {
+        (Scale::Paper, 12)
+    } else {
+        (Scale::Quick, 8)
+    };
+    println!(
+        "Figure 7 — link performance ({})",
+        if paper_scale {
+            "paper geometry 1920x1080 → 1280x720, 50x30 Blocks"
+        } else {
+            "quick geometry 240x168 → 160x112, 12x8 Blocks (pass --paper for full scale)"
+        }
+    );
+    println!();
+    let fig = fig7::run(scale, cycles, 2014);
+    print!("{}", fig.render());
+    println!();
+    let violations = fig.check_shape();
+    if violations.is_empty() {
+        println!(
+            "shape check vs paper: PASS (pure colors beat video; throughput falls with τ)"
+        );
+    } else {
+        println!("shape check vs paper: {} violation(s)", violations.len());
+        for v in violations {
+            println!("  ! {v}");
+        }
+    }
+    if paper_scale {
+        if let Some(bar) = fig.bar(inframe::sim::Scenario::Gray, 20.0, 10) {
+            println!();
+            println!(
+                "headline: gray δ=20 τ=10 → {:.1} kbps (paper: ≈12.6–12.8 kbps)",
+                bar.report.goodput_kbps()
+            );
+        }
+        if let Some(bar) = fig.bar(inframe::sim::Scenario::Video, 30.0, 12) {
+            println!(
+                "headline: video δ=30 τ=12 → {:.1} kbps (paper: ≈7.0 kbps)",
+                bar.report.goodput_kbps()
+            );
+        }
+    }
+}

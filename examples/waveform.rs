@@ -1,0 +1,58 @@
+//! Figure 5: the temporal smoothing waveform and its low-pass response.
+//!
+//! ```sh
+//! cargo run --release --example waveform
+//! ```
+//!
+//! Prints the displayed ±δ waveform for a 1→0→1 bit sequence under the
+//! square-root raised-cosine envelope, the output of the verification
+//! low-pass filter, and the ripple comparison across the three §3.2
+//! envelope shapes (plus an unsmoothed control).
+
+use inframe::dsp::envelope::TransitionShape;
+use inframe::sim::fig5;
+
+fn main() {
+    let tau = 12;
+    let delta = 20.0;
+    let states = [true, false, true];
+    let fig = fig5::run(TransitionShape::SrrCosine, tau, delta, &states);
+
+    println!("Figure 5 — smoothing waveform (τ = {tau}, δ = {delta}, bits 1→0→1)");
+    println!();
+    // A terminal sketch of both curves.
+    let scale = |v: f64| ((v / delta) * 24.0).round() as i64;
+    println!("  t(frame)  displayed    filtered   |  -δ ····················· 0 ····················· +δ");
+    for (i, (&d, &f)) in fig.displayed.iter().zip(&fig.filtered).enumerate() {
+        let pos = (scale(d) + 25).clamp(0, 50) as usize;
+        let fpos = (scale(f) + 25).clamp(0, 50) as usize;
+        let mut line = vec![b' '; 51];
+        line[25] = b'|';
+        line[pos] = b'#';
+        if fpos != pos {
+            line[fpos] = b'o';
+        }
+        println!(
+            "  {i:8}  {d:9.2}  {f:10.3}  |  {}",
+            String::from_utf8(line).unwrap()
+        );
+    }
+    println!();
+    println!("  # displayed waveform   o after the electronic low-pass");
+    println!();
+    println!(
+        "energy above 50 Hz: {:.1}% of displayed AC (fusion hides it)",
+        fig.hf_energy_fraction * 100.0
+    );
+    println!(
+        "filtered ripple through transitions: {:.2} code values",
+        fig.filtered_ripple
+    );
+    println!();
+    println!("envelope shape comparison (filtered ripple, lower is calmer):");
+    let abrupt = fig5::run(TransitionShape::Stair { steps: 1 }, tau, delta, &[true, false, true, false, true]).filtered_ripple;
+    for (name, ripple) in fig5::compare_shapes(tau, delta) {
+        println!("  {name:7}  {ripple:7.3}");
+    }
+    println!("  {:7}  {abrupt:7.3}   (unsmoothed control)", "abrupt");
+}

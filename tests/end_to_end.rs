@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: the full sender → display → camera →
+//! receiver chain under configurations the unit tests don't combine.
+
+use inframe::core::{CodingMode, InFrameConfig};
+use inframe::sim::pipeline::{Simulation, SimulationConfig};
+use inframe::sim::{Scale, Scenario};
+
+fn base() -> SimulationConfig {
+    let s = Scale::Quick;
+    SimulationConfig {
+        inframe: s.inframe(),
+        display: s.display(),
+        camera: s.camera(),
+        geometry: s.geometry(),
+        cycles: 6,
+        seed: 101,
+    }
+}
+
+#[test]
+fn gray_channel_delivers_bits_end_to_end() {
+    let config = base();
+    let out = Simulation::new(config).run(Scenario::Gray.source(
+        config.inframe.display_w,
+        config.inframe.display_h,
+        101,
+    ));
+    let r = out.report();
+    assert!(r.available_ratio > 0.85, "availability {}", r.available_ratio);
+    assert!(out.bit_accuracy() > 0.99, "accuracy {}", out.bit_accuracy());
+    assert!(r.goodput_kbps() > 0.5 * r.raw_kbps());
+}
+
+#[test]
+fn reed_solomon_mode_survives_video_content() {
+    let mut config = base();
+    config.inframe.coding = CodingMode::ReedSolomon { parity_bytes: 6 };
+    config.cycles = 8;
+    let out = Simulation::new(config).run(Scenario::Video.source(
+        config.inframe.display_w,
+        config.inframe.display_h,
+        101,
+    ));
+    // RS turns missing Blocks into corrected payloads: whatever is
+    // recovered must be correct.
+    assert!(out.bits_compared > 0, "some codewords must decode");
+    assert!(
+        out.bit_accuracy() > 0.99,
+        "RS-recovered bits must be correct, accuracy {}",
+        out.bit_accuracy()
+    );
+}
+
+#[test]
+fn all_tau_settings_decode() {
+    for tau in [10u32, 12, 14] {
+        let mut config = base();
+        config.inframe.tau = tau;
+        config.cycles = 5;
+        let out = Simulation::new(config).run(Scenario::Gray.source(
+            config.inframe.display_w,
+            config.inframe.display_h,
+            7,
+        ));
+        assert!(
+            out.report().available_ratio > 0.8,
+            "tau={tau} availability {}",
+            out.report().available_ratio
+        );
+        // Raw rate scales as 120/τ.
+        let expected = out.payload_bits as f64 * 120.0 / tau as f64 / 1000.0;
+        assert!((out.report().raw_kbps() - expected).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn camera_phase_offset_does_not_break_decoding() {
+    // An unsynchronized camera: arbitrary phase against the display.
+    for phase in [0.003, 0.011, 0.017] {
+        let mut config = base();
+        config.camera.phase_s = phase;
+        config.cycles = 5;
+        let out = Simulation::new(config).run(Scenario::Gray.source(
+            config.inframe.display_w,
+            config.inframe.display_h,
+            5,
+        ));
+        assert!(
+            out.report().available_ratio > 0.6,
+            "phase {phase}: availability {}",
+            out.report().available_ratio
+        );
+        assert!(
+            out.bit_accuracy() > 0.97,
+            "phase {phase}: accuracy {}",
+            out.bit_accuracy()
+        );
+    }
+}
+
+#[test]
+fn higher_delta_does_not_hurt_gray_throughput() {
+    let run = |delta: f32| {
+        let mut config = base();
+        config.inframe.delta = delta;
+        config.cycles = 5;
+        Simulation::new(config)
+            .run(Scenario::Gray.source(
+                config.inframe.display_w,
+                config.inframe.display_h,
+                9,
+            ))
+            .report()
+            .available_ratio
+    };
+    let d20 = run(20.0);
+    let d30 = run(30.0);
+    assert!(d30 >= d20 - 0.05, "δ=30 ({d30}) vs δ=20 ({d20})");
+}
+
+#[test]
+fn dark_gray_performs_on_par_with_gray() {
+    let config = base();
+    let gray = Simulation::new(config).run(Scenario::Gray.source(
+        config.inframe.display_w,
+        config.inframe.display_h,
+        3,
+    ));
+    let dark = Simulation::new(config).run(Scenario::DarkGray.source(
+        config.inframe.display_w,
+        config.inframe.display_h,
+        3,
+    ));
+    let (g, d) = (
+        gray.report().available_ratio,
+        dark.report().available_ratio,
+    );
+    assert!((g - d).abs() < 0.15, "gray {g} vs dark-gray {d}");
+}
+
+#[test]
+fn paper_config_validates_and_reports_expected_capacity() {
+    let cfg = InFrameConfig::paper();
+    cfg.validate();
+    let layout = inframe::core::DataLayout::from_config(&cfg);
+    assert_eq!(layout.payload_bits_parity(), 1125);
+    // τ=10 → 13.5 kbps raw: the arithmetic behind the 12.8 kbps headline.
+    let raw: f64 = 1125.0 * 120.0 / 10.0 / 1000.0;
+    assert!((raw - 13.5).abs() < 1e-12);
+}

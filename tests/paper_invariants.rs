@@ -1,0 +1,139 @@
+//! The paper's load-bearing physical claims, checked across crates.
+
+use inframe::core::dataframe::DataFrame;
+use inframe::core::multiplex::{slot, Multiplexer};
+use inframe::core::pattern::Complementation;
+use inframe::core::{DataLayout, InFrameConfig};
+use inframe::display::analysis::{long_term_mean, per_frame_means};
+use inframe::display::{DisplayConfig, DisplayStream};
+use inframe::dsp::spectrum::Spectrum;
+use inframe::frame::Plane;
+use inframe::hvs::cff::cff;
+
+fn tiny_config() -> InFrameConfig {
+    InFrameConfig {
+        display_w: 48,
+        display_h: 48,
+        pixel_size: 4,
+        block_size: 5,
+        blocks_x: 2,
+        blocks_y: 2,
+        ..InFrameConfig::paper()
+    }
+}
+
+/// Presents `n` multiplexed frames of an all-ones data frame on a display
+/// and returns the per-frame light means of a perturbed pixel.
+fn multiplexed_pixel_means(display: DisplayConfig, n: u64) -> Vec<f64> {
+    let cfg = tiny_config();
+    let layout = DataLayout::from_config(&cfg);
+    let data = DataFrame::encode(
+        &layout,
+        &vec![true; layout.payload_bits_parity()],
+        cfg.coding,
+    );
+    let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+    let mut mux = Multiplexer::new(cfg);
+    let mut stream = DisplayStream::new(display);
+    let emissions: Vec<_> = (0..n)
+        .map(|f| stream.present(&mux.render(&slot(&cfg, f), &video, &data, &data)))
+        .collect();
+    let rect = layout.block_rect(0, 0);
+    per_frame_means(&emissions, rect.x + cfg.pixel_size, rect.y)
+}
+
+#[test]
+fn claim_complementary_pairs_fuse_to_original_luminance() {
+    // §3.2: "two complementary frames yield average frames with luminance
+    // level v" — checked in emitted light on the strobed panel.
+    let cfg = tiny_config();
+    let layout = DataLayout::from_config(&cfg);
+    let data = DataFrame::encode(
+        &layout,
+        &vec![true; layout.payload_bits_parity()],
+        cfg.coding,
+    );
+    let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+    let mut mux = Multiplexer::new(cfg);
+    let mut mux_stream = DisplayStream::new(DisplayConfig::eizo_fg2421());
+    let mut ref_stream = DisplayStream::new(DisplayConfig::eizo_fg2421());
+    let n = 48;
+    let mux_em: Vec<_> = (0..n)
+        .map(|f| mux_stream.present(&mux.render(&slot(&cfg, f), &video, &data, &data)))
+        .collect();
+    let ref_em: Vec<_> = (0..n).map(|_| ref_stream.present(&video)).collect();
+    let rect = layout.block_rect(0, 0);
+    let (px, py) = (rect.x + cfg.pixel_size, rect.y);
+    let mux_mean = long_term_mean(&mux_em, px, py);
+    let ref_mean = long_term_mean(&ref_em, px, py);
+    let rel = (mux_mean - ref_mean).abs() / ref_mean;
+    assert!(rel < 0.01, "long-term light shift {:.4}%", rel * 100.0);
+}
+
+#[test]
+fn claim_data_energy_sits_at_half_refresh() {
+    // §3.2: "The maximum frequency of the waveform is 60Hz on a 120Hz
+    // display, which exceeds the CFF."
+    let means = multiplexed_pixel_means(DisplayConfig::ideal_120hz(), 128);
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    let ac: Vec<f64> = means.iter().map(|v| v - mean).collect();
+    let spec = Spectrum::of(&ac, 120.0);
+    assert!((spec.dominant_frequency() - 60.0).abs() < 1.0);
+    assert!(spec.band_energy_fraction(55.0, 60.0) > 0.98);
+}
+
+#[test]
+fn claim_sixty_hz_exceeds_cff_at_display_luminance() {
+    // §2: CFF 40–50 Hz in typical scenarios; the FG2421 peaks at 400 nits.
+    for nits in [50.0, 100.0, 200.0, 400.0] {
+        let c = cff(nits);
+        assert!((40.0 - 1.0..60.0).contains(&c), "CFF({nits}) = {c}");
+    }
+}
+
+#[test]
+fn claim_luminance_complementation_removes_convexity_shift() {
+    // Our §3.2 refinement: light-symmetric pairs leave zero mean-light
+    // shift even at δ = 50 on bright content, where code-symmetric pairs
+    // shift by >1%.
+    let shift = |mode: Complementation| {
+        let mut cfg = tiny_config();
+        cfg.delta = 50.0;
+        cfg.complementation = mode;
+        let layout = DataLayout::from_config(&cfg);
+        let data = DataFrame::encode(
+            &layout,
+            &vec![true; layout.payload_bits_parity()],
+            cfg.coding,
+        );
+        let video = Plane::filled(cfg.display_w, cfg.display_h, 180.0);
+        let mut mux = Multiplexer::new(cfg);
+        let mut stream = DisplayStream::new(DisplayConfig::ideal_120hz());
+        let em: Vec<_> = (0..32)
+            .map(|f| stream.present(&mux.render(&slot(&cfg, f), &video, &data, &data)))
+            .collect();
+        let mut ref_stream = DisplayStream::new(DisplayConfig::ideal_120hz());
+        let ref_em: Vec<_> = (0..32).map(|_| ref_stream.present(&video)).collect();
+        let rect = layout.block_rect(0, 0);
+        let (px, py) = (rect.x + cfg.pixel_size, rect.y);
+        (long_term_mean(&em, px, py) - long_term_mean(&ref_em, px, py)).abs()
+            / long_term_mean(&ref_em, px, py)
+    };
+    let code = shift(Complementation::Code);
+    let lum = shift(Complementation::Luminance);
+    assert!(code > 0.01, "code-symmetric shift {code}");
+    assert!(lum < 0.002, "light-symmetric shift {lum}");
+}
+
+#[test]
+fn claim_strobed_backlight_preserves_mean_luminance() {
+    // The Turbo-240 model is calibrated so strobing does not dim the image.
+    let strobed = multiplexed_pixel_means(DisplayConfig::eizo_fg2421(), 64);
+    let hold = multiplexed_pixel_means(DisplayConfig::eizo_fg2421_no_strobe(), 64);
+    let m = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (ms, mh) = (m(&strobed), m(&hold));
+    assert!(
+        (ms - mh).abs() / mh < 0.02,
+        "strobed {ms} vs sample-and-hold {mh}"
+    );
+}

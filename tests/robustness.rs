@@ -1,0 +1,191 @@
+//! Robustness integration tests: scene cuts, blind synchronization and
+//! ISP processing through the full channel.
+
+use inframe::core::sync::CycleSynchronizer;
+use inframe::sim::pipeline::{Simulation, SimulationConfig};
+use inframe::sim::{Link, Scale, Scenario};
+use inframe::video::source::Limited;
+use inframe::video::synth::SolidClip;
+use inframe::video::transform::Concat;
+use inframe::video::FrameRate;
+
+fn base(cycles: u32) -> SimulationConfig {
+    let s = Scale::Quick;
+    SimulationConfig {
+        inframe: s.inframe(),
+        display: s.display(),
+        camera: s.camera(),
+        geometry: s.geometry(),
+        cycles,
+        seed: 31,
+    }
+}
+
+#[test]
+fn scene_cut_does_not_corrupt_in_flight_cycles() {
+    // A hard cut from dark to bright mid-stream: because both frames of a
+    // complementary pair use the same video frame, the cut cannot break
+    // pair cancellation, and decoding continues across it.
+    let c = base(6);
+    let (w, h) = (c.inframe.display_w, c.inframe.display_h);
+    let cut = Concat::new(
+        Limited::new(SolidClip::new(w, h, 90.0, FrameRate::VIDEO_30), 9),
+        SolidClip::new(w, h, 170.0, FrameRate::VIDEO_30),
+    );
+    let out = Simulation::new(c).run(cut);
+    let r = out.report();
+    assert!(
+        r.available_ratio > 0.85,
+        "availability across the cut: {}",
+        r.available_ratio
+    );
+    assert!(out.bit_accuracy() > 0.98, "accuracy {}", out.bit_accuracy());
+}
+
+#[test]
+fn blind_sync_recovers_unknown_camera_phase() {
+    // Run the channel with a camera whose phase the receiver does NOT
+    // know; recover the cycle phase from block scores alone and check it
+    // against the truth.
+    use inframe::camera::Camera;
+    use inframe::core::sender::{PrbsPayload, Sender};
+    use inframe::core::Demultiplexer;
+    use inframe::display::DisplayStream;
+    use std::collections::VecDeque;
+
+    let mut c = base(16);
+    // τ = 10: the 33.3 ms capture period is not an integer fraction of the
+    // 83.3 ms cycle, so capture times fold onto five distinct positions
+    // per cycle — enough coverage for the phase estimator. (At τ = 12 the
+    // ratio is exactly 3 and some camera phases never sample the
+    // transition window.)
+    c.inframe.tau = 10;
+    let true_phase = 0.0137; // unknown to the receiver
+    c.camera.phase_s = true_phase;
+    let (w, h) = (c.inframe.display_w, c.inframe.display_h);
+
+    let mut sender = Sender::new(
+        c.inframe,
+        SolidClip::new(w, h, 127.0, FrameRate::VIDEO_30),
+        PrbsPayload::new(3),
+    );
+    let mut display = DisplayStream::new(c.display);
+    let mut camera = Camera::new(c.camera, c.geometry, 3);
+    let registration =
+        c.geometry
+            .display_to_sensor(w, h, c.camera.width, c.camera.height);
+    let demux = Demultiplexer::new(c.inframe, &registration, c.camera.width, c.camera.height);
+    let mut sync = CycleSynchronizer::new(&c.inframe);
+
+    let mut window = VecDeque::new();
+    let total = c.cycles as u64 * c.inframe.tau as u64;
+    for _ in 0..total {
+        let Some(frame) = sender.next_frame() else { break };
+        let emission = display.present(&frame.plane);
+        let end = emission.t_start + emission.duration;
+        window.push_back(emission);
+        loop {
+            let (need_start, need_end) = camera.required_window();
+            if need_end > end {
+                break;
+            }
+            while window
+                .front()
+                .is_some_and(|e: &inframe::display::FrameEmission| {
+                    e.t_start + e.duration <= need_start + 1e-12
+                })
+            {
+                window.pop_front();
+            }
+            let emissions: Vec<_> = window.iter().cloned().collect();
+            // The receiver only knows its own capture count, not display
+            // time: use camera-local timestamps.
+            let local_t = camera.next_index() as f64 / c.camera.fps;
+            match camera.capture(&emissions) {
+                Ok(cap) => {
+                    let scores = demux.score_capture(&cap.plane);
+                    sync.observe(
+                        local_t,
+                        CycleSynchronizer::decisiveness_of_scores(
+                            &scores,
+                            c.inframe.threshold,
+                            c.inframe.margin,
+                        ),
+                    );
+                }
+                Err(_) => camera.skip_frame(),
+            }
+        }
+    }
+
+    let est = sync.estimate().expect("enough captures");
+    // The SRRC smoothing deliberately minimizes the very signature blind
+    // sync keys on, so the contrast is modest — but it must exist.
+    assert!(est.confidence > 1.05, "confidence {}", est.confidence);
+    // The estimate is in camera-local time; the true cycle origin in that
+    // frame of reference is −(phase + exposure midpoint) (mod cycle).
+    let d = sync.cycle_duration();
+    let readout_mid = 0.024 / 2.0 + c.camera.exposure_s / 2.0;
+    let expected = ((-(true_phase + readout_mid)) % d + d) % d;
+    // Accept a circular error of up to a third of a cycle: the 30 FPS
+    // camera folds to only three positions per cycle, bounding resolution.
+    let err = {
+        let e = (est.phase - expected).abs() % d;
+        e.min(d - e)
+    };
+    assert!(
+        err < d / 3.0,
+        "phase estimate {} vs expected {expected} (err {err}, cycle {d})",
+        est.phase
+    );
+}
+
+#[test]
+fn phone_isp_default_still_decodes() {
+    use inframe::camera::IspConfig;
+    let mut c = base(5);
+    c.camera.isp = IspConfig::phone_default();
+    let run = Link::new(c).run(
+        Scenario::Gray.source(c.inframe.display_w, c.inframe.display_h, 31),
+        inframe::core::sender::PrbsPayload::new(31),
+        5,
+    );
+    assert!(
+        run.stats.available_ratio() > 0.8,
+        "availability with phone ISP: {}",
+        run.stats.available_ratio()
+    );
+}
+
+#[test]
+fn letterboxing_costs_bar_blocks_but_not_correctness() {
+    // A letterboxed clip: the data grid extends over the dark bars, where
+    // shadow noise swamps the (clamped) pattern — those GOBs drop out,
+    // but every bit that IS recovered stays correct. Dark content costs
+    // capacity, never integrity.
+    use inframe::video::transform::Letterbox;
+    let c = base(5);
+    let (w, h) = (c.inframe.display_w, c.inframe.display_h);
+    let inner = SolidClip::new(w - 40, h - 40, 127.0, FrameRate::VIDEO_30);
+    let boxed = Letterbox::new(inner, w, h, 30.0);
+    let out = Simulation::new(c).run(boxed);
+    let avail = out.report().available_ratio;
+    assert!(
+        (0.3..0.95).contains(&avail),
+        "bars must cost some availability: {avail}"
+    );
+    assert!(out.bit_accuracy() > 0.97, "accuracy {}", out.bit_accuracy());
+    // Brighter bars restore the lost blocks.
+    let bright = Letterbox::new(
+        SolidClip::new(w - 40, h - 40, 127.0, FrameRate::VIDEO_30),
+        w,
+        h,
+        110.0,
+    );
+    let out2 = Simulation::new(base(5)).run(bright);
+    assert!(
+        out2.report().available_ratio > avail,
+        "brighter bars must recover blocks: {} vs {avail}",
+        out2.report().available_ratio
+    );
+}
