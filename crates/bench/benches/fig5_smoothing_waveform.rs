@@ -9,12 +9,7 @@ use inframe_sim::fig5;
 
 fn regenerate_figure() {
     println!("\n=== Figure 5: smoothing waveform through the verification low-pass ===");
-    let fig = fig5::run(
-        TransitionShape::SrrCosine,
-        12,
-        20.0,
-        &[true, false, true],
-    );
+    let fig = fig5::run(TransitionShape::SrrCosine, 12, 20.0, &[true, false, true]);
     for s in fig.series() {
         print!("{}", s.render());
     }

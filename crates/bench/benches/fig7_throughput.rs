@@ -13,7 +13,11 @@ fn regenerate_figure() {
     let (scale, cycles, label) = if paper {
         (Scale::Paper, 12, "paper scale (1920x1080)")
     } else {
-        (Scale::Quick, 8, "quick scale (240x168; INFRAME_PAPER_SCALE=1 for full)")
+        (
+            Scale::Quick,
+            8,
+            "quick scale (240x168; INFRAME_PAPER_SCALE=1 for full)",
+        )
     };
     println!("\n=== Figure 7: link performance — {label} ===");
     let fig = fig7::run(scale, cycles, 2014);

@@ -1,0 +1,195 @@
+//! Pipeline throughput: frames/s and allocations/frame of the band-sliced
+//! zero-copy render/demux engine, single- vs multi-thread, at 1080p and 4K.
+//!
+//! ```sh
+//! cargo bench -p inframe-bench --bench pipeline_throughput
+//! ```
+//!
+//! Prints one line per (stage, scale, workers) and writes the machine
+//! record to `BENCH_pipeline.json` at the repository root. Worker counts
+//! beyond the machine's core count still run correctly (output is
+//! bit-identical by construction) but cannot speed anything up; the JSON
+//! records `machine_cores` so readers can interpret the ratios.
+
+use inframe_core::demux::{Demultiplexer, RegionCache};
+use inframe_core::parallel::ParallelEngine;
+use inframe_core::sender::{PrbsPayload, Sender};
+use inframe_core::InFrameConfig;
+use inframe_frame::geometry::Homography;
+use inframe_frame::Plane;
+use inframe_video::synth::MovingBarsClip;
+use inframe_video::FrameRate;
+use std::sync::Arc;
+
+/// One measured operating point.
+struct Sample {
+    stage: &'static str,
+    scale: &'static str,
+    workers: usize,
+    frames: u64,
+    fps: f64,
+    utilization: f64,
+    /// Heap allocations per frame in steady state (render: pool planes;
+    /// demux: always the returned score vector, buffers are reused).
+    allocs_per_frame: f64,
+}
+
+fn config_4k() -> InFrameConfig {
+    // The paper grid (50×30 Blocks of 9 super-Pixels) scaled to UHD:
+    // p = 8 → 72 px Blocks, 3600×2160 of the 3840×2160 panel carries data.
+    InFrameConfig {
+        display_w: 3840,
+        display_h: 2160,
+        pixel_size: 8,
+        ..InFrameConfig::paper()
+    }
+}
+
+fn bars(cfg: &InFrameConfig) -> MovingBarsClip {
+    MovingBarsClip::new(
+        cfg.display_w,
+        cfg.display_h,
+        23,
+        1.5,
+        70.0,
+        210.0,
+        FrameRate(cfg.refresh_hz / 4.0),
+    )
+}
+
+fn measure_render(scale: &'static str, cfg: InFrameConfig, workers: usize, frames: u64) -> Sample {
+    let engine = Arc::new(ParallelEngine::new(workers));
+    let mut sender = Sender::with_engine(cfg, bars(&cfg), PrbsPayload::new(7), engine);
+    // Warm-up: one full data cycle populates the pool and every cache.
+    for _ in 0..cfg.tau {
+        drop(sender.next_frame().expect("endless clip"));
+    }
+    let warm_allocs = sender.pool().stats().allocated;
+    let before = *sender.meter();
+    for _ in 0..frames {
+        drop(sender.next_frame().expect("endless clip"));
+    }
+    let after = *sender.meter();
+    let wall = (after.wall() - before.wall()).as_secs_f64();
+    let busy = (after.busy() - before.busy()).as_secs_f64();
+    Sample {
+        stage: "render",
+        scale,
+        workers,
+        frames,
+        fps: frames as f64 / wall,
+        utilization: (busy / (wall * workers as f64)).clamp(0.0, 1.0),
+        allocs_per_frame: (sender.pool().stats().allocated - warm_allocs) as f64 / frames as f64,
+    }
+}
+
+fn measure_demux(
+    scale: &'static str,
+    cfg: InFrameConfig,
+    sensor_w: usize,
+    sensor_h: usize,
+    cache: &Arc<RegionCache>,
+    workers: usize,
+    captures: u64,
+) -> Sample {
+    let engine = Arc::new(ParallelEngine::new(workers));
+    let mut demux = Demultiplexer::with_cache(cfg, Arc::clone(cache), engine);
+    let capture = Plane::from_fn(sensor_w, sensor_h, |x, y| {
+        127.0 + if (x / 3 + y / 3) % 2 == 0 { 8.0 } else { -8.0 }
+    });
+    let d = demux.cycle_duration();
+    // Warm-up scores once (fills the blur scratch), then time; every
+    // capture lands in the scored first half of a fresh cycle.
+    demux.push_capture(&capture, 0.01);
+    let before = *demux.meter();
+    for i in 1..=captures {
+        demux.push_capture(&capture, i as f64 * d + 0.01);
+    }
+    let after = *demux.meter();
+    let wall = (after.wall() - before.wall()).as_secs_f64();
+    let busy = (after.busy() - before.busy()).as_secs_f64();
+    Sample {
+        stage: "demux",
+        scale,
+        workers,
+        frames: captures,
+        fps: captures as f64 / wall,
+        utilization: (busy / (wall * workers as f64)).clamp(0.0, 1.0),
+        allocs_per_frame: 1.0, // the returned score vector; planes/scratch are reused
+    }
+}
+
+fn json_entry(s: &Sample) -> String {
+    format!(
+        "    {{\"stage\": \"{}\", \"scale\": \"{}\", \"workers\": {}, \"frames\": {}, \
+         \"fps\": {:.3}, \"utilization\": {:.4}, \"allocs_per_frame\": {:.4}}}",
+        s.stage, s.scale, s.workers, s.frames, s.fps, s.utilization, s.allocs_per_frame
+    )
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let worker_counts = [1usize, 4];
+    println!("pipeline throughput — {cores} core(s) available");
+    println!();
+
+    let mut samples = Vec::new();
+    for (scale, cfg, frames) in [
+        ("1080p", InFrameConfig::paper(), 24u64),
+        ("4k", config_4k(), 8u64),
+    ] {
+        for &w in &worker_counts {
+            let s = measure_render(scale, cfg, w, frames);
+            println!(
+                "render {scale:>5}  {w} worker(s): {:8.2} frames/s, {:5.1}% utilization, {:.2} allocs/frame",
+                s.fps,
+                s.utilization * 100.0,
+                s.allocs_per_frame
+            );
+            samples.push(s);
+        }
+        // The paper's sensor keeps the 2/3 capture ratio at both scales.
+        let (sw, sh) = (cfg.display_w * 2 / 3, cfg.display_h * 2 / 3);
+        let reg = Homography::scale(
+            sw as f64 / cfg.display_w as f64,
+            sh as f64 / cfg.display_h as f64,
+        );
+        let cache = RegionCache::build(&cfg, &reg, sw, sh);
+        for &w in &worker_counts {
+            let s = measure_demux(scale, cfg, sw, sh, &cache, w, frames.min(12));
+            println!(
+                "demux  {scale:>5}  {w} worker(s): {:8.2} captures/s, {:5.1}% utilization",
+                s.fps,
+                s.utilization * 100.0
+            );
+            samples.push(s);
+        }
+    }
+
+    for stage in ["render", "demux"] {
+        for scale in ["1080p", "4k"] {
+            let of = |w: usize| {
+                samples
+                    .iter()
+                    .find(|s| s.stage == stage && s.scale == scale && s.workers == w)
+                    .map(|s| s.fps)
+            };
+            if let (Some(f1), Some(f4)) = (of(1), of(4)) {
+                println!("{stage} {scale}: 4-worker speedup ×{:.2}", f4 / f1);
+            }
+        }
+    }
+
+    let body = samples
+        .iter()
+        .map(json_entry)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline_throughput\",\n  \"machine_cores\": {cores},\n  \"samples\": [\n{body}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    println!();
+    println!("wrote {path}");
+}

@@ -43,13 +43,9 @@ pub fn quick_config(cycles: u32, seed: u64) -> SimulationConfig {
 pub fn quick_goodput(scenario: Scenario, cycles: u32, seed: u64) -> f64 {
     let config = quick_config(cycles, seed);
     let sim = Simulation::new(config);
-    sim.run(scenario.source(
-        config.inframe.display_w,
-        config.inframe.display_h,
-        seed,
-    ))
-    .report()
-    .goodput_kbps()
+    sim.run(scenario.source(config.inframe.display_w, config.inframe.display_h, seed))
+        .report()
+        .goodput_kbps()
 }
 
 #[cfg(test)]

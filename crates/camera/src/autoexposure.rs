@@ -67,13 +67,11 @@ impl AutoExposure {
     pub fn observe(&mut self, captured: &Plane<f32>) -> f64 {
         self.validate();
         let measured_code = captured.mean() as f32;
-        let measured_lin =
-            inframe_frame::color::code_to_linear(measured_code.max(1.0)) as f64;
+        let measured_lin = inframe_frame::color::code_to_linear(measured_code.max(1.0)) as f64;
         let target_lin = inframe_frame::color::code_to_linear(self.target_code) as f64;
         let correction = (target_lin / measured_lin.max(1e-6)).clamp(0.1, 10.0);
         // Damped geometric step toward the correction.
-        self.gain = (self.gain * correction.powf(self.damping))
-            .clamp(self.min_gain, self.max_gain);
+        self.gain = (self.gain * correction.powf(self.damping)).clamp(self.min_gain, self.max_gain);
         self.gain
     }
 
@@ -123,7 +121,11 @@ mod tests {
             ae.observe(&frame);
         }
         assert!(ae.is_settled(mean), "mean {mean}, gain {}", ae.gain);
-        assert!(ae.gain < 1.0, "bright scene needs gain < 1, got {}", ae.gain);
+        assert!(
+            ae.gain < 1.0,
+            "bright scene needs gain < 1, got {}",
+            ae.gain
+        );
     }
 
     #[test]

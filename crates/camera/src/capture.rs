@@ -151,9 +151,7 @@ impl Camera {
                 (0, display_h)
             };
             let band_light = integrate_display_rows(emissions, dy0, dy1, t0, t1);
-            let band_sensor = self
-                .geometry
-                .project(&band_light, sensor_w, sr1 - sr0);
+            let band_sensor = self.geometry.project(&band_light, sensor_w, sr1 - sr0);
             linear
                 .blit(&band_sensor, 0, sr0)
                 .expect("band geometry is in range by construction");
@@ -292,22 +290,16 @@ mod tests {
         // itself a real InFrame effect.)
         let v = 127.0f32;
         let d = 20.0f32;
-        let plus = Plane::from_fn(64, 36, |x, y| {
-            if (x + y) % 2 == 1 {
-                v + d
-            } else {
-                v
-            }
-        });
-        let minus = Plane::from_fn(64, 36, |x, y| {
-            if (x + y) % 2 == 1 {
-                v - d
-            } else {
-                v
-            }
-        });
+        let plus = Plane::from_fn(64, 36, |x, y| if (x + y) % 2 == 1 { v + d } else { v });
+        let minus = Plane::from_fn(64, 36, |x, y| if (x + y) % 2 == 1 { v - d } else { v });
         let seq: Vec<Plane<f32>> = (0..8)
-            .map(|i| if i % 2 == 0 { plus.clone() } else { minus.clone() })
+            .map(|i| {
+                if i % 2 == 0 {
+                    plus.clone()
+                } else {
+                    minus.clone()
+                }
+            })
             .collect();
         let em = emit(&seq);
         // Exposure = exactly one pair (1/60 s).
@@ -329,7 +321,13 @@ mod tests {
         let plus = Plane::from_fn(16, 16, |x, y| if (x + y) % 2 == 1 { v + d } else { v });
         let minus = Plane::from_fn(16, 16, |x, y| if (x + y) % 2 == 1 { v - d } else { v });
         let seq: Vec<Plane<f32>> = (0..8)
-            .map(|i| if i % 2 == 0 { plus.clone() } else { minus.clone() })
+            .map(|i| {
+                if i % 2 == 0 {
+                    plus.clone()
+                } else {
+                    minus.clone()
+                }
+            })
             .collect();
         let em = emit(&seq);
         let mut cam = ideal_camera(16, 16);

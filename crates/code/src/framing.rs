@@ -65,7 +65,9 @@ pub fn scan(bits: &[bool]) -> Vec<RecoveredFrame> {
             i += 1;
             continue;
         }
-        let Some(len) = byte_at(bits, i + 8) else { break };
+        let Some(len) = byte_at(bits, i + 8) else {
+            break;
+        };
         let len = len as usize;
         let total_bits = 8 * (2 + len + 2);
         if i + total_bits > bits.len() {

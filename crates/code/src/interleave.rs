@@ -23,7 +23,10 @@ impl BlockInterleaver {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "interleaver dimensions must be nonzero");
+        assert!(
+            rows > 0 && cols > 0,
+            "interleaver dimensions must be nonzero"
+        );
         Self { rows, cols }
     }
 

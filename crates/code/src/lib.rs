@@ -34,6 +34,6 @@ pub mod prbs;
 pub mod rs;
 pub mod scramble;
 
-pub use parity::{gob_encode, gob_check, GobStatus};
+pub use parity::{gob_check, gob_encode, GobStatus};
 pub use prbs::PrbsGenerator;
 pub use rs::ReedSolomon;

@@ -37,7 +37,11 @@ impl PrbsGenerator {
             31 => (31, 28),
             _ => panic!("unsupported PRBS order {order} (use 7, 15, 23 or 31)"),
         };
-        let mask = if order == 31 { u32::MAX >> 1 } else { (1u32 << order) - 1 };
+        let mask = if order == 31 {
+            u32::MAX >> 1
+        } else {
+            (1u32 << order) - 1
+        };
         let state = seed & mask;
         Self {
             state: if state == 0 { 1 } else { state },

@@ -331,7 +331,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn msg(k: usize, seed: u8) -> Vec<u8> {
-        (0..k).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..k)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     #[test]

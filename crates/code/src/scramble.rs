@@ -29,9 +29,8 @@ impl Scrambler {
     /// frame. Using the frame index in the keystream derivation keeps
     /// consecutive identical payloads from producing identical frames.
     pub fn apply(&self, bits: &[bool], frame_index: u64) -> Vec<bool> {
-        let mut rng = Xoshiro256::seed_from_u64(
-            self.seed ^ frame_index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            Xoshiro256::seed_from_u64(self.seed ^ frame_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         bits.iter().map(|&b| b ^ rng.next_bit()).collect()
     }
 

@@ -132,7 +132,10 @@ impl InFrameConfig {
     /// even value ≥ 2, the GOB size does not divide the block grid, δ is
     /// out of range, or the threshold/margin are inconsistent.
     pub fn validate(&self) {
-        assert!(self.display_w > 0 && self.display_h > 0, "display must be nonempty");
+        assert!(
+            self.display_w > 0 && self.display_h > 0,
+            "display must be nonempty"
+        );
         assert!(self.refresh_hz > 0.0, "refresh rate must be positive");
         assert!(self.pixel_size >= 1, "pixel size must be >= 1");
         assert!(self.block_size >= 2, "block must be at least 2 Pixels");
@@ -146,10 +149,14 @@ impl InFrameConfig {
         );
         assert!(self.gob_size >= 2, "GOB must be at least 2x2");
         assert!(
-            self.blocks_x.is_multiple_of(self.gob_size) && self.blocks_y.is_multiple_of(self.gob_size),
+            self.blocks_x.is_multiple_of(self.gob_size)
+                && self.blocks_y.is_multiple_of(self.gob_size),
             "GOB size must divide the block grid"
         );
-        assert!(self.tau >= 2 && self.tau.is_multiple_of(2), "tau must be even and >= 2");
+        assert!(
+            self.tau >= 2 && self.tau.is_multiple_of(2),
+            "tau must be even and >= 2"
+        );
         assert!(
             self.delta > 0.0 && self.delta <= 127.0,
             "delta must be in (0, 127]"

@@ -105,7 +105,10 @@ impl DataFrame {
     /// # Panics
     /// Panics for out-of-range coordinates.
     pub fn bit(&self, bx: usize, by: usize) -> bool {
-        assert!(bx < self.blocks_x && by < self.blocks_y, "block out of range");
+        assert!(
+            bx < self.blocks_x && by < self.blocks_y,
+            "block out of range"
+        );
         self.bits[by * self.blocks_x + bx]
     }
 
@@ -156,7 +159,11 @@ pub fn decode(
     received: &[Option<bool>],
     coding: CodingMode,
 ) -> (Vec<Option<bool>>, GobStats) {
-    assert_eq!(received.len(), layout.num_blocks(), "verdict length mismatch");
+    assert_eq!(
+        received.len(),
+        layout.num_blocks(),
+        "verdict length mismatch"
+    );
     // Reorder into channel order.
     let channel: Vec<Option<bool>> = (0..layout.num_blocks())
         .map(|idx| {
@@ -166,16 +173,11 @@ pub fn decode(
         .collect();
     match coding {
         CodingMode::Parity => decode_parity(layout, &channel),
-        CodingMode::ReedSolomon { parity_bytes } => {
-            decode_rs(layout, &channel, parity_bytes)
-        }
+        CodingMode::ReedSolomon { parity_bytes } => decode_rs(layout, &channel, parity_bytes),
     }
 }
 
-fn decode_parity(
-    layout: &DataLayout,
-    channel: &[Option<bool>],
-) -> (Vec<Option<bool>>, GobStats) {
+fn decode_parity(layout: &DataLayout, channel: &[Option<bool>]) -> (Vec<Option<bool>>, GobStats) {
     let per_gob = layout.blocks_per_gob();
     let mut stats = GobStats::default();
     let mut payload = Vec::with_capacity(layout.payload_bits_parity());

@@ -21,11 +21,15 @@
 use crate::config::InFrameConfig;
 use crate::dataframe;
 use crate::layout::DataLayout;
+use crate::metrics::ThroughputMeter;
+use crate::parallel::ParallelEngine;
 use inframe_code::parity::GobStats;
-use inframe_frame::integral::box_blur_fast;
 use inframe_frame::geometry::Homography;
+use inframe_frame::integral::{box_blur_fast, box_blur_fast_into, BlurScratch};
 use inframe_frame::Plane;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One decoded data cycle.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,15 +62,89 @@ struct BlockRegion {
     template: Plane<f32>,
 }
 
+/// Immutable per-geometry receiver state: every Block's sensor region and
+/// demodulation template, plus the derived smoothing radius.
+///
+/// Building this costs one inverse-homography evaluation per sensor pixel
+/// of every Block — by far the receiver's most expensive setup step — so
+/// it is computed once per `(config, registration, sensor)` geometry and
+/// shared via `Arc` between demultiplexers (e.g. parallel ablation runs
+/// over the same setup).
+#[derive(Debug)]
+pub struct RegionCache {
+    regions: Vec<BlockRegion>,
+    /// Smoothing radius for the high-pass prefilter, sensor pixels.
+    smooth_radius: usize,
+    sensor_w: usize,
+    sensor_h: usize,
+}
+
+impl RegionCache {
+    /// Precomputes regions and templates for one geometry.
+    ///
+    /// # Panics
+    /// Panics if the registration is singular or any Block projects to a
+    /// degenerate sensor region.
+    pub fn build(
+        config: &InFrameConfig,
+        registration: &Homography,
+        sensor_w: usize,
+        sensor_h: usize,
+    ) -> Arc<Self> {
+        config.validate();
+        let layout = DataLayout::from_config(config);
+        let inverse = registration
+            .inverse()
+            .expect("registration homography must be invertible");
+        // The chessboard cell size on the sensor sets the smoothing scale.
+        let scale = estimate_scale(registration);
+        let cell_sensor = (layout.pixel_size as f64 * scale).max(1.0);
+        let smooth_radius = (cell_sensor.round() as usize).clamp(1, 8);
+        let mut regions = Vec::with_capacity(layout.num_blocks());
+        for by in 0..layout.blocks_y {
+            for bx in 0..layout.blocks_x {
+                let region =
+                    build_region(&layout, registration, &inverse, bx, by, sensor_w, sensor_h);
+                regions.push(region);
+            }
+        }
+        Arc::new(Self {
+            regions,
+            smooth_radius,
+            sensor_w,
+            sensor_h,
+        })
+    }
+
+    /// Number of Block regions (`layout.num_blocks()`).
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The high-pass smoothing radius, sensor pixels.
+    pub fn smooth_radius(&self) -> usize {
+        self.smooth_radius
+    }
+
+    /// The sensor dimensions this cache was built for.
+    pub fn sensor_shape(&self) -> (usize, usize) {
+        (self.sensor_w, self.sensor_h)
+    }
+}
+
 /// The streaming demultiplexer.
 pub struct Demultiplexer {
     config: InFrameConfig,
     layout: DataLayout,
-    regions: Vec<BlockRegion>,
-    /// Smoothing radius for the high-pass prefilter, sensor pixels.
-    smooth_radius: usize,
+    cache: Arc<RegionCache>,
+    engine: Arc<ParallelEngine>,
     cycle_duration: f64,
     current: Option<CycleAccumulator>,
+    /// Reused high-pass buffer (one sensor frame).
+    smoothed: Plane<f32>,
+    /// Reused blur working memory.
+    scratch: BlurScratch,
+    meter: ThroughputMeter,
 }
 
 struct CycleAccumulator {
@@ -77,7 +155,8 @@ struct CycleAccumulator {
 }
 
 impl Demultiplexer {
-    /// Creates a receiver.
+    /// Creates a receiver scoring on [`ParallelEngine::from_env`] workers
+    /// (set `INFRAME_WORKERS` to override the count).
     ///
     /// * `registration` — the display→sensor homography (known from setup
     ///   or a registration pass; the paper's fixed lab geometry makes this
@@ -93,43 +172,52 @@ impl Demultiplexer {
         sensor_w: usize,
         sensor_h: usize,
     ) -> Self {
+        let cache = RegionCache::build(&config, registration, sensor_w, sensor_h);
+        Self::with_cache(config, cache, Arc::new(ParallelEngine::from_env()))
+    }
+
+    /// Creates a receiver from a prebuilt [`RegionCache`] (shared across
+    /// demultiplexers of the same geometry) and an explicit engine.
+    /// Decoded output is bit-identical for every worker count.
+    pub fn with_cache(
+        config: InFrameConfig,
+        cache: Arc<RegionCache>,
+        engine: Arc<ParallelEngine>,
+    ) -> Self {
         config.validate();
-        let layout = DataLayout::from_config(&config);
-        let inverse = registration
-            .inverse()
-            .expect("registration homography must be invertible");
-        // The chessboard cell size on the sensor sets the smoothing scale.
-        let scale = estimate_scale(registration);
-        let cell_sensor = (layout.pixel_size as f64 * scale).max(1.0);
-        let smooth_radius = (cell_sensor.round() as usize).clamp(1, 8);
-        let mut regions = Vec::with_capacity(layout.num_blocks());
-        for by in 0..layout.blocks_y {
-            for bx in 0..layout.blocks_x {
-                let region = build_region(
-                    &layout,
-                    registration,
-                    &inverse,
-                    bx,
-                    by,
-                    sensor_w,
-                    sensor_h,
-                );
-                regions.push(region);
-            }
-        }
+        let (sensor_w, sensor_h) = cache.sensor_shape();
+        let meter = ThroughputMeter::new(engine.workers());
         Self {
             cycle_duration: config.tau as f64 / config.refresh_hz,
+            layout: DataLayout::from_config(&config),
             config,
-            layout,
-            regions,
-            smooth_radius,
+            cache,
+            engine,
             current: None,
+            smoothed: Plane::filled(sensor_w, sensor_h, 0.0),
+            scratch: BlurScratch::default(),
+            meter,
         }
     }
 
     /// The resolved layout.
     pub fn layout(&self) -> &DataLayout {
         &self.layout
+    }
+
+    /// The shared per-geometry region/template cache.
+    pub fn region_cache(&self) -> &Arc<RegionCache> {
+        &self.cache
+    }
+
+    /// The scoring engine.
+    pub fn engine(&self) -> &Arc<ParallelEngine> {
+        &self.engine
+    }
+
+    /// Live demux performance: captures/s and worker utilization.
+    pub fn meter(&self) -> &ThroughputMeter {
+        &self.meter
     }
 
     /// Duration of one data cycle, seconds.
@@ -147,12 +235,6 @@ impl Demultiplexer {
         if flush {
             completed = self.finish();
         }
-        let acc = self.current.get_or_insert_with(|| CycleAccumulator {
-            cycle,
-            best: vec![f32::NEG_INFINITY; self.layout.num_blocks()],
-            captures: 0,
-        });
-        acc.captures += 1;
         // Captures from the second half of a cycle see the smoothing
         // envelope ramping toward the *next* data frame (§3.2): a 0-Block
         // whose bit flips next cycle already shows a growing chessboard.
@@ -160,18 +242,47 @@ impl Demultiplexer {
         // cycle length τ is chosen so at least one 30 FPS capture always
         // lands there.
         let phase = (t_mid / self.cycle_duration).fract();
-        if phase < 0.45 {
-            // One shared high-pass per capture, then per-block
-            // demodulation.
-            let smoothed = box_blur_fast(capture, self.smooth_radius);
-            for (i, region) in self.regions.iter().enumerate() {
-                let score = demodulate(capture, &smoothed, region);
-                if score > acc.best[i] {
-                    acc.best[i] = score;
+        let scores = if phase < 0.45 {
+            Some(self.score_capture_pooled(capture))
+        } else {
+            None
+        };
+        let acc = self.current.get_or_insert_with(|| CycleAccumulator {
+            cycle,
+            best: vec![f32::NEG_INFINITY; self.layout.num_blocks()],
+            captures: 0,
+        });
+        acc.captures += 1;
+        if let Some(scores) = scores {
+            for (best, score) in acc.best.iter_mut().zip(scores) {
+                if score > *best {
+                    *best = score;
                 }
             }
         }
         completed
+    }
+
+    /// Scores one capture on the engine, reusing the demultiplexer's blur
+    /// buffers: one shared high-pass per capture, then per-Block
+    /// demodulation fanned out over the workers. Allocation-free after the
+    /// first call apart from the returned score vector.
+    fn score_capture_pooled(&mut self, capture: &Plane<f32>) -> Vec<f32> {
+        let started = Instant::now();
+        let busy_before = self.engine.busy();
+        box_blur_fast_into(
+            capture,
+            self.cache.smooth_radius,
+            &mut self.scratch,
+            &mut self.smoothed,
+        );
+        let smoothed = &self.smoothed;
+        let scores = self.engine.map(&self.cache.regions, |_, region| {
+            demodulate(capture, smoothed, region)
+        });
+        let busy = self.engine.busy().saturating_sub(busy_before);
+        self.meter.record_frame(started.elapsed(), busy);
+        scores
     }
 
     /// Flushes the in-progress cycle (call at end of stream).
@@ -206,8 +317,9 @@ impl Demultiplexer {
     /// Raw per-Block scores of a single capture — exposed for calibration
     /// and the threshold ablation.
     pub fn score_capture(&self, capture: &Plane<f32>) -> Vec<f32> {
-        let smoothed = box_blur_fast(capture, self.smooth_radius);
-        self.regions
+        let smoothed = box_blur_fast(capture, self.cache.smooth_radius);
+        self.cache
+            .regions
             .iter()
             .map(|r| demodulate(capture, &smoothed, r))
             .collect()
@@ -385,13 +497,20 @@ mod tests {
         frame: &DataFrame,
         video: &Plane<f32>,
     ) -> Plane<f32> {
-        let (plus, _) = pattern::complementary_pair(layout, video, frame, cfg.delta, Complementation::Code, |bx, by| {
-            if frame.bit(bx, by) {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let (plus, _) = pattern::complementary_pair(
+            layout,
+            video,
+            frame,
+            cfg.delta,
+            Complementation::Code,
+            |bx, by| {
+                if frame.bit(bx, by) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         plus
     }
 
@@ -401,12 +520,8 @@ mod tests {
         let (layout, frame, payload) = encode_frame(&cfg, 3);
         let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
         let plus = render_plus(&cfg, &layout, &frame, &video);
-        let mut demux = Demultiplexer::new(
-            cfg,
-            &Homography::identity(),
-            cfg.display_w,
-            cfg.display_h,
-        );
+        let mut demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
         assert!(demux.push_capture(&plus, 0.01).is_none());
         assert!(demux.push_capture(&plus, 0.05).is_none());
         let decoded = demux
@@ -426,13 +541,20 @@ mod tests {
         let cfg = paper_small();
         let (layout, frame, payload) = encode_frame(&cfg, 2);
         let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
-        let (_, minus) = pattern::complementary_pair(&layout, &video, &frame, cfg.delta, Complementation::Code, |bx, by| {
-            if frame.bit(bx, by) {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let (_, minus) = pattern::complementary_pair(
+            &layout,
+            &video,
+            &frame,
+            cfg.delta,
+            Complementation::Code,
+            |bx, by| {
+                if frame.bit(bx, by) {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let mut demux =
             Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
         demux.push_capture(&minus, 0.01);
@@ -449,8 +571,7 @@ mod tests {
         let (layout, frame, _) = encode_frame(&cfg, 2);
         let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
         let plus = render_plus(&cfg, &layout, &frame, &video);
-        let demux =
-            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        let demux = Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
         let scores = demux.score_capture(&plus);
         for (i, &score) in scores.iter().enumerate() {
             let (bx, by) = (i % layout.blocks_x, i / layout.blocks_x);
@@ -474,7 +595,11 @@ mod tests {
         demux.push_capture(&video, 0.01);
         let decoded = demux.finish().unwrap();
         assert_eq!(decoded.stats.available_ratio(), 1.0);
-        let zeros = decoded.payload.iter().filter(|b| **b == Some(false)).count();
+        let zeros = decoded
+            .payload
+            .iter()
+            .filter(|b| **b == Some(false))
+            .count();
         assert_eq!(zeros, decoded.payload.len());
     }
 
@@ -486,13 +611,20 @@ mod tests {
         let cfg = paper_small();
         let (layout, frame, _) = encode_frame(&cfg, 2);
         let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
-        let faint = pattern::complementary_pair(&layout, &video, &frame, cfg.delta, Complementation::Code, |bx, by| {
-            if frame.bit(bx, by) {
-                0.1 // ~10% residual contrast → score ≈ 2 ≈ T
-            } else {
-                0.0
-            }
-        })
+        let faint = pattern::complementary_pair(
+            &layout,
+            &video,
+            &frame,
+            cfg.delta,
+            Complementation::Code,
+            |bx, by| {
+                if frame.bit(bx, by) {
+                    0.1 // ~10% residual contrast → score ≈ 2 ≈ T
+                } else {
+                    0.0
+                }
+            },
+        )
         .0;
         let mut demux =
             Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
@@ -568,8 +700,7 @@ mod tests {
                 .wrapping_add((y as u64).wrapping_mul(40503));
             80.0 + ((h >> 3) % 120) as f32
         });
-        let demux =
-            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        let demux = Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
         let scores = demux.score_capture(&noisy_video);
         let max = scores.iter().cloned().fold(0.0f32, f32::max);
         assert!(

@@ -95,7 +95,10 @@ impl DataLayout {
     /// # Panics
     /// Panics for out-of-range block coordinates.
     pub fn block_rect(&self, bx: usize, by: usize) -> PxRect {
-        assert!(bx < self.blocks_x && by < self.blocks_y, "block out of range");
+        assert!(
+            bx < self.blocks_x && by < self.blocks_y,
+            "block out of range"
+        );
         let bp = self.block_px();
         PxRect {
             x: self.origin_x + bx * bp,

@@ -26,6 +26,12 @@
 //! The [`sender`] and [`demux`] modules expose the end-to-end API used by
 //! examples and the `inframe-sim` experiment harness; [`naive`] implements
 //! the paper's Figure 3 strawmen for comparison.
+//!
+//! Both hot paths — chessboard rendering and per-Block scoring — run on a
+//! band-sliced worker pool ([`parallel`]) over pooled frame buffers
+//! ([`inframe_frame::pool`]), with output guaranteed bit-identical at any
+//! worker count; [`metrics::ThroughputMeter`] reports the achieved
+//! frames/s and worker utilization.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +43,7 @@ pub mod layout;
 pub mod metrics;
 pub mod multiplex;
 pub mod naive;
+pub mod parallel;
 pub mod pattern;
 pub mod rgbmux;
 pub mod sender;
@@ -44,7 +51,8 @@ pub mod sync;
 
 pub use config::{CodingMode, InFrameConfig};
 pub use dataframe::DataFrame;
-pub use demux::{Demultiplexer, DecodedDataFrame};
+pub use demux::{DecodedDataFrame, Demultiplexer};
 pub use layout::DataLayout;
-pub use metrics::ThroughputReport;
+pub use metrics::{ThroughputMeter, ThroughputReport};
+pub use parallel::ParallelEngine;
 pub use sender::Sender;

@@ -9,6 +9,7 @@
 
 use inframe_code::parity::GobStats;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// Aggregated link performance over a run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -67,6 +68,95 @@ impl ThroughputReport {
             self.available_ratio * 100.0,
             self.error_rate * 100.0
         )
+    }
+}
+
+/// Live pipeline performance: processed frames per wall-clock second and
+/// worker utilization, fed by [`crate::sender::Sender`] and
+/// [`crate::demux::Demultiplexer`] as they run.
+///
+/// Utilization is accumulated worker busy time divided by `wall × workers`
+/// — 1.0 means every worker of the [`crate::parallel::ParallelEngine`] was
+/// saturated for the whole measured span, and the gap to 1.0 is the
+/// band-merge / checkout overhead the engine adds on top of pixel math.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThroughputMeter {
+    workers: usize,
+    frames: u64,
+    wall: Duration,
+    busy: Duration,
+}
+
+impl ThroughputMeter {
+    /// Creates an empty meter for an engine with `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            frames: 0,
+            wall: Duration::ZERO,
+            busy: Duration::ZERO,
+        }
+    }
+
+    /// Records one processed frame: its wall-clock duration and the worker
+    /// busy time it accumulated.
+    pub fn record_frame(&mut self, wall: Duration, busy: Duration) {
+        self.frames += 1;
+        self.wall += wall;
+        self.busy += busy;
+    }
+
+    /// Frames recorded so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Worker count of the engine being measured.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total measured wall-clock time.
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Total accumulated worker busy time.
+    pub fn busy(&self) -> Duration {
+        self.busy
+    }
+
+    /// Processed frames per second of measured wall time (0.0 before the
+    /// first frame).
+    pub fn fps(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.frames as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Mean worker utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        (self.busy.as_secs_f64() / (self.wall.as_secs_f64() * self.workers as f64)).clamp(0.0, 1.0)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:8.1} frames/s over {} frames ({} worker(s), {:.0}% utilization)",
+            self.fps(),
+            self.frames,
+            self.workers,
+            self.utilization() * 100.0
+        )
+    }
+
+    /// Clears the counters (the worker count is kept).
+    pub fn reset(&mut self) {
+        *self = Self::new(self.workers);
     }
 }
 
@@ -139,6 +229,32 @@ mod tests {
         assert!(a.contains("kbps"));
         assert!(a.contains("avail"));
         assert!(a.contains("err"));
+    }
+
+    #[test]
+    fn meter_computes_fps_and_utilization() {
+        let mut m = ThroughputMeter::new(4);
+        assert_eq!(m.fps(), 0.0);
+        assert_eq!(m.utilization(), 0.0);
+        // 10 frames, 10 ms wall each, 20 ms busy each (2 of 4 workers hot).
+        for _ in 0..10 {
+            m.record_frame(Duration::from_millis(10), Duration::from_millis(20));
+        }
+        assert_eq!(m.frames(), 10);
+        assert!((m.fps() - 100.0).abs() < 1e-9, "fps {}", m.fps());
+        assert!((m.utilization() - 0.5).abs() < 1e-9);
+        assert!(m.summary().contains("frames/s"));
+        m.reset();
+        assert_eq!(m.frames(), 0);
+        assert_eq!(m.workers(), 4);
+    }
+
+    #[test]
+    fn meter_utilization_is_clamped() {
+        let mut m = ThroughputMeter::new(1);
+        // Busy exceeding wall (timer jitter) must not exceed 1.0.
+        m.record_frame(Duration::from_millis(5), Duration::from_millis(9));
+        assert_eq!(m.utilization(), 1.0);
     }
 
     #[test]

@@ -9,10 +9,12 @@
 use crate::config::InFrameConfig;
 use crate::dataframe::DataFrame;
 use crate::layout::DataLayout;
+use crate::parallel::ParallelEngine;
 use crate::pattern;
 use inframe_dsp::envelope::Envelope;
 use inframe_frame::Plane;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Sign of the perturbation in a displayed frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,29 +63,42 @@ pub fn slot(c: &InFrameConfig, f: u64) -> FrameSlot {
     }
 }
 
-/// Cache key and value for one rendered complementary pair.
-type PairCache = (u64, u64, u32, (Plane<f32>, Plane<f32>));
-
-/// Stateless core of the multiplexer: renders the displayed frame for a
-/// slot given the video frame and the current/next data frames.
+/// Core of the multiplexer: renders the displayed frame for a slot given
+/// the video frame and the current/next data frames.
+///
+/// The offset pair for the current `(video_index, cycle, pair)` is rendered
+/// once into two long-lived planes and reused by the minus frame of the
+/// pair — no per-frame buffer clones anywhere on this path.
 pub struct Multiplexer {
     config: InFrameConfig,
     layout: DataLayout,
     envelope: Envelope,
-    /// Cached pair offsets for the current (video_index, cycle, pair),
-    /// reused by the minus frame of the pair.
-    cache: Option<PairCache>,
+    engine: Arc<ParallelEngine>,
+    /// Which `(video_index, cycle_index, pair)` the offset planes hold.
+    cache_key: Option<(u64, u64, u32)>,
+    p_plus: Plane<f32>,
+    p_minus: Plane<f32>,
 }
 
 impl Multiplexer {
-    /// Creates a multiplexer for the configuration.
+    /// Creates a multiplexer that renders inline on the calling thread.
     pub fn new(config: InFrameConfig) -> Self {
+        Self::with_engine(config, Arc::new(ParallelEngine::sequential()))
+    }
+
+    /// Creates a multiplexer that renders on `engine`'s band workers.
+    /// Output is bit-identical to [`Multiplexer::new`] for any worker
+    /// count.
+    pub fn with_engine(config: InFrameConfig, engine: Arc<ParallelEngine>) -> Self {
         config.validate();
         Self {
             layout: DataLayout::from_config(&config),
             envelope: Envelope::new(config.pairs_per_cycle(), config.envelope),
+            engine,
+            cache_key: None,
+            p_plus: Plane::filled(config.display_w, config.display_h, 0.0),
+            p_minus: Plane::filled(config.display_w, config.display_h, 0.0),
             config,
-            cache: None,
         }
     }
 
@@ -97,6 +112,11 @@ impl Multiplexer {
         &self.config
     }
 
+    /// The render engine.
+    pub fn engine(&self) -> &Arc<ParallelEngine> {
+        &self.engine
+    }
+
     /// Renders displayed frame `slot` by multiplexing `video` with the
     /// current data frame `cur` (and `next`, for transition shaping).
     pub fn render(
@@ -106,14 +126,31 @@ impl Multiplexer {
         cur: &DataFrame,
         next: &DataFrame,
     ) -> Plane<f32> {
-        let (p_plus, p_minus) = self.offsets_for(s, video, cur, next);
+        let mut out = Plane::filled(video.width(), video.height(), 0.0);
+        self.render_into(s, video, cur, next, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Multiplexer::render`]: writes the
+    /// displayed frame into `out` (typically a
+    /// [`inframe_frame::pool::FramePool`] checkout).
+    ///
+    /// # Panics
+    /// Panics if `out` or `video` is not display-shaped.
+    pub fn render_into(
+        &mut self,
+        s: &FrameSlot,
+        video: &Plane<f32>,
+        cur: &DataFrame,
+        next: &DataFrame,
+        out: &mut Plane<f32>,
+    ) {
+        self.ensure_offsets(s, video, cur, next);
         match s.sign {
-            FrameSign::Plus => {
-                inframe_frame::arith::add(video, &p_plus).expect("same shape by construction")
-            }
-            FrameSign::Minus => {
-                inframe_frame::arith::sub(video, &p_minus).expect("same shape by construction")
-            }
+            FrameSign::Plus => inframe_frame::arith::add_into(video, &self.p_plus, out)
+                .expect("same shape by construction"),
+            FrameSign::Minus => inframe_frame::arith::sub_into(video, &self.p_minus, out)
+                .expect("same shape by construction"),
         }
     }
 
@@ -133,30 +170,33 @@ impl Multiplexer {
         max_step.max((1.0 - prev).abs())
     }
 
-    fn offsets_for(
+    /// Ensures `p_plus`/`p_minus` hold the offsets for `s`'s pair,
+    /// re-rendering only at pair boundaries.
+    fn ensure_offsets(
         &mut self,
         s: &FrameSlot,
         video: &Plane<f32>,
         cur: &DataFrame,
         next: &DataFrame,
-    ) -> (Plane<f32>, Plane<f32>) {
-        if let Some((vi, ci, pair, ref p)) = self.cache {
-            if vi == s.video_index && ci == s.cycle_index && pair == s.pair {
-                return p.clone();
-            }
+    ) {
+        let key = (s.video_index, s.cycle_index, s.pair);
+        if self.cache_key == Some(key) {
+            return;
         }
         let env = &self.envelope;
         let pair = s.pair;
-        let p = pattern::pair_offsets(
+        pattern::pair_offsets_into(
             &self.layout,
             video,
             cur,
             self.config.delta,
             self.config.complementation,
             |bx, by| env.amplitude(pair, cur.bit(bx, by), next.bit(bx, by)) as f32,
+            &self.engine,
+            &mut self.p_plus,
+            &mut self.p_minus,
         );
-        self.cache = Some((s.video_index, s.cycle_index, s.pair, p.clone()));
-        p
+        self.cache_key = Some(key);
     }
 }
 
@@ -177,7 +217,12 @@ mod tests {
         let layout = DataLayout::from_config(c);
         let mk = |s: u64| {
             let payload: Vec<bool> = (0..layout.payload_bits_parity())
-                .map(|i| (i as u64).wrapping_mul(2654435761).wrapping_add(s).is_multiple_of(3))
+                .map(|i| {
+                    (i as u64)
+                        .wrapping_mul(2654435761)
+                        .wrapping_add(s)
+                        .is_multiple_of(3)
+                })
                 .collect();
             DataFrame::encode(&layout, &payload, CodingMode::Parity)
         };

@@ -71,8 +71,7 @@ impl NaiveScheme {
         // Naive designs predate the luminance balancing: code-symmetric.
         let (p_plus, p_minus) =
             pattern::pair_offsets(layout, video, data, delta, Complementation::Code, amp);
-        let v_plus =
-            inframe_frame::arith::add(video, &p_plus).expect("same shape by construction");
+        let v_plus = inframe_frame::arith::add(video, &p_plus).expect("same shape by construction");
         let v_minus =
             inframe_frame::arith::sub(video, &p_minus).expect("same shape by construction");
         match self {
@@ -126,7 +125,9 @@ mod tests {
     fn setup() -> (DataLayout, DataFrame, Plane<f32>) {
         let cfg = InFrameConfig::small_test();
         let layout = DataLayout::from_config(&cfg);
-        let payload: Vec<bool> = (0..layout.payload_bits_parity()).map(|i| i % 2 == 0).collect();
+        let payload: Vec<bool> = (0..layout.payload_bits_parity())
+            .map(|i| i % 2 == 0)
+            .collect();
         let data = DataFrame::encode(&layout, &payload, CodingMode::Parity);
         let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
         (layout, data, video)
@@ -149,13 +150,20 @@ mod tests {
         let (layout, data, video) = setup();
         for scheme in NaiveScheme::all() {
             let group = scheme.render_group(&layout, &video, &data, 20.0);
-            let mean: f64 =
-                group.iter().map(|f| f.mean()).sum::<f64>() / group.len() as f64;
+            let mean: f64 = group.iter().map(|f| f.mean()).sum::<f64>() / group.len() as f64;
             let shift = (mean - video.mean()).abs();
             if scheme.shifts_mean_luminance() {
-                assert!(shift > 0.05, "{} must shift mean, got {shift}", scheme.label());
+                assert!(
+                    shift > 0.05,
+                    "{} must shift mean, got {shift}",
+                    scheme.label()
+                );
             } else {
-                assert!(shift < 1e-3, "{} must not shift mean, got {shift}", scheme.label());
+                assert!(
+                    shift < 1e-3,
+                    "{} must not shift mean, got {shift}",
+                    scheme.label()
+                );
             }
         }
     }
@@ -165,9 +173,15 @@ mod tests {
         // At 120 Hz: three of the naive schemes disturb at 30 Hz — below
         // the 40–50 Hz CFF, hence visible. InFrame disturbs at 60 Hz.
         assert_eq!(NaiveScheme::TwoTwo.disturbance_frequency(120.0), 30.0);
-        assert_eq!(NaiveScheme::ThreeDataFrames.disturbance_frequency(120.0), 30.0);
+        assert_eq!(
+            NaiveScheme::ThreeDataFrames.disturbance_frequency(120.0),
+            30.0
+        );
         assert_eq!(NaiveScheme::ThreeOne.disturbance_frequency(120.0), 30.0);
-        assert_eq!(NaiveScheme::Complementary.disturbance_frequency(120.0), 60.0);
+        assert_eq!(
+            NaiveScheme::Complementary.disturbance_frequency(120.0),
+            60.0
+        );
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! The band-sliced worker engine behind the streaming pipeline.
+//!
+//! Both hot paths of the system are embarrassingly parallel over rows:
+//! sender-side chessboard rendering writes each display row exactly once,
+//! and receiver-side block scoring reads disjoint sensor regions. A
+//! [`ParallelEngine`] partitions that work across scoped worker threads
+//! using the canonical band partition of
+//! [`inframe_frame::plane::band_rows`], with two guarantees:
+//!
+//! 1. **Bit-identical output at any worker count.** Work items are pure
+//!    per-row / per-region functions and results are merged in a fixed
+//!    deterministic order, so `workers = 1` and `workers = N` produce the
+//!    same bytes. The equivalence is enforced by property tests in the
+//!    workspace root.
+//! 2. **No persistent threads.** Workers are scoped (vendored
+//!    `crossbeam::thread::scope` over `std::thread::scope`), so the engine
+//!    is `Sync`, has no shutdown protocol, and `workers = 1` runs inline
+//!    with zero thread overhead.
+//!
+//! The engine also accumulates per-worker busy time, which
+//! [`crate::metrics::ThroughputMeter`] turns into a utilization figure.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use inframe_frame::plane::band_rows;
+use inframe_frame::Plane;
+
+/// A fixed-width pool of band workers (see module docs).
+#[derive(Debug)]
+pub struct ParallelEngine {
+    workers: usize,
+    busy_nanos: AtomicU64,
+}
+
+impl ParallelEngine {
+    /// Creates an engine with the given worker count (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            busy_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// A single-worker engine: all work runs inline on the calling thread.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Worker count from the environment: `INFRAME_WORKERS` if set to a
+    /// positive integer, otherwise the machine's available parallelism
+    /// (capped at 8 — the pipeline's row bands stop paying off beyond
+    /// that at paper-scale frame heights).
+    pub fn from_env() -> Self {
+        let from_var = std::env::var("INFRAME_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w >= 1);
+        let workers = from_var.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        });
+        Self::new(workers)
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total busy time accumulated across all workers since creation.
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
+    }
+
+    fn note(&self, elapsed: Duration) {
+        self.busy_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Runs `f` over matching horizontal bands of two same-shaped planes
+    /// (the sender's `P⁺`/`P⁻` offset pair). Each invocation receives the
+    /// band's row range and the two mutable band slices; bands are
+    /// disjoint, so the closure may write freely.
+    ///
+    /// # Panics
+    /// Panics if the planes' shapes differ or a worker panics.
+    pub fn for_each_band_pair<F>(&self, a: &mut Plane<f32>, b: &mut Plane<f32>, f: F)
+    where
+        F: Fn(Range<usize>, &mut [f32], &mut [f32]) + Sync,
+    {
+        assert_eq!(a.shape(), b.shape(), "band pair must be same-shaped");
+        let height = a.height();
+        if self.workers == 1 || height <= 1 {
+            let t = Instant::now();
+            f(0..height, a.samples_mut(), b.samples_mut());
+            self.note(t.elapsed());
+            return;
+        }
+        let bands_a = a.bands_mut(self.workers);
+        let bands_b = b.bands_mut(self.workers);
+        let f = &f;
+        crossbeam::thread::scope(|s| {
+            for ((range, slice_a), (range_b, slice_b)) in bands_a.into_iter().zip(bands_b) {
+                debug_assert_eq!(range, range_b);
+                s.spawn(move |_| {
+                    let t = Instant::now();
+                    f(range, slice_a, slice_b);
+                    self.note(t.elapsed());
+                });
+            }
+        })
+        .expect("band workers must not panic");
+    }
+
+    /// Maps `f` over `items` and returns the results **in input order**
+    /// regardless of worker scheduling (each worker owns one contiguous
+    /// chunk; chunks are concatenated in index order).
+    ///
+    /// # Panics
+    /// Panics if a worker panics.
+    pub fn map<I, O, F>(&self, items: &[I], f: F) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(usize, &I) -> O + Sync,
+    {
+        if self.workers == 1 || items.len() <= 1 {
+            let t = Instant::now();
+            let out = items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+            self.note(t.elapsed());
+            return out;
+        }
+        let chunks = band_rows(items.len(), self.workers);
+        let f = &f;
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|r| {
+                    s.spawn(move |_| {
+                        let t = Instant::now();
+                        let out: Vec<O> = r.map(|i| f(i, &items[i])).collect();
+                        self.note(t.elapsed());
+                        out
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(items.len());
+            for h in handles {
+                out.extend(h.join().expect("map worker must not panic"));
+            }
+            out
+        })
+        .expect("map workers must not panic")
+    }
+}
+
+impl Default for ParallelEngine {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(ParallelEngine::new(0).workers(), 1);
+        assert_eq!(ParallelEngine::new(3).workers(), 3);
+        assert_eq!(ParallelEngine::sequential().workers(), 1);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u32> = (0..103).collect();
+        for workers in [1usize, 2, 3, 7] {
+            let engine = ParallelEngine::new(workers);
+            let out = engine.map(&items, |i, &v| {
+                assert_eq!(i as u32, v);
+                v * 2
+            });
+            let expect: Vec<u32> = items.iter().map(|v| v * 2).collect();
+            assert_eq!(out, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_handles_fewer_items_than_workers() {
+        let engine = ParallelEngine::new(8);
+        assert_eq!(engine.map(&[10, 20], |_, &v| v + 1), vec![11, 21]);
+        assert_eq!(engine.map(&[] as &[i32], |_, &v| v), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn band_pair_writes_are_identical_across_worker_counts() {
+        let render = |workers: usize| {
+            let engine = ParallelEngine::new(workers);
+            let mut a = Plane::filled(7, 23, 0.0);
+            let mut b = Plane::filled(7, 23, 0.0);
+            engine.for_each_band_pair(&mut a, &mut b, |rows, sa, sb| {
+                for (i, (va, vb)) in sa.iter_mut().zip(sb.iter_mut()).enumerate() {
+                    let y = rows.start + i / 7;
+                    let x = i % 7;
+                    *va = (y * 31 + x) as f32;
+                    *vb = (y * 7 + x * 3) as f32;
+                }
+            });
+            (a, b)
+        };
+        let (a1, b1) = render(1);
+        for workers in [2usize, 3, 5] {
+            let (a, b) = render(workers);
+            assert_eq!(a, a1, "plus plane, workers = {workers}");
+            assert_eq!(b, b1, "minus plane, workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let engine = ParallelEngine::new(2);
+        let items: Vec<u64> = (0..64).collect();
+        let _ = engine.map(&items, |_, &v| {
+            // Some actual work so the timer registers.
+            (0..200u64).fold(v, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        });
+        assert!(engine.busy() > Duration::ZERO);
+    }
+}

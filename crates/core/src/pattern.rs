@@ -22,9 +22,11 @@
 
 use crate::dataframe::DataFrame;
 use crate::layout::DataLayout;
+use crate::parallel::ParallelEngine;
 use inframe_frame::color;
 use inframe_frame::Plane;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// How complementary frame pairs are balanced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,27 +51,114 @@ pub fn pair_offsets(
     data: &DataFrame,
     delta: f32,
     complementation: Complementation,
-    mut envelope_amplitude: impl FnMut(usize, usize) -> f32,
+    envelope_amplitude: impl FnMut(usize, usize) -> f32,
 ) -> (Plane<f32>, Plane<f32>) {
     let mut plus = Plane::<f32>::filled(video.width(), video.height(), 0.0);
     let mut minus = Plane::<f32>::filled(video.width(), video.height(), 0.0);
-    let cell = layout.pixel_size;
+    pair_offsets_into(
+        layout,
+        video,
+        data,
+        delta,
+        complementation,
+        envelope_amplitude,
+        &ParallelEngine::sequential(),
+        &mut plus,
+        &mut minus,
+    );
+    (plus, minus)
+}
+
+/// Allocation-free, band-parallel form of [`pair_offsets`]: renders the
+/// offsets into caller-provided planes using `engine`'s workers.
+///
+/// The envelope closure is stateful (`FnMut`), so amplitudes are sampled
+/// once on the calling thread — in the same `(by, bx)` row-major order the
+/// sequential renderer uses — before the per-pixel work is banded across
+/// workers. Every pixel is a pure function of `(x, y, video)`, so the
+/// output is **bit-identical for every worker count**.
+///
+/// # Panics
+/// Panics if `plus` or `minus` is not shaped like `video`.
+#[allow(clippy::too_many_arguments)]
+pub fn pair_offsets_into(
+    layout: &DataLayout,
+    video: &Plane<f32>,
+    data: &DataFrame,
+    delta: f32,
+    complementation: Complementation,
+    mut envelope_amplitude: impl FnMut(usize, usize) -> f32,
+    engine: &ParallelEngine,
+    plus: &mut Plane<f32>,
+    minus: &mut Plane<f32>,
+) {
+    assert_eq!(plus.shape(), video.shape(), "plus plane must match video");
+    assert_eq!(minus.shape(), video.shape(), "minus plane must match video");
+    let _ = &data; // bits arrive through the envelope closure
+    plus.samples_mut().fill(0.0);
+    minus.samples_mut().fill(0.0);
+    let mut amps = vec![0.0f32; layout.blocks_x * layout.blocks_y];
     for by in 0..layout.blocks_y {
         for bx in 0..layout.blocks_x {
             let a = envelope_amplitude(bx, by);
-            if a <= 0.0 {
-                continue;
-            }
             debug_assert!(
                 a <= 1.0 + 1e-6,
                 "envelope amplitude out of range at ({bx},{by})"
             );
-            let _ = &data;
+            amps[by * layout.blocks_x + bx] = a;
+        }
+    }
+    let width = video.width();
+    engine.for_each_band_pair(plus, minus, |rows, band_plus, band_minus| {
+        render_band(
+            layout,
+            video,
+            delta,
+            complementation,
+            &amps,
+            rows,
+            width,
+            band_plus,
+            band_minus,
+        );
+    });
+}
+
+/// Renders the offset pair for the display rows `rows` into two band
+/// slices whose row 0 is display row `rows.start`.
+#[allow(clippy::too_many_arguments)]
+fn render_band(
+    layout: &DataLayout,
+    video: &Plane<f32>,
+    delta: f32,
+    complementation: Complementation,
+    amps: &[f32],
+    rows: Range<usize>,
+    width: usize,
+    plus: &mut [f32],
+    minus: &mut [f32],
+) {
+    let cell = layout.pixel_size;
+    for by in 0..layout.blocks_y {
+        // All blocks of a block-row share one vertical extent; clip it to
+        // the band before visiting the row's blocks.
+        let row_rect = layout.block_rect(0, by);
+        let y_lo = row_rect.y.max(rows.start);
+        let y_hi = (row_rect.y + row_rect.h).min(rows.end);
+        if y_lo >= y_hi {
+            continue;
+        }
+        for bx in 0..layout.blocks_x {
+            let a = amps[by * layout.blocks_x + bx];
+            if a <= 0.0 {
+                continue;
+            }
             let rect = layout.block_rect(bx, by);
-            for y in rect.y..rect.y + rect.h {
+            for y in y_lo..y_hi {
+                let row_off = (y - rows.start) * width;
+                let pj = (y - rect.y) / cell;
                 for x in rect.x..rect.x + rect.w {
                     let pi = (x - rect.x) / cell;
-                    let pj = (y - rect.y) / cell;
                     // Paper: δ where Pixel (i+j) is odd, 0 otherwise.
                     if (pi + pj) % 2 != 1 {
                         continue;
@@ -83,8 +172,8 @@ pub fn pair_offsets(
                     }
                     match complementation {
                         Complementation::Code => {
-                            plus.put(x, y, amp);
-                            minus.put(x, y, amp);
+                            plus[row_off + x] = amp;
+                            minus[row_off + x] = amp;
                         }
                         Complementation::Luminance => {
                             // Light-symmetric offsets: move ±λ in linear
@@ -97,15 +186,14 @@ pub fn pair_offsets(
                             let lambda = ((l_hi - l_lo) / 2.0).min(l_mid).min(1.0 - l_mid);
                             let code_hi = color::linear_to_code(l_mid + lambda);
                             let code_lo = color::linear_to_code(l_mid - lambda);
-                            plus.put(x, y, (code_hi - v).max(0.0));
-                            minus.put(x, y, (v - code_lo).max(0.0));
+                            plus[row_off + x] = (code_hi - v).max(0.0);
+                            minus[row_off + x] = (v - code_lo).max(0.0);
                         }
                     }
                 }
             }
         }
     }
-    (plus, minus)
 }
 
 /// Renders the complementary pair `(V + P⁺, V − P⁻)` for one iteration.
@@ -117,8 +205,14 @@ pub fn complementary_pair(
     complementation: Complementation,
     envelope_amplitude: impl FnMut(usize, usize) -> f32,
 ) -> (Plane<f32>, Plane<f32>) {
-    let (p_plus, p_minus) =
-        pair_offsets(layout, video, data, delta, complementation, envelope_amplitude);
+    let (p_plus, p_minus) = pair_offsets(
+        layout,
+        video,
+        data,
+        delta,
+        complementation,
+        envelope_amplitude,
+    );
     let plus = inframe_frame::arith::add(video, &p_plus).expect("same shape by construction");
     let minus = inframe_frame::arith::sub(video, &p_minus).expect("same shape by construction");
     (plus, minus)
@@ -132,7 +226,9 @@ mod tests {
     fn setup() -> (DataLayout, DataFrame) {
         let cfg = InFrameConfig::small_test();
         let layout = DataLayout::from_config(&cfg);
-        let payload: Vec<bool> = (0..layout.payload_bits_parity()).map(|i| i % 2 == 0).collect();
+        let payload: Vec<bool> = (0..layout.payload_bits_parity())
+            .map(|i| i % 2 == 0)
+            .collect();
         let frame = DataFrame::encode(&layout, &payload, CodingMode::Parity);
         (layout, frame)
     }
@@ -283,13 +379,20 @@ mod tests {
     fn envelope_scales_amplitude() {
         let (layout, data) = setup();
         let video = Plane::filled(192, 144, 127.0);
-        let (half, _) = pair_offsets(&layout, &video, &data, 20.0, Complementation::Code, |bx, by| {
-            if data.bit(bx, by) {
-                0.5
-            } else {
-                0.0
-            }
-        });
+        let (half, _) = pair_offsets(
+            &layout,
+            &video,
+            &data,
+            20.0,
+            Complementation::Code,
+            |bx, by| {
+                if data.bit(bx, by) {
+                    0.5
+                } else {
+                    0.0
+                }
+            },
+        );
         let (full, _) = pair_offsets(
             &layout,
             &video,
@@ -329,8 +432,8 @@ mod tests {
                 complementary_pair(&layout, &video, &data, 20.0, mode, full_amplitude(&data));
             let mut max = 0.0f32;
             for (x, y, _) in video.iter_xy() {
-                let s = color::code_to_linear(plus.get(x, y))
-                    - color::code_to_linear(minus.get(x, y));
+                let s =
+                    color::code_to_linear(plus.get(x, y)) - color::code_to_linear(minus.get(x, y));
                 max = max.max(s);
             }
             max

@@ -143,12 +143,8 @@ mod tests {
             Complementation::Code,
             amp(&data),
         );
-        let mut demux = Demultiplexer::new(
-            cfg,
-            &Homography::identity(),
-            cfg.display_w,
-            cfg.display_h,
-        );
+        let mut demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
         demux.push_capture(&plus.luma(), 0.01);
         let decoded = demux.finish().unwrap();
         assert_eq!(decoded.stats.error_rate(), 0.0);

@@ -9,10 +9,15 @@
 use crate::config::InFrameConfig;
 use crate::dataframe::{payload_bits_rs, DataFrame};
 use crate::layout::DataLayout;
+use crate::metrics::ThroughputMeter;
 use crate::multiplex::{slot, FrameSlot, Multiplexer};
+use crate::parallel::ParallelEngine;
 use crate::CodingMode;
+use inframe_frame::pool::{FramePool, PooledPlane};
 use inframe_frame::Plane;
 use inframe_video::VideoSource;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Supplies payload bits for successive data frames.
 pub trait PayloadSource {
@@ -87,10 +92,15 @@ impl<P: PayloadSource> PayloadSource for ScrambledPayload<P> {
 }
 
 /// One emitted display frame with its schedule metadata and ground truth.
+///
+/// The plane is a [`FramePool`] checkout: dropping the frame returns the
+/// buffer to the sender's pool, which is what keeps the steady-state
+/// pipeline allocation-free. Cloning copies the pixels into a detached
+/// (non-pooled) plane.
 #[derive(Debug, Clone)]
 pub struct SenderFrame {
     /// The multiplexed frame (code values 0–255).
-    pub plane: Plane<f32>,
+    pub plane: PooledPlane,
     /// Schedule slot.
     pub slot: FrameSlot,
 }
@@ -111,15 +121,33 @@ pub struct Sender<V, P> {
     sent_payloads: Vec<Vec<bool>>,
     display_index: u64,
     paused: bool,
+    /// Display-frame buffer arena; emitted frames return here on drop.
+    pool: FramePool,
+    meter: ThroughputMeter,
 }
 
 impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
-    /// Creates a sender.
+    /// Creates a sender rendering on [`ParallelEngine::from_env`] workers
+    /// (set `INFRAME_WORKERS` to override the count).
     ///
     /// # Panics
     /// Panics if the video source shape disagrees with the configured
     /// display, or the video is not 1/4 of the refresh rate.
-    pub fn new(config: InFrameConfig, video: V, mut payload: P) -> Self {
+    pub fn new(config: InFrameConfig, video: V, payload: P) -> Self {
+        Self::with_engine(config, video, payload, Arc::new(ParallelEngine::from_env()))
+    }
+
+    /// Creates a sender rendering on the given engine. Emitted frames are
+    /// bit-identical for every worker count.
+    ///
+    /// # Panics
+    /// See [`Sender::new`].
+    pub fn with_engine(
+        config: InFrameConfig,
+        video: V,
+        mut payload: P,
+        engine: Arc<ParallelEngine>,
+    ) -> Self {
         config.validate();
         assert_eq!(
             (video.width(), video.height()),
@@ -140,8 +168,9 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
         let p1 = payload.next_payload(payload_bits);
         let cur = DataFrame::encode(&layout, &p0, config.coding);
         let next = DataFrame::encode(&layout, &p1, config.coding);
+        let meter = ThroughputMeter::new(engine.workers());
         Self {
-            mux: Multiplexer::new(config),
+            mux: Multiplexer::with_engine(config, engine),
             layout,
             video,
             payload,
@@ -150,9 +179,11 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
             sent_payloads: vec![p0, p1],
             cur,
             next,
-            config,
             display_index: 0,
             paused: false,
+            pool: FramePool::new(config.display_w, config.display_h),
+            meter,
+            config,
         }
     }
 
@@ -169,6 +200,23 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
     /// Payload capacity per data frame, bits.
     pub fn payload_bits(&self) -> usize {
         self.payload_bits
+    }
+
+    /// The frame buffer pool emitted frames are drawn from (and return to
+    /// when dropped). Its [`inframe_frame::pool::PoolStats`] back the
+    /// pipeline's zero-allocation assertions.
+    pub fn pool(&self) -> &FramePool {
+        &self.pool
+    }
+
+    /// Live render performance: frames/s and worker utilization.
+    pub fn meter(&self) -> &ThroughputMeter {
+        &self.meter
+    }
+
+    /// The render engine.
+    pub fn engine(&self) -> &Arc<ParallelEngine> {
+        self.mux.engine()
     }
 
     /// Ground-truth payload of data cycle `c` (available for every cycle
@@ -198,7 +246,8 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
     pub fn next_frame(&mut self) -> Option<SenderFrame> {
         let s = slot(&self.config, self.display_index);
         // Fetch the video frame at each video boundary (including frame 0).
-        if s.display_index.is_multiple_of(InFrameConfig::DUPLICATES_PER_VIDEO_FRAME as u64)
+        if s.display_index
+            .is_multiple_of(InFrameConfig::DUPLICATES_PER_VIDEO_FRAME as u64)
             || self.current_video.is_none()
         {
             self.current_video = Some(self.video.next_frame()?);
@@ -216,7 +265,13 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
             self.sent_payloads.push(p);
         }
         let video = self.current_video.as_ref().expect("fetched above");
-        let plane = self.mux.render(&s, video, &self.cur, &self.next);
+        let started = Instant::now();
+        let busy_before = self.mux.engine().busy();
+        let mut plane = self.pool.checkout();
+        self.mux
+            .render_into(&s, video, &self.cur, &self.next, &mut plane);
+        let busy = self.mux.engine().busy().saturating_sub(busy_before);
+        self.meter.record_frame(started.elapsed(), busy);
         self.display_index += 1;
         Some(SenderFrame { plane, slot: s })
     }
@@ -234,7 +289,12 @@ mod tests {
     use inframe_video::FrameRate;
 
     fn video(c: &InFrameConfig) -> SolidClip {
-        SolidClip::new(c.display_w, c.display_h, 127.0, FrameRate(c.refresh_hz / 4.0))
+        SolidClip::new(
+            c.display_w,
+            c.display_h,
+            127.0,
+            FrameRate(c.refresh_hz / 4.0),
+        )
     }
 
     fn sender(c: InFrameConfig) -> Sender<SolidClip, PrbsPayload> {
@@ -296,7 +356,10 @@ mod tests {
         }
         let out = s.next_frame().unwrap();
         for (_, _, v) in out.plane.iter_xy() {
-            assert!((v - 127.0).abs() < 1e-3, "paused output must be pristine video");
+            assert!(
+                (v - 127.0).abs() < 1e-3,
+                "paused output must be pristine video"
+            );
         }
         assert!(s.is_paused());
         s.resume();
@@ -329,10 +392,7 @@ mod tests {
         // All-zero application payload: scrambling must still produce
         // balanced frames, and descrambling must recover the zeros.
         let zeros = |n: usize| vec![false; n];
-        let mut scrambled = ScrambledPayload::new(
-            move |n: usize| zeros(n),
-            seed,
-        );
+        let mut scrambled = ScrambledPayload::new(move |n: usize| zeros(n), seed);
         let frame0 = scrambled.next_payload(128);
         let frame1 = scrambled.next_payload(128);
         assert_ne!(frame0, vec![false; 128], "whitening must change the bits");

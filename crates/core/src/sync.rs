@@ -278,7 +278,10 @@ mod tests {
         let transition = vec![0.2f32, 2.1, 2.5, 6.3, 1.8, 2.9];
         let d2 = CycleSynchronizer::decisiveness_of_scores(&transition, 2.0, 1.0);
         assert!(d1 > d2 * 1.5, "stable {d1} vs transition {d2}");
-        assert_eq!(CycleSynchronizer::decisiveness_of_scores(&[], 2.0, 1.0), 0.0);
+        assert_eq!(
+            CycleSynchronizer::decisiveness_of_scores(&[], 2.0, 1.0),
+            0.0
+        );
     }
 
     #[test]
@@ -294,28 +297,39 @@ mod tests {
 
         let cfg = InFrameConfig::small_test();
         let layout = DataLayout::from_config(&cfg);
-        let payload: Vec<bool> = (0..layout.payload_bits_parity()).map(|i| i % 2 == 0).collect();
+        let payload: Vec<bool> = (0..layout.payload_bits_parity())
+            .map(|i| i % 2 == 0)
+            .collect();
         let data = DataFrame::encode(&layout, &payload, cfg.coding);
         let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
-        let (crisp_frame, _) =
-            complementary_pair(&layout, &video, &data, cfg.delta, Complementation::Code, |bx, by| {
+        let (crisp_frame, _) = complementary_pair(
+            &layout,
+            &video,
+            &data,
+            cfg.delta,
+            Complementation::Code,
+            |bx, by| {
                 if data.bit(bx, by) {
                     1.0
                 } else {
                     0.0
                 }
-            });
+            },
+        );
         let faded = video.clone(); // transition-half capture: washed out
 
-        let demux =
-            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        let demux = Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
         let mut sync = CycleSynchronizer::new(&cfg);
         let d = sync.cycle_duration();
         let true_phase = 0.04;
         for j in 0..36 {
             let t = j as f64 / 30.0;
             let folded = ((t - true_phase) % d + d) % d;
-            let capture = if folded / d < 0.5 { &crisp_frame } else { &faded };
+            let capture = if folded / d < 0.5 {
+                &crisp_frame
+            } else {
+                &faded
+            };
             let scores = demux.score_capture(capture);
             sync.observe(t, CycleSynchronizer::crispness_of_scores(&scores));
         }

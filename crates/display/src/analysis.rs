@@ -25,15 +25,16 @@ pub fn pixel_waveform(emissions: &[FrameEmission], x: usize, y: usize, fs: f64) 
         );
     }
     let t_begin = emissions[0].t_start;
-    let t_end = emissions.last().map(|e| e.t_start + e.duration).expect("nonempty");
+    let t_end = emissions
+        .last()
+        .map(|e| e.t_start + e.duration)
+        .expect("nonempty");
     let n = ((t_end - t_begin) * fs).round() as usize;
     let mut out = Vec::with_capacity(n);
     let mut idx = 0usize;
     for i in 0..n {
         let t = t_begin + i as f64 / fs;
-        while idx + 1 < emissions.len()
-            && t >= emissions[idx].t_start + emissions[idx].duration
-        {
+        while idx + 1 < emissions.len() && t >= emissions[idx].t_start + emissions[idx].duration {
             idx += 1;
         }
         let e = &emissions[idx];

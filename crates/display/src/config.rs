@@ -124,10 +124,7 @@ impl DisplayConfig {
         );
         assert!(self.peak_nits > 0.0, "peak luminance must be positive");
         if let Backlight::Strobed { duty } = self.backlight {
-            assert!(
-                duty > 0.0 && duty <= 1.0,
-                "strobe duty must be in (0, 1]"
-            );
+            assert!(duty > 0.0 && duty <= 1.0, "strobe duty must be in (0, 1]");
         }
     }
 

@@ -133,7 +133,11 @@ mod tests {
         let mut last_hi = 0.0;
         let mut last_lo = 0.0;
         for i in 0..20 {
-            let e = if i % 2 == 0 { s.present(&hi) } else { s.present(&lo) };
+            let e = if i % 2 == 0 {
+                s.present(&hi)
+            } else {
+                s.present(&lo)
+            };
             let end = e.sample_pixel(0, 0, e.duration);
             if i % 2 == 0 {
                 last_hi = end;
@@ -161,8 +165,9 @@ mod tests {
 
     #[test]
     fn present_all_matches_sequential() {
-        let frames: Vec<Plane<f32>> =
-            (0..4).map(|i| Plane::filled(2, 2, (i * 60) as f32)).collect();
+        let frames: Vec<Plane<f32>> = (0..4)
+            .map(|i| Plane::filled(2, 2, (i * 60) as f32))
+            .collect();
         let mut a = DisplayStream::new(DisplayConfig::default());
         let all = a.present_all(&frames);
         let mut b = DisplayStream::new(DisplayConfig::default());

@@ -40,10 +40,7 @@ impl Biquad {
         let norm = 1.0 / (1.0 + sqrt2 * k + k * k);
         Self {
             b: [k * k * norm, 2.0 * k * k * norm, k * k * norm],
-            a: [
-                2.0 * (k * k - 1.0) * norm,
-                (1.0 - sqrt2 * k + k * k) * norm,
-            ],
+            a: [2.0 * (k * k - 1.0) * norm, (1.0 - sqrt2 * k + k * k) * norm],
         }
     }
 

@@ -242,7 +242,10 @@ mod tests {
         let w = env.displayed_waveform(&[true, true], 20.0);
         assert_eq!(w.len(), 16);
         for pair in w.chunks_exact(2) {
-            assert!((pair[0] + pair[1]).abs() < 1e-9, "complementary pair sums to 0");
+            assert!(
+                (pair[0] + pair[1]).abs() < 1e-9,
+                "complementary pair sums to 0"
+            );
         }
         assert_eq!(w[0], 20.0);
         assert_eq!(w[1], -20.0);

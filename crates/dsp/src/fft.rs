@@ -116,7 +116,10 @@ pub fn ifft(data: &mut [Complex]) {
 
 fn transform(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n != 0 && n.is_power_of_two(), "FFT length must be a power of two");
+    assert!(
+        n != 0 && n.is_power_of_two(),
+        "FFT length must be a power of two"
+    );
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -209,8 +212,7 @@ mod tests {
         let signal: Vec<f64> = (0..32).map(|i| ((i * 7 + 3) % 13) as f64 - 6.0).collect();
         let time_energy: f64 = signal.iter().map(|v| v * v).sum();
         let spec = fft_real(&signal);
-        let freq_energy: f64 =
-            spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / spec.len() as f64;
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / spec.len() as f64;
         assert!((time_energy - freq_energy).abs() < 1e-6);
     }
 

@@ -131,7 +131,9 @@ mod tests {
         // ±δ alternation at 120 FPS: the InFrame data waveform. All energy
         // must be at 60 Hz, which is why humans cannot see it.
         let fs = 120.0;
-        let s: Vec<f64> = (0..256).map(|i| if i % 2 == 0 { 20.0 } else { -20.0 }).collect();
+        let s: Vec<f64> = (0..256)
+            .map(|i| if i % 2 == 0 { 20.0 } else { -20.0 })
+            .collect();
         let spec = Spectrum::of(&s, fs);
         assert!((spec.dominant_frequency() - 60.0).abs() < 0.5);
         assert!(spec.band_energy_fraction(55.0, 60.0) > 0.99);

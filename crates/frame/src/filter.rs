@@ -25,12 +25,7 @@ pub enum Border {
 ///
 /// # Panics
 /// Panics if either kernel is empty or has even length.
-pub fn separable_convolve(
-    src: &Plane<f32>,
-    kx: &[f32],
-    ky: &[f32],
-    border: Border,
-) -> Plane<f32> {
+pub fn separable_convolve(src: &Plane<f32>, kx: &[f32], ky: &[f32], border: Border) -> Plane<f32> {
     assert!(!kx.is_empty() && kx.len() % 2 == 1, "kx must be odd-length");
     assert!(!ky.is_empty() && ky.len() % 2 == 1, "ky must be odd-length");
     let horizontal = convolve_axis(src, kx, true, border);

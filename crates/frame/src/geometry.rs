@@ -259,9 +259,13 @@ mod tests {
 
     #[test]
     fn unit_square_to_axis_aligned_rect() {
-        let h =
-            Homography::unit_square_to_quad([(10.0, 20.0), (30.0, 20.0), (30.0, 60.0), (10.0, 60.0)])
-                .unwrap();
+        let h = Homography::unit_square_to_quad([
+            (10.0, 20.0),
+            (30.0, 20.0),
+            (30.0, 60.0),
+            (10.0, 60.0),
+        ])
+        .unwrap();
         let (x, y) = h.apply(0.5, 0.5).unwrap();
         assert!((x - 20.0).abs() < 1e-9);
         assert!((y - 40.0).abs() < 1e-9);

@@ -58,6 +58,16 @@ impl IntegralImage {
     }
 }
 
+/// Reusable working memory for [`box_blur_fast_into`]: the padded source
+/// copy and its summed-area table. Both buffers grow to the largest frame
+/// ever filtered and are then reused verbatim, so a streaming receiver
+/// blurs every capture with zero steady-state allocations.
+#[derive(Debug, Clone, Default)]
+pub struct BlurScratch {
+    padded: Vec<f32>,
+    sat: Vec<f64>,
+}
+
 /// Box blur via integral image with **replicate-border** semantics, exactly
 /// matching [`crate::filter::box_blur`].
 ///
@@ -65,30 +75,81 @@ impl IntegralImage {
 /// duplicates; this is computed by counting how many window taps clamp to
 /// each border row/column.
 pub fn box_blur_fast(src: &Plane<f32>, r: usize) -> Plane<f32> {
+    let mut out = Plane::filled(src.width(), src.height(), 0.0);
+    box_blur_fast_into(src, r, &mut BlurScratch::default(), &mut out);
+    out
+}
+
+/// Allocation-free variant of [`box_blur_fast`]: filters `src` into `out`
+/// using (and growing, on first use) the caller's [`BlurScratch`]. Output
+/// is bit-identical to [`box_blur_fast`].
+///
+/// # Panics
+/// Panics if `out` and `src` shapes differ.
+pub fn box_blur_fast_into(
+    src: &Plane<f32>,
+    r: usize,
+    scratch: &mut BlurScratch,
+    out: &mut Plane<f32>,
+) {
+    assert_eq!(
+        out.shape(),
+        src.shape(),
+        "blur output must match source shape"
+    );
     if r == 0 {
-        return src.clone();
+        out.samples_mut().copy_from_slice(src.samples());
+        return;
     }
-    // Replicate semantics via a padded integral image: build the SAT over
-    // a virtually padded image by clamping coordinates per-tap is O(r)
-    // again, so instead pad physically once (r is small relative to the
-    // frame).
+    // Replicate semantics via a padded integral image: building the SAT
+    // over a virtually padded image by clamping coordinates per-tap is
+    // O(r) again, so instead pad physically once (r is small relative to
+    // the frame).
     let (w, h) = src.shape();
-    let padded = Plane::from_fn(w + 2 * r, h + 2 * r, |x, y| {
-        let sx = (x as isize - r as isize).clamp(0, w as isize - 1) as usize;
+    let pw = w + 2 * r;
+    let ph = h + 2 * r;
+    scratch.padded.clear();
+    scratch.padded.resize(pw * ph, 0.0);
+    for y in 0..ph {
         let sy = (y as isize - r as isize).clamp(0, h as isize - 1) as usize;
-        src.get(sx, sy)
-    });
-    let sat = IntegralImage::new(&padded);
+        let src_row = src.row(sy);
+        let dst_row = &mut scratch.padded[y * pw..(y + 1) * pw];
+        for (x, d) in dst_row.iter_mut().enumerate() {
+            let sx = (x as isize - r as isize).clamp(0, w as isize - 1) as usize;
+            *d = src_row[sx];
+        }
+    }
+    // Summed-area table over the padded copy, same recurrence as
+    // [`IntegralImage::new`] (zero top row and left column).
+    let stride = pw + 1;
+    scratch.sat.clear();
+    scratch.sat.resize(stride * (ph + 1), 0.0);
+    for y in 0..ph {
+        let mut row_sum = 0.0f64;
+        for x in 0..pw {
+            row_sum += scratch.padded[y * pw + x] as f64;
+            scratch.sat[(y + 1) * stride + (x + 1)] = scratch.sat[y * stride + (x + 1)] + row_sum;
+        }
+    }
     let window = ((2 * r + 1) * (2 * r + 1)) as f64;
     // The separable reference filter normalizes each axis independently,
     // which equals the 2-D window normalization for a full (padded)
-    // window.
-    Plane::from_fn(w, h, |x, y| {
-        let cx = (x + r) as isize;
-        let cy = (y + r) as isize;
-        (sat.rect_sum(cx - r as isize, cy - r as isize, cx + r as isize, cy + r as isize)
-            / window) as f32
-    })
+    // window. Every output window lies fully inside the padded image, so
+    // no clamping is needed here.
+    let sat = &scratch.sat;
+    for y in 0..h {
+        let y0 = y; // padded top of window: (y + r) − r
+        let y1 = y + 2 * r + 1;
+        let out_row = out.row_mut(y);
+        for (x, o) in out_row.iter_mut().enumerate() {
+            let x0 = x;
+            let x1 = x + 2 * r + 1;
+            let sum = sat[y1 * stride + x1] + sat[y0 * stride + x0]
+                - sat[y0 * stride + x1]
+                - sat[y1 * stride + x0];
+            *o = (sum / window) as f32;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +191,24 @@ mod tests {
                     fast.get(x, y)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn blur_into_with_reused_scratch_matches_fresh() {
+        // One scratch across frames of different sizes and radii: results
+        // must stay bit-identical to the allocating path.
+        let mut scratch = BlurScratch::default();
+        for (w, h, r) in [
+            (23usize, 17usize, 3usize),
+            (9, 31, 1),
+            (23, 17, 2),
+            (4, 4, 2),
+        ] {
+            let p = Plane::from_fn(w, h, |x, y| ((x * 131 + y * 37) % 251) as f32);
+            let mut out = Plane::filled(w, h, -1.0);
+            box_blur_fast_into(&p, r, &mut scratch, &mut out);
+            assert_eq!(out, box_blur_fast(&p, r), "{w}x{h} r={r}");
         }
     }
 

@@ -19,6 +19,9 @@
 //!   simulator for perspective capture and by the receiver for registration.
 //! * [`resample`] — area-average downsampling and bilinear resizing
 //!   (display resolution → capture resolution).
+//! * [`pool`] — a fixed-geometry frame arena ([`FramePool`]) whose
+//!   checkout/return handles give the streaming pipeline zero steady-state
+//!   heap allocations.
 //! * [`draw`] — rectangle/checkerboard/gradient drawing helpers used by the
 //!   synthetic video generators.
 //! * [`io`] — binary PGM/PPM reading and writing so examples can emit
@@ -43,11 +46,13 @@ pub mod integral;
 pub mod io;
 pub mod metrics;
 pub mod plane;
+pub mod pool;
 pub mod resample;
 pub mod rgb;
 
 pub use error::FrameError;
 pub use plane::Plane;
+pub use pool::{FramePool, PooledPlane};
 pub use rgb::RgbFrame;
 
 /// Convenient result alias used across the crate.

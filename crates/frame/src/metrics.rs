@@ -84,7 +84,10 @@ pub struct QualityReport {
 ///
 /// # Errors
 /// Returns [`FrameError::ShapeMismatch`] when shapes differ.
-pub fn quality(reference: &Plane<f32>, processed: &Plane<f32>) -> Result<QualityReport, FrameError> {
+pub fn quality(
+    reference: &Plane<f32>,
+    processed: &Plane<f32>,
+) -> Result<QualityReport, FrameError> {
     Ok(QualityReport {
         mae: crate::arith::mae(reference, processed)?,
         psnr_db: crate::arith::psnr(reference, processed, 255.0)?,
@@ -166,8 +169,8 @@ mod tests {
         });
         let single = ssim(&video, &perturbed).unwrap();
         assert!(single < 0.7, "single-frame ssim {single}");
-        let average = crate::arith::zip_map(&perturbed, &video, |a, b| (a + 2.0 * b - a) / 2.0)
-            .unwrap(); // == video
+        let average =
+            crate::arith::zip_map(&perturbed, &video, |a, b| (a + 2.0 * b - a) / 2.0).unwrap(); // == video
         let avg_ssim = ssim(&video, &average).unwrap();
         // f32 cancellation in the local-variance terms costs a little
         // precision on flat fields.

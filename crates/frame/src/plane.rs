@@ -188,7 +188,10 @@ impl<T: Sample> Plane<T> {
     /// Panics (in debug and release) if the coordinate is out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> T {
-        assert!(x < self.width && y < self.height, "plane index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "plane index out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -218,7 +221,10 @@ impl<T: Sample> Plane<T> {
     /// Panics if the coordinate is out of bounds.
     #[inline]
     pub fn put(&mut self, x: usize, y: usize, v: T) {
-        assert!(x < self.width && y < self.height, "plane index out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "plane index out of bounds"
+        );
         self.data[y * self.width + x] = v;
     }
 
@@ -323,6 +329,25 @@ impl<T: Sample> Plane<T> {
         Ok(())
     }
 
+    /// Splits the plane into up to `bands` horizontal bands of contiguous
+    /// rows, returning each band's row range together with its mutable
+    /// sample slice. The partition is the deterministic one produced by
+    /// [`band_rows`], so the same `(height, bands)` always yields the same
+    /// boundaries — the property the parallel renderer relies on for
+    /// bit-identical output at any worker count.
+    pub fn bands_mut(&mut self, bands: usize) -> Vec<(std::ops::Range<usize>, &mut [T])> {
+        let ranges = band_rows(self.height, bands);
+        let width = self.width;
+        let mut rest: &mut [T] = &mut self.data;
+        let mut out = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            let (band, tail) = rest.split_at_mut((r.end - r.start) * width);
+            rest = tail;
+            out.push((r, band));
+        }
+        out
+    }
+
     /// Iterates over `(x, y, value)` triples in row-major order.
     pub fn iter_xy(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         let w = self.width;
@@ -373,6 +398,28 @@ impl<T: Sample> Plane<T> {
             .sum();
         ss / self.data.len() as f64
     }
+}
+
+/// The canonical band partition: `height` rows into at most `bands`
+/// contiguous ranges. The first `height % bands` bands are one row taller;
+/// empty bands (when `bands > height`) are omitted. Deterministic in its
+/// inputs — banded renderers depend on this to merge worker output in a
+/// fixed order.
+pub fn band_rows(height: usize, bands: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(bands >= 1, "at least one band required");
+    let base = height / bands;
+    let extra = height % bands;
+    let mut out = Vec::with_capacity(bands.min(height));
+    let mut y = 0;
+    for i in 0..bands {
+        let h = base + usize::from(i < extra);
+        if h == 0 {
+            break;
+        }
+        out.push(y..y + h);
+        y += h;
+    }
+    out
 }
 
 impl Plane<f32> {
@@ -487,6 +534,36 @@ mod tests {
         assert_eq!(v[0], (0, 0, 0));
         assert_eq!(v[3], (0, 1, 10));
         assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn band_rows_partition_is_exact_and_balanced() {
+        for (h, n) in [(10usize, 3usize), (7, 7), (5, 8), (1080, 4), (2, 1)] {
+            let bands = band_rows(h, n);
+            assert!(bands.len() <= n);
+            assert_eq!(bands.first().map(|r| r.start), Some(0));
+            assert_eq!(bands.last().map(|r| r.end), Some(h));
+            for pair in bands.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "bands must be contiguous");
+            }
+            let max = bands.iter().map(|r| r.len()).max().unwrap();
+            let min = bands.iter().map(|r| r.len()).min().unwrap();
+            assert!(max - min <= 1, "bands must differ by at most one row");
+        }
+    }
+
+    #[test]
+    fn bands_mut_covers_all_rows_disjointly() {
+        let mut p = Plane::from_fn(5, 11, |x, y| (y * 5 + x) as f32);
+        let reference = p.clone();
+        for (range, slice) in p.bands_mut(3) {
+            assert_eq!(slice.len(), range.len() * 5);
+            for (i, v) in slice.iter().enumerate() {
+                let y = range.start + i / 5;
+                let x = i % 5;
+                assert_eq!(*v, reference.get(x, y));
+            }
+        }
     }
 
     proptest! {

@@ -44,11 +44,7 @@ impl RgbFrame {
     ///
     /// # Errors
     /// Returns [`FrameError::ShapeMismatch`] if the planes disagree in shape.
-    pub fn from_planes(
-        r: Plane<f32>,
-        g: Plane<f32>,
-        b: Plane<f32>,
-    ) -> Result<Self, FrameError> {
+    pub fn from_planes(r: Plane<f32>, g: Plane<f32>, b: Plane<f32>) -> Result<Self, FrameError> {
         if r.shape() != g.shape() {
             return Err(FrameError::ShapeMismatch {
                 left: r.shape(),

@@ -232,6 +232,10 @@ mod tests {
         let w = alternation(0.3, 0.2, 24.0, 960.0, 2048); // 12 Hz square
         let a = meter().assess(&w, 960.0, 0.0);
         // Fundamental at 12 Hz should dominate visibility.
-        assert!((a.dominant_visible_hz - 12.0).abs() < 2.0, "{}", a.dominant_visible_hz);
+        assert!(
+            (a.dominant_visible_hz - 12.0).abs() < 2.0,
+            "{}",
+            a.dominant_visible_hz
+        );
     }
 }

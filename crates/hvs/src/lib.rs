@@ -36,5 +36,5 @@ pub mod phantom;
 pub mod spatial;
 pub mod temporal;
 
-pub use flicker::{FlickerMeter, FlickerAssessment};
+pub use flicker::{FlickerAssessment, FlickerMeter};
 pub use observer::{Observer, ObserverPanel, StudyResult};

@@ -58,13 +58,8 @@ impl Ablation {
 
 /// Runs a set of labelled simulation configs in parallel and collects the
 /// reports in input order.
-fn sweep(
-    name: &str,
-    scenario: Scenario,
-    conditions: Vec<(String, SimulationConfig)>,
-) -> Ablation {
-    let results: Mutex<Vec<Option<AblationPoint>>> =
-        Mutex::new(vec![None; conditions.len()]);
+fn sweep(name: &str, scenario: Scenario, conditions: Vec<(String, SimulationConfig)>) -> Ablation {
+    let results: Mutex<Vec<Option<AblationPoint>>> = Mutex::new(vec![None; conditions.len()]);
     crossbeam::thread::scope(|scope| {
         for (i, (label, config)) in conditions.iter().enumerate() {
             let results = &results;

@@ -147,7 +147,11 @@ mod tests {
         let control = f.row("control").unwrap();
         let inframe = f.row("InFrame").unwrap();
         assert!(control.rating.mean < 0.5, "control {}", control.rating.mean);
-        assert!(inframe.rating.mean <= 1.0, "InFrame {}", inframe.rating.mean);
+        assert!(
+            inframe.rating.mean <= 1.0,
+            "InFrame {}",
+            inframe.rating.mean
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub struct Fig5 {
 /// * `tau` — data cycle in displayed frames; * `delta` — amplitude;
 /// * `states` — per-cycle bit states (the paper shows a 1→0→1 sequence).
 pub fn run(shape: TransitionShape, tau: u32, delta: f64, states: &[bool]) -> Fig5 {
-    assert!(tau >= 2 && tau.is_multiple_of(2), "tau must be even and >= 2");
+    assert!(
+        tau >= 2 && tau.is_multiple_of(2),
+        "tau must be even and >= 2"
+    );
     assert!(states.len() >= 2, "need at least two cycles");
     let fs = 120.0;
     let env = Envelope::new(tau / 2, shape);
@@ -150,8 +153,7 @@ mod tests {
         // shaped candidates the differences are marginal at τ/2 envelope
         // samples — the paper picked SRRC from user impressions.)
         let states = [true, false, true, false, true];
-        let abrupt = run(TransitionShape::Stair { steps: 1 }, 12, 20.0, &states)
-            .filtered_ripple;
+        let abrupt = run(TransitionShape::Stair { steps: 1 }, 12, 20.0, &states).filtered_ripple;
         for (name, ripple) in compare_shapes(12, 20.0) {
             assert!(
                 ripple < abrupt,

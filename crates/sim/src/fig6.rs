@@ -20,8 +20,8 @@ use inframe_core::dataframe::DataFrame;
 use inframe_core::layout::DataLayout;
 use inframe_core::multiplex::{slot, Multiplexer};
 use inframe_core::InFrameConfig;
-use inframe_display::{DisplayConfig, DisplayStream};
 use inframe_display::analysis::per_frame_means;
+use inframe_display::{DisplayConfig, DisplayStream};
 use inframe_frame::color;
 use inframe_frame::Plane;
 use inframe_hvs::{FlickerMeter, ObserverPanel, StudyResult};
@@ -229,8 +229,7 @@ impl Fig6 {
         }
         // 2. Larger δ never scores lower on average (right panel, per τ).
         for tau in [10u32, 12, 14] {
-            let series: Vec<&Fig6Point> =
-                self.right.iter().filter(|p| p.tau == tau).collect();
+            let series: Vec<&Fig6Point> = self.right.iter().filter(|p| p.tau == tau).collect();
             for pair in series.windows(2) {
                 if pair[1].rating.mean + 1e-9 < pair[0].rating.mean - 0.35 {
                     v.push(format!(
@@ -279,7 +278,11 @@ pub fn assess_condition(
     for f in 0..frames {
         let s = slot(&cfg, f);
         let odd_cycle = s.cycle_index % 2 == 1;
-        let (cur, next) = if odd_cycle { (&zero, &ones) } else { (&ones, &zero) };
+        let (cur, next) = if odd_cycle {
+            (&zero, &ones)
+        } else {
+            (&ones, &zero)
+        };
         let frame = mux.render(&s, &video, cur, next);
         mux_emissions.push(mux_display.present(&frame));
         ref_emissions.push(ref_display.present(&video));
@@ -290,7 +293,11 @@ pub fn assess_condition(
     let mux_wave = per_frame_means(&mux_emissions, px, py);
     let ref_wave = per_frame_means(&ref_emissions, px, py);
     let ref_mean = ref_wave.iter().sum::<f64>() / ref_wave.len() as f64;
-    let diff_wave: Vec<f64> = mux_wave.iter().zip(&ref_wave).map(|(m, r)| ref_mean + (m - r)).collect();
+    let diff_wave: Vec<f64> = mux_wave
+        .iter()
+        .zip(&ref_wave)
+        .map(|(m, r)| ref_mean + (m - r))
+        .collect();
     let l_hi = color::code_to_linear(brightness + delta) as f64;
     let l_lo = color::code_to_linear((brightness - delta).max(0.0)) as f64;
     let l_mid = color::code_to_linear(brightness).max(1e-6) as f64;

@@ -50,11 +50,7 @@ pub fn run(scale: Scale, cycles: u32, seed: u64) -> Fig7 {
                 cycles,
                 seed,
             });
-            let outcome = sim.run(scenario.source(
-                inframe.display_w,
-                inframe.display_h,
-                seed,
-            ));
+            let outcome = sim.run(scenario.source(inframe.display_w, inframe.display_h, seed));
             bars.push(Fig7Bar {
                 scenario,
                 delta,
@@ -108,9 +104,7 @@ impl Fig7 {
         let g = |s: Scenario, d: f32, t: u32| self.bar(s, d, t).map(|b| &b.report);
         // 1. Pure-color inputs beat the real video clip.
         for (d, t) in SETTINGS {
-            if let (Some(gray), Some(video)) =
-                (g(Scenario::Gray, d, t), g(Scenario::Video, d, t))
-            {
+            if let (Some(gray), Some(video)) = (g(Scenario::Gray, d, t), g(Scenario::Video, d, t)) {
                 if gray.goodput_kbps() <= video.goodput_kbps() {
                     violations.push(format!(
                         "gray ({:.2}) should outperform video ({:.2}) at d={d} t={t}",

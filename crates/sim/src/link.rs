@@ -75,12 +75,8 @@ impl Link {
             c.camera.width,
             c.camera.height,
         );
-        let mut demux = Demultiplexer::new(
-            c.inframe,
-            &registration,
-            c.camera.width,
-            c.camera.height,
-        );
+        let mut demux =
+            Demultiplexer::new(c.inframe, &registration, c.camera.width, c.camera.height);
         let exposure_mid = self.exposure_mid_offset();
 
         let mut window: VecDeque<FrameEmission> = VecDeque::new();

@@ -99,12 +99,8 @@ impl Simulation {
             c.camera.width,
             c.camera.height,
         );
-        let mut demux = Demultiplexer::new(
-            c.inframe,
-            &registration,
-            c.camera.width,
-            c.camera.height,
-        );
+        let mut demux =
+            Demultiplexer::new(c.inframe, &registration, c.camera.width, c.camera.height);
 
         let total_display_frames = c.cycles as u64 * c.inframe.tau as u64;
         let mut window: VecDeque<FrameEmission> = VecDeque::new();
@@ -237,7 +233,11 @@ mod tests {
         let out = sim.run(Scenario::Gray.source(240, 168, 1));
         // 4 cycles scheduled; the trailing cycle may be cut short, and the
         // camera lags the display, so expect at least 2 decoded.
-        assert!(out.decoded.len() >= 2, "decoded {} cycles", out.decoded.len());
+        assert!(
+            out.decoded.len() >= 2,
+            "decoded {} cycles",
+            out.decoded.len()
+        );
         assert!(out.decoded.len() <= 4);
         // Every decoded cycle observed the full GOB grid once.
         for d in &out.decoded {

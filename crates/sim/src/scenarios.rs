@@ -43,15 +43,7 @@ impl Scenario {
             Scenario::Gray => Box::new(SolidClip::new(w, h, 127.0, rate)),
             Scenario::DarkGray => Box::new(SolidClip::new(w, h, 180.0, rate)),
             Scenario::Video => Box::new(SunriseClip::new(w, h, 100_000, seed)),
-            Scenario::Bars => Box::new(MovingBarsClip::new(
-                w,
-                h,
-                16,
-                2.0,
-                60.0,
-                190.0,
-                rate,
-            )),
+            Scenario::Bars => Box::new(MovingBarsClip::new(w, h, 16, 2.0, 60.0, 190.0, rate)),
         }
     }
 }
@@ -133,7 +125,12 @@ mod tests {
 
     #[test]
     fn sources_match_requested_resolution() {
-        for s in [Scenario::Gray, Scenario::DarkGray, Scenario::Video, Scenario::Bars] {
+        for s in [
+            Scenario::Gray,
+            Scenario::DarkGray,
+            Scenario::Video,
+            Scenario::Bars,
+        ] {
             let src = s.source(240, 168, 1);
             assert_eq!((src.width(), src.height()), (240, 168));
             assert_eq!(src.frame_rate().0, 30.0);

@@ -1,12 +1,20 @@
-use inframe_sim::fig6;
 use inframe_display::DisplayConfig;
+use inframe_sim::fig6;
 
 #[test]
 fn introspect() {
     // Replicate rate_condition internals via public API? Just print ratings across conditions.
-    for (b, d, t) in [(127.0f32, 20.0f32, 12u32), (127.0, 50.0, 12), (60.0, 20.0, 12), (200.0, 20.0, 12)] {
+    for (b, d, t) in [
+        (127.0f32, 20.0f32, 12u32),
+        (127.0, 50.0, 12),
+        (60.0, 20.0, 12),
+        (200.0, 20.0, 12),
+    ] {
         let p = fig6::rate_condition(b, d, t, &DisplayConfig::eizo_fg2421(), 3);
-        println!("b={b} d={d} t={t}: mean {:.2} std {:.2}", p.rating.mean, p.rating.std);
+        println!(
+            "b={b} d={d} t={t}: mean {:.2} std {:.2}",
+            p.rating.mean, p.rating.std
+        );
     }
 }
 
@@ -14,7 +22,13 @@ fn introspect() {
 fn introspect_assessment() {
     for (b, d) in [(127.0f32, 20.0f32), (127.0, 50.0), (200.0, 20.0)] {
         let a = inframe_sim::fig6::assess_condition(b, d, 12, &DisplayConfig::eizo_fg2421());
-        println!("b={b} d={d}: fusion {:.2} @ {:.1} Hz, phantom {:.2}, vis {:.2}, mean {:.0} nits",
-            a.fusion_visibility, a.dominant_visible_hz, a.phantom_visibility, a.visibility, a.mean_nits);
+        println!(
+            "b={b} d={d}: fusion {:.2} @ {:.1} Hz, phantom {:.2}, vis {:.2}, mean {:.0} nits",
+            a.fusion_visibility,
+            a.dominant_visible_hz,
+            a.phantom_visibility,
+            a.visibility,
+            a.mean_nits
+        );
     }
 }

@@ -4,23 +4,36 @@ use inframe_core::multiplex::{slot, Multiplexer};
 use inframe_core::InFrameConfig;
 use inframe_display::analysis::per_frame_means;
 use inframe_display::{DisplayConfig, DisplayStream};
-use inframe_frame::Plane;
 use inframe_dsp::spectrum::Spectrum;
+use inframe_frame::Plane;
 
 #[test]
 fn spectrum_of_diff() {
-    let cfg = InFrameConfig { display_w: 48, display_h: 48, pixel_size: 4, block_size: 5,
-        blocks_x: 2, blocks_y: 2, delta: 20.0, tau: 12, ..InFrameConfig::paper() };
+    let cfg = InFrameConfig {
+        display_w: 48,
+        display_h: 48,
+        pixel_size: 4,
+        block_size: 5,
+        blocks_x: 2,
+        blocks_y: 2,
+        delta: 20.0,
+        tau: 12,
+        ..InFrameConfig::paper()
+    };
     let layout = DataLayout::from_config(&cfg);
     let video = Plane::filled(48, 48, 127.0);
-    let ones = DataFrame::encode(&layout, &vec![true; layout.payload_bits_parity()], cfg.coding);
+    let ones = DataFrame::encode(
+        &layout,
+        &vec![true; layout.payload_bits_parity()],
+        cfg.coding,
+    );
     let zero = DataFrame::zero(&layout);
     let mut mux = Multiplexer::new(cfg);
     let mut md = DisplayStream::new(DisplayConfig::eizo_fg2421());
     let mut rd = DisplayStream::new(DisplayConfig::eizo_fg2421());
     let mut me = Vec::new();
     let mut re = Vec::new();
-    for f in 0..(12*12) {
+    for f in 0..(12 * 12) {
         let s = slot(&cfg, f);
         let odd = s.cycle_index % 2 == 1;
         let (cur, next) = if odd { (&zero, &ones) } else { (&ones, &zero) };
@@ -32,11 +45,22 @@ fn spectrum_of_diff() {
     let rw = per_frame_means(&re, rect.x + 4, rect.y);
     let rm = rw.iter().sum::<f64>() / rw.len() as f64;
     let dw: Vec<f64> = mw.iter().zip(&rw).map(|(m, r)| rm + m - r).collect();
-    println!("first 26 diff samples: {:?}", &dw[..26].iter().map(|v| (v*1000.0).round()/1000.0).collect::<Vec<_>>());
+    println!(
+        "first 26 diff samples: {:?}",
+        &dw[..26]
+            .iter()
+            .map(|v| (v * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
     let spec = Spectrum::of(&dw, 120.0);
-    let mut peaks: Vec<(f64, f64)> = spec.freqs.iter().zip(&spec.mags).map(|(&f, &m)| (f, m)).collect();
+    let mut peaks: Vec<(f64, f64)> = spec
+        .freqs
+        .iter()
+        .zip(&spec.mags)
+        .map(|(&f, &m)| (f, m))
+        .collect();
     peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (f, m) in peaks.iter().take(8) {
-        println!("peak {f:6.2} Hz mag {m:.5} mod {:.4}", 2.0*m/rm);
+        println!("peak {f:6.2} Hz mag {m:.5} mod {:.4}", 2.0 * m / rm);
     }
 }

@@ -193,7 +193,10 @@ impl Looped {
         let mut frames = Vec::new();
         while let Some(f) = inner.next_frame() {
             frames.push(f);
-            assert!(frames.len() < 1_000_000, "refusing to materialize an endless source");
+            assert!(
+                frames.len() < 1_000_000,
+                "refusing to materialize an endless source"
+            );
         }
         assert!(!frames.is_empty(), "source yielded no frames");
         Self {

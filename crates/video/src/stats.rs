@@ -94,8 +94,11 @@ pub fn profile(frames: &[Plane<f32>]) -> ClipProfile {
             .sum::<f64>()
             / (frames.len() - 1) as f64
     };
-    let clipping_at_20 =
-        frames.iter().map(|f| clipping_fraction(f, 20.0)).sum::<f64>() / frames.len() as f64;
+    let clipping_at_20 = frames
+        .iter()
+        .map(|f| clipping_fraction(f, 20.0))
+        .sum::<f64>()
+        / frames.len() as f64;
     ClipProfile {
         mean_luma,
         texture,

@@ -222,10 +222,7 @@ mod tests {
     use crate::synth::SolidClip;
 
     fn solid(level: f32, frames: usize) -> Limited<SolidClip> {
-        Limited::new(
-            SolidClip::new(8, 6, level, FrameRate::VIDEO_30),
-            frames,
-        )
+        Limited::new(SolidClip::new(8, 6, level, FrameRate::VIDEO_30), frames)
     }
 
     #[test]

@@ -92,12 +92,27 @@ fn byte_at(bits: &[bool], off: usize) -> Option<u8> {
 
 fn main() {
     let catalogue = vec![
-        Coupon { id: 1001, discount_percent: 10 },
-        Coupon { id: 1002, discount_percent: 25 },
-        Coupon { id: 1003, discount_percent: 15 },
-        Coupon { id: 2001, discount_percent: 50 },
+        Coupon {
+            id: 1001,
+            discount_percent: 10,
+        },
+        Coupon {
+            id: 1002,
+            discount_percent: 25,
+        },
+        Coupon {
+            id: 1003,
+            discount_percent: 15,
+        },
+        Coupon {
+            id: 2001,
+            discount_percent: 50,
+        },
     ];
-    println!("Broadcasting {} coupons inside the ad clip…", catalogue.len());
+    println!(
+        "Broadcasting {} coupons inside the ad clip…",
+        catalogue.len()
+    );
 
     let scale = Scale::Quick;
     let mut inframe = scale.inframe();

@@ -79,8 +79,13 @@ fn main() {
     let residual = arith::mae(&vavg, &video).unwrap();
     let artifact = arith::mae(&vplus, &video).unwrap();
     println!("wrote 7 images to {}", out_dir.display());
-    println!("single multiplexed frame vs original: MAE {artifact:.2} code values (visible chessboard)");
+    println!(
+        "single multiplexed frame vs original: MAE {artifact:.2} code values (visible chessboard)"
+    );
     println!("pair average vs original:             MAE {residual:.4} code values (imperceptible)");
     println!();
-    println!("view with any image tool, e.g.: feh {}/fig4c_video_plus.pgm", out_dir.display());
+    println!(
+        "view with any image tool, e.g.: feh {}/fig4c_video_plus.pgm",
+        out_dir.display()
+    );
 }

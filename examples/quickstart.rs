@@ -39,11 +39,8 @@ fn main() {
     println!();
 
     let sim = Simulation::new(config);
-    let outcome = sim.run(Scenario::Gray.source(
-        config.inframe.display_w,
-        config.inframe.display_h,
-        42,
-    ));
+    let outcome =
+        sim.run(Scenario::Gray.source(config.inframe.display_w, config.inframe.display_h, 42));
     let report = outcome.report();
     println!("decoded {} data cycles", outcome.decoded.len());
     println!("  raw rate        {:>7.2} kbps", report.raw_kbps());

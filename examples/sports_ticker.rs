@@ -51,7 +51,9 @@ impl TickerPayload {
         if len == 0 || len > 4 {
             return None;
         }
-        std::str::from_utf8(&bytes[1..1 + len]).ok().map(str::to_string)
+        std::str::from_utf8(&bytes[1..1 + len])
+            .ok()
+            .map(str::to_string)
     }
 }
 

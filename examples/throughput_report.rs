@@ -11,7 +11,60 @@
 //! Prints the Figure 7 table including the paper's headline numbers
 //! (≈12.8 kbps on pure gray at δ=20, τ=10; ≈7 kbps over real video).
 
+use inframe::core::demux::{Demultiplexer, RegionCache};
+use inframe::core::parallel::ParallelEngine;
+use inframe::core::sender::{PrbsPayload, Sender};
+use inframe::core::InFrameConfig;
+use inframe::frame::geometry::Homography;
+use inframe::frame::Plane;
 use inframe::sim::{fig7, Scale};
+use inframe::video::synth::MovingBarsClip;
+use inframe::video::FrameRate;
+use std::sync::Arc;
+
+/// Renders and scores a handful of frames at the given scale and prints
+/// the live pipeline meters (frames/s, worker utilization, pool stats).
+fn pipeline_section(cfg: InFrameConfig) {
+    let engine = Arc::new(ParallelEngine::from_env());
+    let clip = MovingBarsClip::new(
+        cfg.display_w,
+        cfg.display_h,
+        23,
+        1.5,
+        70.0,
+        210.0,
+        FrameRate(cfg.refresh_hz / 4.0),
+    );
+    let mut sender = Sender::with_engine(cfg, clip, PrbsPayload::new(7), Arc::clone(&engine));
+    for _ in 0..(2 * cfg.tau) {
+        drop(sender.next_frame().expect("endless clip"));
+    }
+    let (sw, sh) = (cfg.display_w * 2 / 3, cfg.display_h * 2 / 3);
+    let reg = Homography::scale(
+        sw as f64 / cfg.display_w as f64,
+        sh as f64 / cfg.display_h as f64,
+    );
+    let cache = RegionCache::build(&cfg, &reg, sw, sh);
+    let mut demux = Demultiplexer::with_cache(cfg, cache, engine);
+    let capture = Plane::from_fn(sw, sh, |x, y| {
+        127.0 + if (x / 3 + y / 3) % 2 == 0 { 8.0 } else { -8.0 }
+    });
+    let d = demux.cycle_duration();
+    for i in 0..12u32 {
+        demux.push_capture(&capture, i as f64 * d + 0.01);
+    }
+    println!(
+        "pipeline ({}x{}, INFRAME_WORKERS to change the worker count):",
+        cfg.display_w, cfg.display_h
+    );
+    println!("  render: {}", sender.meter().summary());
+    println!("  demux:  {}", demux.meter().summary());
+    let pool = sender.pool().stats();
+    println!(
+        "  pool:   {} plane(s) allocated for {} checkouts ({} reused)",
+        pool.allocated, pool.checkouts, pool.reused
+    );
+}
 
 fn main() {
     let paper_scale = std::env::args().any(|a| a == "--paper");
@@ -32,11 +85,11 @@ fn main() {
     let fig = fig7::run(scale, cycles, 2014);
     print!("{}", fig.render());
     println!();
+    pipeline_section(scale.inframe());
+    println!();
     let violations = fig.check_shape();
     if violations.is_empty() {
-        println!(
-            "shape check vs paper: PASS (pure colors beat video; throughput falls with τ)"
-        );
+        println!("shape check vs paper: PASS (pure colors beat video; throughput falls with τ)");
     } else {
         println!("shape check vs paper: {} violation(s)", violations.len());
         for v in violations {

@@ -50,7 +50,13 @@ fn main() {
     );
     println!();
     println!("envelope shape comparison (filtered ripple, lower is calmer):");
-    let abrupt = fig5::run(TransitionShape::Stair { steps: 1 }, tau, delta, &[true, false, true, false, true]).filtered_ripple;
+    let abrupt = fig5::run(
+        TransitionShape::Stair { steps: 1 },
+        tau,
+        delta,
+        &[true, false, true, false, true],
+    )
+    .filtered_ripple;
     for (name, ripple) in fig5::compare_shapes(tau, delta) {
         println!("  {name:7}  {ripple:7.3}");
     }

@@ -26,7 +26,11 @@ fn gray_channel_delivers_bits_end_to_end() {
         101,
     ));
     let r = out.report();
-    assert!(r.available_ratio > 0.85, "availability {}", r.available_ratio);
+    assert!(
+        r.available_ratio > 0.85,
+        "availability {}",
+        r.available_ratio
+    );
     assert!(out.bit_accuracy() > 0.99, "accuracy {}", out.bit_accuracy());
     assert!(r.goodput_kbps() > 0.5 * r.raw_kbps());
 }
@@ -105,11 +109,7 @@ fn higher_delta_does_not_hurt_gray_throughput() {
         config.inframe.delta = delta;
         config.cycles = 5;
         Simulation::new(config)
-            .run(Scenario::Gray.source(
-                config.inframe.display_w,
-                config.inframe.display_h,
-                9,
-            ))
+            .run(Scenario::Gray.source(config.inframe.display_w, config.inframe.display_h, 9))
             .report()
             .available_ratio
     };
@@ -131,10 +131,7 @@ fn dark_gray_performs_on_par_with_gray() {
         config.inframe.display_h,
         3,
     ));
-    let (g, d) = (
-        gray.report().available_ratio,
-        dark.report().available_ratio,
-    );
+    let (g, d) = (gray.report().available_ratio, dark.report().available_ratio);
     assert!((g - d).abs() < 0.15, "gray {g} vs dark-gray {d}");
 }
 

@@ -71,16 +71,18 @@ fn blind_sync_recovers_unknown_camera_phase() {
     );
     let mut display = DisplayStream::new(c.display);
     let mut camera = Camera::new(c.camera, c.geometry, 3);
-    let registration =
-        c.geometry
-            .display_to_sensor(w, h, c.camera.width, c.camera.height);
+    let registration = c
+        .geometry
+        .display_to_sensor(w, h, c.camera.width, c.camera.height);
     let demux = Demultiplexer::new(c.inframe, &registration, c.camera.width, c.camera.height);
     let mut sync = CycleSynchronizer::new(&c.inframe);
 
     let mut window = VecDeque::new();
     let total = c.cycles as u64 * c.inframe.tau as u64;
     for _ in 0..total {
-        let Some(frame) = sender.next_frame() else { break };
+        let Some(frame) = sender.next_frame() else {
+            break;
+        };
         let emission = display.present(&frame.plane);
         let end = emission.t_start + emission.duration;
         window.push_back(emission);

@@ -1,0 +1,38 @@
+//! Offline stub of `crossbeam`.
+//!
+//! Exposes `crossbeam::thread::scope` with the crossbeam calling
+//! convention (spawn closures receive a `&Scope` argument, the scope call
+//! returns a `Result`), implemented on top of `std::thread::scope`. Panics
+//! in workers propagate as panics out of `scope` rather than as `Err`,
+//! which is strictly stricter — callers that `.expect()` the result behave
+//! identically.
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle that can spawn borrowing threads.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// again (crossbeam convention) so it can spawn nested work.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

@@ -1,0 +1,54 @@
+//! Offline stub of `parking_lot`.
+//!
+//! A `Mutex` with the parking_lot surface (`lock()` without poisoning,
+//! `into_inner()` without `Result`) backed by `std::sync::Mutex`. A
+//! poisoned std mutex — a worker panicked while holding the lock — is
+//! unwrapped into the underlying data, matching parking_lot's
+//! poison-free semantics.
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// Mutual exclusion with parking_lot semantics.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the lock (no poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RAII guard; releases on drop.
+pub struct MutexGuard<'a, T> {
+    inner: StdGuard<'a, T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}

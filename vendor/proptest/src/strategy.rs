@@ -1,0 +1,142 @@
+//! Value-generation strategies: ranges, `any`, `Just`.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategies are usable behind references (the runner samples `&strat`).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = rng.next_u64() as u128 % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                let draw = rng.next_u64() as u128 % span;
+                (*self.start() as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        self.start() + (self.end() - self.start()) * rng.unit_f64() as f32
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        self.start() + (self.end() - self.start()) * rng.unit_f64()
+    }
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Finite values over a broad but well-behaved span.
+        (rng.unit_f64() as f32 - 0.5) * 2.0e6
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.unit_f64() - 0.5) * 2.0e12
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Draws arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names (marker traits) and
+//! re-exports the no-op derive macros so `#[derive(Serialize, Deserialize)]`
+//! compiles without the real serde. Nothing in the workspace performs
+//! actual serialization, so no machinery beyond the names is required.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime elided: the stub
+/// never deserializes).
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
