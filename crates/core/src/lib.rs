@@ -49,9 +49,9 @@ pub mod rgbmux;
 pub mod sender;
 pub mod sync;
 
-pub use config::{CodingMode, InFrameConfig};
+pub use config::{CodingMode, InFrameConfig, KernelBackend};
 pub use dataframe::DataFrame;
-pub use demux::{DecodedDataFrame, Demultiplexer};
+pub use demux::{BlockScore, DecodedDataFrame, Demultiplexer};
 pub use layout::DataLayout;
 pub use metrics::{ThroughputMeter, ThroughputReport};
 pub use parallel::ParallelEngine;

@@ -6,11 +6,12 @@
 //! smoothing envelope: constant for stable bits, ramping over the second
 //! half of the cycle when the bit flips at the next cycle boundary.
 
-use crate::config::InFrameConfig;
+use crate::config::{InFrameConfig, KernelBackend};
 use crate::dataframe::DataFrame;
 use crate::layout::DataLayout;
 use crate::parallel::ParallelEngine;
 use crate::pattern;
+use crate::pattern::ChessLut;
 use inframe_dsp::envelope::Envelope;
 use inframe_frame::Plane;
 use serde::{Deserialize, Serialize};
@@ -78,6 +79,14 @@ pub struct Multiplexer {
     cache_key: Option<(u64, u64, u32)>,
     p_plus: Plane<f32>,
     p_minus: Plane<f32>,
+    /// Reused per-Block envelope amplitude buffer (row-major).
+    amps: Vec<f32>,
+    /// Which `(cycle_index, pair)` the quantized amplitude steps hold.
+    steps_key: Option<(u64, u32)>,
+    /// Reused quantized amplitude steps (row-major, Quantized backend).
+    steps: Vec<u16>,
+    /// Chessboard delta LUT cache (Quantized backend).
+    lut: ChessLut,
 }
 
 impl Multiplexer {
@@ -98,6 +107,10 @@ impl Multiplexer {
             cache_key: None,
             p_plus: Plane::filled(config.display_w, config.display_h, 0.0),
             p_minus: Plane::filled(config.display_w, config.display_h, 0.0),
+            amps: Vec::new(),
+            steps_key: None,
+            steps: Vec::new(),
+            lut: ChessLut::new(config.delta, config.complementation),
             config,
         }
     }
@@ -145,12 +158,28 @@ impl Multiplexer {
         next: &DataFrame,
         out: &mut Plane<f32>,
     ) {
-        self.ensure_offsets(s, video, cur, next);
-        match s.sign {
-            FrameSign::Plus => inframe_frame::arith::add_into(video, &self.p_plus, out)
-                .expect("same shape by construction"),
-            FrameSign::Minus => inframe_frame::arith::sub_into(video, &self.p_minus, out)
-                .expect("same shape by construction"),
+        match self.config.kernel {
+            KernelBackend::Reference => {
+                self.ensure_offsets(s, video, cur, next);
+                match s.sign {
+                    FrameSign::Plus => inframe_frame::arith::add_into(video, &self.p_plus, out)
+                        .expect("same shape by construction"),
+                    FrameSign::Minus => inframe_frame::arith::sub_into(video, &self.p_minus, out)
+                        .expect("same shape by construction"),
+                }
+            }
+            KernelBackend::Quantized => {
+                self.ensure_steps(s, cur, next);
+                pattern::render_frame_lut(
+                    &self.layout,
+                    video,
+                    s.sign == FrameSign::Plus,
+                    &self.steps,
+                    &self.lut,
+                    &self.engine,
+                    out,
+                );
+            }
         }
     }
 
@@ -185,18 +214,50 @@ impl Multiplexer {
         }
         let env = &self.envelope;
         let pair = s.pair;
-        pattern::pair_offsets_into(
+        pattern::sample_amplitudes(
+            &self.layout,
+            |bx, by| env.amplitude(pair, cur.bit(bx, by), next.bit(bx, by)) as f32,
+            &mut self.amps,
+        );
+        pattern::render_offsets_with_amps(
             &self.layout,
             video,
-            cur,
             self.config.delta,
             self.config.complementation,
-            |bx, by| env.amplitude(pair, cur.bit(bx, by), next.bit(bx, by)) as f32,
+            &self.amps,
             &self.engine,
             &mut self.p_plus,
             &mut self.p_minus,
         );
         self.cache_key = Some(key);
+    }
+
+    /// Quantized-path sibling of [`Multiplexer::ensure_offsets`]: ensures
+    /// `steps` holds the per-Block amplitude steps for `s`'s pair and that
+    /// the LUT has a table for each referenced step. Resampling touches
+    /// one envelope evaluation per Block (≈1500 at paper scale) and the
+    /// table build is amortized across the multiplexer's lifetime, so
+    /// steady-state pair turnover costs neither per-pixel math nor heap
+    /// allocations.
+    fn ensure_steps(&mut self, s: &FrameSlot, cur: &DataFrame, next: &DataFrame) {
+        let key = (s.cycle_index, s.pair);
+        if self.steps_key == Some(key) {
+            return;
+        }
+        let env = &self.envelope;
+        let pair = s.pair;
+        pattern::sample_amplitudes(
+            &self.layout,
+            |bx, by| env.amplitude(pair, cur.bit(bx, by), next.bit(bx, by)) as f32,
+            &mut self.amps,
+        );
+        self.steps.clear();
+        self.steps
+            .extend(self.amps.iter().map(|&a| ChessLut::amp_step(a)));
+        for i in 0..self.steps.len() {
+            self.lut.ensure_step(self.steps[i]);
+        }
+        self.steps_key = Some(key);
     }
 }
 
@@ -331,6 +392,66 @@ mod tests {
         c2.envelope = inframe_dsp::envelope::TransitionShape::Stair { steps: 1 };
         let m2 = Multiplexer::new(c2);
         assert!(m2.max_envelope_step() >= step);
+    }
+
+    #[test]
+    fn quantized_backend_matches_reference_render() {
+        // Same slots, same data, both complementation modes: the LUT
+        // backend must agree with the reference within the amplitude-step
+        // snap plus half a Q8.7 LSB.
+        for mode in [
+            crate::pattern::Complementation::Code,
+            crate::pattern::Complementation::Luminance,
+        ] {
+            let reference = InFrameConfig {
+                complementation: mode,
+                kernel: KernelBackend::Reference,
+                ..InFrameConfig::small_test()
+            };
+            let quantized = InFrameConfig {
+                kernel: KernelBackend::Quantized,
+                ..reference
+            };
+            let mut mr = Multiplexer::new(reference);
+            let mut mq = Multiplexer::new(quantized);
+            let (cur, next) = frames(&reference, 17);
+            let video = Plane::from_fn(reference.display_w, reference.display_h, |x, y| {
+                ((x * 11 + y * 3) % 256) as f32
+            });
+            let tol = reference.delta / (2.0 * crate::pattern::LUT_AMP_STEPS as f32)
+                + inframe_frame::qplane::LSB / 2.0
+                + 1e-5;
+            for f in 0..reference.tau as u64 {
+                let s = slot(&reference, f);
+                let r = mr.render(&s, &video, &cur, &next);
+                let q = mq.render(&s, &video, &cur, &next);
+                for (x, y, rv) in r.iter_xy() {
+                    assert!(
+                        (q.get(x, y) - rv).abs() <= tol,
+                        "{mode:?} frame {f} ({x},{y}): {} vs {rv}",
+                        q.get(x, y)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_pair_cancels_exactly_in_code_mode() {
+        let c = InFrameConfig {
+            kernel: KernelBackend::Quantized,
+            ..cfg()
+        };
+        let mut m = Multiplexer::new(c);
+        let (cur, next) = frames(&c, 5);
+        let video = Plane::from_fn(c.display_w, c.display_h, |x, y| ((x + 2 * y) % 256) as f32);
+        let plus = m.render(&slot(&c, 0), &video, &cur, &next);
+        let minus = m.render(&slot(&c, 1), &video, &cur, &next);
+        for (x, y, v) in video.iter_xy() {
+            // Code-symmetric LUT entries are shared between the signs, so
+            // the pair averages back to V bit-exactly.
+            assert_eq!((plus.get(x, y) + minus.get(x, y)) / 2.0, v, "({x},{y})");
+        }
     }
 
     #[test]

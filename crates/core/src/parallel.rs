@@ -116,6 +116,136 @@ impl ParallelEngine {
         .expect("band workers must not panic");
     }
 
+    /// Runs `f` over horizontal bands of a single plane — the one-plane
+    /// sibling of [`ParallelEngine::for_each_band_pair`], used by the
+    /// quantized fused render (video copy + LUT add in one pass).
+    ///
+    /// # Panics
+    /// Panics if a worker panics.
+    pub fn for_each_band<F>(&self, plane: &mut Plane<f32>, f: F)
+    where
+        F: Fn(Range<usize>, &mut [f32]) + Sync,
+    {
+        let height = plane.height();
+        if self.workers == 1 || height <= 1 {
+            let t = Instant::now();
+            f(0..height, plane.samples_mut());
+            self.note(t.elapsed());
+            return;
+        }
+        let bands = plane.bands_mut(self.workers);
+        let f = &f;
+        crossbeam::thread::scope(|s| {
+            for (range, slice) in bands {
+                s.spawn(move |_| {
+                    let t = Instant::now();
+                    f(range, slice);
+                    self.note(t.elapsed());
+                });
+            }
+        })
+        .expect("band workers must not panic");
+    }
+
+    /// Runs `f` over matching row bands of two row-major buffers with
+    /// independent element types and strides — the raw-buffer sibling of
+    /// [`ParallelEngine::for_each_band_pair`], used by the quantized
+    /// receiver front end (capture plane + window sums, then the paired
+    /// prefix tables). The closure receives the band's index (stable for
+    /// a given height and worker count, so callers can key per-band
+    /// scratch off it), its row range, and the two mutable band slices.
+    ///
+    /// # Panics
+    /// Panics if a buffer's length is not `height` times its stride, or a
+    /// worker panics.
+    pub fn for_each_row_band2<A, B, F>(
+        &self,
+        height: usize,
+        stride_a: usize,
+        a: &mut [A],
+        stride_b: usize,
+        b: &mut [B],
+        f: F,
+    ) where
+        A: Send,
+        B: Send,
+        F: Fn(usize, Range<usize>, &mut [A], &mut [B]) + Sync,
+    {
+        assert_eq!(a.len(), height * stride_a, "buffer a must be h × stride");
+        assert_eq!(b.len(), height * stride_b, "buffer b must be h × stride");
+        if self.workers == 1 || height <= 1 {
+            let t = Instant::now();
+            f(0, 0..height, a, b);
+            self.note(t.elapsed());
+            return;
+        }
+        let f = &f;
+        crossbeam::thread::scope(|s| {
+            let mut rest_a = a;
+            let mut rest_b = b;
+            for (band, range) in band_rows(height, self.workers).into_iter().enumerate() {
+                let (band_a, tail_a) = rest_a.split_at_mut(range.len() * stride_a);
+                let (band_b, tail_b) = rest_b.split_at_mut(range.len() * stride_b);
+                rest_a = tail_a;
+                rest_b = tail_b;
+                s.spawn(move |_| {
+                    let t = Instant::now();
+                    f(band, range, band_a, band_b);
+                    self.note(t.elapsed());
+                });
+            }
+        })
+        .expect("row band workers must not panic");
+    }
+
+    /// Zero-allocation sibling of [`ParallelEngine::map`]: maps `f` over
+    /// `items` **into** a caller-provided slice, chunked with the same
+    /// deterministic band partition (results land at their item's index,
+    /// so output is identical for every worker count). The streaming
+    /// demultiplexer keeps one score buffer alive across captures and
+    /// refills it through this method — the last per-frame allocation of
+    /// the demux hot path.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != items.len()` or a worker panics.
+    pub fn map_into<I, O, F>(&self, items: &[I], out: &mut [O], f: F)
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(usize, &I) -> O + Sync,
+    {
+        assert_eq!(
+            items.len(),
+            out.len(),
+            "map_into output must match item count"
+        );
+        if self.workers == 1 || items.len() <= 1 {
+            let t = Instant::now();
+            for (i, (o, it)) in out.iter_mut().zip(items).enumerate() {
+                *o = f(i, it);
+            }
+            self.note(t.elapsed());
+            return;
+        }
+        let chunks = band_rows(items.len(), self.workers);
+        let f = &f;
+        crossbeam::thread::scope(|s| {
+            let mut rest = out;
+            for range in chunks {
+                let (chunk, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                s.spawn(move |_| {
+                    let t = Instant::now();
+                    for (o, i) in chunk.iter_mut().zip(range) {
+                        *o = f(i, &items[i]);
+                    }
+                    self.note(t.elapsed());
+                });
+            }
+        })
+        .expect("map_into workers must not panic");
+    }
+
     /// Maps `f` over `items` and returns the results **in input order**
     /// regardless of worker scheduling (each worker owns one contiguous
     /// chunk; chunks are concatenated in index order).
@@ -194,6 +324,46 @@ mod tests {
         let engine = ParallelEngine::new(8);
         assert_eq!(engine.map(&[10, 20], |_, &v| v + 1), vec![11, 21]);
         assert_eq!(engine.map(&[] as &[i32], |_, &v| v), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn map_into_matches_map_for_every_worker_count() {
+        let items: Vec<u32> = (0..97).collect();
+        let reference = ParallelEngine::new(1).map(&items, |i, &v| v * 3 + i as u32);
+        for workers in [1usize, 2, 3, 5, 8] {
+            let engine = ParallelEngine::new(workers);
+            let mut out = vec![0u32; items.len()];
+            engine.map_into(&items, &mut out, |i, &v| v * 3 + i as u32);
+            assert_eq!(out, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "map_into output must match item count")]
+    fn map_into_rejects_mismatched_output() {
+        let engine = ParallelEngine::new(2);
+        let mut out = vec![0u32; 3];
+        engine.map_into(&[1u32, 2], &mut out, |_, &v| v);
+    }
+
+    #[test]
+    fn single_band_writes_are_identical_across_worker_counts() {
+        let render = |workers: usize| {
+            let engine = ParallelEngine::new(workers);
+            let mut p = Plane::filled(5, 19, 0.0);
+            engine.for_each_band(&mut p, |rows, slice| {
+                for (i, v) in slice.iter_mut().enumerate() {
+                    let y = rows.start + i / 5;
+                    let x = i % 5;
+                    *v = (y * 13 + x * 7) as f32;
+                }
+            });
+            p
+        };
+        let reference = render(1);
+        for workers in [2usize, 3, 6] {
+            assert_eq!(render(workers), reference, "workers = {workers}");
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::dataframe::DataFrame;
 use crate::layout::DataLayout;
 use crate::parallel::ParallelEngine;
 use inframe_frame::color;
+use inframe_frame::qplane;
 use inframe_frame::Plane;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -87,17 +88,38 @@ pub fn pair_offsets_into(
     data: &DataFrame,
     delta: f32,
     complementation: Complementation,
-    mut envelope_amplitude: impl FnMut(usize, usize) -> f32,
+    envelope_amplitude: impl FnMut(usize, usize) -> f32,
     engine: &ParallelEngine,
     plus: &mut Plane<f32>,
     minus: &mut Plane<f32>,
 ) {
-    assert_eq!(plus.shape(), video.shape(), "plus plane must match video");
-    assert_eq!(minus.shape(), video.shape(), "minus plane must match video");
     let _ = &data; // bits arrive through the envelope closure
-    plus.samples_mut().fill(0.0);
-    minus.samples_mut().fill(0.0);
-    let mut amps = vec![0.0f32; layout.blocks_x * layout.blocks_y];
+    let mut amps = Vec::new();
+    sample_amplitudes(layout, envelope_amplitude, &mut amps);
+    render_offsets_with_amps(
+        layout,
+        video,
+        delta,
+        complementation,
+        &amps,
+        engine,
+        plus,
+        minus,
+    );
+}
+
+/// Samples the per-Block envelope amplitudes into `amps` (reused,
+/// row-major `(by, bx)` order — the order every renderer assumes). The
+/// closure is stateful (`FnMut`), so this always runs on the calling
+/// thread; the streaming multiplexer keeps one `amps` vector alive so
+/// pair turnover allocates nothing.
+pub fn sample_amplitudes(
+    layout: &DataLayout,
+    mut envelope_amplitude: impl FnMut(usize, usize) -> f32,
+    amps: &mut Vec<f32>,
+) {
+    amps.clear();
+    amps.reserve(layout.blocks_x * layout.blocks_y);
     for by in 0..layout.blocks_y {
         for bx in 0..layout.blocks_x {
             let a = envelope_amplitude(bx, by);
@@ -105,9 +127,38 @@ pub fn pair_offsets_into(
                 a <= 1.0 + 1e-6,
                 "envelope amplitude out of range at ({bx},{by})"
             );
-            amps[by * layout.blocks_x + bx] = a;
+            amps.push(a);
         }
     }
+}
+
+/// Band-parallel offset renderer over presampled amplitudes — the core of
+/// [`pair_offsets_into`], split out so callers with a long-lived amplitude
+/// buffer render with zero per-pair allocations.
+///
+/// # Panics
+/// Panics if `plus`/`minus` are not shaped like `video` or `amps` does not
+/// cover the block grid.
+#[allow(clippy::too_many_arguments)]
+pub fn render_offsets_with_amps(
+    layout: &DataLayout,
+    video: &Plane<f32>,
+    delta: f32,
+    complementation: Complementation,
+    amps: &[f32],
+    engine: &ParallelEngine,
+    plus: &mut Plane<f32>,
+    minus: &mut Plane<f32>,
+) {
+    assert_eq!(plus.shape(), video.shape(), "plus plane must match video");
+    assert_eq!(minus.shape(), video.shape(), "minus plane must match video");
+    assert_eq!(
+        amps.len(),
+        layout.blocks_x * layout.blocks_y,
+        "one amplitude per Block"
+    );
+    plus.samples_mut().fill(0.0);
+    minus.samples_mut().fill(0.0);
     let width = video.width();
     engine.for_each_band_pair(plus, minus, |rows, band_plus, band_minus| {
         render_band(
@@ -115,7 +166,7 @@ pub fn pair_offsets_into(
             video,
             delta,
             complementation,
-            &amps,
+            amps,
             rows,
             width,
             band_plus,
@@ -194,6 +245,179 @@ fn render_band(
             }
         }
     }
+}
+
+/// Amplitude quantization steps of the [`ChessLut`] (envelope fractions
+/// `[0, 1]` map to `0..=LUT_AMP_STEPS`). At 1024 steps and δ ≤ 50 the
+/// worst-case amplitude snap is δ/2048 < 0.025 code values — 3 Q8.7 LSB,
+/// invisible next to the ±20 chessboard swing.
+pub const LUT_AMP_STEPS: usize = 1024;
+
+/// One amplitude step's lookup tables: Q8.7 offsets `(P⁺, P⁻)` indexed by
+/// the 8-bit video code value.
+#[derive(Debug, Clone)]
+pub struct LutTable {
+    /// `P⁺` offset per video code value, Q8.7.
+    pub plus: [i16; 256],
+    /// `P⁻` offset per video code value, Q8.7.
+    pub minus: [i16; 256],
+}
+
+/// Precomputed per-(amplitude step, video code) chessboard delta tables —
+/// the quantized render backend.
+///
+/// The expensive part of [`render_band`] is [`Complementation::Luminance`]:
+/// five sRGB transfer evaluations (`powf`) per chessboard pixel, every
+/// pair. But the offsets depend only on `(amplitude, video code)`, the
+/// envelope takes a handful of distinct amplitudes per configuration
+/// (stable 0/1 plus the τ/2 transition samples), and video codes are
+/// 8-bit — so the SRRC temporal envelope collapses to a table lookup and
+/// a Q8.7 add per pixel. Tables are built lazily per amplitude step
+/// (256 entries each) and cached for the multiplexer's lifetime.
+#[derive(Debug, Clone)]
+pub struct ChessLut {
+    delta: f32,
+    complementation: Complementation,
+    tables: Vec<Option<Box<LutTable>>>,
+}
+
+impl ChessLut {
+    /// Creates an empty cache for the given amplitude/complementation.
+    pub fn new(delta: f32, complementation: Complementation) -> Self {
+        Self {
+            delta,
+            complementation,
+            tables: vec![None; LUT_AMP_STEPS + 1],
+        }
+    }
+
+    /// Quantizes an envelope amplitude fraction to its step index.
+    #[inline]
+    pub fn amp_step(a: f32) -> u16 {
+        (a.clamp(0.0, 1.0) * LUT_AMP_STEPS as f32).round() as u16
+    }
+
+    /// Builds the table for `step` if missing (idempotent; call for every
+    /// step a frame needs before fanning rendering out over workers).
+    pub fn ensure_step(&mut self, step: u16) {
+        let slot = &mut self.tables[step as usize];
+        if slot.is_some() {
+            return;
+        }
+        let a = step as f32 / LUT_AMP_STEPS as f32;
+        let mut table = Box::new(LutTable {
+            plus: [0; 256],
+            minus: [0; 256],
+        });
+        for code in 0..256usize {
+            let v = code as f32;
+            // Same local range adjustment as `render_band`.
+            let amp = (self.delta * a).min(255.0 - v).min(v).max(0.0);
+            if amp <= 0.0 {
+                continue;
+            }
+            let (p, m) = match self.complementation {
+                Complementation::Code => (amp, amp),
+                Complementation::Luminance => {
+                    let l_mid = color::code_to_linear(v);
+                    let l_hi = color::code_to_linear(v + amp);
+                    let l_lo = color::code_to_linear(v - amp);
+                    let lambda = ((l_hi - l_lo) / 2.0).min(l_mid).min(1.0 - l_mid);
+                    let code_hi = color::linear_to_code(l_mid + lambda);
+                    let code_lo = color::linear_to_code(l_mid - lambda);
+                    ((code_hi - v).max(0.0), (v - code_lo).max(0.0))
+                }
+            };
+            table.plus[code] = qplane::quantize(p);
+            table.minus[code] = qplane::quantize(m);
+        }
+        *slot = Some(table);
+    }
+
+    /// The table for `step`.
+    ///
+    /// # Panics
+    /// Panics if [`ChessLut::ensure_step`] was not called for `step`.
+    #[inline]
+    pub fn table(&self, step: u16) -> &LutTable {
+        self.tables[step as usize]
+            .as_deref()
+            .expect("ensure_step must precede table lookups")
+    }
+}
+
+/// Renders one displayed frame `V ± P` directly (fused video copy + LUT
+/// add) — the quantized backend's replacement for offset rendering plus
+/// full-frame [`inframe_frame::arith`] add/sub.
+///
+/// `steps[by·blocks_x + bx]` is the Block's quantized envelope amplitude
+/// (see [`ChessLut::amp_step`]); every step referenced must have been
+/// built via [`ChessLut::ensure_step`]. Each band copies its video rows
+/// (a straight `memcpy`) and then revisits only the odd-parity chessboard
+/// cells of active Blocks, adding the Q8.7 table offset for the pixel's
+/// video code. Per-pixel work is an index computation and one integer
+/// table read — no transfer-function math anywhere. Output is
+/// **bit-identical for every worker count** (pure per-pixel function).
+///
+/// # Panics
+/// Panics if shapes mismatch or a referenced step was never built.
+pub fn render_frame_lut(
+    layout: &DataLayout,
+    video: &Plane<f32>,
+    plus_frame: bool,
+    steps: &[u16],
+    lut: &ChessLut,
+    engine: &ParallelEngine,
+    out: &mut Plane<f32>,
+) {
+    assert_eq!(out.shape(), video.shape(), "output must match video");
+    assert_eq!(
+        steps.len(),
+        layout.blocks_x * layout.blocks_y,
+        "one amplitude step per Block"
+    );
+    let width = video.width();
+    let cell = layout.pixel_size;
+    engine.for_each_band(out, |rows, band| {
+        band.copy_from_slice(&video.samples()[rows.start * width..rows.end * width]);
+        for by in 0..layout.blocks_y {
+            let row_rect = layout.block_rect(0, by);
+            let y_lo = row_rect.y.max(rows.start);
+            let y_hi = (row_rect.y + row_rect.h).min(rows.end);
+            if y_lo >= y_hi {
+                continue;
+            }
+            for bx in 0..layout.blocks_x {
+                let step = steps[by * layout.blocks_x + bx];
+                if step == 0 {
+                    continue;
+                }
+                let table = lut.table(step);
+                let rect = layout.block_rect(bx, by);
+                for y in y_lo..y_hi {
+                    let row_off = (y - rows.start) * width;
+                    let vrow = video.row(y);
+                    let pj = (y - rect.y) / cell;
+                    for pi in 0..layout.block_size {
+                        // Paper: δ where Pixel (i+j) is odd, 0 otherwise.
+                        if (pi + pj) % 2 != 1 {
+                            continue;
+                        }
+                        let xa = rect.x + pi * cell;
+                        for x in xa..xa + cell {
+                            let v = vrow[x];
+                            let code = (v.clamp(0.0, 255.0) + 0.5) as usize & 0xFF;
+                            band[row_off + x] = if plus_frame {
+                                v + qplane::dequantize(table.plus[code])
+                            } else {
+                                v - qplane::dequantize(table.minus[code])
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    });
 }
 
 /// Renders the complementary pair `(V + P⁺, V − P⁻)` for one iteration.
@@ -419,6 +643,130 @@ mod tests {
         );
         // Amplitude capped at 255 − 250 = 5.
         assert!(p.max_sample() <= 5.0 + 1e-4);
+    }
+
+    #[test]
+    fn lut_render_matches_reference_pair_within_half_lsb() {
+        // The fused LUT renderer must agree with pair_offsets + add/sub on
+        // integer-valued video (the only values the sender ever feeds it)
+        // to within Q8.7 quantization of the offsets.
+        let (layout, data) = setup();
+        let video = Plane::from_fn(192, 144, |x, y| ((x * 7 + y * 13) % 256) as f32);
+        let engine = ParallelEngine::sequential();
+        for mode in [Complementation::Code, Complementation::Luminance] {
+            let (p_plus, p_minus) =
+                pair_offsets(&layout, &video, &data, 20.0, mode, full_amplitude(&data));
+            let ref_plus = inframe_frame::arith::add(&video, &p_plus).unwrap();
+            let ref_minus = inframe_frame::arith::sub(&video, &p_minus).unwrap();
+
+            let mut amps = Vec::new();
+            sample_amplitudes(&layout, full_amplitude(&data), &mut amps);
+            let steps: Vec<u16> = amps.iter().map(|&a| ChessLut::amp_step(a)).collect();
+            let mut lut = ChessLut::new(20.0, mode);
+            for &s in &steps {
+                lut.ensure_step(s);
+            }
+            let mut lut_plus = Plane::filled(192, 144, -1.0);
+            let mut lut_minus = Plane::filled(192, 144, -1.0);
+            render_frame_lut(&layout, &video, true, &steps, &lut, &engine, &mut lut_plus);
+            render_frame_lut(
+                &layout,
+                &video,
+                false,
+                &steps,
+                &lut,
+                &engine,
+                &mut lut_minus,
+            );
+
+            let half_lsb = qplane::LSB / 2.0 + 1e-6;
+            for (x, y, r) in ref_plus.iter_xy() {
+                assert!(
+                    (lut_plus.get(x, y) - r).abs() <= half_lsb,
+                    "{mode:?} plus ({x},{y}): {} vs {r}",
+                    lut_plus.get(x, y)
+                );
+            }
+            for (x, y, r) in ref_minus.iter_xy() {
+                assert!(
+                    (lut_minus.get(x, y) - r).abs() <= half_lsb,
+                    "{mode:?} minus ({x},{y}): {} vs {r}",
+                    lut_minus.get(x, y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lut_render_handles_fractional_envelope_amplitudes() {
+        // Mid-transition amplitudes go through amp_step quantization; at
+        // 1024 steps the amplitude snap is ≤ δ/2048, so the rendered frame
+        // stays within (δ/2048 + half an LSB) of the reference.
+        let (layout, data) = setup();
+        let video = Plane::filled(192, 144, 127.0);
+        let engine = ParallelEngine::new(3);
+        let frac = |data: &DataFrame| {
+            let d = data.clone();
+            move |bx: usize, by: usize| if d.bit(bx, by) { 0.37 } else { 0.0 }
+        };
+        let (p_plus, _) = pair_offsets(
+            &layout,
+            &video,
+            &data,
+            20.0,
+            Complementation::Luminance,
+            frac(&data),
+        );
+        let ref_plus = inframe_frame::arith::add(&video, &p_plus).unwrap();
+
+        let mut amps = Vec::new();
+        sample_amplitudes(&layout, frac(&data), &mut amps);
+        let steps: Vec<u16> = amps.iter().map(|&a| ChessLut::amp_step(a)).collect();
+        let mut lut = ChessLut::new(20.0, Complementation::Luminance);
+        for &s in &steps {
+            lut.ensure_step(s);
+        }
+        let mut lut_plus = Plane::filled(192, 144, 0.0);
+        render_frame_lut(&layout, &video, true, &steps, &lut, &engine, &mut lut_plus);
+
+        let tol = 20.0 / (2.0 * LUT_AMP_STEPS as f32) + qplane::LSB / 2.0 + 1e-5;
+        for (x, y, r) in ref_plus.iter_xy() {
+            assert!(
+                (lut_plus.get(x, y) - r).abs() <= tol,
+                "({x},{y}): {} vs {r}",
+                lut_plus.get(x, y)
+            );
+        }
+    }
+
+    #[test]
+    fn lut_render_is_identical_across_worker_counts() {
+        let (layout, data) = setup();
+        let video = Plane::from_fn(192, 144, |x, y| ((x * 3 + y * 5) % 256) as f32);
+        let mut amps = Vec::new();
+        sample_amplitudes(&layout, full_amplitude(&data), &mut amps);
+        let steps: Vec<u16> = amps.iter().map(|&a| ChessLut::amp_step(a)).collect();
+        let mut lut = ChessLut::new(20.0, Complementation::Luminance);
+        for &s in &steps {
+            lut.ensure_step(s);
+        }
+        let render = |workers: usize| {
+            let engine = ParallelEngine::new(workers);
+            let mut out = Plane::filled(192, 144, 0.0);
+            render_frame_lut(&layout, &video, true, &steps, &lut, &engine, &mut out);
+            out
+        };
+        let reference = render(1);
+        for workers in [2usize, 4, 6] {
+            assert_eq!(render(workers), reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ensure_step must precede")]
+    fn lut_table_lookup_requires_ensure() {
+        let lut = ChessLut::new(20.0, Complementation::Code);
+        let _ = lut.table(512);
     }
 
     #[test]

@@ -219,6 +219,14 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
         self.mux.engine()
     }
 
+    /// The kernel backend the render hot path dispatches to (set via
+    /// [`crate::config::KernelBackend::from_env`] / `INFRAME_KERNEL`;
+    /// [`crate::config::KernelBackend::Quantized`] replaces the offset
+    /// render + full-frame add with the fused chessboard-LUT pass).
+    pub fn kernel(&self) -> crate::config::KernelBackend {
+        self.config.kernel
+    }
+
     /// Ground-truth payload of data cycle `c` (available for every cycle
     /// emitted so far, plus the pre-fetched next cycle). `None` for cycles
     /// sent while paused.
@@ -364,6 +372,33 @@ mod tests {
         assert!(s.is_paused());
         s.resume();
         assert!(!s.is_paused());
+    }
+
+    #[test]
+    fn quantized_sender_matches_reference_within_tolerance() {
+        let reference = InFrameConfig {
+            kernel: crate::config::KernelBackend::Reference,
+            ..InFrameConfig::small_test()
+        };
+        let quantized = InFrameConfig {
+            kernel: crate::config::KernelBackend::Quantized,
+            ..reference
+        };
+        let mut sr = Sender::new(reference, video(&reference), PrbsPayload::new(7));
+        let mut sq = Sender::new(quantized, video(&quantized), PrbsPayload::new(7));
+        assert_eq!(sq.kernel(), crate::config::KernelBackend::Quantized);
+        let tol = reference.delta / (2.0 * 1024.0) + 1.0 / 256.0 + 1e-5;
+        for f in 0..(2 * reference.tau as usize) {
+            let a = sr.next_frame().unwrap();
+            let b = sq.next_frame().unwrap();
+            for (x, y, v) in a.plane.iter_xy() {
+                assert!(
+                    (b.plane.get(x, y) - v).abs() <= tol,
+                    "frame {f} ({x},{y}): {} vs {v}",
+                    b.plane.get(x, y)
+                );
+            }
+        }
     }
 
     #[test]

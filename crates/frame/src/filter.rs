@@ -5,6 +5,12 @@
 //! indicates whether the chessboard pattern (bit 1) is present (§3.3 of the
 //! paper). The box filter here is that smoother; the Gaussian is used by the
 //! camera optics model (PSF).
+//!
+//! These are the **reference** (oracle) implementations: scalar, O(r) per
+//! pixel, written for clarity. The performance-sensitive receiver path uses
+//! [`crate::integral::box_blur_fast_into`] (f32/f64 backend) or the
+//! fixed-point [`crate::qplane::sliding_box_blur_into`] (quantized
+//! backend), both property-tested against [`box_blur`] here.
 
 use crate::plane::Plane;
 

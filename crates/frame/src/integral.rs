@@ -9,6 +9,7 @@
 //! reference implementation.
 
 use crate::plane::Plane;
+use crate::qplane::{self, QBlurScratch, QPlane};
 
 /// A summed-area table: `sat[(x, y)]` is the sum of all samples with
 /// coordinates `< (x+1, y+1)` (f64 accumulators to keep 1920×1080×255
@@ -55,6 +56,376 @@ impl IntegralImage {
         self.sat[cy1 * stride + cx1] + self.sat[cy0 * stride + cx0]
             - self.sat[cy0 * stride + cx1]
             - self.sat[cy1 * stride + cx0]
+    }
+}
+
+/// Paired integer summed-area tables over a Q8.7 [`QPlane`]: one for the
+/// raw samples and one for their squares. This is the quantized
+/// demodulator's workhorse — per-Block correlation (`Σ hp·t`) and
+/// high-pass energy (`Σ hp²`) reduce to a handful of row-segment lookups
+/// instead of re-walking every sensor pixel per Block.
+///
+/// All arithmetic is `i64` and **exact**: `(255·128)² ≈ 1.07e9` per pixel
+/// times a 4K sensor (`~8.3e6` pixels) stays below `9e15 ≪ i64::MAX`.
+/// Exactness is what keeps quantized block scores bit-identical for every
+/// worker partition.
+#[derive(Debug, Clone, Default)]
+pub struct QIntegral {
+    width: usize,
+    height: usize,
+    /// `(width+1) × (height+1)` raw-sum table, zero top row / left column.
+    sum: Vec<i64>,
+    /// Same layout for the squared raw samples.
+    sq: Vec<i64>,
+}
+
+impl QIntegral {
+    /// Builds both tables from `src`.
+    pub fn new(src: &QPlane) -> Self {
+        let mut q = Self::default();
+        q.build_into(src);
+        q
+    }
+
+    /// Rebuilds both tables in place, reusing the buffers (zero
+    /// allocations in steady state).
+    ///
+    /// Only the top padding row is zero-filled on reuse: every interior
+    /// entry and the left padding column are overwritten below, so the
+    /// `resize(_, 0)` memset (~16 bytes/pixel across both tables) would
+    /// be pure wasted bandwidth on the per-capture path.
+    pub fn build_into(&mut self, src: &QPlane) {
+        let (w, h) = src.shape();
+        self.width = w;
+        self.height = h;
+        let stride = w + 1;
+        let needed = stride * (h + 1);
+        if self.sum.len() == needed {
+            self.sum[..stride].fill(0);
+            self.sq[..stride].fill(0);
+        } else {
+            self.sum.clear();
+            self.sum.resize(needed, 0);
+            self.sq.clear();
+            self.sq.resize(needed, 0);
+        }
+        for y in 0..h {
+            let row = &src.row(y)[..w];
+            let (prev_s, cur_s) = self.sum[y * stride..(y + 2) * stride].split_at_mut(stride);
+            let (prev_q, cur_q) = self.sq[y * stride..(y + 2) * stride].split_at_mut(stride);
+            cur_s[0] = 0;
+            cur_q[0] = 0;
+            let mut run_s = 0i64;
+            let mut run_q = 0i64;
+            for x in 0..w {
+                let v = row[x] as i64;
+                run_s += v;
+                run_q += v * v;
+                cur_s[x + 1] = prev_s[x + 1] + run_s;
+                cur_q[x + 1] = prev_q[x + 1] + run_q;
+            }
+        }
+    }
+
+    /// Builds both tables directly from the high-pass residual
+    /// `src − blur_r(src)` without materializing the smoothed or residual
+    /// planes.
+    ///
+    /// Bit-identical to composing [`qplane::sliding_box_blur_into`],
+    /// [`qplane::saturating_sub_into`] and [`Self::build_into`] (same
+    /// integer operations in the same order — pinned by a test below),
+    /// but one fused pass instead of three: the composition writes and
+    /// re-reads two full `i16` planes that exist only to feed this build,
+    /// which on a 720p capture is ~7 MB of pure memory traffic per frame.
+    ///
+    /// # Panics
+    /// Panics if `src` is empty.
+    pub fn build_highpass_into(&mut self, src: &QPlane, r: usize, scratch: &mut QBlurScratch) {
+        let (w, h) = src.shape();
+        assert!(w > 0 && h > 0, "cannot filter an empty plane");
+        self.width = w;
+        self.height = h;
+        let stride = w + 1;
+        let needed = stride * (h + 1);
+        if r == 0 {
+            // blur(src) == src, so the residual is identically zero.
+            self.sum.clear();
+            self.sum.resize(needed, 0);
+            self.sq.clear();
+            self.sq.resize(needed, 0);
+            return;
+        }
+        if self.sum.len() == needed {
+            self.sum[..stride].fill(0);
+            self.sq[..stride].fill(0);
+        } else {
+            self.sum.clear();
+            self.sum.resize(needed, 0);
+            self.sq.clear();
+            self.sq.resize(needed, 0);
+        }
+        qplane::horizontal_window_sums(src, r, &mut scratch.rowsum);
+        let area = ((2 * r + 1) * (2 * r + 1)) as i64;
+        qplane::init_column_sums(&scratch.rowsum, w, h, r, &mut scratch.col);
+        // Same round-up reciprocal as the sliding blur (see its exactness
+        // note); both share the `area ≤ 2896` guard.
+        let use_magic = area <= 2896;
+        let magic = (1u64 << 40) / (2 * area as u64) + 1;
+        let rowsum = &scratch.rowsum;
+        let col = &mut scratch.col;
+        for y in 0..h {
+            let row = &src.row(y)[..w];
+            let (prev_s, cur_s) = self.sum[y * stride..(y + 2) * stride].split_at_mut(stride);
+            let (prev_q, cur_q) = self.sq[y * stride..(y + 2) * stride].split_at_mut(stride);
+            cur_s[0] = 0;
+            cur_q[0] = 0;
+            let mut run_s = 0i64;
+            let mut run_q = 0i64;
+            for x in 0..w {
+                let n = col[x];
+                let mean = if use_magic {
+                    let q = (((2 * n.unsigned_abs() + area as u64) * magic) >> 40) as i64;
+                    if n < 0 {
+                        -q
+                    } else {
+                        q
+                    }
+                } else {
+                    qplane::div_round(n, area)
+                };
+                let hp = row[x].saturating_sub(mean as i16) as i64;
+                run_s += hp;
+                run_q += hp * hp;
+                cur_s[x + 1] = prev_s[x + 1] + run_s;
+                cur_q[x + 1] = prev_q[x + 1] + run_q;
+            }
+            if y + 1 < h {
+                let enter = &rowsum[(y + 1 + r).min(h - 1) * w..(y + 1 + r).min(h - 1) * w + w];
+                let leave = &rowsum[y.saturating_sub(r) * w..y.saturating_sub(r) * w + w];
+                for ((c, &e), &l) in col.iter_mut().zip(enter).zip(leave) {
+                    *c += e as i64 - l as i64;
+                }
+            }
+        }
+    }
+
+    /// The source shape the tables were built for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Raw-sum over the half-open row segment `[x0, x1)` of row `y`.
+    ///
+    /// # Panics
+    /// Debug-panics when the segment leaves the image.
+    #[inline]
+    pub fn row_sum(&self, y: usize, x0: usize, x1: usize) -> i64 {
+        debug_assert!(y < self.height && x0 <= x1 && x1 <= self.width);
+        let stride = self.width + 1;
+        let lo = (y + 1) * stride;
+        let hi = y * stride;
+        (self.sum[lo + x1] - self.sum[lo + x0]) - (self.sum[hi + x1] - self.sum[hi + x0])
+    }
+
+    /// Squared-sum over the half-open row segment `[x0, x1)` of row `y`
+    /// (units: raw², i.e. Q16.14).
+    #[inline]
+    pub fn row_sum_sq(&self, y: usize, x0: usize, x1: usize) -> i64 {
+        debug_assert!(y < self.height && x0 <= x1 && x1 <= self.width);
+        let stride = self.width + 1;
+        let lo = (y + 1) * stride;
+        let hi = y * stride;
+        (self.sq[lo + x1] - self.sq[lo + x0]) - (self.sq[hi + x1] - self.sq[hi + x0])
+    }
+
+    /// Raw-sum over the half-open rectangle `[x0, x1) × [y0, y1)`.
+    pub fn rect_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> i64 {
+        debug_assert!(x0 <= x1 && x1 <= self.width && y0 <= y1 && y1 <= self.height);
+        let stride = self.width + 1;
+        self.sum[y1 * stride + x1] + self.sum[y0 * stride + x0]
+            - self.sum[y0 * stride + x1]
+            - self.sum[y1 * stride + x0]
+    }
+
+    /// Squared-sum over the half-open rectangle `[x0, x1) × [y0, y1)`.
+    pub fn rect_sum_sq(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> i64 {
+        debug_assert!(x0 <= x1 && x1 <= self.width && y0 <= y1 && y1 <= self.height);
+        let stride = self.width + 1;
+        self.sq[y1 * stride + x1] + self.sq[y0 * stride + x0]
+            - self.sq[y0 * stride + x1]
+            - self.sq[y1 * stride + x0]
+    }
+}
+
+/// Per-row prefix sums (and squared sums) over a Q8.7 plane: the
+/// row-segment-only sibling of [`QIntegral`].
+///
+/// The quantized demodulator consumes nothing but row segments
+/// ([`QRowPrefix::row_sum`] / [`QRowPrefix::row_sum_sq`]), so the full
+/// summed-area table's vertical accumulation is wasted work — and worse,
+/// it makes every row depend on the previous one, forcing a serial
+/// build. Dropping it buys two things:
+///
+/// * **Less traffic**: raw row sums fit `i32` (`w · 255·128` stays exact
+///   up to 65 535-pixel rows, asserted in [`QRowPrefix::reshape`]), so
+///   the tables shrink from 16 to 12 bytes per pixel and lose the
+///   previous-row loads.
+/// * **Row parallelism**: rows are independent, so disjoint bands can be
+///   built concurrently ([`build_highpass_band`]) — the reference f32
+///   blur front end has no such decomposition.
+#[derive(Debug, Clone, Default)]
+pub struct QRowPrefix {
+    width: usize,
+    height: usize,
+    /// `(width+1)`-stride row prefix sums, zero left column.
+    sum: Vec<i32>,
+    /// Same layout for the squared samples (`i64`: `w · (255·128)²`).
+    sq: Vec<i64>,
+}
+
+impl QRowPrefix {
+    /// Prepares the tables for a `w × h` build, reusing the buffers
+    /// (shape changes zero-fill once; steady state writes every entry).
+    ///
+    /// # Panics
+    /// Panics if a row is too wide for exact `i32` prefix sums.
+    pub fn reshape(&mut self, w: usize, h: usize) {
+        assert!(w <= 65_535, "row prefix sums exceed i32 beyond 65535 px");
+        self.width = w;
+        self.height = h;
+        let needed = (w + 1) * h;
+        if self.sum.len() != needed {
+            self.sum.clear();
+            self.sum.resize(needed, 0);
+            self.sq.clear();
+            self.sq.resize(needed, 0);
+        }
+    }
+
+    /// The source shape the tables were built for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// The two tables as mutable row-major slices of stride `width + 1`,
+    /// for band-parallel builders (rows are independent, so callers may
+    /// hand disjoint row bands to [`build_highpass_band`] concurrently).
+    pub fn tables_mut(&mut self) -> (&mut [i32], &mut [i64]) {
+        (&mut self.sum, &mut self.sq)
+    }
+
+    /// Raw-sum over the half-open row segment `[x0, x1)` of row `y`.
+    ///
+    /// # Panics
+    /// Debug-panics when the segment leaves the image.
+    #[inline]
+    pub fn row_sum(&self, y: usize, x0: usize, x1: usize) -> i64 {
+        debug_assert!(y < self.height && x0 <= x1 && x1 <= self.width);
+        let base = y * (self.width + 1);
+        (self.sum[base + x1] - self.sum[base + x0]) as i64
+    }
+
+    /// Squared-sum over the half-open row segment `[x0, x1)` of row `y`
+    /// (units: raw², i.e. Q16.14).
+    #[inline]
+    pub fn row_sum_sq(&self, y: usize, x0: usize, x1: usize) -> i64 {
+        debug_assert!(y < self.height && x0 <= x1 && x1 <= self.width);
+        let base = y * (self.width + 1);
+        self.sq[base + x1] - self.sq[base + x0]
+    }
+}
+
+/// Fills the rows `rows` of a [`QRowPrefix`] band with the prefix sums of
+/// the high-pass residual `src − blur_r(src)` — the band-parallel fused
+/// front end of the quantized demodulator.
+///
+/// * `dst_sum` / `dst_sq` — the band's table rows (stride `w + 1`,
+///   exactly `rows.len()` rows; disjoint bands may run concurrently).
+/// * `rowsum` — the full plane's horizontal window sums
+///   ([`qplane::horizontal_window_sums_band`] output), shared read-only:
+///   the vertical window reaches up to `r` rows past the band edges.
+/// * `col` — per-caller scratch for the vertical running sums (grows to
+///   `w`, then reused; each concurrent band needs its own).
+///
+/// The residual values are bit-identical to composing
+/// [`qplane::sliding_box_blur_into`] and [`qplane::saturating_sub_into`]
+/// (same window sums, same round-up reciprocal division, same saturating
+/// subtract — pinned by a test below), and they are independent of the
+/// band partition: the seed of the vertical window at `rows.start` is an
+/// exact integer sum, so any split of the rows produces the same tables.
+///
+/// # Panics
+/// Panics on inconsistent slice lengths.
+pub fn build_highpass_band(
+    dst_sum: &mut [i32],
+    dst_sq: &mut [i64],
+    src: &QPlane,
+    rowsum: &[i32],
+    r: usize,
+    rows: std::ops::Range<usize>,
+    col: &mut Vec<i64>,
+) {
+    let (w, h) = src.shape();
+    let stride = w + 1;
+    assert!(rows.end <= h, "band rows must lie inside the plane");
+    assert_eq!(rowsum.len(), w * h, "window sums must cover the plane");
+    assert_eq!(dst_sum.len(), rows.len() * stride, "sum band mismatch");
+    assert_eq!(dst_sq.len(), rows.len() * stride, "sq band mismatch");
+    if r == 0 {
+        // blur(src) == src: the residual — and every prefix — is zero.
+        dst_sum.fill(0);
+        dst_sq.fill(0);
+        return;
+    }
+    // Seed the vertical running sums for the band's first row: the
+    // replicate-border window `rows.start − r ..= rows.start + r`.
+    col.clear();
+    col.resize(w, 0);
+    for j in rows.start as isize - r as isize..=(rows.start + r) as isize {
+        let jy = j.clamp(0, h as isize - 1) as usize;
+        let src_row = &rowsum[jy * w..(jy + 1) * w];
+        for (c, &v) in col.iter_mut().zip(src_row) {
+            *c += v as i64;
+        }
+    }
+    let area = ((2 * r + 1) * (2 * r + 1)) as i64;
+    // Same round-up reciprocal as the sliding blur (see its exactness
+    // note); both share the `area ≤ 2896` guard.
+    let use_magic = area <= 2896;
+    let magic = (1u64 << 40) / (2 * area as u64) + 1;
+    for (i, y) in rows.clone().enumerate() {
+        let row = &src.row(y)[..w];
+        let sum_row = &mut dst_sum[i * stride..(i + 1) * stride];
+        let sq_row = &mut dst_sq[i * stride..(i + 1) * stride];
+        sum_row[0] = 0;
+        sq_row[0] = 0;
+        let mut run_s = 0i32;
+        let mut run_q = 0i64;
+        for x in 0..w {
+            let n = col[x];
+            let mean = if use_magic {
+                let q = (((2 * n.unsigned_abs() + area as u64) * magic) >> 40) as i64;
+                if n < 0 {
+                    -q
+                } else {
+                    q
+                }
+            } else {
+                qplane::div_round(n, area)
+            };
+            let hp = row[x].saturating_sub(mean as i16);
+            run_s += hp as i32;
+            run_q += (hp as i64) * (hp as i64);
+            sum_row[x + 1] = run_s;
+            sq_row[x + 1] = run_q;
+        }
+        if y + 1 < h {
+            let enter = &rowsum[(y + 1 + r).min(h - 1) * w..(y + 1 + r).min(h - 1) * w + w];
+            let leave = &rowsum[y.saturating_sub(r) * w..y.saturating_sub(r) * w + w];
+            for ((c, &e), &l) in col.iter_mut().zip(enter).zip(leave) {
+                *c += e as i64 - l as i64;
+            }
+        }
     }
 }
 
@@ -159,6 +530,78 @@ mod tests {
     use proptest::prelude::*;
 
     #[test]
+    fn fused_highpass_build_is_bit_identical_to_composition() {
+        let src = QPlane::from_plane(&Plane::from_fn(37, 29, |x, y| {
+            ((x * 83 + y * 131 + x * y) % 256) as f32 - 64.0
+        }));
+        let mut scratch = QBlurScratch::default();
+        let mut smoothed = QPlane::new(1, 1);
+        let mut highpass = QPlane::new(1, 1);
+        let mut composed = QIntegral::default();
+        let mut fused = QIntegral::default();
+        for r in 0..=8usize {
+            qplane::sliding_box_blur_into(&src, r, &mut scratch, &mut smoothed);
+            qplane::saturating_sub_into(&src, &smoothed, &mut highpass);
+            composed.build_into(&highpass);
+            // Run the fused build twice: the second call exercises the
+            // buffer-reuse path (no zero fill).
+            for _ in 0..2 {
+                fused.build_highpass_into(&src, r, &mut scratch);
+                assert_eq!(fused.shape(), composed.shape());
+                assert_eq!(fused.sum, composed.sum, "sum table diverged at r={r}");
+                assert_eq!(fused.sq, composed.sq, "sq table diverged at r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn banded_row_prefix_matches_composition_for_any_split() {
+        let src = QPlane::from_plane(&Plane::from_fn(41, 23, |x, y| {
+            ((x * 67 + y * 149 + x * y * 3) % 256) as f32 - 96.0
+        }));
+        let (w, h) = src.shape();
+        let mut scratch = QBlurScratch::default();
+        let mut smoothed = QPlane::new(1, 1);
+        let mut highpass = QPlane::new(1, 1);
+        let mut col = Vec::new();
+        for r in [0usize, 1, 3, 8] {
+            qplane::sliding_box_blur_into(&src, r, &mut scratch, &mut smoothed);
+            qplane::saturating_sub_into(&src, &smoothed, &mut highpass);
+            let oracle = QIntegral::new(&highpass);
+            let mut rowsum = Vec::new();
+            qplane::horizontal_window_sums(&src, r, &mut rowsum);
+            for bands in [1usize, 2, 3, 7] {
+                let mut prefix = QRowPrefix::default();
+                prefix.reshape(w, h);
+                let (sum, sq) = prefix.tables_mut();
+                let mut rest_s = sum;
+                let mut rest_q = sq;
+                for rows in crate::plane::band_rows(h, bands) {
+                    let (band_s, tail_s) = rest_s.split_at_mut(rows.len() * (w + 1));
+                    let (band_q, tail_q) = rest_q.split_at_mut(rows.len() * (w + 1));
+                    rest_s = tail_s;
+                    rest_q = tail_q;
+                    build_highpass_band(band_s, band_q, &src, &rowsum, r, rows, &mut col);
+                }
+                for y in 0..h {
+                    for (x0, x1) in [(0, w), (3, w - 5), (w / 2, w / 2), (1, 2)] {
+                        assert_eq!(
+                            prefix.row_sum(y, x0, x1),
+                            oracle.row_sum(y, x0, x1),
+                            "sum r={r} bands={bands} y={y} [{x0},{x1})"
+                        );
+                        assert_eq!(
+                            prefix.row_sum_sq(y, x0, x1),
+                            oracle.row_sum_sq(y, x0, x1),
+                            "sq r={r} bands={bands} y={y} [{x0},{x1})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn rect_sum_matches_manual() {
         let p = Plane::from_fn(5, 4, |x, y| (y * 5 + x) as f32);
         let sat = IntegralImage::new(&p);
@@ -218,7 +661,57 @@ mod tests {
         assert_eq!(box_blur_fast(&p, 0), p);
     }
 
+    #[test]
+    fn qintegral_row_segments_match_manual() {
+        let p = Plane::from_fn(7, 5, |x, y| (y * 7 + x) as f32);
+        let q = QPlane::from_plane(&p);
+        let sat = QIntegral::new(&q);
+        // Row 2, columns [1, 4): raw samples are 128·(15, 16, 17).
+        assert_eq!(sat.row_sum(2, 1, 4), 128 * (15 + 16 + 17));
+        assert_eq!(
+            sat.row_sum_sq(2, 1, 4),
+            128 * 128 * (15 * 15 + 16 * 16 + 17 * 17)
+        );
+        assert_eq!(sat.row_sum(0, 3, 3), 0);
+    }
+
     proptest! {
+        /// Satellite: integral-image block sums equal naive sums exactly
+        /// (integer arithmetic) on random planes.
+        #[test]
+        fn qintegral_rects_match_naive(
+            w in 2usize..20,
+            h in 2usize..20,
+            seed in any::<u64>(),
+        ) {
+            let p = Plane::from_fn(w, h, |x, y| {
+                let v = (x as u64).wrapping_mul(0x9E3779B9)
+                    ^ (y as u64).wrapping_mul(0x85EBCA6B)
+                    ^ seed;
+                (v % 256) as f32 - 64.0
+            });
+            let q = QPlane::from_plane(&p);
+            let sat = QIntegral::new(&q);
+            let (x0, y0) = (w / 4, h / 4);
+            let (x1, y1) = (w - w / 5, h - h / 5);
+            let mut want_s = 0i64;
+            let mut want_q = 0i64;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let v = q.get(x, y) as i64;
+                    want_s += v;
+                    want_q += v * v;
+                }
+            }
+            prop_assert_eq!(sat.rect_sum(x0, y0, x1, y1), want_s);
+            prop_assert_eq!(sat.rect_sum_sq(x0, y0, x1, y1), want_q);
+            let mut row_s = 0i64;
+            for y in y0..y1 {
+                row_s += sat.row_sum(y, x0, x1);
+            }
+            prop_assert_eq!(row_s, want_s);
+        }
+
         #[test]
         fn fast_equals_slow(
             w in 3usize..20,

@@ -22,6 +22,9 @@
 //! * [`pool`] — a fixed-geometry frame arena ([`FramePool`]) whose
 //!   checkout/return handles give the streaming pipeline zero steady-state
 //!   heap allocations.
+//! * [`qplane`] — Q8.7 fixed-point planes and the autovectorizable O(1)
+//!   sliding-window blur behind the quantized kernel backend; [`integral`]
+//!   adds the paired integer summed-area tables it scores Blocks with.
 //! * [`draw`] — rectangle/checkerboard/gradient drawing helpers used by the
 //!   synthetic video generators.
 //! * [`io`] — binary PGM/PPM reading and writing so examples can emit
@@ -47,6 +50,7 @@ pub mod io;
 pub mod metrics;
 pub mod plane;
 pub mod pool;
+pub mod qplane;
 pub mod resample;
 pub mod rgb;
 

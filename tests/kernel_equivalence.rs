@@ -1,0 +1,367 @@
+//! The quantized kernel layer must be invisible to the link: on the whole
+//! test corpus the Q8.7 backend decodes **exactly the same bits** as the
+//! f32 reference, its raw block scores stay within one Q8.7 LSB (1/128
+//! code value) of the reference scores, and — like the reference — its
+//! output is bit-identical for every worker count (`INFRAME_WORKERS`
+//! 1–6 equivalents), because all of its integer reductions are exact.
+
+use inframe::core::config::KernelBackend;
+use inframe::core::dataframe::DataFrame;
+use inframe::core::demux::{BlockScore, DecodedDataFrame, Demultiplexer, RegionCache};
+use inframe::core::parallel::ParallelEngine;
+use inframe::core::pattern::{self, Complementation};
+use inframe::core::sender::{PrbsPayload, Sender};
+use inframe::core::{DataLayout, InFrameConfig};
+use inframe::frame::geometry::Homography;
+use inframe::frame::qplane;
+use inframe::frame::resample::downsample_area;
+use inframe::frame::Plane;
+use inframe::video::synth::MovingBarsClip;
+use inframe::video::FrameRate;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn textured_video(cfg: &InFrameConfig, seed: u64) -> Plane<f32> {
+    Plane::from_fn(cfg.display_w, cfg.display_h, |x, y| {
+        let h = (x as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((y as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(seed.wrapping_mul(0x94D0_49BB_1331_11EB));
+        40.0 + ((h >> 7) % 176) as f32
+    })
+}
+
+fn bars(cfg: &InFrameConfig) -> MovingBarsClip {
+    MovingBarsClip::new(
+        cfg.display_w,
+        cfg.display_h,
+        17,
+        1.5,
+        70.0,
+        210.0,
+        FrameRate(cfg.refresh_hz / 4.0),
+    )
+}
+
+/// One corpus entry: a set of captures for one data cycle, plus the
+/// registration/sensor geometry they were captured under.
+struct Scenario {
+    name: &'static str,
+    registration: Homography,
+    sensor_w: usize,
+    sensor_h: usize,
+    captures: Vec<Plane<f32>>,
+}
+
+/// The equivalence corpus: clean solid-video captures, textured video,
+/// minus frames, fractional envelope amplitudes, and a 2/3-resolution
+/// sensor (non-integer capture values through the area downsample).
+fn corpus(cfg: &InFrameConfig) -> Vec<Scenario> {
+    let layout = DataLayout::from_config(cfg);
+    let frame_for = |key: usize| {
+        let payload: Vec<bool> = (0..layout.payload_bits_parity())
+            .map(|i| i % key == 0)
+            .collect();
+        DataFrame::encode(&layout, &payload, cfg.coding)
+    };
+    let full = |frame: &DataFrame| {
+        let f = frame.clone();
+        move |bx: usize, by: usize| if f.bit(bx, by) { 1.0 } else { 0.0 }
+    };
+    let mut scenarios = Vec::new();
+
+    let f3 = frame_for(3);
+    let solid = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+    let (plus, minus) = pattern::complementary_pair(
+        &layout,
+        &solid,
+        &f3,
+        cfg.delta,
+        Complementation::Code,
+        full(&f3),
+    );
+    scenarios.push(Scenario {
+        name: "solid-code-pair",
+        registration: Homography::identity(),
+        sensor_w: cfg.display_w,
+        sensor_h: cfg.display_h,
+        captures: vec![plus, minus],
+    });
+
+    let f2 = frame_for(2);
+    let textured = textured_video(cfg, 11);
+    let (plus, _) = pattern::complementary_pair(
+        &layout,
+        &textured,
+        &f2,
+        cfg.delta,
+        Complementation::Luminance,
+        full(&f2),
+    );
+    scenarios.push(Scenario {
+        name: "textured-luminance",
+        registration: Homography::identity(),
+        sensor_w: cfg.display_w,
+        sensor_h: cfg.display_h,
+        captures: vec![plus, textured.clone()],
+    });
+
+    let f4 = frame_for(4);
+    let faint = pattern::complementary_pair(
+        &layout,
+        &solid,
+        &f4,
+        cfg.delta,
+        Complementation::Code,
+        |bx, by| if f4.bit(bx, by) { 0.6 } else { 0.0 },
+    )
+    .0;
+    scenarios.push(Scenario {
+        name: "fractional-amplitude",
+        registration: Homography::identity(),
+        sensor_w: cfg.display_w,
+        sensor_h: cfg.display_h,
+        captures: vec![faint],
+    });
+
+    // 2/3-resolution sensor: captures carry non-integer values, so the
+    // Q8.7 quantizer actually rounds.
+    let sw = cfg.display_w * 2 / 3;
+    let sh = cfg.display_h * 2 / 3;
+    let (plus, _) = pattern::complementary_pair(
+        &layout,
+        &textured,
+        &f3,
+        cfg.delta,
+        Complementation::Code,
+        full(&f3),
+    );
+    scenarios.push(Scenario {
+        name: "downscaled-sensor",
+        registration: Homography::scale(
+            sw as f64 / cfg.display_w as f64,
+            sh as f64 / cfg.display_h as f64,
+        ),
+        sensor_w: sw,
+        sensor_h: sh,
+        captures: vec![downsample_area(&plus, sw, sh)],
+    });
+
+    scenarios
+}
+
+fn run_backend(
+    cfg: &InFrameConfig,
+    backend: KernelBackend,
+    workers: usize,
+    scenario: &Scenario,
+) -> (DecodedDataFrame, Vec<Vec<BlockScore>>) {
+    let cfg = InFrameConfig {
+        kernel: backend,
+        ..*cfg
+    };
+    let cache = RegionCache::build(
+        &cfg,
+        &scenario.registration,
+        scenario.sensor_w,
+        scenario.sensor_h,
+    );
+    let engine = Arc::new(ParallelEngine::new(workers));
+    let mut demux = Demultiplexer::with_cache(cfg, cache, engine);
+    let d = demux.cycle_duration();
+    let mut scores = Vec::new();
+    for (i, capture) in scenario.captures.iter().enumerate() {
+        // All captures land in the scored first half of cycle 0.
+        demux.push_capture(capture, (0.05 + 0.1 * i as f64) * d);
+        scores.push(demux.last_scores().to_vec());
+    }
+    (demux.finish().expect("one cycle accumulated"), scores)
+}
+
+/// Acceptance: decoded bits are identical across backends on the entire
+/// corpus (stats and all).
+#[test]
+fn decoded_bits_identical_across_backends_on_corpus() {
+    let cfg = InFrameConfig::small_test();
+    for scenario in corpus(&cfg) {
+        let (reference, _) = run_backend(&cfg, KernelBackend::Reference, 1, &scenario);
+        let (quantized, _) = run_backend(&cfg, KernelBackend::Quantized, 1, &scenario);
+        assert_eq!(
+            quantized, reference,
+            "decode differs on scenario {}",
+            scenario.name
+        );
+    }
+}
+
+/// Acceptance: raw per-capture block scores of the quantized backend stay
+/// within one Q8.7 LSB of the reference, and readability agrees exactly.
+#[test]
+fn quantized_scores_within_one_lsb_of_reference() {
+    let cfg = InFrameConfig::small_test();
+    for scenario in corpus(&cfg) {
+        let (_, ref_scores) = run_backend(&cfg, KernelBackend::Reference, 1, &scenario);
+        let (_, q_scores) = run_backend(&cfg, KernelBackend::Quantized, 1, &scenario);
+        for (c, (rs, qs)) in ref_scores.iter().zip(&q_scores).enumerate() {
+            assert_eq!(rs.len(), qs.len());
+            for (b, (r, q)) in rs.iter().zip(qs).enumerate() {
+                match (r.value(), q.value()) {
+                    (Some(rv), Some(qv)) => assert!(
+                        (rv - qv).abs() <= qplane::LSB,
+                        "{} capture {c} block {b}: {qv} vs {rv}",
+                        scenario.name
+                    ),
+                    (None, None) => {}
+                    _ => panic!(
+                        "{} capture {c} block {b}: readability disagrees ({r:?} vs {q:?})",
+                        scenario.name
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The quantized demux is bit-identical for every worker count 1–6: its
+/// reductions are exact integer sums over a fixed partition.
+#[test]
+fn quantized_decode_identical_across_worker_counts() {
+    let cfg = InFrameConfig::small_test();
+    for scenario in corpus(&cfg) {
+        let (reference, ref_scores) = run_backend(&cfg, KernelBackend::Quantized, 1, &scenario);
+        for workers in 2..=6usize {
+            let (decoded, scores) = run_backend(&cfg, KernelBackend::Quantized, workers, &scenario);
+            assert_eq!(
+                decoded, reference,
+                "{} decode differs at {workers} workers",
+                scenario.name
+            );
+            assert_eq!(
+                scores, ref_scores,
+                "{} scores differ at {workers} workers",
+                scenario.name
+            );
+        }
+    }
+}
+
+/// The quantized sender (LUT render) is bit-identical for every worker
+/// count, and stays within the documented amplitude-snap + Q8.7 bound of
+/// the reference sender on real moving video.
+#[test]
+fn quantized_sender_bit_identical_across_worker_counts() {
+    let cfg = InFrameConfig {
+        kernel: KernelBackend::Quantized,
+        ..InFrameConfig::small_test()
+    };
+    let frames = 2 * cfg.tau as usize + 3;
+    let mut reference = Sender::with_engine(
+        cfg,
+        bars(&cfg),
+        PrbsPayload::new(9),
+        Arc::new(ParallelEngine::new(1)),
+    );
+    let reference_frames: Vec<_> = (0..frames)
+        .map(|_| reference.next_frame().expect("endless clip"))
+        .collect();
+    for workers in 2..=6usize {
+        let engine = Arc::new(ParallelEngine::new(workers));
+        let mut sender = Sender::with_engine(cfg, bars(&cfg), PrbsPayload::new(9), engine);
+        for (i, want) in reference_frames.iter().enumerate() {
+            let got = sender.next_frame().expect("endless clip");
+            assert_eq!(got.slot, want.slot);
+            assert_eq!(
+                got.plane.samples(),
+                want.plane.samples(),
+                "frame {i} differs at {workers} workers"
+            );
+        }
+    }
+}
+
+/// End-to-end: a quantized sender feeding a quantized receiver recovers
+/// the same payload a reference/reference link does.
+#[test]
+fn quantized_link_decodes_same_payload_as_reference_link() {
+    let run = |backend: KernelBackend| {
+        let cfg = InFrameConfig {
+            kernel: backend,
+            ..InFrameConfig::small_test()
+        };
+        let mut sender = Sender::with_engine(
+            cfg,
+            bars(&cfg),
+            PrbsPayload::new(21),
+            Arc::new(ParallelEngine::new(2)),
+        );
+        let mut demux = Demultiplexer::with_cache(
+            cfg,
+            RegionCache::build(&cfg, &Homography::identity(), cfg.display_w, cfg.display_h),
+            Arc::new(ParallelEngine::new(2)),
+        );
+        let mut decoded = Vec::new();
+        // Camera at 30 FPS over 120 Hz display: every 4th displayed frame.
+        for _ in 0..(4 * cfg.tau as usize) {
+            let f = sender.next_frame().expect("endless clip");
+            if f.slot.display_index.is_multiple_of(4) {
+                let t_mid = f.slot.t_start + 0.5 / cfg.refresh_hz;
+                if let Some(d) = demux.push_capture(&f.plane, t_mid) {
+                    decoded.push(d);
+                }
+            }
+        }
+        decoded.extend(demux.finish());
+        assert!(!decoded.is_empty(), "{backend:?}: no cycles decoded");
+        decoded
+    };
+    let reference = run(KernelBackend::Reference);
+    let quantized = run(KernelBackend::Quantized);
+    assert_eq!(reference.len(), quantized.len());
+    for (r, q) in reference.iter().zip(&quantized) {
+        assert_eq!(q.cycle, r.cycle);
+        assert_eq!(q.payload, r.payload, "cycle {}", r.cycle);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: across random textures, amplitudes, and worker counts,
+    /// the quantized demux scores identically for every worker count and
+    /// within one LSB of the reference.
+    #[test]
+    fn quantized_scoring_is_deterministic_and_close(
+        seed in 0u64..1_000_000,
+        workers in 1usize..7,
+    ) {
+        let cfg = InFrameConfig::small_test();
+        let layout = DataLayout::from_config(&cfg);
+        let video = textured_video(&cfg, seed);
+        let payload: Vec<bool> = (0..layout.payload_bits_parity())
+            .map(|i| (i as u64 ^ seed).is_multiple_of(2))
+            .collect();
+        let frame = DataFrame::encode(&layout, &payload, cfg.coding);
+        let (plus, _) = pattern::complementary_pair(
+            &layout, &video, &frame, cfg.delta, Complementation::Code,
+            |bx, by| if frame.bit(bx, by) { 1.0 } else { 0.0 },
+        );
+        let scenario = Scenario {
+            name: "prop",
+            registration: Homography::identity(),
+            sensor_w: cfg.display_w,
+            sensor_h: cfg.display_h,
+            captures: vec![plus],
+        };
+        let (_, base) = run_backend(&cfg, KernelBackend::Quantized, 1, &scenario);
+        let (_, multi) = run_backend(&cfg, KernelBackend::Quantized, workers, &scenario);
+        prop_assert_eq!(&multi, &base, "worker-count dependence at {} workers", workers);
+        let (_, reference) = run_backend(&cfg, KernelBackend::Reference, 1, &scenario);
+        for (r, q) in reference[0].iter().zip(&base[0]) {
+            match (r.value(), q.value()) {
+                (Some(rv), Some(qv)) => prop_assert!((rv - qv).abs() <= qplane::LSB),
+                (None, None) => {}
+                _ => prop_assert!(false, "readability disagrees"),
+            }
+        }
+    }
+}
