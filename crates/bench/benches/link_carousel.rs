@@ -1,0 +1,115 @@
+//! Transport-layer operating points: goodput, decode overhead ε and
+//! time-to-first-object of the `inframe-link` fountain-coded carousel
+//! over the GOB-granularity link simulator.
+//!
+//! ```sh
+//! cargo bench -p inframe-bench --bench link_carousel
+//! ```
+//!
+//! Prints one line per operating point and writes `BENCH_link.json` to
+//! the repository root. All timing is simulated channel time (τ code
+//! frames per cycle at the display refresh rate) — no wall clock touches
+//! any number, so records are reproducible bit-for-bit from the seeds.
+
+use inframe_sim::linksim::{BurstModel, LinkScenarioConfig, LinkScenarioOutcome};
+use inframe_sim::run_link_scenario;
+
+struct Sample {
+    scenario: String,
+    erasure: f64,
+    join_cycle: u64,
+    adaptive: bool,
+    out: LinkScenarioOutcome,
+}
+
+fn run(scenario: &str, cfg: &LinkScenarioConfig) -> Sample {
+    let out = run_link_scenario(cfg);
+    let eps = out.epsilon_max.map_or("-".into(), |e| format!("{:.3}", e));
+    let ttfo = out
+        .time_to_first_object_s
+        .map_or("-".into(), |t| format!("{:.2} s", t));
+    println!(
+        "{scenario:<26} erasure {:>4.0}%  complete {:<5}  goodput {:7.1} b/s  ε {:<6}  first object {}",
+        cfg.erasure * 100.0,
+        out.completed,
+        out.goodput_bps,
+        eps,
+        ttfo,
+    );
+    Sample {
+        scenario: scenario.to_string(),
+        erasure: cfg.erasure,
+        join_cycle: cfg.join_cycle,
+        adaptive: cfg.adaptive,
+        out,
+    }
+}
+
+fn json_entry(s: &Sample) -> String {
+    let opt = |v: Option<f64>| v.map_or("null".into(), |x| format!("{x:.6}"));
+    let cycles = s
+        .out
+        .cycles_to_complete
+        .map_or("null".into(), |c| c.to_string());
+    format!(
+        "    {{\"scenario\": \"{}\", \"erasure\": {:.2}, \"join_cycle\": {}, \"adaptive\": {}, \
+         \"completed\": {}, \"cycles_to_complete\": {}, \"goodput_bps\": {:.3}, \
+         \"epsilon\": {}, \"time_to_first_object_s\": {}, \"modulation_commands\": {}}}",
+        s.scenario,
+        s.erasure,
+        s.join_cycle,
+        s.adaptive,
+        s.out.completed,
+        cycles,
+        s.out.goodput_bps,
+        opt(s.out.epsilon_max),
+        opt(s.out.time_to_first_object_s),
+        s.out.commands.len(),
+    )
+}
+
+fn main() {
+    println!("link carousel — 4 KiB object, paper channel, RS-coded GOBs (simulated time)");
+    println!();
+    let mut samples = Vec::new();
+
+    // Uniform-erasure sweep over the paper's operating range.
+    for (i, erasure) in [0.0, 0.05, 0.10, 0.20, 0.30].into_iter().enumerate() {
+        let cfg = LinkScenarioConfig::baseline(erasure, 9000 + i as u64);
+        samples.push(run("erasure_sweep", &cfg));
+    }
+
+    // Late joiners: the receiver tunes in 60% and 90% of a carousel pass
+    // (K = 79 cycles) after the broadcast started.
+    for join_cycle in [48u64, 71] {
+        let mut cfg = LinkScenarioConfig::baseline(0.10, 7000 + join_cycle);
+        cfg.join_cycle = join_cycle;
+        samples.push(run("late_join", &cfg));
+    }
+
+    // Scene-cut bursts on a harsh channel, fixed modulation vs the
+    // adaptive δ/τ controller.
+    for adaptive in [false, true] {
+        let mut cfg = LinkScenarioConfig::baseline(0.35, 3100);
+        cfg.burst = Some(BurstModel {
+            period: 40,
+            len: 6,
+            erasure: 0.9,
+        });
+        cfg.adaptive = adaptive;
+        samples.push(run("scene_cut_bursts", &cfg));
+    }
+
+    println!();
+    let body = samples
+        .iter()
+        .map(json_entry)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"link_carousel\",\n  \"object_bytes\": 4096,\n  \"samples\": [\n{body}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_link.json");
+    std::fs::write(path, &json).expect("write bench json");
+    println!("wrote {path}");
+}

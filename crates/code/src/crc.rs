@@ -18,20 +18,31 @@ pub fn crc8(data: &[u8]) -> u8 {
     crc
 }
 
-/// CRC-16/CCITT-FALSE: polynomial 0x1021, init 0xFFFF, no reflection.
-pub fn crc16_ccitt(data: &[u8]) -> u16 {
-    let mut crc = 0xFFFFu16;
-    for &b in data {
-        crc ^= (b as u16) << 8;
-        for _ in 0..8 {
-            crc = if crc & 0x8000 != 0 {
-                (crc << 1) ^ 0x1021
-            } else {
-                crc << 1
-            };
-        }
+/// Initial state of the CRC-16/CCITT-FALSE register (for streaming use
+/// with [`crc16_ccitt_update`]).
+pub const CRC16_CCITT_INIT: u16 = 0xFFFF;
+
+/// Folds one byte into a CRC-16/CCITT-FALSE register. Start from
+/// [`CRC16_CCITT_INIT`]; the final register value is the checksum — no
+/// output XOR. Lets scanners checksum bytes extracted on the fly from a
+/// packed bitstream without materializing a buffer.
+#[inline]
+pub fn crc16_ccitt_update(crc: u16, byte: u8) -> u16 {
+    let mut crc = crc ^ ((byte as u16) << 8);
+    for _ in 0..8 {
+        crc = if crc & 0x8000 != 0 {
+            (crc << 1) ^ 0x1021
+        } else {
+            crc << 1
+        };
     }
     crc
+}
+
+/// CRC-16/CCITT-FALSE: polynomial 0x1021, init 0xFFFF, no reflection.
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    data.iter()
+        .fold(CRC16_CCITT_INIT, |crc, &b| crc16_ccitt_update(crc, b))
 }
 
 /// CRC-32 (IEEE 802.3, as used by zlib/PNG): reflected polynomial
@@ -101,6 +112,14 @@ mod tests {
         #[test]
         fn crc_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
             prop_assert_eq!(crc32(&data), crc32(&data));
+        }
+
+        #[test]
+        fn streaming_update_matches_batch(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let streamed = data
+                .iter()
+                .fold(CRC16_CCITT_INIT, |crc, &b| crc16_ccitt_update(crc, b));
+            prop_assert_eq!(streamed, crc16_ccitt(&data));
         }
     }
 }

@@ -1,0 +1,605 @@
+//! The receiver side of the transport: symbol scanning and the session
+//! state machine.
+//!
+//! A receiver may join the carousel at any moment — mid-cycle, mid-frame,
+//! mid-object. The session models that as a small state machine:
+//!
+//! ```text
+//! ACQUIRE ──(cycle phase locked)──▶ SYNCED ──(first symbol)──▶ COLLECTING
+//!                                                                 │
+//!                                          (completion target met) ▼
+//!                                                              COMPLETE
+//! ```
+//!
+//! In [`SyncMode::Blind`] the session recovers the sender's cycle phase
+//! from capture crispness ([`inframe_core::sync::CycleSynchronizer`])
+//! before decoding anything; with [`SyncMode::Known`] it starts out
+//! synced. Decoded cycle payloads (with per-GOB losses as `None`) feed a
+//! bounded [`SymbolScanner`], and every recovered symbol flows into the
+//! per-object incremental [`ObjectDecoder`]s. Because the carousel is
+//! rateless, a late joiner needs no retransmission protocol: it simply
+//! keeps absorbing whatever symbols it sees until rank K is reached.
+
+use crate::carousel::SymbolGeometry;
+use crate::rlc::ObjectDecoder;
+use crate::symbol::Symbol;
+use inframe_code::framing::{scan_packed, PackedBits};
+use inframe_code::parity::GobStats;
+use inframe_core::sync::CycleSynchronizer;
+use inframe_core::{DecodedDataFrame, Demultiplexer, InFrameConfig};
+use inframe_frame::geometry::Homography;
+use inframe_frame::Plane;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How the session learns the sender's cycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// Phase known out of band (shared clock / receiver started with the
+    /// sender). The session begins in [`SessionState::Synced`].
+    Known {
+        /// Cycle origin in receiver seconds.
+        phase: f64,
+    },
+    /// Estimate the phase blindly from capture crispness before decoding.
+    Blind {
+        /// Captures to observe before attempting an estimate.
+        min_captures: usize,
+        /// Minimum folded-profile contrast to accept an estimate.
+        min_confidence: f64,
+    },
+}
+
+impl SyncMode {
+    /// The default blind acquisition parameters: a dozen captures
+    /// (≈ 4 cycles at 30 FPS) and modest required contrast.
+    pub fn blind() -> Self {
+        SyncMode::Blind {
+            min_captures: 12,
+            min_confidence: 1.3,
+        }
+    }
+}
+
+/// When the session declares itself done.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompletionTarget {
+    /// All of the listed object ids recovered.
+    AllOf(Vec<u16>),
+    /// Any `n` distinct objects recovered.
+    Objects(usize),
+    /// Run forever (continuous listeners, delegated pumps).
+    Never,
+}
+
+/// The receiver session's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionState {
+    /// Observing captures to recover the cycle phase.
+    Acquire,
+    /// Phase locked; no symbol recovered yet.
+    Synced,
+    /// At least one symbol absorbed; objects decoding.
+    Collecting,
+    /// The completion target has been met.
+    Complete,
+}
+
+/// Streaming frame-to-symbol scanner with a bounded rolling buffer.
+///
+/// Cycle payloads append as packed bits (losses map to `0` and are
+/// rejected by the frame CRC); valid frames parse into [`Symbol`]s of the
+/// session's geometry. The buffer never grows past one maximal frame
+/// beyond what the streaming scan holds back.
+#[derive(Debug, Clone)]
+pub struct SymbolScanner {
+    buf: PackedBits,
+    symbol_bytes: usize,
+    recovered: u64,
+    rejected: u64,
+}
+
+impl SymbolScanner {
+    /// A scanner for symbols of `symbol_bytes` data bytes.
+    pub fn new(symbol_bytes: usize) -> Self {
+        Self {
+            buf: PackedBits::new(),
+            symbol_bytes,
+            recovered: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Appends one cycle's payload and returns every symbol completed by
+    /// it.
+    pub fn push_payload(&mut self, payload: &[Option<bool>]) -> Vec<Symbol> {
+        self.buf.push_option_bits(payload);
+        let (frames, resume) = scan_packed(&self.buf, true);
+        self.buf.discard_front(resume);
+        let mut out = Vec::with_capacity(frames.len());
+        for f in frames {
+            match Symbol::from_frame_payload(&f.payload) {
+                Some(s) if s.data.len() == self.symbol_bytes => {
+                    self.recovered += 1;
+                    out.push(s);
+                }
+                _ => self.rejected += 1,
+            }
+        }
+        out
+    }
+
+    /// Valid symbols recovered so far.
+    pub fn recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Frames that validated but were not symbols of this geometry
+    /// (spurious CRC matches, foreign traffic).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Bits currently buffered.
+    pub fn buffered_bits(&self) -> usize {
+        self.buf.bit_len()
+    }
+}
+
+/// What one absorbed cycle produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleReport {
+    /// Cycle index (receiver-relative).
+    pub cycle: u64,
+    /// Valid symbols recovered from this cycle.
+    pub symbols: usize,
+    /// Objects whose decoders completed during this cycle.
+    pub completed: Vec<u16>,
+}
+
+/// A receiver transport session.
+pub struct ReceiverSession {
+    geometry: SymbolGeometry,
+    state: SessionState,
+    sync_mode: SyncMode,
+    sync: CycleSynchronizer,
+    phase: Option<f64>,
+    demux: Option<Demultiplexer>,
+    scanner: SymbolScanner,
+    decoders: BTreeMap<u16, ObjectDecoder>,
+    completed: Vec<u16>,
+    completion_cycle: BTreeMap<u16, u64>,
+    target: CompletionTarget,
+    stats: GobStats,
+    cycles_processed: u64,
+    first_symbol_cycle: Option<u64>,
+    /// Decoded cycles, retained for capture-level callers that still
+    /// consume the raw bit stream (the deprecated `Link::run` surface).
+    decoded_log: Vec<DecodedDataFrame>,
+}
+
+impl ReceiverSession {
+    /// A cycle-level session: the caller supplies decoded cycle payloads
+    /// directly ([`ReceiverSession::push_cycle`]). Starts synced.
+    pub fn new(config: &InFrameConfig, geometry: SymbolGeometry, target: CompletionTarget) -> Self {
+        Self::build(
+            config,
+            geometry,
+            SyncMode::Known { phase: 0.0 },
+            target,
+            None,
+        )
+    }
+
+    /// A capture-level session: camera planes go in
+    /// ([`ReceiverSession::push_capture`]), the embedded demultiplexer
+    /// turns them into cycles. `cap_w × cap_h` is the capture size and
+    /// `registration` maps display to sensor coordinates.
+    pub fn capture_level(
+        config: &InFrameConfig,
+        geometry: SymbolGeometry,
+        registration: &Homography,
+        cap_w: usize,
+        cap_h: usize,
+        sync_mode: SyncMode,
+        target: CompletionTarget,
+    ) -> Self {
+        let demux = Demultiplexer::new(*config, registration, cap_w, cap_h);
+        Self::with_demux(config, geometry, demux, sync_mode, target)
+    }
+
+    /// A capture-level session over a caller-built demultiplexer — for
+    /// callers that pin the kernel engine or reuse a region cache (e.g.
+    /// worker-count determinism tests).
+    pub fn with_demux(
+        config: &InFrameConfig,
+        geometry: SymbolGeometry,
+        demux: Demultiplexer,
+        sync_mode: SyncMode,
+        target: CompletionTarget,
+    ) -> Self {
+        Self::build(config, geometry, sync_mode, target, Some(demux))
+    }
+
+    fn build(
+        config: &InFrameConfig,
+        geometry: SymbolGeometry,
+        sync_mode: SyncMode,
+        target: CompletionTarget,
+        demux: Option<Demultiplexer>,
+    ) -> Self {
+        let (state, phase) = match sync_mode {
+            SyncMode::Known { phase } => (SessionState::Synced, Some(phase)),
+            SyncMode::Blind { .. } => (SessionState::Acquire, None),
+        };
+        Self {
+            geometry,
+            state,
+            sync_mode,
+            sync: CycleSynchronizer::new(config),
+            phase,
+            demux,
+            scanner: SymbolScanner::new(geometry.symbol_bytes),
+            decoders: BTreeMap::new(),
+            completed: Vec::new(),
+            completion_cycle: BTreeMap::new(),
+            target,
+            stats: GobStats::default(),
+            cycles_processed: 0,
+            first_symbol_cycle: None,
+            decoded_log: Vec::new(),
+        }
+    }
+
+    /// Feeds one decoded cycle payload (per-bit verdicts with losses as
+    /// `None`) plus its GOB statistics.
+    pub fn push_cycle(&mut self, payload: &[Option<bool>], stats: &GobStats) -> CycleReport {
+        assert!(
+            !matches!(self.state, SessionState::Acquire),
+            "cycle-level input requires a synced session"
+        );
+        self.stats.merge(stats);
+        let cycle = self.cycles_processed;
+        self.absorb(payload, cycle)
+    }
+
+    /// Feeds one camera capture (capture-level sessions only). Returns a
+    /// report whenever the capture closed out a data cycle.
+    ///
+    /// # Panics
+    /// Panics on a cycle-level session.
+    pub fn push_capture(&mut self, plane: &Plane<f32>, t_mid: f64) -> Option<CycleReport> {
+        assert!(
+            self.demux.is_some(),
+            "push_capture requires a capture-level session"
+        );
+        if self.state == SessionState::Acquire {
+            let scores = self
+                .demux
+                .as_ref()
+                .expect("checked above")
+                .score_capture(plane);
+            self.sync
+                .observe(t_mid, CycleSynchronizer::crispness_of_scores(&scores));
+            let SyncMode::Blind {
+                min_captures,
+                min_confidence,
+            } = self.sync_mode
+            else {
+                unreachable!("Acquire implies blind mode");
+            };
+            if self.sync.len() >= min_captures {
+                if let Some(est) = self.sync.estimate() {
+                    if est.confidence >= min_confidence {
+                        self.phase = Some(est.phase);
+                        self.state = SessionState::Synced;
+                    }
+                }
+            }
+            return None;
+        }
+        let phase = self.phase.unwrap_or(0.0);
+        if t_mid < phase {
+            return None;
+        }
+        let decoded = self
+            .demux
+            .as_mut()
+            .expect("checked above")
+            .push_capture(plane, t_mid - phase)?;
+        Some(self.absorb_decoded(decoded))
+    }
+
+    /// Flushes the demultiplexer's in-flight cycle (capture-level
+    /// sessions; no-op otherwise).
+    pub fn finish(&mut self) -> Option<CycleReport> {
+        let decoded = self.demux.as_mut()?.finish()?;
+        Some(self.absorb_decoded(decoded))
+    }
+
+    fn absorb_decoded(&mut self, d: DecodedDataFrame) -> CycleReport {
+        self.stats.merge(&d.stats);
+        let report = self.absorb(&d.payload, d.cycle);
+        self.decoded_log.push(d);
+        report
+    }
+
+    fn absorb(&mut self, payload: &[Option<bool>], cycle: u64) -> CycleReport {
+        self.cycles_processed += 1;
+        let symbols = self.scanner.push_payload(payload);
+        let mut report = CycleReport {
+            cycle,
+            symbols: symbols.len(),
+            completed: Vec::new(),
+        };
+        for s in &symbols {
+            if self.first_symbol_cycle.is_none() {
+                self.first_symbol_cycle = Some(cycle);
+            }
+            let dec = self
+                .decoders
+                .entry(s.header.object_id)
+                .or_insert_with(|| ObjectDecoder::for_symbol(s));
+            let was_complete = dec.is_complete();
+            dec.absorb(s);
+            if dec.is_complete() && !was_complete {
+                let id = s.header.object_id;
+                self.completed.push(id);
+                self.completion_cycle.insert(id, cycle);
+                report.completed.push(id);
+            }
+        }
+        if self.state == SessionState::Synced && !symbols.is_empty() {
+            self.state = SessionState::Collecting;
+        }
+        if self.state == SessionState::Collecting && self.target_met() {
+            self.state = SessionState::Complete;
+        }
+        report
+    }
+
+    fn target_met(&self) -> bool {
+        match &self.target {
+            CompletionTarget::AllOf(ids) => {
+                ids.iter().all(|id| self.completion_cycle.contains_key(id))
+            }
+            CompletionTarget::Objects(n) => self.completed.len() >= *n,
+            CompletionTarget::Never => false,
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Whether the completion target has been met.
+    pub fn is_complete(&self) -> bool {
+        self.state == SessionState::Complete
+    }
+
+    /// The recovered bytes of object `id`, once its decoder completed.
+    pub fn object(&self, id: u16) -> Option<&[u8]> {
+        self.decoders.get(&id).and_then(|d| d.object())
+    }
+
+    /// Object ids recovered so far, in completion order.
+    pub fn completed_objects(&self) -> &[u16] {
+        &self.completed
+    }
+
+    /// Decode overhead ε of object `id` (`received/K − 1` at completion).
+    pub fn epsilon(&self, id: u16) -> Option<f64> {
+        self.decoders.get(&id).and_then(|d| d.epsilon())
+    }
+
+    /// The decoder of object `id` (rank, received counts, …).
+    pub fn decoder(&self, id: u16) -> Option<&ObjectDecoder> {
+        self.decoders.get(&id)
+    }
+
+    /// Aggregate GOB statistics over every absorbed cycle.
+    pub fn stats(&self) -> &GobStats {
+        &self.stats
+    }
+
+    /// Cycles absorbed so far.
+    pub fn cycles_processed(&self) -> u64 {
+        self.cycles_processed
+    }
+
+    /// Receiver-relative cycle at which object `id` completed.
+    pub fn completion_cycle(&self, id: u16) -> Option<u64> {
+        self.completion_cycle.get(&id).copied()
+    }
+
+    /// Cycle of the first recovered symbol (join latency measure).
+    pub fn first_symbol_cycle(&self) -> Option<u64> {
+        self.first_symbol_cycle
+    }
+
+    /// The estimated (or configured) cycle phase, seconds.
+    pub fn phase(&self) -> Option<f64> {
+        self.phase
+    }
+
+    /// The symbol scanner's counters.
+    pub fn scanner(&self) -> &SymbolScanner {
+        &self.scanner
+    }
+
+    /// The symbol geometry in force.
+    pub fn geometry(&self) -> SymbolGeometry {
+        self.geometry
+    }
+
+    /// Decoded cycles absorbed so far (capture-level sessions only;
+    /// cycle-level input is not logged).
+    pub fn decoded(&self) -> &[DecodedDataFrame] {
+        &self.decoded_log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carousel::Carousel;
+    use inframe_core::layout::DataLayout;
+
+    fn channel() -> (InFrameConfig, DataLayout) {
+        let c = InFrameConfig::paper();
+        (c, DataLayout::from_config(&c))
+    }
+
+    fn clean(payload: &[bool]) -> Vec<Option<bool>> {
+        payload.iter().map(|&b| Some(b)).collect()
+    }
+
+    #[test]
+    fn clean_channel_completes_all_objects() {
+        let (cfg, layout) = channel();
+        let mut car = Carousel::for_channel(&layout, cfg.coding);
+        let a: Vec<u8> = (0..400u32).map(|i| i as u8).collect();
+        let b: Vec<u8> = (0..150u32).map(|i| (i * 3) as u8).collect();
+        car.add_object(1, 2, &a);
+        car.add_object(2, 1, &b);
+        let mut rx =
+            ReceiverSession::new(&cfg, car.geometry(), CompletionTarget::AllOf(vec![1, 2]));
+        assert_eq!(rx.state(), SessionState::Synced);
+        let stats = GobStats::default();
+        for _ in 0..60 {
+            let p = car.next_cycle_payload();
+            rx.push_cycle(&clean(&p), &stats);
+            if rx.is_complete() {
+                break;
+            }
+        }
+        assert_eq!(rx.state(), SessionState::Complete);
+        assert_eq!(rx.object(1).unwrap(), &a[..]);
+        assert_eq!(rx.object(2).unwrap(), &b[..]);
+        // Clean systematic delivery: zero decode overhead.
+        assert_eq!(rx.epsilon(1), Some(0.0));
+        assert_eq!(rx.epsilon(2), Some(0.0));
+    }
+
+    #[test]
+    fn state_machine_walks_synced_collecting_complete() {
+        let (cfg, layout) = channel();
+        let mut car = Carousel::for_channel(&layout, cfg.coding);
+        car.add_object(7, 1, &[0x5A; 200]);
+        let mut rx = ReceiverSession::new(&cfg, car.geometry(), CompletionTarget::Objects(1));
+        let stats = GobStats::default();
+        // An all-lost cycle keeps the session merely synced.
+        let lost = vec![None; car.geometry().payload_bits_per_cycle];
+        let r = rx.push_cycle(&lost, &stats);
+        assert_eq!(r.symbols, 0);
+        assert_eq!(rx.state(), SessionState::Synced);
+        // A clean cycle starts collection.
+        let p = car.next_cycle_payload();
+        rx.push_cycle(&clean(&p), &stats);
+        assert_eq!(rx.state(), SessionState::Collecting);
+        while !rx.is_complete() {
+            let p = car.next_cycle_payload();
+            rx.push_cycle(&clean(&p), &stats);
+        }
+        assert_eq!(rx.state(), SessionState::Complete);
+        assert_eq!(rx.completed_objects(), &[7]);
+        assert!(rx.completion_cycle(7).is_some());
+        assert!(rx.first_symbol_cycle().unwrap() >= 1);
+    }
+
+    #[test]
+    fn late_joiner_completes_from_repair_symbols() {
+        let (cfg, layout) = channel();
+        let mut car = Carousel::for_channel(&layout, cfg.coding);
+        let data: Vec<u8> = (0..600u32).map(|i| (i ^ 0x33) as u8).collect();
+        car.add_object(4, 1, &data);
+        let k = car.k_of(4).unwrap() as u64;
+        // Sender runs well past the systematic pass before the receiver
+        // appears: everything it sees from the start is repair traffic.
+        let warmup = 2 * k.div_ceil(2); // ≥ K symbols
+        for _ in 0..warmup {
+            let _ = car.next_cycle_payload();
+        }
+        let mut rx = ReceiverSession::new(&cfg, car.geometry(), CompletionTarget::AllOf(vec![4]));
+        let stats = GobStats::default();
+        for _ in 0..200 {
+            let p = car.next_cycle_payload();
+            rx.push_cycle(&clean(&p), &stats);
+            if rx.is_complete() {
+                break;
+            }
+        }
+        assert!(rx.is_complete(), "late joiner stuck at {:?}", rx.state());
+        assert_eq!(rx.object(4).unwrap(), &data[..]);
+        assert!(rx.epsilon(4).unwrap() <= 0.15);
+    }
+
+    #[test]
+    fn never_target_keeps_collecting() {
+        let (cfg, layout) = channel();
+        let mut car = Carousel::for_channel(&layout, cfg.coding);
+        car.add_object(1, 1, &[9; 50]);
+        let mut rx = ReceiverSession::new(&cfg, car.geometry(), CompletionTarget::Never);
+        let stats = GobStats::default();
+        for _ in 0..20 {
+            let p = car.next_cycle_payload();
+            rx.push_cycle(&clean(&p), &stats);
+        }
+        assert_eq!(rx.state(), SessionState::Collecting);
+        assert_eq!(rx.completed_objects(), &[1], "object still recovered");
+        assert!(rx.object(1).is_some());
+    }
+
+    #[test]
+    fn scanner_rejects_foreign_frame_sizes() {
+        let mut sc = SymbolScanner::new(8);
+        // A valid frame whose payload is not header+8 bytes.
+        let sym = Symbol {
+            header: crate::symbol::SymbolHeader {
+                object_id: 1,
+                object_len: 100,
+                seq: 0,
+            },
+            data: vec![1, 2, 3], // 3 ≠ 8
+        };
+        let bits: Vec<Option<bool>> = sym.encode_frame_bits().into_iter().map(Some).collect();
+        let got = sc.push_payload(&bits);
+        assert!(got.is_empty());
+        assert_eq!(sc.rejected(), 1);
+        assert_eq!(sc.recovered(), 0);
+    }
+
+    #[test]
+    fn scanner_buffer_stays_bounded_on_noise() {
+        let mut sc = SymbolScanner::new(16);
+        let mut state = 0xDEADBEEFu64;
+        for _ in 0..50 {
+            let noise: Vec<Option<bool>> = (0..1125)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    Some((state >> 33) & 1 == 1)
+                })
+                .collect();
+            let _ = sc.push_payload(&noise);
+            assert!(
+                sc.buffered_bits()
+                    <= 8 * (inframe_code::framing::OVERHEAD_BYTES
+                        + inframe_code::framing::MAX_PAYLOAD)
+                        + 1125,
+                "buffer grew to {}",
+                sc.buffered_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capture-level session")]
+    fn cycle_level_session_rejects_captures() {
+        let (cfg, layout) = channel();
+        let g = SymbolGeometry::for_channel(&layout, cfg.coding);
+        let mut rx = ReceiverSession::new(&cfg, g, CompletionTarget::Never);
+        let plane = Plane::filled(8, 8, 0.0f32);
+        let _ = rx.push_capture(&plane, 0.0);
+    }
+}

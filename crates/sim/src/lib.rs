@@ -23,6 +23,10 @@
 //! * [`fig6`] — the simulated 8-user flicker study (Figure 6),
 //! * [`fig7`] — throughput / available GOBs / error rates (Figure 7),
 //! * [`ablation`] — parameter studies the paper calls out as future knobs.
+//!
+//! [`linksim`] simulates the `inframe-link` transport at GOB granularity
+//! (real PHY coding, abstracted optics): erasure sweeps, late joins,
+//! scene-cut bursts and the adaptive δ/τ control loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,10 +37,12 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod link;
+pub mod linksim;
 pub mod pipeline;
 pub mod report;
 pub mod scenarios;
 
 pub use link::{Link, LinkRun};
+pub use linksim::{run_link_scenario, LinkScenarioConfig, LinkScenarioOutcome};
 pub use pipeline::{SimOutcome, Simulation, SimulationConfig};
 pub use scenarios::{Scale, Scenario};

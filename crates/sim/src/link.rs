@@ -4,14 +4,20 @@
 //! The examples (`ad_coupons`, `sports_ticker`) and downstream users all
 //! need the same plumbing: feed sender frames to the display, capture
 //! whenever the camera's window is covered, push captures into the
-//! demultiplexer, collect decoded cycles. [`Link::run`] is that loop.
+//! receiver, collect decoded cycles. The receive side now lives in
+//! [`inframe_link::session::ReceiverSession`] — the capture pump here
+//! drives a session, and the historical [`Link::run`] surface is a
+//! deprecated wrapper that flattens the session's cycle log back into a
+//! [`LinkRun`].
 
 use crate::pipeline::SimulationConfig;
 use inframe_camera::{Camera, Shutter};
 use inframe_code::parity::GobStats;
 use inframe_core::sender::{PayloadSource, Sender};
-use inframe_core::{DecodedDataFrame, Demultiplexer};
+use inframe_core::DecodedDataFrame;
 use inframe_display::{DisplayStream, FrameEmission};
+use inframe_link::carousel::SymbolGeometry;
+use inframe_link::session::{CompletionTarget, ReceiverSession, SyncMode};
 use inframe_video::VideoSource;
 use std::collections::VecDeque;
 
@@ -59,30 +65,79 @@ impl Link {
 
     /// Runs `cycles` data cycles of `payload` over `video` and returns the
     /// decoded stream.
+    #[deprecated(
+        since = "0.1.0",
+        note = "drive a transport session instead: `Link::run_session` (or \
+                `inframe_link::session::ReceiverSession` directly) exposes \
+                objects, state and decode overhead; this wrapper only \
+                flattens the session's cycle log"
+    )]
     pub fn run(
         &self,
         video: impl VideoSource,
         payload: impl PayloadSource,
         camera_seed: u64,
     ) -> LinkRun {
+        // A raw-bit consumer has no completion target and a shared clock:
+        // run a perpetual synced session and flatten its log.
+        let session = self.session(CompletionTarget::Never);
+        let session = self.run_session(video, payload, camera_seed, session);
+        let mut stats = GobStats::default();
+        let mut bits = Vec::new();
+        for d in session.decoded() {
+            stats.merge(&d.stats);
+            bits.extend(d.payload.iter().cloned());
+        }
+        LinkRun {
+            decoded: session.decoded().to_vec(),
+            stats,
+            bits,
+        }
+    }
+
+    /// A capture-level [`ReceiverSession`] wired to this link's camera
+    /// registration, synced to the simulation's shared clock.
+    pub fn session(&self, target: CompletionTarget) -> ReceiverSession {
         let c = &self.config;
-        let mut sender = Sender::new(c.inframe, video, payload);
-        let mut display = DisplayStream::new(c.display);
-        let mut camera = Camera::new(c.camera, c.geometry, camera_seed);
         let registration = c.geometry.display_to_sensor(
             c.inframe.display_w,
             c.inframe.display_h,
             c.camera.width,
             c.camera.height,
         );
-        let mut demux =
-            Demultiplexer::new(c.inframe, &registration, c.camera.width, c.camera.height);
+        ReceiverSession::capture_level(
+            &c.inframe,
+            SymbolGeometry::for_channel(
+                &inframe_core::layout::DataLayout::from_config(&c.inframe),
+                c.inframe.coding,
+            ),
+            &registration,
+            c.camera.width,
+            c.camera.height,
+            SyncMode::Known { phase: 0.0 },
+            target,
+        )
+    }
+
+    /// The capture pump: runs `cycles` data cycles of `payload` over
+    /// `video`, pushing every capture into `session`, and returns the
+    /// session (finished). Stops early when the session completes.
+    pub fn run_session(
+        &self,
+        video: impl VideoSource,
+        payload: impl PayloadSource,
+        camera_seed: u64,
+        mut session: ReceiverSession,
+    ) -> ReceiverSession {
+        let c = &self.config;
+        let mut sender = Sender::new(c.inframe, video, payload);
+        let mut display = DisplayStream::new(c.display);
+        let mut camera = Camera::new(c.camera, c.geometry, camera_seed);
         let exposure_mid = self.exposure_mid_offset();
 
         let mut window: VecDeque<FrameEmission> = VecDeque::new();
-        let mut decoded = Vec::new();
         let total = c.cycles as u64 * c.inframe.tau as u64;
-        for _ in 0..total {
+        'pump: for _ in 0..total {
             let Some(frame) = sender.next_frame() else {
                 break;
             };
@@ -104,29 +159,17 @@ impl Link {
                 let t_mid = camera.config().frame_start(camera.next_index()) + exposure_mid;
                 match camera.capture(&emissions) {
                     Ok(cap) => {
-                        if let Some(d) = demux.push_capture(&cap.plane, t_mid) {
-                            decoded.push(d);
+                        session.push_capture(&cap.plane, t_mid);
+                        if session.is_complete() {
+                            break 'pump;
                         }
                     }
                     Err(_) => camera.skip_frame(),
                 }
             }
         }
-        if let Some(d) = demux.finish() {
-            decoded.push(d);
-        }
-
-        let mut stats = GobStats::default();
-        let mut bits = Vec::new();
-        for d in &decoded {
-            stats.merge(&d.stats);
-            bits.extend(d.payload.iter().cloned());
-        }
-        LinkRun {
-            decoded,
-            stats,
-            bits,
-        }
+        session.finish();
+        session
     }
 
     fn exposure_mid_offset(&self) -> f64 {
@@ -143,6 +186,8 @@ mod tests {
     use super::*;
     use crate::scenarios::{Scale, Scenario};
     use inframe_core::sender::PrbsPayload;
+    use inframe_link::carousel::Carousel;
+    use inframe_link::session::SessionState;
 
     fn config(cycles: u32) -> SimulationConfig {
         let s = Scale::Quick;
@@ -157,6 +202,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn link_delivers_payload_bits() {
         let c = config(5);
         let link = Link::new(c);
@@ -172,6 +218,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn link_matches_simulation_stats() {
         // Link and Simulation share the pump; their GOB stats must agree.
         use crate::pipeline::Simulation;
@@ -187,5 +234,26 @@ mod tests {
             c.seed,
         ));
         assert_eq!(link_run.stats, sim_out.stats);
+    }
+
+    #[test]
+    fn session_pump_recovers_a_carousel_object() {
+        // The full pixel chain end to end: carousel payload → multiplexed
+        // frames → display → camera → session → object.
+        let c = config(40);
+        let link = Link::new(c);
+        let layout = inframe_core::layout::DataLayout::from_config(&c.inframe);
+        let mut carousel = Carousel::for_channel(&layout, c.inframe.coding);
+        let data: Vec<u8> = (0..48u32).map(|i| (i * 5 + 1) as u8).collect();
+        carousel.add_object(2, 1, &data);
+        let session = link.session(CompletionTarget::AllOf(vec![2]));
+        let session = link.run_session(
+            Scenario::Gray.source(c.inframe.display_w, c.inframe.display_h, 3),
+            carousel,
+            5,
+            session,
+        );
+        assert_eq!(session.state(), SessionState::Complete);
+        assert_eq!(session.object(2).unwrap(), &data[..]);
     }
 }

@@ -1,24 +1,25 @@
 //! Advertising coupons — the paper's §5 application: "coupon links in the
-//! ad video".
+//! ad video", now carried by the `inframe-link` rateless transport.
 //!
 //! ```sh
 //! cargo run --release --example ad_coupons
 //! ```
 //!
 //! An "advertisement" (the procedural sunrise clip standing in for ad
-//! footage) carries a stream of coupon records. Each record is a small
-//! framed message — magic, coupon id, discount, CRC-16 — packed into the
-//! per-cycle payload; Reed–Solomon GOB coding heals the Blocks the busy
-//! footage costs (Figure 7's availability effect). A phone pointed at the
-//! screen recovers the coupons while the viewer just sees the ad.
+//! footage) broadcasts a coupon catalogue as fountain-coded objects on a
+//! carousel: a small flash-sale coupon at high priority and the full
+//! catalogue at background priority. A phone pointed at the screen joins
+//! mid-stream — no alignment with the carousel start — and a
+//! [`ReceiverSession`] collects whichever symbols survive until both
+//! objects decode, while the viewer just sees the ad.
 
-use inframe::code::crc::crc16_ccitt;
-use inframe::core::sender::PayloadSource;
 use inframe::core::CodingMode;
+use inframe::link::carousel::Carousel;
+use inframe::link::session::{CompletionTarget, SessionState};
 use inframe::sim::pipeline::SimulationConfig;
 use inframe::sim::{Link, Scale, Scenario};
 
-/// One coupon record: 8 bytes including CRC-16.
+/// One coupon record: id and discount, 5 bytes on the wire.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Coupon {
     id: u32,
@@ -26,71 +27,47 @@ struct Coupon {
 }
 
 impl Coupon {
-    const MAGIC: u8 = 0xC5;
-
-    fn encode(&self) -> Vec<u8> {
-        let mut bytes = vec![Self::MAGIC];
-        bytes.extend(self.id.to_be_bytes());
-        bytes.push(self.discount_percent);
-        let crc = crc16_ccitt(&bytes);
-        bytes.extend(crc.to_be_bytes());
-        bytes
+    fn encode(&self) -> [u8; 5] {
+        let id = self.id.to_be_bytes();
+        [id[0], id[1], id[2], id[3], self.discount_percent]
     }
 
     fn decode(bytes: &[u8]) -> Option<Coupon> {
-        if bytes.len() != 8 || bytes[0] != Self::MAGIC {
-            return None;
-        }
-        let (body, crc_bytes) = bytes.split_at(6);
-        let crc = u16::from_be_bytes([crc_bytes[0], crc_bytes[1]]);
-        if crc16_ccitt(body) != crc {
-            return None;
-        }
+        let b: &[u8; 5] = bytes.try_into().ok()?;
         Some(Coupon {
-            id: u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]),
-            discount_percent: bytes[5],
+            id: u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+            discount_percent: b[4],
         })
     }
 }
 
-fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
-    bytes
-        .iter()
-        .flat_map(|&b| (0..8).map(move |i| (b >> (7 - i)) & 1 == 1))
-        .collect()
-}
-
-/// Emits coupon records back to back, repeating the catalogue.
-struct CouponPayload {
-    catalogue: Vec<Coupon>,
-    next: usize,
-    buffer: Vec<bool>,
-}
-
-impl PayloadSource for CouponPayload {
-    fn next_payload(&mut self, bits: usize) -> Vec<bool> {
-        while self.buffer.len() < bits {
-            let coupon = self.catalogue[self.next % self.catalogue.len()];
-            self.next += 1;
-            self.buffer.extend(bytes_to_bits(&coupon.encode()));
-        }
-        self.buffer.drain(..bits).collect()
+/// A coupon book object: one-byte count, then the records. Integrity
+/// comes from the transport (per-symbol CRC framing plus exact RLC
+/// decode), so no per-record checksums are needed any more.
+fn encode_book(coupons: &[Coupon]) -> Vec<u8> {
+    let mut bytes = vec![coupons.len() as u8];
+    for c in coupons {
+        bytes.extend(c.encode());
     }
+    bytes
 }
 
-fn byte_at(bits: &[bool], off: usize) -> Option<u8> {
-    if off + 8 > bits.len() {
+fn decode_book(bytes: &[u8]) -> Option<Vec<Coupon>> {
+    let (&count, rest) = bytes.split_first()?;
+    if rest.len() != count as usize * 5 {
         return None;
     }
-    Some(
-        bits[off..off + 8]
-            .iter()
-            .enumerate()
-            .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << (7 - i))),
-    )
+    rest.chunks(5).map(Coupon::decode).collect()
 }
 
+const FLASH_OBJECT: u16 = 1;
+const CATALOGUE_OBJECT: u16 = 2;
+
 fn main() {
+    let flash = vec![Coupon {
+        id: 9001,
+        discount_percent: 50,
+    }];
     let catalogue = vec![
         Coupon {
             id: 1001,
@@ -106,75 +83,88 @@ fn main() {
         },
         Coupon {
             id: 2001,
-            discount_percent: 50,
+            discount_percent: 30,
         },
     ];
-    println!(
-        "Broadcasting {} coupons inside the ad clip…",
-        catalogue.len()
-    );
 
     let scale = Scale::Quick;
     let mut inframe = scale.inframe();
     // Real footage costs availability (Figure 7); Reed–Solomon coding
-    // heals the missing Blocks so application payloads survive intact —
-    // the paper's "common error correction code such as RS code".
+    // heals the missing Blocks so the carousel's symbols survive — the
+    // paper's "common error correction code such as RS code".
     inframe.coding = CodingMode::ReedSolomon { parity_bytes: 8 };
     let config = SimulationConfig {
         inframe,
         display: scale.display(),
         camera: scale.camera(),
         geometry: scale.geometry(),
-        cycles: 24,
+        cycles: 200,
         seed: 7,
     };
+    let link = Link::new(config);
 
-    let run = Link::new(config).run(
+    let layout = inframe::core::layout::DataLayout::from_config(&config.inframe);
+    let mut carousel = Carousel::for_channel(&layout, config.inframe.coding);
+    let geometry = carousel.geometry();
+    carousel.add_object(FLASH_OBJECT, 3, &encode_book(&flash));
+    carousel.add_object(CATALOGUE_OBJECT, 1, &encode_book(&catalogue));
+    println!(
+        "Broadcasting {} coupons as 2 carousel objects ({} payload bits/cycle, {}-byte symbols)…",
+        flash.len() + catalogue.len(),
+        geometry.payload_bits_per_cycle,
+        geometry.symbol_bytes,
+    );
+
+    // The phone shows up mid-broadcast: let the carousel spin unobserved
+    // for a while before the receiver starts capturing.
+    let join_cycle = 17;
+    for _ in 0..join_cycle {
+        carousel.next_cycle_payload();
+    }
+    println!("Receiver joins at carousel cycle {join_cycle} (no alignment with the start).");
+
+    let session = link.session(CompletionTarget::AllOf(vec![
+        FLASH_OBJECT,
+        CATALOGUE_OBJECT,
+    ]));
+    let session = link.run_session(
         Scenario::Video.source(config.inframe.display_w, config.inframe.display_h, 7),
-        CouponPayload {
-            catalogue: catalogue.clone(),
-            next: 0,
-            buffer: Vec::new(),
-        },
+        carousel,
         99,
-    );
-    println!(
-        "link: {} cycles decoded, {:.0}% of payload bits recovered",
-        run.decoded.len(),
-        run.recovery_ratio() * 100.0
+        session,
     );
 
-    // Scan the recovered bitstream for coupon frames at every bit offset
-    // (lost cycles can shift alignment).
-    let bits = run.bits_lossy();
-    let mut found = std::collections::BTreeSet::new();
-    let mut i = 0;
-    while i + 64 <= bits.len() {
-        let bytes: Vec<u8> = (0..8).filter_map(|k| byte_at(&bits, i + 8 * k)).collect();
-        if let Some(coupon) = Coupon::decode(&bytes) {
-            found.insert((coupon.id, coupon.discount_percent));
-            i += 64;
-        } else {
-            i += 1;
-        }
-    }
-    println!("Recovered {} distinct coupons:", found.len());
-    for (id, pct) in &found {
-        println!("  coupon #{id}: {pct}% off  ✓ CRC verified");
-    }
-    let expected: std::collections::BTreeSet<_> = catalogue
-        .iter()
-        .map(|c| (c.id, c.discount_percent))
-        .collect();
-    let missing = expected.difference(&found).count();
     println!(
-        "{} of {} catalogue entries observed{}",
-        expected.len() - missing,
-        expected.len(),
-        if missing > 0 {
-            " (the catalogue repeats — a longer capture recovers the rest)"
-        } else {
-            ""
-        }
+        "session: state {:?} after {} cycles ({} symbols recovered, {} frame rejects)",
+        session.state(),
+        session.cycles_processed(),
+        session.scanner().recovered(),
+        session.scanner().rejected(),
     );
+    for &id in &[FLASH_OBJECT, CATALOGUE_OBJECT] {
+        let label = if id == FLASH_OBJECT {
+            "flash sale"
+        } else {
+            "catalogue"
+        };
+        match session.object(id).and_then(decode_book) {
+            Some(coupons) => {
+                let eps = session.epsilon(id).unwrap_or(0.0);
+                println!(
+                    "object {id} ({label}): decoded with overhead ε = {:.1}%",
+                    eps * 100.0
+                );
+                for c in coupons {
+                    println!("  coupon #{}: {}% off  ✓", c.id, c.discount_percent);
+                }
+            }
+            None => println!("object {id} ({label}): still collecting"),
+        }
+    }
+
+    if session.state() == SessionState::Complete {
+        println!("All coupon objects recovered — carousel multiflexing works mid-stream.");
+    } else {
+        println!("Capture window too short — a longer dwell recovers the rest.");
+    }
 }

@@ -88,6 +88,7 @@ fn decode_cycle(payload: &[Option<bool>]) -> Option<String> {
     TickerPayload::parse_token(&bytes)
 }
 
+#[allow(deprecated)] // raw-bit ticker tail still uses the legacy Link::run surface
 fn main() {
     let tokens = vec!["GOAL", "2-1", "87'", "YC#7", "CRNR", "54k"];
     println!("Ticker tokens on air: {}", tokens.len());

@@ -41,6 +41,7 @@
 //! | [`camera`] | `inframe-camera` | rolling-shutter camera model |
 //! | [`hvs`] | `inframe-hvs` | flicker fusion / phantom array perception model |
 //! | [`code`] | `inframe-code` | parity, CRC, Reed–Solomon, interleaving, PRBS |
+//! | [`link`] | `inframe-link` | rateless transport: fountain-coded carousel, receiver sessions, δ/τ control |
 //! | [`sim`] | `inframe-sim` | end-to-end channel simulation and every paper experiment |
 //!
 //! ## Reproduced experiments
@@ -59,5 +60,6 @@ pub use inframe_display as display;
 pub use inframe_dsp as dsp;
 pub use inframe_frame as frame;
 pub use inframe_hvs as hvs;
+pub use inframe_link as link;
 pub use inframe_sim as sim;
 pub use inframe_video as video;

@@ -42,6 +42,7 @@ impl PayloadSource for FramedSource {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the legacy raw-bit Link::run surface
 fn framed_messages_survive_the_gray_channel() {
     let s = Scale::Quick;
     let config = SimulationConfig {
@@ -82,6 +83,7 @@ fn framed_messages_survive_the_gray_channel() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the legacy raw-bit Link::run surface
 fn scrambling_keeps_idle_frames_decodable() {
     // An all-zero application payload without scrambling produces empty
     // data frames (score 0 everywhere — fine but carries no sync energy);

@@ -1,0 +1,177 @@
+//! Transport-layer acceptance: the `inframe-link` carousel must deliver
+//! objects through real PHY coding under erasure, admit late joiners, and
+//! decode bit-identically regardless of worker count or kernel backend.
+//!
+//! The erasure/late-join/sweep tests run the GOB-granularity link
+//! simulator at paper scale (ISSUE acceptance: 4 KiB object recovered
+//! from any K(1+ε) symbols with ε ≤ 0.15 at 20% uniform GOB erasure; a
+//! receiver joining ≥50% into the carousel completes). The determinism
+//! test runs the full pixel chain — multiplexed sender frames through a
+//! capture-level session — across `INFRAME_WORKERS`-equivalent engine
+//! sizes 1–4 and both `INFRAME_KERNEL` backends.
+
+use inframe::core::config::KernelBackend;
+use inframe::core::demux::{Demultiplexer, RegionCache};
+use inframe::core::parallel::ParallelEngine;
+use inframe::core::sender::Sender;
+use inframe::core::{DataLayout, InFrameConfig};
+use inframe::frame::geometry::Homography;
+use inframe::link::carousel::Carousel;
+use inframe::link::session::{
+    CompletionTarget, CycleReport, ReceiverSession, SessionState, SyncMode,
+};
+use inframe::sim::linksim::erasure_sweep;
+use inframe::sim::{run_link_scenario, LinkScenarioConfig};
+use inframe::video::synth::SolidClip;
+use std::sync::Arc;
+
+/// ISSUE acceptance: a 4 KiB object over the paper channel at 20%
+/// uniform GOB erasure decodes with measured overhead ε ≤ 0.15.
+#[test]
+fn four_kib_at_twenty_percent_erasure_decodes_within_epsilon_bound() {
+    let out = run_link_scenario(&LinkScenarioConfig::baseline(0.20, 1402));
+    assert!(out.completed, "4 KiB object must complete at 20% erasure");
+    let eps = out.epsilon_max.expect("completed run reports epsilon");
+    assert!(eps <= 0.15, "decode overhead ε = {eps} exceeds 0.15");
+}
+
+/// ISSUE acceptance: a receiver joining ≥50% into the carousel still
+/// completes — rateless repair symbols make the entry point irrelevant.
+#[test]
+fn late_joiner_past_half_carousel_completes() {
+    let mut cfg = LinkScenarioConfig::baseline(0.10, 77);
+    // K = 79 symbols at one per cycle: cycle 48 is ~60% through the pass.
+    cfg.join_cycle = 48;
+    let out = run_link_scenario(&cfg);
+    assert!(out.completed, "late joiner must still complete");
+    assert!(
+        out.time_to_first_object_s.is_some(),
+        "completion must stamp a first-object time"
+    );
+}
+
+/// Erasure sweep smoke: every operating point of the paper's 5–30% range
+/// completes, and heavier loss never takes fewer cycles than lighter.
+#[test]
+fn erasure_sweep_five_to_thirty_percent_completes_everywhere() {
+    let base = LinkScenarioConfig::baseline(0.0, 501);
+    let rates = [0.05, 0.15, 0.30];
+    let outs = erasure_sweep(&base, &rates);
+    let mut cycles = Vec::new();
+    for (rate, out) in &outs {
+        assert!(out.completed, "sweep point {rate} did not complete");
+        cycles.push(out.cycles_to_complete.expect("completed"));
+    }
+    assert!(
+        cycles[0] <= cycles[2],
+        "5% erasure ({}) should not need more cycles than 30% ({})",
+        cycles[0],
+        cycles[2]
+    );
+}
+
+/// What one full-chain mid-stream join produced: the recovered object,
+/// every cycle report, and the completion cycle.
+#[derive(Debug, PartialEq)]
+struct JoinRun {
+    object: Vec<u8>,
+    reports: Vec<CycleReport>,
+    completion_cycle: u64,
+}
+
+const OBJECT_ID: u16 = 7;
+
+fn object_bytes() -> Vec<u8> {
+    (0..96u32)
+        .map(|i| (i.wrapping_mul(37) ^ 0x5A) as u8)
+        .collect()
+}
+
+/// Runs the full pixel chain — carousel payload, multiplexed sender
+/// frames, captures every 4th displayed frame, capture-level session —
+/// with the receiver joining mid-stream, on an explicit engine size.
+fn join_run(backend: KernelBackend, workers: usize) -> JoinRun {
+    let cfg = InFrameConfig {
+        kernel: backend,
+        ..InFrameConfig::small_test()
+    };
+    let layout = DataLayout::from_config(&cfg);
+    let mut carousel = Carousel::for_channel(&layout, cfg.coding);
+    let data = object_bytes();
+    carousel.add_object(OBJECT_ID, 1, &data);
+
+    // Join ~60% of one carousel pass in: spin the sender side unobserved.
+    let geometry = carousel.geometry();
+    let k = carousel.k_of(OBJECT_ID).expect("object registered");
+    let join_cycles = ((0.6 * k as f64) / geometry.symbols_per_cycle()).ceil() as usize;
+    for _ in 0..join_cycles {
+        carousel.next_cycle_payload();
+    }
+
+    let video = SolidClip::paper_gray(cfg.display_w, cfg.display_h);
+    let engine = Arc::new(ParallelEngine::new(workers));
+    let mut sender = Sender::with_engine(cfg, video, carousel, Arc::clone(&engine));
+    let demux = Demultiplexer::with_cache(
+        cfg,
+        RegionCache::build(&cfg, &Homography::identity(), cfg.display_w, cfg.display_h),
+        engine,
+    );
+    let mut session = ReceiverSession::with_demux(
+        &cfg,
+        geometry,
+        demux,
+        SyncMode::Known { phase: 0.0 },
+        CompletionTarget::AllOf(vec![OBJECT_ID]),
+    );
+
+    let mut reports = Vec::new();
+    // Camera at 30 FPS over the 120 Hz display: every 4th displayed frame.
+    let max_frames = 120 * cfg.tau as usize;
+    for _ in 0..max_frames {
+        let f = sender.next_frame().expect("endless clip");
+        if f.slot.display_index.is_multiple_of(4) {
+            let t_mid = f.slot.t_start + 0.5 / cfg.refresh_hz;
+            if let Some(report) = session.push_capture(&f.plane, t_mid) {
+                reports.push(report);
+            }
+            if session.is_complete() {
+                break;
+            }
+        }
+    }
+    reports.extend(session.finish());
+    assert_eq!(
+        session.state(),
+        SessionState::Complete,
+        "{backend:?}/{workers} workers: session did not complete"
+    );
+    assert_eq!(
+        session.object(OBJECT_ID).expect("object decoded"),
+        &data[..],
+        "{backend:?}/{workers} workers: recovered object differs from source"
+    );
+    JoinRun {
+        object: session.object(OBJECT_ID).unwrap().to_vec(),
+        reports,
+        completion_cycle: session.completion_cycle(OBJECT_ID).expect("completed"),
+    }
+}
+
+/// ISSUE satellite: a receiver joining mid-stream over the full pixel
+/// chain recovers the object bit-identically for every worker count 1–4
+/// and on both kernel backends.
+#[test]
+fn mid_stream_join_bit_identical_across_workers_and_backends() {
+    let source = object_bytes();
+    for backend in [KernelBackend::Reference, KernelBackend::Quantized] {
+        let reference = join_run(backend, 1);
+        assert_eq!(reference.object, source);
+        for workers in 2..=4usize {
+            let run = join_run(backend, workers);
+            assert_eq!(
+                run, reference,
+                "{backend:?}: run differs at {workers} workers"
+            );
+        }
+    }
+}

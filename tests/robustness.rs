@@ -143,6 +143,7 @@ fn blind_sync_recovers_unknown_camera_phase() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the legacy raw-bit Link::run surface
 fn phone_isp_default_still_decodes() {
     use inframe::camera::IspConfig;
     let mut c = base(5);
