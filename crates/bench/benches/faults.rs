@@ -1,0 +1,160 @@
+//! Channel fault matrix: time-to-relock and availability per fault
+//! class, over the full pixel chain with the seeded fault injector.
+//!
+//! ```sh
+//! cargo bench -p inframe-bench --bench faults
+//! ```
+//!
+//! Prints one line per fault class and writes `BENCH_faults.json` to the
+//! repository root. All timing is simulated channel time (true display
+//! cycles) — no wall clock touches any number, so records are
+//! reproducible bit-for-bit from the seeds.
+
+use inframe_sim::faults::{run_fault_scenario, FaultKind, FaultOutcome, FaultScenarioConfig};
+use inframe_sim::pipeline::SimulationConfig;
+use inframe_sim::scenarios::Scale;
+use inframe_sim::FaultWindow;
+
+const SEED: u64 = 11;
+const OBJECT_LEN: usize = 96;
+const CYCLES: u32 = 80;
+const FAULT_FROM: u64 = 6;
+const FAULT_UNTIL: u64 = 12;
+
+struct Sample {
+    class: String,
+    out: FaultOutcome,
+}
+
+fn config(faults: Vec<FaultWindow>) -> FaultScenarioConfig {
+    let scale = Scale::Quick;
+    let sim = SimulationConfig {
+        inframe: scale.inframe(),
+        display: scale.display(),
+        camera: scale.camera(),
+        geometry: scale.geometry(),
+        cycles: CYCLES,
+        seed: SEED,
+    };
+    let mut cfg = FaultScenarioConfig::baseline(sim, OBJECT_LEN);
+    cfg.object_id = 7;
+    cfg.faults = faults;
+    cfg
+}
+
+fn window(kind: FaultKind) -> FaultWindow {
+    FaultWindow {
+        kind,
+        from_cycle: FAULT_FROM,
+        until_cycle: FAULT_UNTIL,
+    }
+}
+
+fn run(class: &str, faults: Vec<FaultWindow>) -> Sample {
+    let out = run_fault_scenario(&config(faults));
+    let relock = out.relock_cycles.map_or("-".into(), |c| format!("{c} cyc"));
+    let eps = out.epsilon.map_or("-".into(), |e| format!("{e:.3}"));
+    println!(
+        "{class:<16} complete {:<5}  avail {:>5.1}%  lock losses {}  relock {:<7}  ε {}",
+        out.completed,
+        out.availability * 100.0,
+        out.lock_losses,
+        relock,
+        eps,
+    );
+    Sample {
+        class: class.to_string(),
+        out,
+    }
+}
+
+fn json_entry(s: &Sample) -> String {
+    let opt_f = |v: Option<f64>| v.map_or("null".into(), |x| format!("{x:.6}"));
+    let opt_u = |v: Option<u64>| v.map_or("null".into(), |x| x.to_string());
+    format!(
+        "    {{\"fault_class\": \"{}\", \"completed\": {}, \"object_ok\": {}, \
+         \"availability\": {:.6}, \"error_rate\": {:.6}, \"lock_losses\": {}, \
+         \"locked_at_end\": {}, \"time_to_relock_cycles\": {}, \"epsilon\": {}, \
+         \"completion_cycle\": {}, \"captures_delivered\": {}, \"captures_dropped\": {}, \
+         \"captures_duplicated\": {}}}",
+        s.class,
+        s.out.completed,
+        s.out.object_ok,
+        s.out.availability,
+        s.out.error_rate,
+        s.out.lock_losses,
+        s.out.locked_at_end,
+        opt_u(s.out.relock_cycles),
+        opt_f(s.out.epsilon),
+        opt_u(s.out.completion_cycle),
+        s.out.captures.0,
+        s.out.captures.1,
+        s.out.captures.2,
+    )
+}
+
+fn main() {
+    println!(
+        "fault matrix — {OBJECT_LEN} B object, Quick scale, faults on cycles \
+         {FAULT_FROM}..{FAULT_UNTIL} (simulated time)"
+    );
+    println!();
+
+    let classes: Vec<(&str, Vec<FaultWindow>)> = vec![
+        ("clean", vec![]),
+        ("drop", vec![window(FaultKind::Drop { rate: 0.5 })]),
+        (
+            "duplicate",
+            vec![window(FaultKind::Duplicate { rate: 0.5 })],
+        ),
+        (
+            "clock_skew",
+            vec![window(FaultKind::ClockSkew {
+                skew: 2e-3,
+                jitter_s: 1.5e-3,
+            })],
+        ),
+        (
+            "exposure_drift",
+            vec![window(FaultKind::ExposureDrift {
+                gain_amplitude: 0.2,
+                awb_shift: 6.0,
+                period_s: 0.35,
+            })],
+        ),
+        (
+            "occlusion",
+            vec![window(FaultKind::Occlusion {
+                frac: 0.25,
+                level: 20.0,
+            })],
+        ),
+        (
+            "desync",
+            vec![FaultWindow {
+                kind: FaultKind::Desync { shift_s: 0.05 },
+                from_cycle: 8,
+                until_cycle: 9,
+            }],
+        ),
+    ];
+
+    let samples: Vec<Sample> = classes
+        .into_iter()
+        .map(|(class, faults)| run(class, faults))
+        .collect();
+
+    println!();
+    let body = samples
+        .iter()
+        .map(json_entry)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"faults\",\n  \"seed\": {SEED}, \"object_bytes\": {OBJECT_LEN}, \
+         \"cycles\": {CYCLES},\n  \"samples\": [\n{body}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    std::fs::write(path, &json).expect("write bench json");
+    println!("wrote {path}");
+}

@@ -33,9 +33,11 @@ pub mod config;
 pub mod geometry;
 pub mod isp;
 pub mod noise;
+pub mod tap;
 
 pub use autoexposure::AutoExposure;
 pub use capture::{Camera, CapturedFrame};
 pub use config::{CameraConfig, Shutter};
 pub use geometry::CaptureGeometry;
 pub use isp::IspConfig;
+pub use tap::{CaptureTap, NullTap, TappedCapture};

@@ -533,6 +533,16 @@ impl Demultiplexer {
         })
     }
 
+    /// Discards the in-progress cycle without decoding it. A receiver
+    /// that loses cycle lock calls this: the accumulated scores were
+    /// folded with a phase no longer trusted, and decoding them would
+    /// emit garbage verdicts.
+    pub fn abort_cycle(&mut self) {
+        if let Some(acc) = self.current.take() {
+            self.retired_best = acc.best;
+        }
+    }
+
     /// Raw per-Block scores of a single capture — exposed for calibration
     /// and the threshold ablation. Always runs the reference kernels (it
     /// is the oracle); Blocks with no usable sensor pixels report `0.0`.

@@ -49,6 +49,8 @@ pub struct CycleSynchronizer {
     observations: Vec<SyncObservation>,
     /// Number of trial phases evaluated over one cycle.
     resolution: usize,
+    /// Optional bound on the observation history (rolling window).
+    window: Option<usize>,
 }
 
 impl CycleSynchronizer {
@@ -58,6 +60,7 @@ impl CycleSynchronizer {
             cycle_duration: config.tau as f64 / config.refresh_hz,
             observations: Vec::new(),
             resolution: 48,
+            window: None,
         }
     }
 
@@ -66,9 +69,29 @@ impl CycleSynchronizer {
         self.cycle_duration
     }
 
+    /// Bounds the observation history to the `window` most recent
+    /// captures. Long-running receivers need this: stale observations
+    /// from before a clock disturbance would otherwise outvote the
+    /// current channel forever.
+    pub fn set_window(&mut self, window: usize) {
+        assert!(window >= 4, "estimation needs at least 4 observations");
+        self.window = Some(window);
+        let excess = self.observations.len().saturating_sub(window);
+        self.observations.drain(..excess);
+    }
+
+    /// Discards every observation (re-acquisition from scratch).
+    pub fn clear(&mut self) {
+        self.observations.clear();
+    }
+
     /// Records one scored capture.
     pub fn observe(&mut self, t_mid: f64, crispness: f64) {
         self.observations.push(SyncObservation { t_mid, crispness });
+        if let Some(w) = self.window {
+            let excess = self.observations.len().saturating_sub(w);
+            self.observations.drain(..excess);
+        }
     }
 
     /// Number of recorded observations.
@@ -189,6 +212,325 @@ impl CycleSynchronizer {
             .map(|&s| ((s - threshold).abs() as f64).min(cap) / cap)
             .sum::<f64>()
             / scores.len() as f64
+    }
+}
+
+/// Lock state of a [`PhaseTracker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LockState {
+    /// No phase yet: observing captures for a first estimate.
+    Acquiring,
+    /// Phase locked and the stable-half crispness looks healthy.
+    Locked,
+    /// Stable-half crispness collapsed: the lock is doubted but still
+    /// used (the disturbance may be transient).
+    Suspect,
+    /// The lock was dropped; re-estimating from a fresh window.
+    Reacquiring,
+}
+
+/// Tuning of the tracker's confidence scoring and re-acquisition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackerPolicy {
+    /// Rolling observation window used for (re-)estimates.
+    pub window: usize,
+    /// Observations required before attempting a (re-)lock.
+    pub min_captures: usize,
+    /// Folded-profile contrast required to accept a (re-)lock.
+    pub min_confidence: f64,
+    /// `recent/baseline` crispness ratio below which a stable-half
+    /// capture counts as suspect.
+    pub suspect_ratio: f64,
+    /// Consecutive suspect captures before entering [`LockState::Suspect`].
+    pub suspect_after: u32,
+    /// Further consecutive suspect captures before the lock is dropped.
+    pub reacquire_after: u32,
+    /// EWMA factor of the short-horizon crispness estimate.
+    pub recent_alpha: f64,
+    /// EWMA factor of the healthy-channel baseline.
+    pub baseline_alpha: f64,
+}
+
+impl Default for TrackerPolicy {
+    fn default() -> Self {
+        Self {
+            window: 24,
+            min_captures: 12,
+            min_confidence: 1.3,
+            suspect_ratio: 0.62,
+            suspect_after: 3,
+            reacquire_after: 6,
+            recent_alpha: 0.45,
+            baseline_alpha: 0.05,
+        }
+    }
+}
+
+impl TrackerPolicy {
+    /// A low-latency recovery profile for receivers that must re-lock
+    /// within a few cycles of a fault clearing (the default profile is
+    /// conservative — it tolerates long transients before giving up a
+    /// lock, at the cost of slow re-acquisition).
+    ///
+    /// The worst case drives the numbers: a half-cycle desync leaves
+    /// only ~1 receiver-stable capture per cycle as evidence, so at
+    /// 30 FPS / τ = 12 this profile drops a dead lock within ~4 cycles
+    /// and re-estimates from 9 captures (3 full cycles) — bounding
+    /// loss-to-relock at roughly 7 cycles.
+    pub fn fast_recovery() -> Self {
+        Self {
+            min_captures: 9,
+            min_confidence: 1.08,
+            suspect_after: 2,
+            reacquire_after: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// A state transition reported by [`PhaseTracker::observe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrackerEvent {
+    /// A phase was (re-)acquired.
+    Locked {
+        /// The accepted cycle origin, seconds.
+        phase: f64,
+    },
+    /// Stable-half crispness collapsed; the lock is now doubted.
+    Suspect,
+    /// A suspect lock recovered without re-acquisition.
+    Recovered,
+    /// The lock was dropped; re-acquisition begins.
+    LockLost,
+}
+
+/// Confidence-scored phase tracking over a capture stream.
+///
+/// [`CycleSynchronizer`] answers "what is the phase, given a window of
+/// observations"; this wrapper answers the operational question — *is the
+/// phase we are decoding with still right?* It watches the crispness of
+/// the captures the current lock classifies as stable-half. A healthy
+/// lock keeps those crisp; a desync, accumulated clock skew, or a capture
+/// path gone bad collapses them. The state machine is
+///
+/// ```text
+/// ACQUIRING ──(confident estimate)──▶ LOCKED ◀──(recovered)── SUSPECT
+///      ▲                                │  ─(crispness collapse)──▲
+///      └──────── REACQUIRING ◀──(collapse persists: lock dropped)─┘
+/// ```
+///
+/// Re-acquisition is *bounded*: the observation window is cleared on lock
+/// loss (and re-cleared if it fills twice without a confident estimate),
+/// so a relock needs only `min_captures` healthy captures — it can never
+/// be outvoted by an unbounded tail of pre-fault history, and it never
+/// silently decodes garbage in the meantime.
+#[derive(Debug, Clone)]
+pub struct PhaseTracker {
+    sync: CycleSynchronizer,
+    policy: TrackerPolicy,
+    state: LockState,
+    phase: Option<f64>,
+    baseline: Option<f64>,
+    recent: Option<f64>,
+    low_streak: u32,
+    obs_since_clear: usize,
+    relocks: u64,
+    lock_losses: u64,
+}
+
+impl PhaseTracker {
+    fn build(config: &InFrameConfig, policy: TrackerPolicy, phase: Option<f64>) -> Self {
+        assert!(
+            policy.min_captures <= policy.window,
+            "min_captures cannot exceed the window"
+        );
+        assert!(policy.suspect_after >= 1 && policy.reacquire_after >= 1);
+        let mut sync = CycleSynchronizer::new(config);
+        sync.set_window(policy.window);
+        Self {
+            sync,
+            policy,
+            state: if phase.is_some() {
+                LockState::Locked
+            } else {
+                LockState::Acquiring
+            },
+            phase,
+            baseline: None,
+            recent: None,
+            low_streak: 0,
+            obs_since_clear: 0,
+            relocks: 0,
+            lock_losses: 0,
+        }
+    }
+
+    /// A tracker that must acquire the phase blindly.
+    pub fn acquiring(config: &InFrameConfig, policy: TrackerPolicy) -> Self {
+        Self::build(config, policy, None)
+    }
+
+    /// A tracker starting locked at a known phase (shared clock).
+    pub fn locked_at(config: &InFrameConfig, policy: TrackerPolicy, phase: f64) -> Self {
+        Self::build(config, policy, Some(phase))
+    }
+
+    /// Replaces the tuning policy (e.g. with
+    /// [`TrackerPolicy::fast_recovery`]). Takes effect from the next
+    /// observation; the rolling window is resized immediately.
+    pub fn set_policy(&mut self, policy: TrackerPolicy) {
+        assert!(
+            policy.min_captures <= policy.window,
+            "min_captures cannot exceed the window"
+        );
+        assert!(policy.suspect_after >= 1 && policy.reacquire_after >= 1);
+        self.sync.set_window(policy.window);
+        self.policy = policy;
+    }
+
+    /// Current lock state.
+    pub fn state(&self) -> LockState {
+        self.state
+    }
+
+    /// The phase currently in force (kept through SUSPECT, dropped only
+    /// by a relock).
+    pub fn phase(&self) -> Option<f64> {
+        self.phase
+    }
+
+    /// Whether the current phase should be trusted for decoding.
+    pub fn is_decodable(&self) -> bool {
+        matches!(self.state, LockState::Locked | LockState::Suspect)
+    }
+
+    /// Successful (re-)locks so far.
+    pub fn relocks(&self) -> u64 {
+        self.relocks
+    }
+
+    /// Locks dropped so far.
+    pub fn lock_losses(&self) -> u64 {
+        self.lock_losses
+    }
+
+    /// Feeds one scored capture; returns a state transition if one fired.
+    pub fn observe(&mut self, t_mid: f64, crispness: f64) -> Option<TrackerEvent> {
+        match self.state {
+            LockState::Acquiring | LockState::Reacquiring => {
+                self.observe_unlocked(t_mid, crispness)
+            }
+            LockState::Locked | LockState::Suspect => self.observe_locked(t_mid, crispness),
+        }
+    }
+
+    /// Registers externally detected degradation — evidence the tracker's
+    /// own crispness metric cannot see. The canonical case is a
+    /// half-cycle desync: captures land on the *complementary* pattern
+    /// half, whose magnitude crispness is just as high as the stable
+    /// half's, while decode quality collapses. Moves a healthy lock to
+    /// [`LockState::Suspect`].
+    pub fn force_suspect(&mut self) -> Option<TrackerEvent> {
+        if self.state == LockState::Locked {
+            self.state = LockState::Suspect;
+            self.low_streak = self.low_streak.max(self.policy.suspect_after);
+            return Some(TrackerEvent::Suspect);
+        }
+        None
+    }
+
+    /// Registers an externally detected lock loss: drops the phase and
+    /// starts bounded re-acquisition, exactly as a crispness collapse
+    /// would (see [`PhaseTracker::force_suspect`] for why the caller may
+    /// know better than the crispness metric).
+    pub fn force_lock_lost(&mut self) -> Option<TrackerEvent> {
+        match self.state {
+            LockState::Locked | LockState::Suspect => {
+                self.state = LockState::Reacquiring;
+                self.lock_losses += 1;
+                self.low_streak = 0;
+                self.recent = None;
+                self.baseline = None;
+                self.sync.clear();
+                self.obs_since_clear = 0;
+                Some(TrackerEvent::LockLost)
+            }
+            LockState::Acquiring | LockState::Reacquiring => None,
+        }
+    }
+
+    fn observe_unlocked(&mut self, t_mid: f64, crispness: f64) -> Option<TrackerEvent> {
+        self.sync.observe(t_mid, crispness);
+        self.obs_since_clear += 1;
+        if self.sync.len() >= self.policy.min_captures {
+            if let Some(est) = self.sync.estimate() {
+                if est.confidence >= self.policy.min_confidence {
+                    self.phase = Some(est.phase);
+                    self.state = LockState::Locked;
+                    self.relocks += 1;
+                    self.low_streak = 0;
+                    self.recent = None;
+                    self.baseline = None;
+                    self.obs_since_clear = 0;
+                    return Some(TrackerEvent::Locked { phase: est.phase });
+                }
+            }
+        }
+        // Keep re-acquisition bounded: if a full double-window of captures
+        // never produced a confident estimate, the window is polluted
+        // (mid-fault garbage) — start over rather than averaging it in.
+        if self.obs_since_clear >= 2 * self.policy.min_captures.max(1) {
+            self.sync.clear();
+            self.obs_since_clear = 0;
+        }
+        None
+    }
+
+    fn observe_locked(&mut self, t_mid: f64, crispness: f64) -> Option<TrackerEvent> {
+        let d = self.sync.cycle_duration();
+        let phase = self.phase.expect("locked states carry a phase");
+        let folded = ((t_mid - phase) % d + d) % d;
+        if folded / d >= 0.45 {
+            // Transition-half capture: carries no verdict on the lock.
+            return None;
+        }
+        let a = self.policy.recent_alpha;
+        let recent = match self.recent {
+            Some(r) => r * (1.0 - a) + crispness * a,
+            None => crispness,
+        };
+        self.recent = Some(recent);
+        let baseline = *self.baseline.get_or_insert(crispness);
+        let healthy = recent >= self.policy.suspect_ratio * baseline;
+        if healthy {
+            // Only a healthy channel may move the baseline — a fault must
+            // not drag the reference down to its own level.
+            let b = self.policy.baseline_alpha;
+            self.baseline = Some(baseline * (1.0 - b) + crispness * b);
+            self.low_streak = 0;
+            if self.state == LockState::Suspect {
+                self.state = LockState::Locked;
+                return Some(TrackerEvent::Recovered);
+            }
+            return None;
+        }
+        self.low_streak += 1;
+        if self.state == LockState::Locked && self.low_streak >= self.policy.suspect_after {
+            self.state = LockState::Suspect;
+            return Some(TrackerEvent::Suspect);
+        }
+        if self.state == LockState::Suspect
+            && self.low_streak >= self.policy.suspect_after + self.policy.reacquire_after
+        {
+            self.state = LockState::Reacquiring;
+            self.lock_losses += 1;
+            self.low_streak = 0;
+            self.recent = None;
+            self.sync.clear();
+            self.obs_since_clear = 0;
+            return Some(TrackerEvent::LockLost);
+        }
+        None
     }
 }
 
@@ -339,5 +681,184 @@ mod tests {
             e.min(d - e)
         };
         assert!(err < d * 0.15, "estimated {} err {err}", est.phase);
+    }
+
+    #[test]
+    fn forced_degradation_walks_the_state_machine() {
+        // External evidence (decode-quality collapse) must drive the same
+        // LOCKED → SUSPECT → REACQUIRING path as a crispness collapse.
+        let cfg = InFrameConfig::small_test();
+        let mut tracker = PhaseTracker::locked_at(&cfg, TrackerPolicy::default(), 0.0);
+        assert_eq!(tracker.force_suspect(), Some(TrackerEvent::Suspect));
+        assert_eq!(tracker.force_suspect(), None, "already suspect");
+        assert_eq!(tracker.state(), LockState::Suspect);
+        assert_eq!(tracker.force_lock_lost(), Some(TrackerEvent::LockLost));
+        assert_eq!(tracker.state(), LockState::Reacquiring);
+        assert_eq!(tracker.lock_losses(), 1);
+        assert_eq!(tracker.force_lock_lost(), None, "nothing left to lose");
+        assert!(tracker.phase().is_some(), "stale phase kept for telemetry");
+    }
+
+    #[test]
+    fn window_bounds_history() {
+        let mut sync = synchronizer();
+        sync.set_window(10);
+        for j in 0..50 {
+            sync.observe(j as f64 / 30.0, 3.0);
+        }
+        assert_eq!(sync.len(), 10);
+        sync.clear();
+        assert!(sync.is_empty());
+    }
+
+    #[test]
+    fn set_window_trims_existing_history() {
+        let mut sync = synchronizer();
+        for j in 0..20 {
+            sync.observe(j as f64 / 30.0, 3.0);
+        }
+        sync.set_window(6);
+        assert_eq!(sync.len(), 6);
+    }
+
+    /// Synthetic stream for tracker tests: crisp in the true stable half,
+    /// faded otherwise, starting at capture index `j0`.
+    fn feed(
+        tracker: &mut PhaseTracker,
+        true_phase: f64,
+        j0: usize,
+        captures: usize,
+        d: f64,
+    ) -> Vec<TrackerEvent> {
+        let mut events = Vec::new();
+        for j in j0..j0 + captures {
+            let t = j as f64 / 30.0;
+            let folded = ((t - true_phase) % d + d) % d;
+            let crisp = if folded / d < 0.5 { 6.0 } else { 1.2 };
+            if let Some(e) = tracker.observe(t, crisp) {
+                events.push(e);
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn tracker_acquires_then_stays_locked_on_a_clean_channel() {
+        let cfg = InFrameConfig::small_test();
+        let mut tracker = PhaseTracker::acquiring(&cfg, TrackerPolicy::default());
+        assert_eq!(tracker.state(), LockState::Acquiring);
+        assert!(!tracker.is_decodable());
+        let d = cfg.tau as f64 / cfg.refresh_hz;
+        let events = feed(&mut tracker, 0.04, 0, 40, d);
+        assert!(matches!(events.first(), Some(TrackerEvent::Locked { .. })));
+        assert_eq!(tracker.state(), LockState::Locked);
+        assert_eq!(events.len(), 1, "no spurious transitions: {events:?}");
+        let err = {
+            let p = tracker.phase().unwrap();
+            let e = (p - 0.04).abs() % d;
+            e.min(d - e)
+        };
+        assert!(err < d * 0.15);
+    }
+
+    #[test]
+    fn tracker_suspects_then_drops_then_relocks_after_a_desync() {
+        let cfg = InFrameConfig::small_test();
+        let d = cfg.tau as f64 / cfg.refresh_hz;
+        let mut tracker = PhaseTracker::locked_at(&cfg, TrackerPolicy::default(), 0.0);
+        let mut events = feed(&mut tracker, 0.0, 0, 30, d);
+        assert!(events.is_empty(), "healthy lock must hold: {events:?}");
+        // The sender's cycle origin jumps by half a cycle: everything the
+        // old lock calls stable-half is now faded.
+        let shifted = 0.5 * d;
+        events = feed(&mut tracker, shifted, 30, 60, d);
+        let kinds: Vec<&TrackerEvent> = events.iter().collect();
+        assert!(
+            matches!(kinds[0], TrackerEvent::Suspect),
+            "first SUSPECT: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, TrackerEvent::LockLost)),
+            "lock must drop: {events:?}"
+        );
+        let relock = events
+            .iter()
+            .find_map(|e| match e {
+                TrackerEvent::Locked { phase } => Some(*phase),
+                _ => None,
+            })
+            .expect("must relock");
+        let err = {
+            let e = (relock - shifted).abs() % d;
+            e.min(d - e)
+        };
+        assert!(err < d * 0.2, "relocked at {relock}, want {shifted}");
+        assert_eq!(tracker.lock_losses(), 1);
+        assert_eq!(tracker.relocks(), 1);
+    }
+
+    #[test]
+    fn transient_dip_recovers_without_losing_the_lock() {
+        let cfg = InFrameConfig::small_test();
+        let d = cfg.tau as f64 / cfg.refresh_hz;
+        let mut tracker = PhaseTracker::locked_at(&cfg, TrackerPolicy::default(), 0.0);
+        let _ = feed(&mut tracker, 0.0, 0, 24, d);
+        // A short occluded burst: crisp collapses everywhere for a few
+        // captures, then the channel comes back at the same phase.
+        let mut events = Vec::new();
+        for j in 24..33 {
+            let t = j as f64 / 30.0;
+            if let Some(e) = tracker.observe(t, 0.3) {
+                events.push(e);
+            }
+        }
+        for j in 33..60 {
+            let t = j as f64 / 30.0;
+            let folded = (t % d + d) % d;
+            let crisp = if folded / d < 0.5 { 6.0 } else { 1.2 };
+            if let Some(e) = tracker.observe(t, crisp) {
+                events.push(e);
+            }
+        }
+        assert!(
+            events.contains(&TrackerEvent::Suspect),
+            "dip must be noticed: {events:?}"
+        );
+        assert!(
+            events.contains(&TrackerEvent::Recovered),
+            "must recover in place: {events:?}"
+        );
+        assert_eq!(tracker.lock_losses(), 0, "no re-acquisition needed");
+        assert_eq!(tracker.state(), LockState::Locked);
+    }
+
+    #[test]
+    fn reacquisition_is_bounded_after_fault_clearance() {
+        let cfg = InFrameConfig::small_test();
+        let d = cfg.tau as f64 / cfg.refresh_hz;
+        let policy = TrackerPolicy::default();
+        let mut tracker = PhaseTracker::locked_at(&cfg, policy.clone(), 0.0);
+        let _ = feed(&mut tracker, 0.0, 0, 24, d);
+        // A long flat-channel fault: the tracker drops the lock mid-fault
+        // and keeps re-clearing its polluted window.
+        for j in 24..120 {
+            let _ = tracker.observe(j as f64 / 30.0, 0.2);
+        }
+        assert_eq!(tracker.state(), LockState::Reacquiring);
+        // Once the channel clears, the relock needs at most
+        // 2×min_captures + min_captures observations (worst-case window
+        // pollution + a fresh fill) — 8 cycles at ~3 captures/cycle.
+        let mut relock_obs = None;
+        for (n, j) in (120..120 + 3 * policy.min_captures + 1).enumerate() {
+            let t = j as f64 / 30.0;
+            let folded = (t % d + d) % d;
+            let crisp = if folded / d < 0.5 { 6.0 } else { 1.2 };
+            if let Some(TrackerEvent::Locked { .. }) = tracker.observe(t, crisp) {
+                relock_obs = Some(n + 1);
+                break;
+            }
+        }
+        let n = relock_obs.expect("must relock after clearance");
+        assert!(n <= 3 * policy.min_captures, "relock took {n} captures");
     }
 }

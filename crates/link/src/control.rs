@@ -71,6 +71,19 @@ pub struct ModulationCommand {
     pub tau: u32,
 }
 
+/// Receiver-side channel health, as reported by the session's phase
+/// tracker (`inframe_core::sync::LockState` collapsed to what the
+/// controller cares about).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelHealth {
+    /// Cycle lock held and trusted.
+    Locked,
+    /// Lock doubted; decoding continues but statistics are polluted.
+    Suspect,
+    /// Lock lost; the receiver is re-acquiring and decodes nothing.
+    Reacquiring,
+}
+
 /// The windowed δ/τ controller.
 #[derive(Debug, Clone)]
 pub struct ModulationController {
@@ -80,6 +93,10 @@ pub struct ModulationController {
     window: GobStats,
     cycles_in_window: u32,
     decisions: u64,
+    health: ChannelHealth,
+    /// Command in force before the channel went SUSPECT, restored on
+    /// re-lock.
+    saved: Option<ModulationCommand>,
 }
 
 impl ModulationController {
@@ -117,6 +134,8 @@ impl ModulationController {
             window: GobStats::default(),
             cycles_in_window: 0,
             decisions: 0,
+            health: ChannelHealth::Locked,
+            saved: None,
         }
     }
 
@@ -131,6 +150,60 @@ impl ModulationController {
     /// Decision windows evaluated so far.
     pub fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    /// The health last reported via [`ModulationController::set_health`].
+    pub fn health(&self) -> ChannelHealth {
+        self.health
+    }
+
+    /// One robustness rung up the ladder: spend imperceptibility margin
+    /// first (raise δ), then trade rate for capture odds (raise τ).
+    fn degrade(&mut self) {
+        if self.delta < self.policy.delta_max {
+            self.delta = (self.delta + self.policy.delta_step).min(self.policy.delta_max);
+        } else if self.tau_idx + 1 < self.policy.taus.len() {
+            self.tau_idx += 1;
+        }
+    }
+
+    /// Reports a channel-health transition from the receiver's phase
+    /// tracker. Losing confidence backs the modulation off immediately —
+    /// one robustness rung, without waiting out a decision window whose
+    /// statistics the fault is busy polluting — and remembers the healthy
+    /// command; a return to `Locked` restores it. Returns the new command
+    /// if it changed.
+    pub fn set_health(&mut self, health: ChannelHealth) -> Option<ModulationCommand> {
+        if health == self.health {
+            return None;
+        }
+        let before = self.command();
+        let was_locked = self.health == ChannelHealth::Locked;
+        self.health = health;
+        match health {
+            ChannelHealth::Suspect | ChannelHealth::Reacquiring if was_locked => {
+                self.saved = Some(before);
+                self.degrade();
+                // The window accumulated during the collapse: start clean.
+                self.window = GobStats::default();
+                self.cycles_in_window = 0;
+            }
+            ChannelHealth::Locked => {
+                if let Some(saved) = self.saved.take() {
+                    self.delta = saved
+                        .delta
+                        .clamp(self.policy.delta_min, self.policy.delta_max);
+                    if let Some(idx) = self.policy.taus.iter().position(|&t| t >= saved.tau) {
+                        self.tau_idx = idx;
+                    }
+                }
+                self.window = GobStats::default();
+                self.cycles_in_window = 0;
+            }
+            _ => {} // SUSPECT ↔ REACQUIRING: keep the backed-off command.
+        }
+        let after = self.command();
+        (after != before).then_some(after)
     }
 
     /// Accumulates one cycle's statistics; at each window boundary,
@@ -154,16 +227,12 @@ impl ModulationController {
         // everything but wrongly is not healthy.
         let quality = availability * (1.0 - error_rate);
         if quality < lo {
-            // Degraded: spend imperceptibility margin first (raise δ),
-            // then trade rate for robustness (raise τ).
-            if self.delta < self.policy.delta_max {
-                self.delta = (self.delta + self.policy.delta_step).min(self.policy.delta_max);
-            } else if self.tau_idx + 1 < self.policy.taus.len() {
-                self.tau_idx += 1;
-            }
-        } else if quality > hi {
+            self.degrade();
+        } else if quality > hi && self.health == ChannelHealth::Locked {
             // Headroom: reclaim goodput (shorter τ), then reclaim
-            // imperceptibility margin (lower δ).
+            // imperceptibility margin (lower δ). Never while the lock is
+            // doubted — apparent headroom measured against a suspect
+            // phase is noise, and reclaiming on it whipsaws the sender.
             if self.tau_idx > 0 {
                 self.tau_idx -= 1;
             } else if self.delta > self.policy.delta_min {
@@ -333,6 +402,53 @@ mod tests {
         }
         let policy = ControllerPolicy::with_hvs_ceiling(&cfg, &meter);
         assert!(policy.delta_max >= policy.delta_min);
+    }
+
+    #[test]
+    fn suspect_health_backs_off_immediately() {
+        let mut ctl = controller(ControllerPolicy {
+            window_cycles: 1,
+            ..ControllerPolicy::default()
+        });
+        let before = ctl.command();
+        let cmd = ctl
+            .set_health(ChannelHealth::Suspect)
+            .expect("must back off");
+        assert!(cmd.delta > before.delta, "δ must rise: {cmd:?}");
+        assert_eq!(ctl.health(), ChannelHealth::Suspect);
+        // Escalating to REACQUIRING keeps the backed-off command.
+        assert_eq!(ctl.set_health(ChannelHealth::Reacquiring), None);
+        // Re-lock restores the pre-suspect command.
+        let restored = ctl.set_health(ChannelHealth::Locked).expect("must restore");
+        assert_eq!(restored, before);
+    }
+
+    #[test]
+    fn unhealthy_channel_never_reclaims() {
+        let mut ctl = controller(ControllerPolicy {
+            window_cycles: 1,
+            ..ControllerPolicy::default()
+        });
+        let _ = ctl.set_health(ChannelHealth::Suspect);
+        let after_backoff = ctl.command();
+        // Perfect-looking stats while SUSPECT: reclaim is suppressed…
+        let good = stats(100, 0, 0);
+        for _ in 0..5 {
+            assert_eq!(ctl.observe_cycle(&good), None);
+        }
+        assert_eq!(ctl.command(), after_backoff);
+        // …but further degradation still acts.
+        let bad = stats(50, 50, 0);
+        let cmd = ctl.observe_cycle(&bad).expect("degrade still allowed");
+        assert!(cmd.delta > after_backoff.delta);
+    }
+
+    #[test]
+    fn redundant_health_reports_are_noops() {
+        let mut ctl = controller(ControllerPolicy::default());
+        assert_eq!(ctl.set_health(ChannelHealth::Locked), None);
+        let _ = ctl.set_health(ChannelHealth::Suspect);
+        assert_eq!(ctl.set_health(ChannelHealth::Suspect), None);
     }
 
     #[test]

@@ -18,10 +18,13 @@
 //!   cycle capacity, and a priority-interleaved object carousel that
 //!   implements [`inframe_core::sender::PayloadSource`].
 //! * [`session`] — the receiver state machine
-//!   (`ACQUIRE → SYNCED → COLLECTING → COMPLETE`), joining mid-stream
-//!   via blind cycle sync and accumulating symbols across cycles.
+//!   (`ACQUIRE → SYNCED → COLLECTING → COMPLETE`, with a `RESYNC` detour
+//!   when cycle lock is lost mid-stream), joining mid-stream via blind
+//!   cycle sync, accumulating symbols across cycles, and evicting stale
+//!   or deadline-blown objects.
 //! * [`control`] — adaptive modulation: δ/τ commands from windowed GOB
-//!   statistics, bounded by the HVS imperceptibility ceiling.
+//!   statistics, bounded by the HVS imperceptibility ceiling, backing
+//!   off while the receiver reports the channel SUSPECT.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,7 +37,8 @@ pub mod symbol;
 
 pub use carousel::{Carousel, GeometryMode, SymbolGeometry};
 pub use control::{
-    imperceptible_delta_ceiling, ControllerPolicy, ModulationCommand, ModulationController,
+    imperceptible_delta_ceiling, ChannelHealth, ControllerPolicy, ModulationCommand,
+    ModulationController,
 };
 pub use rlc::{Absorb, ObjectDecoder, RlcEncoder};
 pub use session::{

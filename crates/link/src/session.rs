@@ -6,26 +6,33 @@
 //!
 //! ```text
 //! ACQUIRE ──(cycle phase locked)──▶ SYNCED ──(first symbol)──▶ COLLECTING
-//!                                                                 │
-//!                                          (completion target met) ▼
-//!                                                              COMPLETE
+//!                                     │ ▲                        │    │
+//!                        (lock lost)  ▼ │  (re-locked)           │    │
+//!                                    RESYNC ◀───(lock lost)──────┘    │
+//!                                              (completion target met) ▼
+//!                                                                  COMPLETE
 //! ```
 //!
 //! In [`SyncMode::Blind`] the session recovers the sender's cycle phase
-//! from capture crispness ([`inframe_core::sync::CycleSynchronizer`])
-//! before decoding anything; with [`SyncMode::Known`] it starts out
-//! synced. Decoded cycle payloads (with per-GOB losses as `None`) feed a
-//! bounded [`SymbolScanner`], and every recovered symbol flows into the
-//! per-object incremental [`ObjectDecoder`]s. Because the carousel is
-//! rateless, a late joiner needs no retransmission protocol: it simply
-//! keeps absorbing whatever symbols it sees until rank K is reached.
+//! from capture crispness before decoding anything; with
+//! [`SyncMode::Known`] it starts out synced. Either way, a capture-level
+//! session keeps a [`PhaseTracker`] watching the lock: when the tracker
+//! drops it (desync, accumulated clock skew), the session aborts the
+//! in-flight demux cycle, discards any partially-scanned symbol, and
+//! moves to [`SessionState::Resync`] until the tracker re-locks — it
+//! never silently decodes against a dead phase. Decoded cycle payloads
+//! (with per-GOB losses as `None`) feed a bounded [`SymbolScanner`], and
+//! every recovered symbol flows into the per-object incremental
+//! [`ObjectDecoder`]s. Because the carousel is rateless, a late joiner
+//! needs no retransmission protocol: it simply keeps absorbing whatever
+//! symbols it sees until rank K is reached.
 
 use crate::carousel::SymbolGeometry;
 use crate::rlc::ObjectDecoder;
 use crate::symbol::Symbol;
 use inframe_code::framing::{scan_packed, PackedBits};
 use inframe_code::parity::GobStats;
-use inframe_core::sync::CycleSynchronizer;
+use inframe_core::sync::{CycleSynchronizer, LockState, PhaseTracker, TrackerEvent, TrackerPolicy};
 use inframe_core::{DecodedDataFrame, Demultiplexer, InFrameConfig};
 use inframe_frame::geometry::Homography;
 use inframe_frame::Plane;
@@ -81,6 +88,8 @@ pub enum SessionState {
     Synced,
     /// At least one symbol absorbed; objects decoding.
     Collecting,
+    /// Cycle lock was lost mid-stream; re-acquiring before decoding more.
+    Resync,
     /// The completion target has been met.
     Complete,
 }
@@ -144,6 +153,14 @@ impl SymbolScanner {
     pub fn buffered_bits(&self) -> usize {
         self.buf.bit_len()
     }
+
+    /// Discards any partially-scanned symbol. Called on desync: bits
+    /// buffered before a gap in the cycle stream must not be spliced with
+    /// the bits that arrive after it — a CRC would usually catch the
+    /// chimera, but "usually" is not a property to lean on at scale.
+    pub fn reset(&mut self) {
+        self.buf = PackedBits::new();
+    }
 }
 
 /// What one absorbed cycle produced.
@@ -161,9 +178,10 @@ pub struct CycleReport {
 pub struct ReceiverSession {
     geometry: SymbolGeometry,
     state: SessionState,
-    sync_mode: SyncMode,
-    sync: CycleSynchronizer,
     phase: Option<f64>,
+    /// Lock supervision (capture-level sessions only; cycle-level input
+    /// is synchronized by construction).
+    tracker: Option<PhaseTracker>,
     demux: Option<Demultiplexer>,
     scanner: SymbolScanner,
     decoders: BTreeMap<u16, ObjectDecoder>,
@@ -173,10 +191,39 @@ pub struct ReceiverSession {
     stats: GobStats,
     cycles_processed: u64,
     first_symbol_cycle: Option<u64>,
-    /// Decoded cycles, retained for capture-level callers that still
-    /// consume the raw bit stream (the deprecated `Link::run` surface).
+    /// Last absorbed cycle index, for gap detection.
+    last_cycle: Option<u64>,
+    /// Evict an incomplete decoder after this many cycles without a new
+    /// symbol for its object.
+    stale_after: Option<u64>,
+    /// Absolute per-object deadlines (receiver-relative cycle index).
+    deadlines: BTreeMap<u16, u64>,
+    /// Cycle of the most recent symbol per object.
+    last_progress: BTreeMap<u16, u64>,
+    evicted: Vec<u16>,
+    resyncs: u64,
+    /// Consecutive decoded cycles below the availability floor.
+    bad_cycles: u32,
+    /// `Some(n)` while a fresh estimator relock is on probation: `n`
+    /// consecutive healthy cycles seen so far. A relock that decodes
+    /// garbage gets a short fuse back to re-acquisition.
+    relock_probe: Option<u32>,
+    /// Decoded cycles, retained for capture-level callers that also
+    /// consume the raw bit stream (ticker-style side channels).
     decoded_log: Vec<DecodedDataFrame>,
 }
+
+/// Per-cycle GOB availability below which the cycle is catastrophic —
+/// evidence of a wrong phase, not of content-induced erasures (a clean
+/// Quick-scale channel sits above 0.85; hard content costs tens of
+/// percent, a mis-phased demultiplexer loses nearly half).
+const QUALITY_FLOOR: f64 = 0.75;
+/// Consecutive catastrophic cycles before the lock is marked SUSPECT.
+const QUALITY_SUSPECT_AFTER: u32 = 2;
+/// Consecutive catastrophic cycles before the lock is dropped.
+const QUALITY_LOST_AFTER: u32 = 3;
+/// Healthy cycles required to validate a fresh relock.
+const RELOCK_PROBE_CYCLES: u32 = 2;
 
 impl ReceiverSession {
     /// A cycle-level session: the caller supplies decoded cycle payloads
@@ -232,12 +279,28 @@ impl ReceiverSession {
             SyncMode::Known { phase } => (SessionState::Synced, Some(phase)),
             SyncMode::Blind { .. } => (SessionState::Acquire, None),
         };
+        let tracker = demux.as_ref().map(|_| match sync_mode {
+            SyncMode::Known { phase } => {
+                PhaseTracker::locked_at(config, TrackerPolicy::default(), phase)
+            }
+            SyncMode::Blind {
+                min_captures,
+                min_confidence,
+            } => PhaseTracker::acquiring(
+                config,
+                TrackerPolicy {
+                    min_captures,
+                    min_confidence,
+                    window: TrackerPolicy::default().window.max(min_captures),
+                    ..TrackerPolicy::default()
+                },
+            ),
+        });
         Self {
             geometry,
             state,
-            sync_mode,
-            sync: CycleSynchronizer::new(config),
             phase,
+            tracker,
             demux,
             scanner: SymbolScanner::new(geometry.symbol_bytes),
             decoders: BTreeMap::new(),
@@ -247,6 +310,14 @@ impl ReceiverSession {
             stats: GobStats::default(),
             cycles_processed: 0,
             first_symbol_cycle: None,
+            last_cycle: None,
+            stale_after: None,
+            deadlines: BTreeMap::new(),
+            last_progress: BTreeMap::new(),
+            evicted: Vec::new(),
+            resyncs: 0,
+            bad_cycles: 0,
+            relock_probe: None,
             decoded_log: Vec::new(),
         }
     }
@@ -254,12 +325,24 @@ impl ReceiverSession {
     /// Feeds one decoded cycle payload (per-bit verdicts with losses as
     /// `None`) plus its GOB statistics.
     pub fn push_cycle(&mut self, payload: &[Option<bool>], stats: &GobStats) -> CycleReport {
+        let cycle = self.last_cycle.map_or(0, |c| c + 1);
+        self.push_cycle_indexed(payload, stats, cycle)
+    }
+
+    /// Like [`ReceiverSession::push_cycle`] with an explicit cycle index —
+    /// for callers whose channel can skip cycles (a gap discards any
+    /// partially-scanned symbol, see [`SymbolScanner::reset`]).
+    pub fn push_cycle_indexed(
+        &mut self,
+        payload: &[Option<bool>],
+        stats: &GobStats,
+        cycle: u64,
+    ) -> CycleReport {
         assert!(
-            !matches!(self.state, SessionState::Acquire),
+            !matches!(self.state, SessionState::Acquire | SessionState::Resync),
             "cycle-level input requires a synced session"
         );
         self.stats.merge(stats);
-        let cycle = self.cycles_processed;
         self.absorb(payload, cycle)
     }
 
@@ -273,27 +356,26 @@ impl ReceiverSession {
             self.demux.is_some(),
             "push_capture requires a capture-level session"
         );
-        if self.state == SessionState::Acquire {
+        let tracker = self.tracker.as_mut().expect("capture sessions track");
+        if !tracker.is_decodable() {
+            // (Re-)acquiring: captures feed the estimator, nothing decodes.
             let scores = self
                 .demux
                 .as_ref()
                 .expect("checked above")
                 .score_capture(plane);
-            self.sync
-                .observe(t_mid, CycleSynchronizer::crispness_of_scores(&scores));
-            let SyncMode::Blind {
-                min_captures,
-                min_confidence,
-            } = self.sync_mode
-            else {
-                unreachable!("Acquire implies blind mode");
-            };
-            if self.sync.len() >= min_captures {
-                if let Some(est) = self.sync.estimate() {
-                    if est.confidence >= min_confidence {
-                        self.phase = Some(est.phase);
-                        self.state = SessionState::Synced;
-                    }
+            let crisp = CycleSynchronizer::crispness_of_scores(&scores);
+            if let Some(TrackerEvent::Locked { phase }) = tracker.observe(t_mid, crisp) {
+                self.phase = Some(phase);
+                // An estimator phase is provisional until it decodes.
+                self.relock_probe = Some(0);
+                self.bad_cycles = 0;
+                if matches!(self.state, SessionState::Acquire | SessionState::Resync) {
+                    self.state = if self.first_symbol_cycle.is_some() {
+                        SessionState::Collecting
+                    } else {
+                        SessionState::Synced
+                    };
                 }
             }
             return None;
@@ -302,12 +384,94 @@ impl ReceiverSession {
         if t_mid < phase {
             return None;
         }
-        let decoded = self
-            .demux
-            .as_mut()
-            .expect("checked above")
-            .push_capture(plane, t_mid - phase)?;
-        Some(self.absorb_decoded(decoded))
+        let demux = self.demux.as_mut().expect("checked above");
+        let decoded = demux.push_capture(plane, t_mid - phase);
+        // Let the tracker judge the lock from the same scores the demux
+        // just used (stable-half captures only; transition-half ones are
+        // expected to be faded and say nothing about lock health).
+        if ((t_mid - phase) / demux.cycle_duration()).fract() < 0.45 {
+            let crisp = CycleSynchronizer::crispness_of_scores(
+                &demux
+                    .last_scores()
+                    .iter()
+                    .map(|s| s.value().unwrap_or(0.0))
+                    .collect::<Vec<f32>>(),
+            );
+            if let Some(TrackerEvent::LockLost) = tracker.observe(t_mid, crisp) {
+                self.lose_lock();
+                // The cycle this capture flushed accumulated during the
+                // collapse — decoding it would be exactly the silent
+                // garbage decode the tracker exists to prevent.
+                return None;
+            }
+        }
+        let report = decoded.map(|d| self.absorb_decoded(d));
+        if report.is_some() && self.supervise_quality() {
+            return None;
+        }
+        report
+    }
+
+    /// Shared lock-loss cleanup: whatever the demultiplexer accumulated
+    /// under the dead phase is garbage, and so is the scanner's partial
+    /// symbol.
+    fn lose_lock(&mut self) {
+        if let Some(demux) = self.demux.as_mut() {
+            demux.abort_cycle();
+        }
+        self.scanner.reset();
+        self.resyncs += 1;
+        self.bad_cycles = 0;
+        self.relock_probe = None;
+        if self.state != SessionState::Complete {
+            self.state = SessionState::Resync;
+        }
+    }
+
+    /// Decode-quality lock supervision, run after each absorbed cycle.
+    ///
+    /// Magnitude crispness cannot see every desync: a half-cycle clock
+    /// step lands captures on the *complementary* pattern half, which
+    /// looks exactly as crisp while the demultiplexer assembles bits from
+    /// two different data frames. What does collapse is per-cycle GOB
+    /// availability — so a streak of catastrophic cycles forces the
+    /// tracker to SUSPECT and then drops the lock. Returns `true` when
+    /// the lock was dropped (the caller's report is garbage).
+    fn supervise_quality(&mut self) -> bool {
+        let ratio = self
+            .decoded_log
+            .last()
+            .expect("called after absorbing a decoded cycle")
+            .stats
+            .available_ratio();
+        if ratio >= QUALITY_FLOOR {
+            self.bad_cycles = 0;
+            if let Some(healthy) = self.relock_probe.as_mut() {
+                *healthy += 1;
+                if *healthy >= RELOCK_PROBE_CYCLES {
+                    self.relock_probe = None;
+                }
+            }
+            return false;
+        }
+        self.bad_cycles += 1;
+        let tracker = self.tracker.as_mut().expect("capture sessions track");
+        if self.bad_cycles == QUALITY_SUSPECT_AFTER {
+            tracker.force_suspect();
+        }
+        // A relock on probation that decodes garbage is a wrong phase
+        // (e.g. the complementary half-cycle): give it a short fuse.
+        let fuse = if self.relock_probe.is_some() {
+            QUALITY_SUSPECT_AFTER
+        } else {
+            QUALITY_LOST_AFTER
+        };
+        if self.bad_cycles >= fuse {
+            tracker.force_lock_lost();
+            self.lose_lock();
+            return true;
+        }
+        false
     }
 
     /// Flushes the demultiplexer's in-flight cycle (capture-level
@@ -325,6 +489,12 @@ impl ReceiverSession {
     }
 
     fn absorb(&mut self, payload: &[Option<bool>], cycle: u64) -> CycleReport {
+        // A hole in the cycle sequence means the scanner's partial symbol
+        // lost its middle: discard it rather than splice across the gap.
+        if self.last_cycle.is_some_and(|last| cycle > last + 1) {
+            self.scanner.reset();
+        }
+        self.last_cycle = Some(cycle);
         self.cycles_processed += 1;
         let symbols = self.scanner.push_payload(payload);
         let mut report = CycleReport {
@@ -336,19 +506,21 @@ impl ReceiverSession {
             if self.first_symbol_cycle.is_none() {
                 self.first_symbol_cycle = Some(cycle);
             }
+            let id = s.header.object_id;
+            self.last_progress.insert(id, cycle);
             let dec = self
                 .decoders
-                .entry(s.header.object_id)
+                .entry(id)
                 .or_insert_with(|| ObjectDecoder::for_symbol(s));
             let was_complete = dec.is_complete();
             dec.absorb(s);
             if dec.is_complete() && !was_complete {
-                let id = s.header.object_id;
                 self.completed.push(id);
                 self.completion_cycle.insert(id, cycle);
                 report.completed.push(id);
             }
         }
+        self.evict_stale(cycle);
         if self.state == SessionState::Synced && !symbols.is_empty() {
             self.state = SessionState::Collecting;
         }
@@ -356,6 +528,37 @@ impl ReceiverSession {
             self.state = SessionState::Complete;
         }
         report
+    }
+
+    /// Drops incomplete decoders whose object went stale (no symbol for
+    /// `stale_after` cycles) or blew its deadline. Completed objects are
+    /// never evicted.
+    fn evict_stale(&mut self, cycle: u64) {
+        let stale_after = self.stale_after;
+        let deadlines = &self.deadlines;
+        let last_progress = &self.last_progress;
+        let doomed: Vec<u16> = self
+            .decoders
+            .iter()
+            .filter(|(id, dec)| {
+                if dec.is_complete() {
+                    return false;
+                }
+                let stale = stale_after.is_some_and(|n| {
+                    last_progress
+                        .get(id)
+                        .is_some_and(|&p| cycle.saturating_sub(p) >= n)
+                });
+                let late = deadlines.get(id).is_some_and(|&d| cycle >= d);
+                stale || late
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in doomed {
+            self.decoders.remove(&id);
+            self.last_progress.remove(&id);
+            self.evicted.push(id);
+        }
     }
 
     fn target_met(&self) -> bool {
@@ -401,6 +604,49 @@ impl ReceiverSession {
     /// Aggregate GOB statistics over every absorbed cycle.
     pub fn stats(&self) -> &GobStats {
         &self.stats
+    }
+
+    /// The phase tracker's lock state. Cycle-level sessions are
+    /// synchronized by construction and always report `Locked`.
+    pub fn health(&self) -> LockState {
+        self.tracker
+            .as_ref()
+            .map_or(LockState::Locked, |t| t.state())
+    }
+
+    /// Times the session lost cycle lock and entered RESYNC.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Replaces the phase tracker's tuning (e.g. with
+    /// [`TrackerPolicy::fast_recovery`] when fast re-lock after channel
+    /// faults matters more than transient tolerance). No-op for
+    /// cycle-level sessions, which have no tracker.
+    pub fn set_tracker_policy(&mut self, policy: TrackerPolicy) {
+        if let Some(t) = self.tracker.as_mut() {
+            t.set_policy(policy);
+        }
+    }
+
+    /// Evict an incomplete object's decoder (and its buffered symbols)
+    /// after `cycles` cycles without any new symbol for it — stale-symbol
+    /// eviction for carousels whose content churns.
+    pub fn set_stale_after(&mut self, cycles: u64) {
+        assert!(cycles > 0, "a zero deadline evicts everything instantly");
+        self.stale_after = Some(cycles);
+    }
+
+    /// Sets an absolute delivery deadline (receiver-relative cycle) for
+    /// object `id`; an incomplete decoder is evicted once it passes.
+    pub fn set_deadline(&mut self, id: u16, cycle: u64) {
+        self.deadlines.insert(id, cycle);
+    }
+
+    /// Objects whose decoders were evicted (stale or past deadline), in
+    /// eviction order.
+    pub fn evicted_objects(&self) -> &[u16] {
+        &self.evicted
     }
 
     /// Cycles absorbed so far.
@@ -601,5 +847,113 @@ mod tests {
         let mut rx = ReceiverSession::new(&cfg, g, CompletionTarget::Never);
         let plane = Plane::filled(8, 8, 0.0f32);
         let _ = rx.push_capture(&plane, 0.0);
+    }
+
+    #[test]
+    fn gap_discards_partial_symbol_instead_of_splicing() {
+        // Streamed geometry: symbol frames flow across cycle boundaries,
+        // so a dropped cycle can cut a frame in half. Feeding the two
+        // halves around a gap must NOT recover the symbol — in a real
+        // channel the gap carried (lost) bits, and splicing across it
+        // fabricates data the channel never delivered in sequence.
+        let cfg = InFrameConfig::paper();
+        let g = SymbolGeometry::for_payload_bits(72);
+        assert!(matches!(g.mode, crate::carousel::GeometryMode::Streamed));
+        let sym = Symbol {
+            header: crate::symbol::SymbolHeader {
+                object_id: 3,
+                object_len: 64,
+                seq: 0,
+            },
+            data: vec![0xAB; g.symbol_bytes],
+        };
+        let bits: Vec<Option<bool>> = sym.encode_frame_bits().into_iter().map(Some).collect();
+        let half = bits.len() / 2;
+
+        // Contiguous cycles: the split frame is recovered.
+        let mut rx = ReceiverSession::new(&cfg, g, CompletionTarget::Never);
+        let stats = GobStats::default();
+        rx.push_cycle_indexed(&bits[..half], &stats, 0);
+        let r = rx.push_cycle_indexed(&bits[half..], &stats, 1);
+        assert_eq!(r.symbols, 1, "contiguous halves must reassemble");
+
+        // Same halves around a dropped cycle: discarded, not spliced.
+        let mut rx = ReceiverSession::new(&cfg, g, CompletionTarget::Never);
+        rx.push_cycle_indexed(&bits[..half], &stats, 0);
+        let r = rx.push_cycle_indexed(&bits[half..], &stats, 2);
+        assert_eq!(r.symbols, 0, "gap must discard the partial symbol");
+        assert_eq!(rx.scanner().recovered(), 0);
+    }
+
+    #[test]
+    fn stale_objects_are_evicted_and_can_restart() {
+        let (cfg, layout) = channel();
+        let mut car = Carousel::for_channel(&layout, cfg.coding);
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 7) as u8).collect();
+        car.add_object(9, 1, &data);
+        let mut rx = ReceiverSession::new(&cfg, car.geometry(), CompletionTarget::AllOf(vec![9]));
+        rx.set_stale_after(3);
+        let stats = GobStats::default();
+        // A couple of productive cycles, then the channel goes dark.
+        for _ in 0..2 {
+            let p = car.next_cycle_payload();
+            rx.push_cycle(&clean(&p), &stats);
+        }
+        assert!(rx.decoder(9).is_some());
+        let lost = vec![None; car.geometry().payload_bits_per_cycle];
+        for _ in 0..4 {
+            rx.push_cycle(&lost, &stats);
+        }
+        assert_eq!(rx.evicted_objects(), &[9], "stale decoder must go");
+        assert!(rx.decoder(9).is_none());
+        // The carousel is rateless: when the channel returns, collection
+        // restarts from scratch and still completes.
+        for _ in 0..60 {
+            let p = car.next_cycle_payload();
+            rx.push_cycle(&clean(&p), &stats);
+            if rx.is_complete() {
+                break;
+            }
+        }
+        assert!(rx.is_complete());
+        assert_eq!(rx.object(9).unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn deadline_evicts_an_undelivered_object() {
+        let (cfg, layout) = channel();
+        let mut car = Carousel::for_channel(&layout, cfg.coding);
+        car.add_object(5, 1, &[0x11; 400]);
+        let mut rx = ReceiverSession::new(&cfg, car.geometry(), CompletionTarget::Never);
+        rx.set_deadline(5, 2);
+        let stats = GobStats::default();
+        for _ in 0..3 {
+            let p = car.next_cycle_payload();
+            rx.push_cycle(&clean(&p), &stats);
+        }
+        assert_eq!(rx.evicted_objects(), &[5]);
+        assert!(rx.decoder(5).is_none());
+    }
+
+    #[test]
+    fn completed_objects_are_never_evicted() {
+        let (cfg, layout) = channel();
+        let mut car = Carousel::for_channel(&layout, cfg.coding);
+        let data = [0x42u8; 60];
+        car.add_object(2, 1, &data);
+        let mut rx = ReceiverSession::new(&cfg, car.geometry(), CompletionTarget::Never);
+        rx.set_stale_after(2);
+        let stats = GobStats::default();
+        for _ in 0..4 {
+            let p = car.next_cycle_payload();
+            rx.push_cycle(&clean(&p), &stats);
+        }
+        assert!(rx.object(2).is_some());
+        let lost = vec![None; car.geometry().payload_bits_per_cycle];
+        for _ in 0..6 {
+            rx.push_cycle(&lost, &stats);
+        }
+        assert!(rx.evicted_objects().is_empty());
+        assert_eq!(rx.object(2).unwrap(), &data[..]);
     }
 }

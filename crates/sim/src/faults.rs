@@ -1,0 +1,633 @@
+//! Deterministic fault injection at the capture boundary, and the
+//! harness that measures recovery from it.
+//!
+//! The paper's receiver exists *because* the capture path is hostile —
+//! rate mismatch, rolling shutter, "poor capture quality" (§1) — yet a
+//! simulator left alone only ever exercises the sunny day. This module
+//! composes seeded fault injectors over the captured-frame stream via
+//! [`inframe_camera::tap::CaptureTap`]:
+//!
+//! * dropped and duplicated frames,
+//! * capture-clock skew and jitter against the 120 Hz display,
+//! * exposure / white-balance drift,
+//! * transient partial occlusion,
+//! * mid-stream desync (a lost cycle boundary).
+//!
+//! [`run_fault_scenario`] drives the full pixel chain — sender → display
+//! → camera → injector → hardened capture-level session — and reports
+//! whether the receiver's LOCKED → SUSPECT → REACQUIRE machinery
+//! re-locked, how long that took past fault clearance, and what the
+//! fault cost in availability and decode overhead. Every injector is
+//! seeded; a fixed configuration replays bit-for-bit.
+
+use crate::pipeline::SimulationConfig;
+use crate::scenarios::Scenario;
+use inframe_camera::tap::{CaptureTap, TappedCapture};
+use inframe_camera::{Camera, Shutter};
+use inframe_code::prbs::Xoshiro256;
+use inframe_core::sender::Sender;
+use inframe_core::sync::{LockState, TrackerPolicy};
+use inframe_display::{DisplayStream, FrameEmission};
+use inframe_link::carousel::{Carousel, SymbolGeometry};
+use inframe_link::control::{ChannelHealth, ControllerPolicy, ModulationController};
+use inframe_link::session::{CompletionTarget, ReceiverSession, SyncMode};
+use inframe_link::ModulationCommand;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One class of capture fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Each capture is lost with probability `rate` (driver stalls,
+    /// pipeline back-pressure).
+    Drop {
+        /// Per-capture drop probability.
+        rate: f64,
+    },
+    /// Each capture is delivered twice with probability `rate`; the
+    /// duplicate carries a *later* timestamp with stale pixels (buffer
+    /// re-delivery, the nastier real-world variant).
+    Duplicate {
+        /// Per-capture duplication probability.
+        rate: f64,
+    },
+    /// The receiver clock runs fast/slow by `skew` (fractional) and each
+    /// timestamp jitters uniformly within `±jitter_s`. The skew offset
+    /// accumulates and persists after the window — real clocks do not
+    /// snap back.
+    ClockSkew {
+        /// Fractional rate error (e.g. `5e-3` = 0.5 % fast).
+        skew: f64,
+        /// Uniform timestamp jitter half-width, seconds.
+        jitter_s: f64,
+    },
+    /// Multiplicative exposure oscillation plus an additive white-balance
+    /// shift: `code × (1 + a·sin(2πt/period)) + awb`.
+    ExposureDrift {
+        /// Peak fractional gain excursion `a`.
+        gain_amplitude: f32,
+        /// Additive code-value shift.
+        awb_shift: f32,
+        /// Oscillation period, seconds.
+        period_s: f64,
+    },
+    /// A centred rectangle covering `frac` of the frame is painted at
+    /// `level` (a hand, a passer-by).
+    Occlusion {
+        /// Fraction of the frame area occluded, `(0, 1]`.
+        frac: f64,
+        /// Code value of the occluder.
+        level: f32,
+    },
+    /// A one-shot timestamp step of `shift_s` at the window start: the
+    /// receiver's notion of the cycle boundary is suddenly wrong.
+    Desync {
+        /// Clock step, seconds (a fraction of a cycle is the worst case).
+        shift_s: f64,
+    },
+}
+
+/// A fault active over `[from_cycle, until_cycle)` in true display
+/// cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// The fault class and parameters.
+    pub kind: FaultKind,
+    /// First true display cycle the fault is active in.
+    pub from_cycle: u64,
+    /// First true display cycle past the fault (exclusive).
+    pub until_cycle: u64,
+}
+
+impl FaultWindow {
+    /// The true cycle at which this fault stops corrupting *new*
+    /// captures. A desync "clears" the instant it fires — the damage is
+    /// the persistent offset, and recovery can begin immediately.
+    pub fn clearance_cycle(&self) -> u64 {
+        match self.kind {
+            FaultKind::Desync { .. } => self.from_cycle,
+            _ => self.until_cycle,
+        }
+    }
+}
+
+/// A seeded composition of [`FaultWindow`]s over the capture stream.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: Vec<FaultWindow>,
+    desync_fired: Vec<bool>,
+    rng: Xoshiro256,
+    cycle_duration: f64,
+    capture_period: f64,
+    time_offset: f64,
+    delivered: u64,
+    dropped: u64,
+    duplicated: u64,
+}
+
+impl FaultInjector {
+    /// An injector over `plan`, classifying captures into cycles of
+    /// `cycle_duration` seconds, for a camera with `capture_period`
+    /// seconds between frames.
+    pub fn new(
+        plan: Vec<FaultWindow>,
+        cycle_duration: f64,
+        capture_period: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(cycle_duration > 0.0 && capture_period > 0.0);
+        for w in &plan {
+            assert!(w.from_cycle < w.until_cycle, "empty fault window");
+        }
+        let desync_fired = vec![false; plan.len()];
+        Self {
+            plan,
+            desync_fired,
+            rng: Xoshiro256::seed_from_u64(seed ^ 0xFA17_5EED),
+            cycle_duration,
+            capture_period,
+            time_offset: 0.0,
+            delivered: 0,
+            dropped: 0,
+            duplicated: 0,
+        }
+    }
+
+    /// Captures delivered downstream (duplicates counted).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Captures swallowed by drop faults.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Captures that were duplicated.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// The accumulated receiver-clock offset, seconds.
+    pub fn time_offset(&self) -> f64 {
+        self.time_offset
+    }
+
+    /// The latest true cycle at which any planned fault clears.
+    pub fn clearance_cycle(&self) -> u64 {
+        self.plan
+            .iter()
+            .map(FaultWindow::clearance_cycle)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl CaptureTap for FaultInjector {
+    fn tap(&mut self, cap: TappedCapture) -> Vec<TappedCapture> {
+        let true_cycle = (cap.t_mid / self.cycle_duration).floor().max(0.0) as u64;
+        let mut plane = cap.plane;
+        let mut t = cap.t_mid;
+        let mut drop = false;
+        let mut dup = false;
+        for (i, w) in self.plan.iter().enumerate() {
+            let active = true_cycle >= w.from_cycle && true_cycle < w.until_cycle;
+            match w.kind {
+                FaultKind::Desync { shift_s } => {
+                    if !self.desync_fired[i] && true_cycle >= w.from_cycle {
+                        self.time_offset += shift_s;
+                        self.desync_fired[i] = true;
+                    }
+                }
+                FaultKind::ClockSkew { skew, jitter_s } => {
+                    if active {
+                        self.time_offset += skew * self.capture_period;
+                        t += (self.rng.next_f64() * 2.0 - 1.0) * jitter_s;
+                    }
+                }
+                FaultKind::Drop { rate } => {
+                    if active && self.rng.next_f64() < rate {
+                        drop = true;
+                    }
+                }
+                FaultKind::Duplicate { rate } => {
+                    if active && self.rng.next_f64() < rate {
+                        dup = true;
+                    }
+                }
+                FaultKind::ExposureDrift {
+                    gain_amplitude,
+                    awb_shift,
+                    period_s,
+                } => {
+                    if active {
+                        let g = 1.0
+                            + gain_amplitude as f64
+                                * (std::f64::consts::TAU * cap.t_mid / period_s).sin();
+                        plane.map_in_place(|c| {
+                            ((c as f64 * g) as f32 + awb_shift).clamp(0.0, 255.0)
+                        });
+                    }
+                }
+                FaultKind::Occlusion { frac, level } => {
+                    if active {
+                        occlude_centre(&mut plane, frac, level);
+                    }
+                }
+            }
+        }
+        if drop {
+            self.dropped += 1;
+            return Vec::new();
+        }
+        t += self.time_offset;
+        let main = TappedCapture { plane, t_mid: t };
+        if dup {
+            self.duplicated += 1;
+            self.delivered += 2;
+            let ghost = TappedCapture {
+                plane: main.plane.clone(),
+                // Stale pixels under a plausible later timestamp: the
+                // duplicate lands where the *next* capture slot would.
+                t_mid: t + 0.4 * self.capture_period,
+            };
+            vec![main, ghost]
+        } else {
+            self.delivered += 1;
+            vec![main]
+        }
+    }
+}
+
+/// Paints a centred rectangle covering `frac` of the plane at `level`.
+fn occlude_centre(plane: &mut inframe_frame::Plane<f32>, frac: f64, level: f32) {
+    let (w, h) = (plane.width(), plane.height());
+    let side = frac.clamp(0.0, 1.0).sqrt();
+    let ow = ((w as f64 * side).round() as usize).min(w);
+    let oh = ((h as f64 * side).round() as usize).min(h);
+    let x0 = (w - ow) / 2;
+    let y0 = (h - oh) / 2;
+    for y in y0..y0 + oh {
+        for x in x0..x0 + ow {
+            plane.put(x, y, level);
+        }
+    }
+}
+
+/// Configuration of one fault-recovery run.
+#[derive(Debug, Clone)]
+pub struct FaultScenarioConfig {
+    /// Pixel-chain configuration (`cycles` caps the run length).
+    pub sim: SimulationConfig,
+    /// Video content under the data channel.
+    pub scenario: Scenario,
+    /// Transport object id on the carousel.
+    pub object_id: u16,
+    /// Object length, bytes (content generated from the seed).
+    pub object_len: usize,
+    /// The fault plan.
+    pub faults: Vec<FaultWindow>,
+    /// Run the δ/τ controller (observing, health-coupled; the sender in
+    /// this harness is not re-modulated mid-run — commands are recorded
+    /// open-loop, the closed loop is exercised by `linksim`).
+    pub adaptive: bool,
+}
+
+impl FaultScenarioConfig {
+    /// A baseline: gray content, one small object, no faults.
+    pub fn baseline(sim: SimulationConfig, object_len: usize) -> Self {
+        Self {
+            sim,
+            scenario: Scenario::Gray,
+            object_id: 1,
+            object_len,
+            faults: Vec::new(),
+            adaptive: false,
+        }
+    }
+}
+
+/// What one fault-recovery run measured.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultOutcome {
+    /// Whether the completion target was met.
+    pub completed: bool,
+    /// Whether the recovered object is byte-identical to the original.
+    pub object_ok: bool,
+    /// Decode overhead ε of the object, if it completed.
+    pub epsilon: Option<f64>,
+    /// Aggregate GOB availability over the absorbed cycles.
+    pub availability: f64,
+    /// Aggregate GOB error rate.
+    pub error_rate: f64,
+    /// Times the session dropped cycle lock.
+    pub lock_losses: u64,
+    /// Whether the session held (or re-acquired) a lock at the end.
+    pub locked_at_end: bool,
+    /// True display cycles from fault clearance to the first re-lock
+    /// after the last lock loss. `Some(0)` when the relock preceded
+    /// clearance; `None` when the lock was never lost or never regained.
+    pub relock_cycles: Option<u64>,
+    /// Receiver cycles absorbed.
+    pub cycles_absorbed: u64,
+    /// Receiver-relative cycle at which the object completed.
+    pub completion_cycle: Option<u64>,
+    /// Health transitions as (true display cycle, new state).
+    pub health_transitions: Vec<(u64, LockState)>,
+    /// Modulation commands issued (health backoffs and window decisions).
+    pub commands: Vec<ModulationCommand>,
+    /// Captures delivered / dropped / duplicated by the injector.
+    pub captures: (u64, u64, u64),
+}
+
+/// Deterministic object content.
+fn object_bytes(len: usize, id: u16, seed: u64) -> Vec<u8> {
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ ((id as u64) << 32) ^ 0x0B_1EC7);
+    (0..len).map(|_| rng.next_byte()).collect()
+}
+
+fn health_of(state: LockState) -> ChannelHealth {
+    match state {
+        LockState::Locked => ChannelHealth::Locked,
+        LockState::Suspect => ChannelHealth::Suspect,
+        LockState::Acquiring | LockState::Reacquiring => ChannelHealth::Reacquiring,
+    }
+}
+
+/// Runs one fault scenario over the full pixel chain.
+///
+/// # Panics
+/// Panics on an invalid simulation configuration or an empty fault
+/// window.
+pub fn run_fault_scenario(cfg: &FaultScenarioConfig) -> FaultOutcome {
+    let c = &cfg.sim;
+    c.inframe.validate();
+    c.camera.validate();
+    c.display.validate();
+
+    let layout = inframe_core::layout::DataLayout::from_config(&c.inframe);
+    let mut carousel = Carousel::for_channel(&layout, c.inframe.coding);
+    let data = object_bytes(cfg.object_len, cfg.object_id, c.seed);
+    carousel.add_object(cfg.object_id, 1, &data);
+
+    let registration = c.geometry.display_to_sensor(
+        c.inframe.display_w,
+        c.inframe.display_h,
+        c.camera.width,
+        c.camera.height,
+    );
+    let mut session = ReceiverSession::capture_level(
+        &c.inframe,
+        SymbolGeometry::for_channel(&layout, c.inframe.coding),
+        &registration,
+        c.camera.width,
+        c.camera.height,
+        SyncMode::Known { phase: 0.0 },
+        CompletionTarget::AllOf(vec![cfg.object_id]),
+    );
+    // Faulted channels trade transient tolerance for relock latency.
+    session.set_tracker_policy(TrackerPolicy::fast_recovery());
+
+    let cycle_duration = c.inframe.tau as f64 / c.inframe.refresh_hz;
+    let capture_period = 1.0 / c.camera.fps;
+    let mut injector =
+        FaultInjector::new(cfg.faults.clone(), cycle_duration, capture_period, c.seed);
+    let clearance = injector.clearance_cycle();
+
+    let mut controller = cfg
+        .adaptive
+        .then(|| ModulationController::new(&c.inframe, ControllerPolicy::default()));
+    let mut commands = Vec::new();
+    let mut transitions: Vec<(u64, LockState)> = Vec::new();
+    let mut last_health = session.health();
+
+    let video = cfg
+        .scenario
+        .source(c.inframe.display_w, c.inframe.display_h, c.seed);
+    let mut sender = Sender::new(c.inframe, video, carousel);
+    let mut display = DisplayStream::new(c.display);
+    let mut camera = Camera::new(c.camera, c.geometry, c.seed ^ 0xCAFE);
+    let readout = match c.camera.shutter {
+        Shutter::Global => 0.0,
+        Shutter::Rolling { readout_s } => readout_s,
+    };
+    let exposure_mid = readout / 2.0 + c.camera.exposure_s / 2.0;
+
+    let mut window: VecDeque<FrameEmission> = VecDeque::new();
+    let total = c.cycles as u64 * c.inframe.tau as u64;
+    'pump: for _ in 0..total {
+        let Some(frame) = sender.next_frame() else {
+            break;
+        };
+        let emission = display.present(&frame.plane);
+        let end = emission.t_start + emission.duration;
+        window.push_back(emission);
+        loop {
+            let (need_start, need_end) = camera.required_window();
+            if need_end > end {
+                break;
+            }
+            while window
+                .front()
+                .is_some_and(|e| e.t_start + e.duration <= need_start + 1e-12)
+            {
+                window.pop_front();
+            }
+            let emissions: Vec<FrameEmission> = window.iter().cloned().collect();
+            let t_mid = camera.config().frame_start(camera.next_index()) + exposure_mid;
+            let true_cycle = (t_mid / cycle_duration).floor().max(0.0) as u64;
+            match camera.capture(&emissions) {
+                Ok(cap) => {
+                    for delivered in injector.tap(TappedCapture {
+                        plane: cap.plane,
+                        t_mid,
+                    }) {
+                        let report = session.push_capture(&delivered.plane, delivered.t_mid);
+                        let health = session.health();
+                        if health != last_health {
+                            transitions.push((true_cycle, health));
+                            if let Some(ctl) = controller.as_mut() {
+                                if let Some(cmd) = ctl.set_health(health_of(health)) {
+                                    commands.push(cmd);
+                                }
+                            }
+                            last_health = health;
+                        }
+                        if report.is_some() {
+                            if let (Some(ctl), Some(d)) =
+                                (controller.as_mut(), session.decoded().last())
+                            {
+                                if let Some(cmd) = ctl.observe_cycle(&d.stats) {
+                                    commands.push(cmd);
+                                }
+                            }
+                        }
+                        if session.is_complete() {
+                            break 'pump;
+                        }
+                    }
+                }
+                Err(_) => camera.skip_frame(),
+            }
+        }
+    }
+    session.finish();
+
+    // Relock latency: first LOCKED transition after the last lock loss,
+    // measured from fault clearance in true display cycles.
+    let last_loss = transitions
+        .iter()
+        .rposition(|(_, s)| *s == LockState::Reacquiring);
+    let relock_cycles = last_loss.and_then(|i| {
+        transitions[i..]
+            .iter()
+            .find(|(_, s)| *s == LockState::Locked)
+            .map(|(cy, _)| cy.saturating_sub(clearance))
+    });
+
+    let object_ok = session.object(cfg.object_id) == Some(&data[..]);
+    FaultOutcome {
+        completed: session.is_complete(),
+        object_ok,
+        epsilon: session.epsilon(cfg.object_id),
+        availability: session.stats().available_ratio(),
+        error_rate: session.stats().error_rate(),
+        lock_losses: session.resyncs(),
+        locked_at_end: session.health() == LockState::Locked
+            || session.health() == LockState::Suspect,
+        relock_cycles,
+        cycles_absorbed: session.cycles_processed(),
+        completion_cycle: session.completion_cycle(cfg.object_id),
+        health_transitions: transitions,
+        commands,
+        captures: (
+            injector.delivered(),
+            injector.dropped(),
+            injector.duplicated(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inframe_frame::Plane;
+
+    fn cap(t_mid: f64) -> TappedCapture {
+        TappedCapture {
+            plane: Plane::filled(8, 8, 100.0f32),
+            t_mid,
+        }
+    }
+
+    #[test]
+    fn drop_fault_swallows_captures_inside_the_window_only() {
+        let w = FaultWindow {
+            kind: FaultKind::Drop { rate: 1.0 },
+            from_cycle: 1,
+            until_cycle: 2,
+        };
+        let mut inj = FaultInjector::new(vec![w], 0.1, 1.0 / 30.0, 7);
+        assert_eq!(inj.tap(cap(0.05)).len(), 1, "before the window");
+        assert_eq!(inj.tap(cap(0.15)).len(), 0, "inside");
+        assert_eq!(inj.tap(cap(0.25)).len(), 1, "after");
+        assert_eq!(inj.dropped(), 1);
+    }
+
+    #[test]
+    fn duplicate_fault_emits_a_stale_later_copy() {
+        let w = FaultWindow {
+            kind: FaultKind::Duplicate { rate: 1.0 },
+            from_cycle: 0,
+            until_cycle: 10,
+        };
+        let mut inj = FaultInjector::new(vec![w], 0.1, 1.0 / 30.0, 7);
+        let out = inj.tap(cap(0.05));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].plane, out[1].plane, "stale pixels");
+        assert!(out[1].t_mid > out[0].t_mid, "later timestamp");
+        assert_eq!(inj.duplicated(), 1);
+    }
+
+    #[test]
+    fn desync_applies_one_persistent_step() {
+        let w = FaultWindow {
+            kind: FaultKind::Desync { shift_s: 0.04 },
+            from_cycle: 2,
+            until_cycle: 3,
+        };
+        let mut inj = FaultInjector::new(vec![w], 0.1, 1.0 / 30.0, 7);
+        assert_eq!(inj.tap(cap(0.05))[0].t_mid, 0.05, "before the step");
+        let first = inj.tap(cap(0.25))[0].t_mid;
+        assert!((first - 0.29).abs() < 1e-12, "stepped: {first}");
+        let later = inj.tap(cap(0.55))[0].t_mid;
+        assert!((later - 0.59).abs() < 1e-12, "persists: {later}");
+        assert!((inj.time_offset() - 0.04).abs() < 1e-12);
+        assert_eq!(w.clearance_cycle(), 2, "desync clears at its onset");
+    }
+
+    #[test]
+    fn clock_skew_accumulates_and_jitters_deterministically() {
+        let w = FaultWindow {
+            kind: FaultKind::ClockSkew {
+                skew: 3e-3,
+                jitter_s: 1e-3,
+            },
+            from_cycle: 0,
+            until_cycle: 100,
+        };
+        let mut a = FaultInjector::new(vec![w], 0.1, 1.0 / 30.0, 7);
+        let mut b = FaultInjector::new(vec![w], 0.1, 1.0 / 30.0, 7);
+        let mut last_offset = 0.0;
+        for j in 0..30 {
+            let t = j as f64 / 30.0;
+            let ta = a.tap(cap(t))[0].t_mid;
+            let tb = b.tap(cap(t))[0].t_mid;
+            assert_eq!(ta, tb, "same seed, same stream");
+            assert!(a.time_offset() > last_offset, "offset accumulates");
+            last_offset = a.time_offset();
+        }
+        assert!((last_offset - 30.0 * 3e-3 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exposure_drift_scales_codes_and_occlusion_paints() {
+        let drift = FaultWindow {
+            kind: FaultKind::ExposureDrift {
+                gain_amplitude: 0.25,
+                awb_shift: 4.0,
+                period_s: 0.02, // sin peak lands inside the first capture
+            },
+            from_cycle: 0,
+            until_cycle: 10,
+        };
+        let mut inj = FaultInjector::new(vec![drift], 0.1, 1.0 / 30.0, 7);
+        let out = inj.tap(cap(0.005));
+        let v = out[0].plane.get(0, 0);
+        assert!((v - 129.0).abs() < 0.5, "100×1.25 + 4 = 129, got {v}");
+
+        let occ = FaultWindow {
+            kind: FaultKind::Occlusion {
+                frac: 0.25,
+                level: 10.0,
+            },
+            from_cycle: 0,
+            until_cycle: 10,
+        };
+        let mut inj = FaultInjector::new(vec![occ], 0.1, 1.0 / 30.0, 7);
+        let out = inj.tap(cap(0.005));
+        assert_eq!(out[0].plane.get(4, 4), 10.0, "centre occluded");
+        assert_eq!(out[0].plane.get(0, 0), 100.0, "corner untouched");
+    }
+
+    #[test]
+    fn occlusion_fraction_is_respected() {
+        let mut plane = Plane::filled(100, 100, 1.0f32);
+        occlude_centre(&mut plane, 0.49, 0.0);
+        let dark = (0..100)
+            .flat_map(|y| (0..100).map(move |x| (x, y)))
+            .filter(|&(x, y)| plane.get(x, y) == 0.0)
+            .count();
+        assert_eq!(dark, 70 * 70);
+    }
+}

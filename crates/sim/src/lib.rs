@@ -26,12 +26,16 @@
 //!
 //! [`linksim`] simulates the `inframe-link` transport at GOB granularity
 //! (real PHY coding, abstracted optics): erasure sweeps, late joins,
-//! scene-cut bursts and the adaptive δ/τ control loop.
+//! scene-cut bursts and the adaptive δ/τ control loop. [`faults`]
+//! injects seeded capture-path faults — drops, duplicates, clock skew,
+//! exposure drift, occlusion, desync — and measures how the hardened
+//! receiver re-locks and recovers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod faults;
 pub mod fig3;
 pub mod fig5;
 pub mod fig6;
@@ -42,7 +46,10 @@ pub mod pipeline;
 pub mod report;
 pub mod scenarios;
 
-pub use link::{Link, LinkRun};
+pub use faults::{
+    run_fault_scenario, FaultInjector, FaultKind, FaultOutcome, FaultScenarioConfig, FaultWindow,
+};
+pub use link::Link;
 pub use linksim::{run_link_scenario, LinkScenarioConfig, LinkScenarioOutcome};
 pub use pipeline::{SimOutcome, Simulation, SimulationConfig};
 pub use scenarios::{Scale, Scenario};

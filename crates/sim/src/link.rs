@@ -4,50 +4,19 @@
 //! The examples (`ad_coupons`, `sports_ticker`) and downstream users all
 //! need the same plumbing: feed sender frames to the display, capture
 //! whenever the camera's window is covered, push captures into the
-//! receiver, collect decoded cycles. The receive side now lives in
-//! [`inframe_link::session::ReceiverSession`] — the capture pump here
-//! drives a session, and the historical [`Link::run`] surface is a
-//! deprecated wrapper that flattens the session's cycle log back into a
-//! [`LinkRun`].
+//! receiver, collect decoded cycles. The receive side lives in
+//! [`inframe_link::session::ReceiverSession`]; [`Link::session`] builds
+//! one wired to this link's camera registration and [`Link::run_session`]
+//! is the capture pump that drives it.
 
 use crate::pipeline::SimulationConfig;
 use inframe_camera::{Camera, Shutter};
-use inframe_code::parity::GobStats;
 use inframe_core::sender::{PayloadSource, Sender};
-use inframe_core::DecodedDataFrame;
 use inframe_display::{DisplayStream, FrameEmission};
 use inframe_link::carousel::SymbolGeometry;
 use inframe_link::session::{CompletionTarget, ReceiverSession, SyncMode};
 use inframe_video::VideoSource;
 use std::collections::VecDeque;
-
-/// Everything an application gets back from a link run.
-#[derive(Debug, Clone)]
-pub struct LinkRun {
-    /// Decoded data cycles, in order.
-    pub decoded: Vec<DecodedDataFrame>,
-    /// Aggregate GOB statistics.
-    pub stats: GobStats,
-    /// The recovered payload bitstream: decoded cycles concatenated, with
-    /// undecodable bits as `None`.
-    pub bits: Vec<Option<bool>>,
-}
-
-impl LinkRun {
-    /// The recovered bits with unknowns filled as `false` (callers using
-    /// framed payloads with checksums usually want this).
-    pub fn bits_lossy(&self) -> Vec<bool> {
-        self.bits.iter().map(|b| b.unwrap_or(false)).collect()
-    }
-
-    /// Fraction of payload bits recovered.
-    pub fn recovery_ratio(&self) -> f64 {
-        if self.bits.is_empty() {
-            return 0.0;
-        }
-        self.bits.iter().filter(|b| b.is_some()).count() as f64 / self.bits.len() as f64
-    }
-}
 
 /// A configured screen–camera link.
 pub struct Link {
@@ -61,38 +30,6 @@ impl Link {
         config.camera.validate();
         config.display.validate();
         Self { config }
-    }
-
-    /// Runs `cycles` data cycles of `payload` over `video` and returns the
-    /// decoded stream.
-    #[deprecated(
-        since = "0.1.0",
-        note = "drive a transport session instead: `Link::run_session` (or \
-                `inframe_link::session::ReceiverSession` directly) exposes \
-                objects, state and decode overhead; this wrapper only \
-                flattens the session's cycle log"
-    )]
-    pub fn run(
-        &self,
-        video: impl VideoSource,
-        payload: impl PayloadSource,
-        camera_seed: u64,
-    ) -> LinkRun {
-        // A raw-bit consumer has no completion target and a shared clock:
-        // run a perpetual synced session and flatten its log.
-        let session = self.session(CompletionTarget::Never);
-        let session = self.run_session(video, payload, camera_seed, session);
-        let mut stats = GobStats::default();
-        let mut bits = Vec::new();
-        for d in session.decoded() {
-            stats.merge(&d.stats);
-            bits.extend(d.payload.iter().cloned());
-        }
-        LinkRun {
-            decoded: session.decoded().to_vec(),
-            stats,
-            bits,
-        }
     }
 
     /// A capture-level [`ReceiverSession`] wired to this link's camera
@@ -185,6 +122,7 @@ impl Link {
 mod tests {
     use super::*;
     use crate::scenarios::{Scale, Scenario};
+    use inframe_code::parity::GobStats;
     use inframe_core::sender::PrbsPayload;
     use inframe_link::carousel::Carousel;
     use inframe_link::session::SessionState;
@@ -202,38 +140,51 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn link_delivers_payload_bits() {
+    fn session_delivers_payload_bits() {
+        // A raw-bit consumer: perpetual synced session, recovered bits
+        // read straight off the decoded-cycle log.
         let c = config(5);
         let link = Link::new(c);
-        let run = link.run(
+        let session = link.run_session(
             Scenario::Gray.source(c.inframe.display_w, c.inframe.display_h, 1),
             PrbsPayload::new(1),
             9,
+            link.session(CompletionTarget::Never),
         );
-        assert!(!run.decoded.is_empty());
-        assert!(run.recovery_ratio() > 0.9, "{}", run.recovery_ratio());
-        assert_eq!(run.bits_lossy().len(), run.bits.len());
-        assert!(run.stats.available_ratio() > 0.85);
+        assert!(!session.decoded().is_empty());
+        let bits: Vec<Option<bool>> = session
+            .decoded()
+            .iter()
+            .flat_map(|d| d.payload.iter().cloned())
+            .collect();
+        let recovered = bits.iter().filter(|b| b.is_some()).count();
+        let ratio = recovered as f64 / bits.len() as f64;
+        assert!(ratio > 0.9, "{ratio}");
+        assert!(session.stats().available_ratio() > 0.85);
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn link_matches_simulation_stats() {
-        // Link and Simulation share the pump; their GOB stats must agree.
+    fn session_pump_matches_simulation_stats() {
+        // The session pump and Simulation share the chain; their
+        // aggregate GOB stats must agree cycle for cycle.
         use crate::pipeline::Simulation;
         let c = config(4);
-        let link_run = Link::new(c).run(
+        let session = Link::new(c).run_session(
             Scenario::Gray.source(c.inframe.display_w, c.inframe.display_h, c.seed),
             PrbsPayload::new(c.seed),
             c.seed ^ 0xCA_3E1A,
+            Link::new(c).session(CompletionTarget::Never),
         );
+        let mut merged = GobStats::default();
+        for d in session.decoded() {
+            merged.merge(&d.stats);
+        }
         let sim_out = Simulation::new(c).run(Scenario::Gray.source(
             c.inframe.display_w,
             c.inframe.display_h,
             c.seed,
         ));
-        assert_eq!(link_run.stats, sim_out.stats);
+        assert_eq!(merged, sim_out.stats);
     }
 
     #[test]

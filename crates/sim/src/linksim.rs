@@ -61,6 +61,22 @@ pub struct GobChannel {
 const DELTA_REF: f64 = 20.0;
 const TAU_REF: f64 = 12.0;
 
+/// Decision-threshold cliff, calibrated against the full pixel chain
+/// (`tests/linksim_calibration.rs`). The demodulator's verdict threshold
+/// `T + m` is fixed in code values, so as δ falls toward it the per-Block
+/// score distribution slides under the margin and erasures rise along a
+/// logistic wall rather than the smooth power law. Midpoint and width are
+/// fitted to measured `Scale::Quick` erasure on the gray scenario
+/// (δ ∈ {10, 12, 14, 16, 20, 26} → erasure {0.88, 0.75, 0.33, 0.07,
+/// 0.007, 0.016}).
+const DELTA_CLIFF_MID: f64 = 13.3;
+const DELTA_CLIFF_WIDTH: f64 = 1.2;
+
+/// Probability mass added by the decision-threshold cliff at `delta`.
+fn threshold_cliff(delta: f64) -> f64 {
+    1.0 / (1.0 + ((delta - DELTA_CLIFF_MID) / DELTA_CLIFF_WIDTH).exp())
+}
+
 impl GobChannel {
     /// A channel at the reference modulation.
     pub fn new(base_erasure: f64, burst: Option<BurstModel>, seed: u64) -> Self {
@@ -82,17 +98,28 @@ impl GobChannel {
 
     /// The effective per-GOB erasure probability at `cycle`.
     ///
-    /// Response model: erasures scale as `(δ_ref/δ)²` (demodulation SNR
-    /// is linear in δ and the verdict threshold is fixed) and as
-    /// `τ_ref/τ` (capture opportunities per cycle are linear in τ).
+    /// Response model, calibrated against the pixel chain
+    /// (`tests/linksim_calibration.rs`): a smooth term scaling the base
+    /// rate as `(δ_ref/δ)²` (demodulation SNR is linear in δ) and
+    /// `τ_ref/τ` (capture opportunities per cycle are linear in τ),
+    /// composed with the decision-threshold cliff — the logistic wall
+    /// the fixed verdict threshold raises as δ falls toward `T + m`.
+    /// `base_erasure == 0` denotes the idealized exact channel and
+    /// bypasses the response model entirely (bursts still apply).
     pub fn erasure_at(&self, cycle: u64) -> f64 {
         if let Some(b) = self.burst {
             if b.active(cycle) {
                 return b.erasure.clamp(0.0, 0.98);
             }
         }
-        let response = (DELTA_REF / self.delta as f64).powi(2) * (TAU_REF / self.tau as f64);
-        (self.base_erasure * response).clamp(0.0, 0.98)
+        if self.base_erasure == 0.0 {
+            return 0.0;
+        }
+        let smooth = self.base_erasure
+            * (DELTA_REF / self.delta as f64).powi(2)
+            * (TAU_REF / self.tau as f64);
+        let cliff = threshold_cliff(self.delta as f64);
+        (1.0 - (1.0 - smooth) * (1.0 - cliff)).clamp(0.0, 0.98)
     }
 
     /// Transmits one data frame: per-GOB i.i.d. erasure at the current

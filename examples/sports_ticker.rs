@@ -14,6 +14,7 @@
 use inframe::code::crc::crc8;
 use inframe::core::sender::PayloadSource;
 use inframe::core::CodingMode;
+use inframe::link::session::CompletionTarget;
 use inframe::sim::pipeline::{Simulation, SimulationConfig};
 use inframe::sim::{Link, Scale, Scenario};
 use inframe::video::synth::MovingBarsClip;
@@ -88,7 +89,6 @@ fn decode_cycle(payload: &[Option<bool>]) -> Option<String> {
     TickerPayload::parse_token(&bytes)
 }
 
-#[allow(deprecated)] // raw-bit ticker tail still uses the legacy Link::run surface
 fn main() {
     let tokens = vec!["GOAL", "2-1", "87'", "YC#7", "CRNR", "54k"];
     println!("Ticker tokens on air: {}", tokens.len());
@@ -144,21 +144,31 @@ fn main() {
         155.0,
         FrameRate(30.0),
     );
-    let run = Link::new(config).run(
+    // The ticker is a raw-bit side channel with no completion target: a
+    // perpetual synced session, tokens read straight off the cycle log.
+    let link = Link::new(config);
+    let session = link.run_session(
         clip,
         TickerPayload {
             tokens: tokens.clone(),
             next: 0,
         },
         55,
+        link.session(CompletionTarget::Never),
     );
+    let (known, total) = session.decoded().iter().fold((0usize, 0usize), |acc, d| {
+        (
+            acc.0 + d.payload.iter().filter(|b| b.is_some()).count(),
+            acc.1 + d.payload.len(),
+        )
+    });
     println!(
         "\nlink: {} cycles, {:.0}% of payload recovered",
-        run.decoded.len(),
-        run.recovery_ratio() * 100.0
+        session.decoded().len(),
+        100.0 * known as f64 / total.max(1) as f64
     );
-    let recovered: Vec<String> = run
-        .decoded
+    let recovered: Vec<String> = session
+        .decoded()
         .iter()
         .filter_map(|d| decode_cycle(&d.payload))
         .collect();

@@ -1,0 +1,120 @@
+//! Satellite: calibrates `sim::linksim`'s analytic erasure-vs-(δ,τ)
+//! response against the full pixel chain (`sim::pipeline`).
+//!
+//! `GobChannel` models per-cycle GOB erasure as a smooth power law
+//! around the reference modulation (δ=20, τ=12) composed with a
+//! decision-threshold cliff: the demodulator's verdict threshold `T + m`
+//! is fixed in code values, so the pixel chain's erasure does not follow
+//! `(δ_ref/δ)²` alone — it rises along a logistic wall as δ approaches
+//! the threshold (measured on gray at `Scale::Quick`: erasure 0.007 at
+//! δ=20 but 0.33 at δ=14 and 0.88 at δ=10). The cliff constants in
+//! `linksim` were fitted to that measured surface; this test anchors the
+//! model's base rate at the *measured* reference erasure and checks the
+//! predicted response at off-reference (δ,τ) points.
+//!
+//! Measured erasure is `1 − available_ratio` from a `Scale::Quick`
+//! simulation on the gray scenario. Gray isolates the modulation
+//! response; textured content adds an erasure floor the model ties into
+//! `base_erasure`, not into the (δ,τ) response. The documented tolerance
+//! is ±0.08 **absolute** erasure per point: the calibrated model lands
+//! within ~0.04 of the pixel chain at every point below, while dropping
+//! the cliff term (the pre-calibration model) mispredicts δ=14 by ~0.32.
+
+use inframe::link::control::ModulationCommand;
+use inframe::sim::linksim::GobChannel;
+use inframe::sim::pipeline::{Simulation, SimulationConfig};
+use inframe::sim::{Scale, Scenario};
+
+const SEED: u64 = 9;
+const CYCLES: u32 = 24;
+
+/// Absolute tolerance on predicted-vs-measured per-GOB erasure.
+const TOLERANCE: f64 = 0.08;
+
+/// Runs the full pixel chain at the given modulation and returns the
+/// measured per-GOB erasure (`1 − available_ratio`).
+fn measured_erasure(delta: f32, tau: u32) -> f64 {
+    let scale = Scale::Quick;
+    let mut inframe = scale.inframe();
+    inframe.delta = delta;
+    inframe.tau = tau;
+    let config = SimulationConfig {
+        inframe,
+        display: scale.display(),
+        camera: scale.camera(),
+        geometry: scale.geometry(),
+        cycles: CYCLES,
+        seed: SEED,
+    };
+    let outcome = Simulation::new(config).run(Scenario::Gray.source(
+        config.inframe.display_w,
+        config.inframe.display_h,
+        SEED,
+    ));
+    1.0 - outcome.stats.available_ratio()
+}
+
+/// The model's prediction with its base rate anchored at `base`.
+fn predicted_erasure(base: f64, delta: f32, tau: u32) -> f64 {
+    let mut channel = GobChannel::new(base, None, SEED);
+    channel.set_modulation(ModulationCommand { delta, tau });
+    channel.erasure_at(0)
+}
+
+#[test]
+fn analytic_erasure_tracks_the_pixel_chain() {
+    // Anchor the model at the measured reference point.
+    let base = measured_erasure(20.0, 12);
+    assert!(
+        base > 0.0 && base < 0.1,
+        "reference erasure on gray should be small but nonzero, got {base:.4}"
+    );
+
+    // Off-reference points: the cliff's knee (δ=16), inside the cliff
+    // (δ=14), stronger modulation (δ=26), and a shorter cycle (τ=10).
+    let points = [(16.0_f32, 12_u32), (14.0, 12), (26.0, 12), (20.0, 10)];
+    for (delta, tau) in points {
+        let measured = measured_erasure(delta, tau);
+        let predicted = predicted_erasure(base, delta, tau);
+        println!(
+            "(δ={delta:>4.1}, τ={tau:>2}): measured {measured:.4}, predicted {predicted:.4}, \
+             |Δ| {:.4}",
+            (predicted - measured).abs()
+        );
+        assert!(
+            (predicted - measured).abs() <= TOLERANCE,
+            "(δ={delta}, τ={tau}): analytic erasure {predicted:.4} deviates from \
+             pixel-chain erasure {measured:.4} by more than {TOLERANCE}"
+        );
+    }
+}
+
+#[test]
+fn cliff_term_carries_the_low_delta_regime() {
+    // The calibration is not vacuous: a pure power law anchored at the
+    // same reference misses the measured δ=14 erasure by far more than
+    // the tolerance. (Reconstructs the pre-calibration prediction from
+    // the model's documented smooth term.)
+    let base = measured_erasure(20.0, 12);
+    let measured = measured_erasure(14.0, 12);
+    let power_law_only = base * (20.0_f64 / 14.0).powi(2) * (12.0 / 12.0);
+    assert!(
+        (power_law_only - measured).abs() > 2.0 * TOLERANCE,
+        "power law alone ({power_law_only:.4}) should not explain the cliff ({measured:.4})"
+    );
+    let calibrated = predicted_erasure(base, 14.0, 12);
+    assert!((calibrated - measured).abs() <= TOLERANCE);
+}
+
+#[test]
+fn analytic_response_is_monotone_in_delta() {
+    // Both the model and the pixel chain must agree that weaker δ
+    // erases more than stronger δ.
+    let weak = measured_erasure(14.0, 12);
+    let strong = measured_erasure(26.0, 12);
+    assert!(
+        weak > strong,
+        "pixel chain: erasure at δ=14 ({weak:.4}) should exceed δ=26 ({strong:.4})"
+    );
+    assert!(predicted_erasure(0.1, 14.0, 12) > predicted_erasure(0.1, 26.0, 12));
+}

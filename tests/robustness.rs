@@ -143,20 +143,22 @@ fn blind_sync_recovers_unknown_camera_phase() {
 }
 
 #[test]
-#[allow(deprecated)] // exercises the legacy raw-bit Link::run surface
 fn phone_isp_default_still_decodes() {
     use inframe::camera::IspConfig;
+    use inframe::link::session::CompletionTarget;
     let mut c = base(5);
     c.camera.isp = IspConfig::phone_default();
-    let run = Link::new(c).run(
+    let link = Link::new(c);
+    let session = link.run_session(
         Scenario::Gray.source(c.inframe.display_w, c.inframe.display_h, 31),
         inframe::core::sender::PrbsPayload::new(31),
         5,
+        link.session(CompletionTarget::Never),
     );
     assert!(
-        run.stats.available_ratio() > 0.8,
+        session.stats().available_ratio() > 0.8,
         "availability with phone ISP: {}",
-        run.stats.available_ratio()
+        session.stats().available_ratio()
     );
 }
 
