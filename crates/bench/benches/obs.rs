@@ -1,0 +1,187 @@
+//! Telemetry overhead: the cost of a live spine on the 1080p hot paths.
+//!
+//! ```sh
+//! cargo bench -p inframe-bench --bench obs
+//! ```
+//!
+//! Runs the paper-scale (1080p) render and demux paths twice — once with
+//! the disabled no-op `Telemetry` handle (one branch per instrument
+//! touch) and once with a live spine recording counters, histograms and
+//! events — and reports the throughput delta. The acceptance budget is
+//! **≤ 2% overhead** per stage; each mode is measured `REPS` times and
+//! the best run is kept, so scheduler noise cannot masquerade as
+//! instrument cost. Writes `BENCH_obs.json` at the repository root.
+
+use inframe_core::demux::{Demultiplexer, RegionCache};
+use inframe_core::parallel::ParallelEngine;
+use inframe_core::sender::{PrbsPayload, Sender};
+use inframe_core::InFrameConfig;
+use inframe_frame::geometry::Homography;
+use inframe_frame::Plane;
+use inframe_obs::Telemetry;
+use inframe_video::synth::MovingBarsClip;
+use inframe_video::FrameRate;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Best-of-N repetitions per (stage, mode).
+const REPS: usize = 7;
+/// Frames timed per render repetition (after a full-cycle warm-up).
+const RENDER_FRAMES: u64 = 36;
+/// Captures timed per demux repetition (after a warm-up score).
+const DEMUX_CAPTURES: u64 = 36;
+/// The acceptance budget, percent.
+const BUDGET_PCT: f64 = 2.0;
+
+struct Sample {
+    stage: &'static str,
+    mode: &'static str,
+    frames: u64,
+    /// Best frames/s over the repetitions.
+    fps: f64,
+}
+
+fn bars(cfg: &InFrameConfig) -> MovingBarsClip {
+    MovingBarsClip::new(
+        cfg.display_w,
+        cfg.display_h,
+        23,
+        1.5,
+        70.0,
+        210.0,
+        FrameRate(cfg.refresh_hz / 4.0),
+    )
+}
+
+fn telemetry(mode: &str) -> Telemetry {
+    if mode == "instrumented" {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    }
+}
+
+fn measure_render(cfg: InFrameConfig, mode: &'static str) -> Sample {
+    let mut best = f64::MAX;
+    for _ in 0..REPS {
+        let tele = telemetry(mode);
+        let engine = Arc::new(ParallelEngine::new(1));
+        let mut sender =
+            Sender::with_engine(cfg, bars(&cfg), PrbsPayload::new(7), engine).with_telemetry(&tele);
+        // Warm-up: one full data cycle populates the pool and caches.
+        for _ in 0..cfg.tau {
+            drop(sender.next_frame().expect("endless clip"));
+        }
+        let t0 = Instant::now();
+        for _ in 0..RENDER_FRAMES {
+            drop(sender.next_frame().expect("endless clip"));
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Sample {
+        stage: "render",
+        mode,
+        frames: RENDER_FRAMES,
+        fps: RENDER_FRAMES as f64 / best,
+    }
+}
+
+fn measure_demux(
+    cfg: InFrameConfig,
+    cache: &Arc<RegionCache>,
+    capture: &Plane<f32>,
+    mode: &'static str,
+) -> Sample {
+    let mut best = f64::MAX;
+    for _ in 0..REPS {
+        let tele = telemetry(mode);
+        let engine = Arc::new(ParallelEngine::new(1));
+        let mut demux =
+            Demultiplexer::with_cache(cfg, Arc::clone(cache), engine).with_telemetry(&tele);
+        let d = demux.cycle_duration();
+        // Warm-up fills the blur scratch and score buffer; every timed
+        // capture lands in the scored first half of a fresh cycle.
+        demux.push_capture(capture, 0.01);
+        let t0 = Instant::now();
+        for i in 1..=DEMUX_CAPTURES {
+            demux.push_capture(capture, i as f64 * d + 0.01);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Sample {
+        stage: "demux",
+        mode,
+        frames: DEMUX_CAPTURES,
+        fps: DEMUX_CAPTURES as f64 / best,
+    }
+}
+
+fn main() {
+    let cfg = InFrameConfig::paper();
+    let (sw, sh) = (cfg.display_w * 2 / 3, cfg.display_h * 2 / 3);
+    let reg = Homography::scale(
+        sw as f64 / cfg.display_w as f64,
+        sh as f64 / cfg.display_h as f64,
+    );
+    let cache = RegionCache::build(&cfg, &reg, sw, sh);
+    let capture = Plane::from_fn(sw, sh, |x, y| {
+        127.0 + if (x / 3 + y / 3) % 2 == 0 { 8.0 } else { -8.0 }
+    });
+
+    println!("telemetry overhead — 1080p, single worker, best of {REPS}");
+    println!();
+
+    let mut samples = Vec::new();
+    for mode in ["noop", "instrumented"] {
+        let s = measure_render(cfg, mode);
+        println!("render {mode:>12}: {:8.2} frames/s", s.fps);
+        samples.push(s);
+        let s = measure_demux(cfg, &cache, &capture, mode);
+        println!("demux  {mode:>12}: {:8.2} captures/s", s.fps);
+        samples.push(s);
+    }
+
+    println!();
+    let fps = |stage: &str, mode: &str| {
+        samples
+            .iter()
+            .find(|s| s.stage == stage && s.mode == mode)
+            .map(|s| s.fps)
+            .expect("sample present")
+    };
+    let mut overheads = Vec::new();
+    for stage in ["render", "demux"] {
+        let overhead_pct = (fps(stage, "noop") / fps(stage, "instrumented") - 1.0) * 100.0;
+        let ok = overhead_pct <= BUDGET_PCT;
+        println!(
+            "{stage}: instrumented overhead {overhead_pct:+.2}% (budget {BUDGET_PCT}%) {}",
+            if ok { "OK" } else { "OVER" }
+        );
+        overheads.push((stage, overhead_pct, ok));
+    }
+
+    let body = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"stage\": \"{}\", \"mode\": \"{}\", \"frames\": {}, \"fps\": {:.3}}}",
+                s.stage, s.mode, s.frames, s.fps
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let summary = overheads
+        .iter()
+        .map(|(stage, pct, ok)| {
+            format!("    {{\"stage\": \"{stage}\", \"overhead_pct\": {pct:.3}, \"within_budget\": {ok}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"obs\",\n  \"budget_pct\": {BUDGET_PCT},\n  \"samples\": [\n{body}\n  ],\n  \"overhead\": [\n{summary}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, &json).expect("write bench json");
+    println!();
+    println!("wrote {path}");
+}

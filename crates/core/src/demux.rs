@@ -30,6 +30,7 @@ use inframe_frame::integral::{
 };
 use inframe_frame::qplane::{self, horizontal_window_sums_band, QPlane};
 use inframe_frame::Plane;
+use inframe_obs::{names, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -264,6 +265,41 @@ pub struct Demultiplexer {
     /// Fixed-point working set, allocated only on the quantized backend.
     quant: Option<QuantState>,
     meter: ThroughputMeter,
+    obs: DemuxObs,
+}
+
+/// Receiver-side telemetry instruments, registered once per
+/// demultiplexer. All hot-path updates are relaxed atomics, preserving
+/// the zero-steady-state-allocation guarantee.
+#[derive(Debug, Clone, Default)]
+struct DemuxObs {
+    telemetry: Telemetry,
+    captures: inframe_obs::Counter,
+    aborted: inframe_obs::Counter,
+    score_ns: inframe_obs::Histogram,
+    margin_milli: inframe_obs::Histogram,
+    band_rows: inframe_obs::ShardedCounter,
+    chan_cycles: inframe_obs::Counter,
+    gob_ok: inframe_obs::Counter,
+    gob_erroneous: inframe_obs::Counter,
+    gob_unavailable: inframe_obs::Counter,
+}
+
+impl DemuxObs {
+    fn new(telemetry: &Telemetry) -> Self {
+        Self {
+            captures: telemetry.counter(names::demux::CAPTURES),
+            aborted: telemetry.counter(names::demux::ABORTED),
+            score_ns: telemetry.histogram(names::demux::SCORE_NS),
+            margin_milli: telemetry.histogram(names::demux::MARGIN_MILLI),
+            band_rows: telemetry.sharded_counter(names::demux::BAND_ROWS),
+            chan_cycles: telemetry.counter(names::chan::CYCLES),
+            gob_ok: telemetry.counter(names::chan::GOB_OK),
+            gob_erroneous: telemetry.counter(names::chan::GOB_ERRONEOUS),
+            gob_unavailable: telemetry.counter(names::chan::GOB_UNAVAILABLE),
+            telemetry: telemetry.clone(),
+        }
+    }
 }
 
 /// Reused fixed-point buffers of the quantized scoring path. The
@@ -346,7 +382,17 @@ impl Demultiplexer {
             retired_best: Vec::new(),
             quant,
             meter,
+            obs: DemuxObs::default(),
         }
+    }
+
+    /// Attaches telemetry: capture/score instruments, threshold-margin
+    /// histograms, the `chan.*` GOB accounting, and per-cycle decode
+    /// events go live. Constructors default to the disabled handle (one
+    /// branch per instrumented site).
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.obs = DemuxObs::new(telemetry);
+        self
     }
 
     /// The resolved layout.
@@ -485,8 +531,10 @@ impl Demultiplexer {
                 let cols = &q.cols;
                 let (sum, sq) = q.prefix.tables_mut();
                 let stride = w + 1;
+                let band_rows = &self.obs.band_rows;
                 self.engine
                     .for_each_row_band2(h, stride, sum, stride, sq, |band, rows, bs, bq| {
+                        band_rows.add(band, rows.len() as u64);
                         let mut col = cols[band].lock().expect("col scratch lock");
                         build_highpass_band(bs, bq, qcap, rowsum, r, rows, &mut col);
                     });
@@ -498,7 +546,10 @@ impl Demultiplexer {
             }
         }
         let busy = self.engine.busy().saturating_sub(busy_before);
-        self.meter.record_frame(started.elapsed(), busy);
+        let elapsed = started.elapsed();
+        self.meter.record_frame(elapsed, busy);
+        self.obs.captures.incr();
+        self.obs.score_ns.record_ns(elapsed);
     }
 
     /// Per-Block scores of the most recently scored capture (empty before
@@ -523,8 +574,30 @@ impl Demultiplexer {
                 Some(_) => None,
             })
             .collect();
+        // Threshold-distance telemetry: how much margin each readable
+        // Block's decision had. A healthy channel is strongly bimodal
+        // (large distances); scores crowding the dead zone are the
+        // leading indicator of availability collapse.
+        for score in &acc.best {
+            if let Some(s) = score.value() {
+                self.obs
+                    .margin_milli
+                    .record(((s - t).abs() * 1000.0) as u64);
+            }
+        }
         self.retired_best = std::mem::take(&mut acc.best);
         let (payload, stats) = dataframe::decode(&self.layout, &verdicts, self.config.coding);
+        self.obs.chan_cycles.incr();
+        self.obs.gob_ok.add(stats.available - stats.erroneous);
+        self.obs.gob_erroneous.add(stats.erroneous);
+        self.obs.gob_unavailable.add(stats.unavailable);
+        self.obs.telemetry.event(inframe_obs::Event::CycleDecoded {
+            cycle: acc.cycle,
+            ok: (stats.available - stats.erroneous) as u32,
+            erroneous: stats.erroneous as u32,
+            unavailable: stats.unavailable as u32,
+            captures: acc.captures,
+        });
         Some(DecodedDataFrame {
             cycle: acc.cycle,
             payload,
@@ -540,6 +613,7 @@ impl Demultiplexer {
     pub fn abort_cycle(&mut self) {
         if let Some(acc) = self.current.take() {
             self.retired_best = acc.best;
+            self.obs.aborted.incr();
         }
     }
 
@@ -924,6 +998,34 @@ mod tests {
             "faint pattern must produce unavailable GOBs, got {:?}",
             decoded.stats
         );
+    }
+
+    #[test]
+    fn instrumented_demux_reports_channel_accounting() {
+        let cfg = paper_small();
+        let (layout, frame, _) = encode_frame(&cfg, 3);
+        let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+        let plus = render_plus(&cfg, &layout, &frame, &video);
+        let tele = Telemetry::new();
+        let mut demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h)
+                .with_telemetry(&tele);
+        demux.push_capture(&plus, 0.01);
+        demux.push_capture(&plus, 0.02);
+        let decoded = demux.finish().unwrap();
+        let s = tele.summary();
+        assert_eq!(s.counter(names::demux::CAPTURES), 2);
+        assert_eq!(s.counter(names::chan::CYCLES), 1);
+        assert_eq!(
+            s.channel().total_gobs(),
+            decoded.stats.available + decoded.stats.unavailable
+        );
+        assert_eq!(s.histogram(names::demux::SCORE_NS).unwrap().count, 2);
+        assert!(s.histogram(names::demux::MARGIN_MILLI).unwrap().count > 0);
+        assert!(tele
+            .recorder_dump()
+            .iter()
+            .any(|r| matches!(r.event, inframe_obs::Event::CycleDecoded { cycle: 0, .. })));
     }
 
     #[test]

@@ -30,6 +30,22 @@ pub struct ThroughputReport {
 }
 
 impl ThroughputReport {
+    /// Builds a report from the telemetry spine's channel roll-up — the
+    /// unified accounting path: every layer reports into the well-known
+    /// `inframe_obs::names::chan` instruments and the report is a pure
+    /// function of that summary, so `sim`, examples, and benches can no
+    /// longer drift apart by recomputing from raw `GobStats`.
+    pub fn from_channel_summary(ch: &inframe_obs::ChannelSummary) -> Self {
+        Self {
+            payload_bits: ch.payload_bits as usize,
+            data_frame_rate: ch.data_frame_rate,
+            available_ratio: ch.available_ratio(),
+            error_rate: ch.error_rate(),
+            bit_accuracy: ch.bit_accuracy(),
+            cycles: ch.cycles,
+        }
+    }
+
     /// Builds a report from GOB statistics.
     pub fn from_stats(
         payload_bits: usize,
@@ -212,6 +228,30 @@ mod tests {
         let r = ThroughputReport::from_stats(1125, 10.0, &s, 1.0, 100);
         let g = r.goodput_kbps();
         assert!((g - 6.97).abs() < 0.1, "goodput {g}");
+    }
+
+    #[test]
+    fn channel_summary_report_matches_from_stats() {
+        let s = stats(952, 14, 48);
+        let direct = ThroughputReport::from_stats(1125, 12.0, &s, 0.99, 100);
+        let ch = inframe_obs::ChannelSummary {
+            cycles: 100,
+            gobs_ok: 952,
+            gobs_erroneous: 14,
+            gobs_unavailable: 48,
+            bits_correct: 990,
+            bits_compared: 1000,
+            payload_bits: 1125,
+            data_frame_rate: 12.0,
+        };
+        let unified = ThroughputReport::from_channel_summary(&ch);
+        assert_eq!(unified.payload_bits, direct.payload_bits);
+        assert_eq!(unified.data_frame_rate, direct.data_frame_rate);
+        assert!((unified.available_ratio - direct.available_ratio).abs() < 1e-12);
+        assert!((unified.error_rate - direct.error_rate).abs() < 1e-12);
+        assert!((unified.bit_accuracy - direct.bit_accuracy).abs() < 1e-12);
+        assert_eq!(unified.cycles, direct.cycles);
+        assert!((unified.goodput_kbps() - direct.goodput_kbps()).abs() < 1e-9);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::parallel::ParallelEngine;
 use crate::CodingMode;
 use inframe_frame::pool::{FramePool, PooledPlane};
 use inframe_frame::Plane;
+use inframe_obs::{names, Telemetry};
 use inframe_video::VideoSource;
 use std::sync::Arc;
 use std::time::Instant;
@@ -124,6 +125,33 @@ pub struct Sender<V, P> {
     /// Display-frame buffer arena; emitted frames return here on drop.
     pool: FramePool,
     meter: ThroughputMeter,
+    obs: SenderObs,
+}
+
+/// Sender-side telemetry instruments, registered once per sender.
+#[derive(Debug, Clone, Default)]
+struct SenderObs {
+    telemetry: Telemetry,
+    frames: inframe_obs::Counter,
+    cycles: inframe_obs::Counter,
+    render_ns: inframe_obs::Histogram,
+    pool_live: inframe_obs::Gauge,
+    pool_free: inframe_obs::Gauge,
+    pool_allocated: inframe_obs::Gauge,
+}
+
+impl SenderObs {
+    fn new(telemetry: &Telemetry) -> Self {
+        Self {
+            frames: telemetry.counter(names::sender::FRAMES),
+            cycles: telemetry.counter(names::sender::CYCLES),
+            render_ns: telemetry.histogram(names::sender::RENDER_NS),
+            pool_live: telemetry.gauge(names::sender::POOL_LIVE),
+            pool_free: telemetry.gauge(names::sender::POOL_FREE),
+            pool_allocated: telemetry.gauge(names::sender::POOL_ALLOCATED),
+            telemetry: telemetry.clone(),
+        }
+    }
 }
 
 impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
@@ -183,8 +211,26 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
             paused: false,
             pool: FramePool::new(config.display_w, config.display_h),
             meter,
+            obs: SenderObs::default(),
             config,
         }
+    }
+
+    /// Attaches telemetry: per-frame render timing, cycle events, pool
+    /// occupancy gauges, and the channel-rate gauges the unified
+    /// throughput report is built from. Constructors default to the
+    /// disabled handle.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.obs = SenderObs::new(telemetry);
+        // Channel-rate constants: set once so the obs summary subsumes
+        // every input of `ThroughputReport`.
+        telemetry
+            .gauge(names::chan::PAYLOAD_BITS)
+            .set(self.payload_bits as u64);
+        telemetry
+            .gauge(names::chan::DATA_FRAME_RATE)
+            .set_f64(self.config.data_frame_rate());
+        self
     }
 
     /// The configuration.
@@ -260,6 +306,12 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
         {
             self.current_video = Some(self.video.next_frame()?);
         }
+        if s.k == 0 {
+            self.obs.cycles.incr();
+            self.obs.telemetry.event(inframe_obs::Event::CycleRendered {
+                cycle: s.cycle_index,
+            });
+        }
         // Advance the data cycle at each cycle boundary (but not at f = 0,
         // where cur/next are already primed).
         if s.k == 0 && s.display_index != 0 {
@@ -279,7 +331,14 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
         self.mux
             .render_into(&s, video, &self.cur, &self.next, &mut plane);
         let busy = self.mux.engine().busy().saturating_sub(busy_before);
-        self.meter.record_frame(started.elapsed(), busy);
+        let elapsed = started.elapsed();
+        self.meter.record_frame(elapsed, busy);
+        self.obs.frames.incr();
+        self.obs.render_ns.record_ns(elapsed);
+        let pool = self.pool.stats();
+        self.obs.pool_live.set(pool.live);
+        self.obs.pool_free.set(pool.free);
+        self.obs.pool_allocated.set(pool.allocated);
         self.display_index += 1;
         Some(SenderFrame { plane, slot: s })
     }
@@ -350,6 +409,42 @@ mod tests {
             let avg = (a.plane.get(x, y) + b.plane.get(x, y)) / 2.0;
             assert!((avg - 127.0).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn instrumented_sender_reports_frames_cycles_and_pool() {
+        let c = InFrameConfig::small_test();
+        let tele = Telemetry::new();
+        let mut s = Sender::new(c, video(&c), PrbsPayload::new(42)).with_telemetry(&tele);
+        for _ in 0..(2 * c.tau as usize) {
+            s.next_frame().unwrap();
+        }
+        let summary = tele.summary();
+        assert_eq!(summary.counter(names::sender::FRAMES), 2 * c.tau as u64);
+        assert_eq!(summary.counter(names::sender::CYCLES), 2);
+        assert_eq!(
+            summary.histogram(names::sender::RENDER_NS).unwrap().count,
+            2 * c.tau as u64
+        );
+        // Channel-rate gauges are primed for the unified report.
+        assert_eq!(
+            summary.gauge(names::chan::PAYLOAD_BITS),
+            Some(s.payload_bits() as u64)
+        );
+        // Bit-exact: the f64 gauge must preserve 120/τ without f32
+        // truncation (the end-to-end raw_kbps identity depends on it).
+        let rate = summary.gauge_f64(names::chan::DATA_FRAME_RATE).unwrap();
+        assert_eq!(rate, c.refresh_hz / c.tau as f64);
+        // Pool gauges reflect the live arena.
+        assert_eq!(
+            summary.gauge(names::sender::POOL_ALLOCATED),
+            Some(s.pool().stats().allocated)
+        );
+        // Cycle events landed in the recorder.
+        assert!(tele
+            .recorder_dump()
+            .iter()
+            .any(|r| matches!(r.event, inframe_obs::Event::CycleRendered { cycle: 1 })));
     }
 
     #[test]

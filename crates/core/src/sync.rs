@@ -15,6 +15,7 @@
 //! blind.
 
 use crate::config::InFrameConfig;
+use inframe_obs::{names, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// One observation for the estimator: a capture's time and a scalar
@@ -304,6 +305,42 @@ pub enum TrackerEvent {
     LockLost,
 }
 
+impl LockState {
+    /// This state in the telemetry vocabulary (the obs crate cannot
+    /// depend on core, so the mapping lives here; `link` and `sim` reuse
+    /// it when they report session health).
+    pub fn obs_state(self) -> inframe_obs::PhaseState {
+        match self {
+            LockState::Acquiring => inframe_obs::PhaseState::Acquiring,
+            LockState::Locked => inframe_obs::PhaseState::Locked,
+            LockState::Suspect => inframe_obs::PhaseState::Suspect,
+            LockState::Reacquiring => inframe_obs::PhaseState::Reacquiring,
+        }
+    }
+}
+
+/// Tracker-side telemetry instruments, registered once per tracker.
+#[derive(Debug, Clone, Default)]
+struct TrackerObs {
+    telemetry: Telemetry,
+    transitions: inframe_obs::Counter,
+    relocks: inframe_obs::Counter,
+    lock_losses: inframe_obs::Counter,
+    in_state_us: inframe_obs::Histogram,
+}
+
+impl TrackerObs {
+    fn new(telemetry: &Telemetry) -> Self {
+        Self {
+            transitions: telemetry.counter(names::sync::TRANSITIONS),
+            relocks: telemetry.counter(names::sync::RELOCKS),
+            lock_losses: telemetry.counter(names::sync::LOCK_LOSSES),
+            in_state_us: telemetry.histogram(names::sync::IN_STATE_US),
+            telemetry: telemetry.clone(),
+        }
+    }
+}
+
 /// Confidence-scored phase tracking over a capture stream.
 ///
 /// [`CycleSynchronizer`] answers "what is the phase, given a window of
@@ -336,6 +373,11 @@ pub struct PhaseTracker {
     obs_since_clear: usize,
     relocks: u64,
     lock_losses: u64,
+    obs: TrackerObs,
+    /// Channel time the current state was entered (time-in-state base).
+    state_entered_t: f64,
+    /// Most recent observation time, used to stamp forced transitions.
+    last_t: f64,
 }
 
 impl PhaseTracker {
@@ -362,7 +404,38 @@ impl PhaseTracker {
             obs_since_clear: 0,
             relocks: 0,
             lock_losses: 0,
+            obs: TrackerObs::default(),
+            state_entered_t: 0.0,
+            last_t: 0.0,
         }
+    }
+
+    /// Attaches telemetry: every state transition becomes a
+    /// [`inframe_obs::Event::SyncTransition`] (with time-in-state) and
+    /// the transition/relock/loss counters go live. Constructors default
+    /// to the disabled handle.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.obs = TrackerObs::new(telemetry);
+        self
+    }
+
+    /// Records a state transition into telemetry and resets the
+    /// time-in-state base. `t` is channel time, seconds.
+    fn note_transition(&mut self, from: LockState, to: LockState, t: f64) {
+        let in_state_us = ((t - self.state_entered_t).max(0.0) * 1e6) as u64;
+        self.state_entered_t = t;
+        self.obs.transitions.incr();
+        self.obs.in_state_us.record(in_state_us);
+        if to == LockState::Reacquiring {
+            self.obs.lock_losses.incr();
+        }
+        self.obs
+            .telemetry
+            .event(inframe_obs::Event::SyncTransition {
+                from: from.obs_state(),
+                to: to.obs_state(),
+                in_state_us,
+            });
     }
 
     /// A tracker that must acquire the phase blindly.
@@ -416,6 +489,7 @@ impl PhaseTracker {
 
     /// Feeds one scored capture; returns a state transition if one fired.
     pub fn observe(&mut self, t_mid: f64, crispness: f64) -> Option<TrackerEvent> {
+        self.last_t = t_mid;
         match self.state {
             LockState::Acquiring | LockState::Reacquiring => {
                 self.observe_unlocked(t_mid, crispness)
@@ -434,6 +508,7 @@ impl PhaseTracker {
         if self.state == LockState::Locked {
             self.state = LockState::Suspect;
             self.low_streak = self.low_streak.max(self.policy.suspect_after);
+            self.note_transition(LockState::Locked, LockState::Suspect, self.last_t);
             return Some(TrackerEvent::Suspect);
         }
         None
@@ -445,7 +520,7 @@ impl PhaseTracker {
     /// know better than the crispness metric).
     pub fn force_lock_lost(&mut self) -> Option<TrackerEvent> {
         match self.state {
-            LockState::Locked | LockState::Suspect => {
+            from @ (LockState::Locked | LockState::Suspect) => {
                 self.state = LockState::Reacquiring;
                 self.lock_losses += 1;
                 self.low_streak = 0;
@@ -453,6 +528,7 @@ impl PhaseTracker {
                 self.baseline = None;
                 self.sync.clear();
                 self.obs_since_clear = 0;
+                self.note_transition(from, LockState::Reacquiring, self.last_t);
                 Some(TrackerEvent::LockLost)
             }
             LockState::Acquiring | LockState::Reacquiring => None,
@@ -465,6 +541,7 @@ impl PhaseTracker {
         if self.sync.len() >= self.policy.min_captures {
             if let Some(est) = self.sync.estimate() {
                 if est.confidence >= self.policy.min_confidence {
+                    let from = self.state;
                     self.phase = Some(est.phase);
                     self.state = LockState::Locked;
                     self.relocks += 1;
@@ -472,6 +549,8 @@ impl PhaseTracker {
                     self.recent = None;
                     self.baseline = None;
                     self.obs_since_clear = 0;
+                    self.obs.relocks.incr();
+                    self.note_transition(from, LockState::Locked, t_mid);
                     return Some(TrackerEvent::Locked { phase: est.phase });
                 }
             }
@@ -510,6 +589,7 @@ impl PhaseTracker {
             self.low_streak = 0;
             if self.state == LockState::Suspect {
                 self.state = LockState::Locked;
+                self.note_transition(LockState::Suspect, LockState::Locked, t_mid);
                 return Some(TrackerEvent::Recovered);
             }
             return None;
@@ -517,6 +597,7 @@ impl PhaseTracker {
         self.low_streak += 1;
         if self.state == LockState::Locked && self.low_streak >= self.policy.suspect_after {
             self.state = LockState::Suspect;
+            self.note_transition(LockState::Locked, LockState::Suspect, t_mid);
             return Some(TrackerEvent::Suspect);
         }
         if self.state == LockState::Suspect
@@ -528,6 +609,7 @@ impl PhaseTracker {
             self.recent = None;
             self.sync.clear();
             self.obs_since_clear = 0;
+            self.note_transition(LockState::Suspect, LockState::Reacquiring, t_mid);
             return Some(TrackerEvent::LockLost);
         }
         None
@@ -697,6 +779,40 @@ mod tests {
         assert_eq!(tracker.lock_losses(), 1);
         assert_eq!(tracker.force_lock_lost(), None, "nothing left to lose");
         assert!(tracker.phase().is_some(), "stale phase kept for telemetry");
+    }
+
+    #[test]
+    fn instrumented_tracker_reports_transitions_and_dumps_on_loss() {
+        let cfg = InFrameConfig::small_test();
+        let tele = Telemetry::new();
+        let mut tracker =
+            PhaseTracker::locked_at(&cfg, TrackerPolicy::default(), 0.0).with_telemetry(&tele);
+        let d = cfg.tau as f64 / cfg.refresh_hz;
+        let _ = feed(&mut tracker, 0.0, 0, 12, d);
+        tracker.force_suspect();
+        tracker.force_lock_lost();
+        let summary = tele.summary();
+        assert_eq!(summary.counter(names::sync::LOCK_LOSSES), 1);
+        assert_eq!(summary.counter(names::sync::TRANSITIONS), 2);
+        assert_eq!(
+            summary
+                .histogram(names::sync::IN_STATE_US)
+                .expect("in-state histogram registered")
+                .count,
+            2
+        );
+        let dump = tele.lock_loss_dump();
+        assert!(
+            dump.iter().any(|r| matches!(
+                r.event,
+                inframe_obs::Event::SyncTransition {
+                    from: inframe_obs::PhaseState::Suspect,
+                    to: inframe_obs::PhaseState::Reacquiring,
+                    ..
+                }
+            )),
+            "recorder must capture the SUSPECT→REACQUIRING loss: {dump:?}"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use inframe_code::parity::GobStats;
 use inframe_core::InFrameConfig;
 use inframe_hvs::flicker::FlickerMeter;
+use inframe_obs::{names, CommandCause, Counter, Event, Gauge, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// The controller's tuning policy.
@@ -84,6 +85,31 @@ pub enum ChannelHealth {
     Reacquiring,
 }
 
+/// The controller's telemetry instruments: command counters by cause and
+/// gauges carrying the modulation currently in force.
+#[derive(Debug, Clone)]
+struct ControlObs {
+    telemetry: Telemetry,
+    backoffs: Counter,
+    restores: Counter,
+    adapts: Counter,
+    delta: Gauge,
+    tau: Gauge,
+}
+
+impl ControlObs {
+    fn new(telemetry: &Telemetry) -> Self {
+        Self {
+            telemetry: telemetry.clone(),
+            backoffs: telemetry.counter(names::control::BACKOFFS),
+            restores: telemetry.counter(names::control::RESTORES),
+            adapts: telemetry.counter(names::control::ADAPTS),
+            delta: telemetry.gauge(names::control::DELTA),
+            tau: telemetry.gauge(names::control::TAU),
+        }
+    }
+}
+
 /// The windowed δ/τ controller.
 #[derive(Debug, Clone)]
 pub struct ModulationController {
@@ -97,6 +123,10 @@ pub struct ModulationController {
     /// Command in force before the channel went SUSPECT, restored on
     /// re-lock.
     saved: Option<ModulationCommand>,
+    /// Cycles observed over the controller's lifetime (timeline axis for
+    /// [`Event::Command`] events).
+    cycles_seen: u64,
+    obs: ControlObs,
 }
 
 impl ModulationController {
@@ -136,7 +166,39 @@ impl ModulationController {
             decisions: 0,
             health: ChannelHealth::Locked,
             saved: None,
+            cycles_seen: 0,
+            obs: ControlObs::new(&Telemetry::disabled()),
         }
+    }
+
+    /// Attaches a telemetry spine: every issued command becomes an
+    /// [`Event::Command`] on the δ/τ timeline (cause-tagged: backoff,
+    /// restore, or windowed adaptation), and the gauges
+    /// `control.delta` / `control.tau` always carry the modulation in
+    /// force.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.obs = ControlObs::new(telemetry);
+        let cmd = self.command();
+        self.obs.delta.set_f32(cmd.delta);
+        self.obs.tau.set(cmd.tau as u64);
+        self
+    }
+
+    /// Records an issued command: cause counter, gauges, timeline event.
+    fn note_command(&mut self, cmd: ModulationCommand, cause: CommandCause) {
+        match cause {
+            CommandCause::Backoff => self.obs.backoffs.incr(),
+            CommandCause::Restore => self.obs.restores.incr(),
+            CommandCause::Adapt => self.obs.adapts.incr(),
+        }
+        self.obs.delta.set_f32(cmd.delta);
+        self.obs.tau.set(cmd.tau as u64);
+        self.obs.telemetry.event(Event::Command {
+            cycle: self.cycles_seen,
+            delta: cmd.delta,
+            tau: cmd.tau,
+            cause,
+        });
     }
 
     /// The current command.
@@ -203,6 +265,14 @@ impl ModulationController {
             _ => {} // SUSPECT ↔ REACQUIRING: keep the backed-off command.
         }
         let after = self.command();
+        if after != before {
+            let cause = if health == ChannelHealth::Locked {
+                CommandCause::Restore
+            } else {
+                CommandCause::Backoff
+            };
+            self.note_command(after, cause);
+        }
         (after != before).then_some(after)
     }
 
@@ -211,6 +281,7 @@ impl ModulationController {
     pub fn observe_cycle(&mut self, stats: &GobStats) -> Option<ModulationCommand> {
         self.window.merge(stats);
         self.cycles_in_window += 1;
+        self.cycles_seen += 1;
         if self.cycles_in_window < self.policy.window_cycles {
             return None;
         }
@@ -240,6 +311,9 @@ impl ModulationController {
             }
         }
         let after = self.command();
+        if after != before {
+            self.note_command(after, CommandCause::Adapt);
+        }
         (after != before).then_some(after)
     }
 }
@@ -449,6 +523,45 @@ mod tests {
         assert_eq!(ctl.set_health(ChannelHealth::Locked), None);
         let _ = ctl.set_health(ChannelHealth::Suspect);
         assert_eq!(ctl.set_health(ChannelHealth::Suspect), None);
+    }
+
+    #[test]
+    fn instrumented_controller_records_command_timeline() {
+        let tele = Telemetry::new();
+        let mut ctl = controller(ControllerPolicy {
+            window_cycles: 1,
+            ..ControllerPolicy::default()
+        })
+        .with_telemetry(&tele);
+        // Backoff on SUSPECT, restore on re-lock, adapt on a bad window.
+        ctl.set_health(ChannelHealth::Suspect).expect("backoff");
+        ctl.set_health(ChannelHealth::Locked).expect("restore");
+        ctl.observe_cycle(&stats(50, 50, 0)).expect("adapt");
+        let s = tele.summary();
+        assert_eq!(s.counter(names::control::BACKOFFS), 1);
+        assert_eq!(s.counter(names::control::RESTORES), 1);
+        assert_eq!(s.counter(names::control::ADAPTS), 1);
+        // Gauges carry the command currently in force.
+        let cmd = ctl.command();
+        assert_eq!(s.gauge_f32(names::control::DELTA), Some(cmd.delta));
+        assert_eq!(s.gauge(names::control::TAU), Some(cmd.tau as u64));
+        // The timeline landed in the recorder, cause-tagged.
+        let causes: Vec<CommandCause> = tele
+            .recorder_dump()
+            .iter()
+            .filter_map(|r| match r.event {
+                Event::Command { cause, .. } => Some(cause),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            causes,
+            vec![
+                CommandCause::Backoff,
+                CommandCause::Restore,
+                CommandCause::Adapt
+            ]
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ use inframe_core::sync::{CycleSynchronizer, LockState, PhaseTracker, TrackerEven
 use inframe_core::{DecodedDataFrame, Demultiplexer, InFrameConfig};
 use inframe_frame::geometry::Homography;
 use inframe_frame::Plane;
+use inframe_obs::{names, Counter, Event, Histogram, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -174,6 +175,33 @@ pub struct CycleReport {
     pub completed: Vec<u16>,
 }
 
+/// The session's telemetry instruments, resolved once at construction so
+/// the per-cycle path touches only atomic handles (or a single `None`
+/// branch when telemetry is disabled).
+struct SessionObs {
+    telemetry: Telemetry,
+    symbols_recovered: Counter,
+    symbols_rejected: Counter,
+    cycles_absorbed: Counter,
+    resyncs: Counter,
+    objects_completed: Counter,
+    decode_eps_milli: Histogram,
+}
+
+impl SessionObs {
+    fn new(telemetry: &Telemetry) -> Self {
+        Self {
+            telemetry: telemetry.clone(),
+            symbols_recovered: telemetry.counter(names::session::SYMBOLS_RECOVERED),
+            symbols_rejected: telemetry.counter(names::session::SYMBOLS_REJECTED),
+            cycles_absorbed: telemetry.counter(names::session::CYCLES_ABSORBED),
+            resyncs: telemetry.counter(names::session::RESYNCS),
+            objects_completed: telemetry.counter(names::session::OBJECTS_COMPLETED),
+            decode_eps_milli: telemetry.histogram(names::session::DECODE_EPS_MILLI),
+        }
+    }
+}
+
 /// A receiver transport session.
 pub struct ReceiverSession {
     geometry: SymbolGeometry,
@@ -211,6 +239,7 @@ pub struct ReceiverSession {
     /// Decoded cycles, retained for capture-level callers that also
     /// consume the raw bit stream (ticker-style side channels).
     decoded_log: Vec<DecodedDataFrame>,
+    obs: SessionObs,
 }
 
 /// Per-cycle GOB availability below which the cycle is catastrophic —
@@ -319,6 +348,47 @@ impl ReceiverSession {
             bad_cycles: 0,
             relock_probe: None,
             decoded_log: Vec::new(),
+            obs: SessionObs::new(&Telemetry::disabled()),
+        }
+    }
+
+    /// Attaches a telemetry spine: session counters (symbol progress,
+    /// resyncs, object completions with decode ε) report to it, health
+    /// transitions become [`Event::SessionHealth`] events, and the handle
+    /// is propagated into the embedded demultiplexer and phase tracker of
+    /// capture-level sessions.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.obs = SessionObs::new(telemetry);
+        self.demux = self.demux.map(|d| d.with_telemetry(telemetry));
+        self.tracker = self.tracker.map(|t| t.with_telemetry(telemetry));
+        self
+    }
+
+    /// Maps the session lifecycle onto telemetry's lock vocabulary:
+    /// decoding states count as locked, RESYNC as re-acquiring.
+    fn obs_health(state: SessionState) -> inframe_obs::PhaseState {
+        match state {
+            SessionState::Acquire => inframe_obs::PhaseState::Acquiring,
+            SessionState::Resync => inframe_obs::PhaseState::Reacquiring,
+            SessionState::Synced | SessionState::Collecting | SessionState::Complete => {
+                inframe_obs::PhaseState::Locked
+            }
+        }
+    }
+
+    /// Moves to `next`, emitting a [`Event::SessionHealth`] event when the
+    /// telemetry-visible health actually changes (e.g. SYNCED→COLLECTING
+    /// is invisible; COLLECTING→RESYNC is a lock-loss and triggers a
+    /// flight-recorder dump).
+    fn transition(&mut self, next: SessionState) {
+        let before = Self::obs_health(self.state);
+        self.state = next;
+        let after = Self::obs_health(next);
+        if before != after {
+            self.obs.telemetry.event(Event::SessionHealth {
+                cycle: self.last_cycle.unwrap_or(0),
+                state: after,
+            });
         }
     }
 
@@ -371,11 +441,12 @@ impl ReceiverSession {
                 self.relock_probe = Some(0);
                 self.bad_cycles = 0;
                 if matches!(self.state, SessionState::Acquire | SessionState::Resync) {
-                    self.state = if self.first_symbol_cycle.is_some() {
+                    let next = if self.first_symbol_cycle.is_some() {
                         SessionState::Collecting
                     } else {
                         SessionState::Synced
                     };
+                    self.transition(next);
                 }
             }
             return None;
@@ -421,10 +492,11 @@ impl ReceiverSession {
         }
         self.scanner.reset();
         self.resyncs += 1;
+        self.obs.resyncs.incr();
         self.bad_cycles = 0;
         self.relock_probe = None;
         if self.state != SessionState::Complete {
-            self.state = SessionState::Resync;
+            self.transition(SessionState::Resync);
         }
     }
 
@@ -496,7 +568,13 @@ impl ReceiverSession {
         }
         self.last_cycle = Some(cycle);
         self.cycles_processed += 1;
+        self.obs.cycles_absorbed.incr();
+        let rejected_before = self.scanner.rejected();
         let symbols = self.scanner.push_payload(payload);
+        self.obs.symbols_recovered.add(symbols.len() as u64);
+        self.obs
+            .symbols_rejected
+            .add(self.scanner.rejected() - rejected_before);
         let mut report = CycleReport {
             cycle,
             symbols: symbols.len(),
@@ -518,14 +596,24 @@ impl ReceiverSession {
                 self.completed.push(id);
                 self.completion_cycle.insert(id, cycle);
                 report.completed.push(id);
+                self.obs.objects_completed.incr();
+                let eps_milli = dec
+                    .epsilon()
+                    .map_or(0u64, |e| (e * 1000.0).round().max(0.0) as u64);
+                self.obs.decode_eps_milli.record(eps_milli);
+                self.obs.telemetry.event(Event::ObjectComplete {
+                    object: id as u64,
+                    cycle,
+                    eps_milli: eps_milli.min(u32::MAX as u64) as u32,
+                });
             }
         }
         self.evict_stale(cycle);
         if self.state == SessionState::Synced && !symbols.is_empty() {
-            self.state = SessionState::Collecting;
+            self.transition(SessionState::Collecting);
         }
         if self.state == SessionState::Collecting && self.target_met() {
-            self.state = SessionState::Complete;
+            self.transition(SessionState::Complete);
         }
         report
     }
@@ -779,6 +867,45 @@ mod tests {
         assert!(rx.is_complete(), "late joiner stuck at {:?}", rx.state());
         assert_eq!(rx.object(4).unwrap(), &data[..]);
         assert!(rx.epsilon(4).unwrap() <= 0.15);
+    }
+
+    #[test]
+    fn instrumented_session_reports_symbol_progress() {
+        let (cfg, layout) = channel();
+        let mut car = Carousel::for_channel(&layout, cfg.coding);
+        let data: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        car.add_object(6, 1, &data);
+        let tele = Telemetry::new();
+        let mut rx = ReceiverSession::new(&cfg, car.geometry(), CompletionTarget::AllOf(vec![6]))
+            .with_telemetry(&tele);
+        let stats = GobStats::default();
+        for _ in 0..60 {
+            let p = car.next_cycle_payload();
+            rx.push_cycle(&clean(&p), &stats);
+            if rx.is_complete() {
+                break;
+            }
+        }
+        assert!(rx.is_complete());
+        let s = tele.summary();
+        assert_eq!(
+            s.counter(names::session::CYCLES_ABSORBED),
+            rx.cycles_processed()
+        );
+        assert_eq!(
+            s.counter(names::session::SYMBOLS_RECOVERED),
+            rx.scanner().recovered()
+        );
+        assert_eq!(s.counter(names::session::OBJECTS_COMPLETED), 1);
+        assert_eq!(
+            s.histogram(names::session::DECODE_EPS_MILLI).unwrap().count,
+            1
+        );
+        // The completion landed on the event timeline.
+        assert!(tele
+            .recorder_dump()
+            .iter()
+            .any(|r| matches!(r.event, Event::ObjectComplete { object: 6, .. })));
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! The typed event vocabulary of the telemetry spine.
+//!
+//! Events are `Copy` records with no heap payload, so pushing one into
+//! the flight recorder or the JSONL sink never allocates. The spine
+//! cannot depend on the crates it instruments (the dependency arrow
+//! points the other way), so channel-domain enums — phase state, fault
+//! class, command cause — are re-declared here in their minimal form and
+//! mapped at the instrumentation site.
+
+/// Phase-tracker / session lock state as seen by telemetry. Mirrors
+/// `inframe_core::sync::LockState` without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseState {
+    /// Searching for the complementary-pair phase.
+    Acquiring,
+    /// Locked onto a phase hypothesis.
+    Locked,
+    /// Locked but recent evidence disagrees.
+    Suspect,
+    /// Lock declared lost; re-acquiring from scratch.
+    Reacquiring,
+}
+
+impl PhaseState {
+    /// Stable lower-case name used in the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseState::Acquiring => "acquiring",
+            PhaseState::Locked => "locked",
+            PhaseState::Suspect => "suspect",
+            PhaseState::Reacquiring => "reacquiring",
+        }
+    }
+}
+
+/// Injected fault class, mirroring `inframe_sim::faults::FaultKind`
+/// without the parameter payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Capture frames dropped.
+    Drop,
+    /// Capture frames duplicated.
+    Duplicate,
+    /// Camera clock skew / jitter.
+    ClockSkew,
+    /// Exposure or white-balance drift.
+    ExposureDrift,
+    /// Partial scene occlusion.
+    Occlusion,
+    /// Capture-timestamp desynchronisation.
+    Desync,
+}
+
+impl FaultClass {
+    /// Stable lower-case name used in the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Drop => "drop",
+            FaultClass::Duplicate => "duplicate",
+            FaultClass::ClockSkew => "clock_skew",
+            FaultClass::ExposureDrift => "exposure_drift",
+            FaultClass::Occlusion => "occlusion",
+            FaultClass::Desync => "desync",
+        }
+    }
+}
+
+/// Why the modulation controller issued a δ/τ command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandCause {
+    /// Channel health degraded — retreat to a robust operating point.
+    Backoff,
+    /// Health recovered — restore the saved operating point.
+    Restore,
+    /// Windowed error-rate adaptation (degrade or upgrade one rung).
+    Adapt,
+}
+
+impl CommandCause {
+    /// Stable lower-case name used in the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommandCause::Backoff => "backoff",
+            CommandCause::Restore => "restore",
+            CommandCause::Adapt => "adapt",
+        }
+    }
+}
+
+/// One telemetry event. Field units are chosen so every variant is
+/// `Copy`: ratios are milli-units (`× 1000`), amplitudes are the raw
+/// `f32` the channel uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// Sender finished rendering a full modulation cycle.
+    CycleRendered {
+        /// Cycle index just completed.
+        cycle: u64,
+    },
+    /// Demultiplexer closed a cycle and decoded (or failed to decode) it.
+    CycleDecoded {
+        /// Cycle index.
+        cycle: u64,
+        /// GOBs recovered intact.
+        ok: u32,
+        /// GOBs decoded but failing parity.
+        erroneous: u32,
+        /// GOBs below the readability threshold.
+        unavailable: u32,
+        /// Captures merged into this cycle's verdicts.
+        captures: u32,
+    },
+    /// Phase tracker changed state.
+    SyncTransition {
+        /// State before the transition.
+        from: PhaseState,
+        /// State after the transition.
+        to: PhaseState,
+        /// Time spent in `from`, microseconds of channel time.
+        in_state_us: u64,
+    },
+    /// Receiver session health changed (decode-quality supervision).
+    SessionHealth {
+        /// Cycle at which the transition was observed.
+        cycle: u64,
+        /// New health state.
+        state: PhaseState,
+    },
+    /// The session completed decoding an object.
+    ObjectComplete {
+        /// Object identifier.
+        object: u64,
+        /// Cycle of completion.
+        cycle: u64,
+        /// Decode overhead ε in milli-units (symbols absorbed over the
+        /// minimum, relative).
+        eps_milli: u32,
+    },
+    /// The modulation controller issued a δ/τ command.
+    Command {
+        /// Cycle at which the command applies.
+        cycle: u64,
+        /// New modulation amplitude δ.
+        delta: f32,
+        /// New cycle length τ in frames.
+        tau: u32,
+        /// Why the command was issued.
+        cause: CommandCause,
+    },
+    /// A fault window opened at the capture boundary.
+    FaultStart {
+        /// Fault class.
+        kind: FaultClass,
+        /// First affected cycle.
+        from_cycle: u64,
+        /// Last affected cycle (inclusive).
+        until_cycle: u64,
+    },
+    /// A fault window's last affected cycle has passed.
+    FaultEnd {
+        /// Fault class.
+        kind: FaultClass,
+        /// Cycle after which the channel is clean again.
+        clearance_cycle: u64,
+    },
+}
+
+impl Event {
+    /// Stable `kind` discriminator used in the JSONL schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CycleRendered { .. } => "cycle_rendered",
+            Event::CycleDecoded { .. } => "cycle_decoded",
+            Event::SyncTransition { .. } => "sync_transition",
+            Event::SessionHealth { .. } => "session_health",
+            Event::ObjectComplete { .. } => "object_complete",
+            Event::Command { .. } => "command",
+            Event::FaultStart { .. } => "fault_start",
+            Event::FaultEnd { .. } => "fault_end",
+        }
+    }
+
+    /// Whether this event marks a loss of lock — the flight recorder's
+    /// automatic dump trigger.
+    pub fn is_lock_loss(&self) -> bool {
+        matches!(
+            self,
+            Event::SyncTransition {
+                to: PhaseState::Reacquiring,
+                ..
+            } | Event::SessionHealth {
+                state: PhaseState::Reacquiring,
+                ..
+            }
+        )
+    }
+}
+
+/// A recorded event: the payload plus its position in the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventRecord {
+    /// Monotone sequence number, 0-based, shared across all sources on
+    /// one spine.
+    pub seq: u64,
+    /// Microseconds since the spine was created (wall clock of the
+    /// recording process, not channel time).
+    pub t_us: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// Appends the JSONL encoding of `rec` (one JSON object, no trailing
+/// newline) to `out`. Writing into a pre-reserved `String` keeps the
+/// streaming exporter allocation-free once the buffer has grown to its
+/// steady-state size.
+pub fn encode_event(out: &mut String, rec: &EventRecord) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"t_us\":{},\"kind\":\"{}\"",
+        rec.seq,
+        rec.t_us,
+        rec.event.kind()
+    );
+    match rec.event {
+        Event::CycleRendered { cycle } => {
+            let _ = write!(out, ",\"cycle\":{cycle}");
+        }
+        Event::CycleDecoded {
+            cycle,
+            ok,
+            erroneous,
+            unavailable,
+            captures,
+        } => {
+            let _ = write!(
+                out,
+                ",\"cycle\":{cycle},\"ok\":{ok},\"erroneous\":{erroneous},\"unavailable\":{unavailable},\"captures\":{captures}"
+            );
+        }
+        Event::SyncTransition {
+            from,
+            to,
+            in_state_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"from\":\"{}\",\"to\":\"{}\",\"in_state_us\":{in_state_us}",
+                from.name(),
+                to.name()
+            );
+        }
+        Event::SessionHealth { cycle, state } => {
+            let _ = write!(out, ",\"cycle\":{cycle},\"state\":\"{}\"", state.name());
+        }
+        Event::ObjectComplete {
+            object,
+            cycle,
+            eps_milli,
+        } => {
+            let _ = write!(
+                out,
+                ",\"object\":{object},\"cycle\":{cycle},\"eps_milli\":{eps_milli}"
+            );
+        }
+        Event::Command {
+            cycle,
+            delta,
+            tau,
+            cause,
+        } => {
+            let _ = write!(
+                out,
+                ",\"cycle\":{cycle},\"delta\":{delta},\"tau\":{tau},\"cause\":\"{}\"",
+                cause.name()
+            );
+        }
+        Event::FaultStart {
+            kind,
+            from_cycle,
+            until_cycle,
+        } => {
+            let _ = write!(
+                out,
+                ",\"fault\":\"{}\",\"from_cycle\":{from_cycle},\"until_cycle\":{until_cycle}",
+                kind.name()
+            );
+        }
+        Event::FaultEnd {
+            kind,
+            clearance_cycle,
+        } => {
+            let _ = write!(
+                out,
+                ",\"fault\":\"{}\",\"clearance_cycle\":{clearance_cycle}",
+                kind.name()
+            );
+        }
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_loss_trigger_matches_reacquiring_only() {
+        let lost = Event::SyncTransition {
+            from: PhaseState::Suspect,
+            to: PhaseState::Reacquiring,
+            in_state_us: 10,
+        };
+        let ok = Event::SyncTransition {
+            from: PhaseState::Acquiring,
+            to: PhaseState::Locked,
+            in_state_us: 10,
+        };
+        assert!(lost.is_lock_loss());
+        assert!(!ok.is_lock_loss());
+        assert!(Event::SessionHealth {
+            cycle: 3,
+            state: PhaseState::Reacquiring
+        }
+        .is_lock_loss());
+    }
+
+    #[test]
+    fn encoding_is_one_json_object() {
+        let mut buf = String::new();
+        encode_event(
+            &mut buf,
+            &EventRecord {
+                seq: 4,
+                t_us: 99,
+                event: Event::Command {
+                    cycle: 12,
+                    delta: 0.125,
+                    tau: 12,
+                    cause: CommandCause::Backoff,
+                },
+            },
+        );
+        assert!(buf.starts_with("{\"seq\":4,\"t_us\":99,\"kind\":\"command\""));
+        assert!(buf.contains("\"cause\":\"backoff\""));
+        assert!(buf.ends_with('}'));
+    }
+}

@@ -1,0 +1,446 @@
+//! Exporters: the end-of-run summary and the JSONL event-log schema.
+//!
+//! Two consumers, two shapes. Humans and CI read the **JSONL stream**
+//! (one JSON object per event, schema-checked by [`validate_jsonl`]);
+//! the throughput pipeline reads the **summary** — a point-in-time copy
+//! of every registered instrument plus the channel roll-up
+//! ([`ChannelSummary`]) from which `inframe_core`'s `ThroughputReport`
+//! is built. The summary subsumes the report: everything Figure 7 needs
+//! (available ratio, error rate, raw rate) is a pure function of the
+//! well-known counters in [`crate::names`].
+
+use std::collections::BTreeMap;
+
+use crate::metrics::HistogramSnapshot;
+use crate::names;
+
+/// Point-in-time copy of every instrument registered on a spine, sorted
+/// by name for deterministic output.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSummary {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge raw values by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram snapshots by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Sharded-counter sums by name.
+    pub sharded: Vec<(String, u64)>,
+    /// Total events recorded on the spine.
+    pub events_recorded: u64,
+}
+
+impl ObsSummary {
+    /// Counter value (counts sharded counters too); 0 if never
+    /// registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        lookup(&self.counters, name)
+            .or_else(|| lookup(&self.sharded, name))
+            .unwrap_or(0)
+    }
+
+    /// Raw gauge value, if the gauge was registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        lookup(&self.gauges, name)
+    }
+
+    /// Gauge value stored via `Gauge::set_f32`.
+    pub fn gauge_f32(&self, name: &str) -> Option<f32> {
+        self.gauge(name).map(|v| f32::from_bits(v as u32))
+    }
+
+    /// Gauge value stored via `Gauge::set_f64`.
+    pub fn gauge_f64(&self, name: &str) -> Option<f64> {
+        self.gauge(name).map(f64::from_bits)
+    }
+
+    /// Histogram snapshot, if the histogram was registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// The channel roll-up built from the well-known
+    /// [`crate::names::chan`] instruments.
+    pub fn channel(&self) -> ChannelSummary {
+        ChannelSummary {
+            cycles: self.counter(names::chan::CYCLES),
+            gobs_ok: self.counter(names::chan::GOB_OK),
+            gobs_erroneous: self.counter(names::chan::GOB_ERRONEOUS),
+            gobs_unavailable: self.counter(names::chan::GOB_UNAVAILABLE),
+            bits_correct: self.counter(names::chan::BITS_CORRECT),
+            bits_compared: self.counter(names::chan::BITS_COMPARED),
+            payload_bits: self.gauge(names::chan::PAYLOAD_BITS).unwrap_or(0),
+            data_frame_rate: self.gauge_f64(names::chan::DATA_FRAME_RATE).unwrap_or(0.0),
+        }
+    }
+
+    /// Serializes the summary as one JSON object (counters, gauges,
+    /// histogram digests, channel roll-up).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().chain(self.sharded.iter()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                h.count,
+                h.mean(),
+                h.quantile_bound(0.50),
+                h.quantile_bound(0.99),
+                h.max
+            );
+        }
+        let ch = self.channel();
+        let _ = write!(
+            out,
+            "}},\"events_recorded\":{},\"channel\":{{\"cycles\":{},\"gobs_ok\":{},\"gobs_erroneous\":{},\"gobs_unavailable\":{},\"available_ratio\":{:.4},\"error_rate\":{:.4},\"bit_accuracy\":{:.4}}}}}",
+            self.events_recorded,
+            ch.cycles,
+            ch.gobs_ok,
+            ch.gobs_erroneous,
+            ch.gobs_unavailable,
+            ch.available_ratio(),
+            ch.error_rate(),
+            ch.bit_accuracy()
+        );
+        out
+    }
+}
+
+fn lookup(list: &[(String, u64)], name: &str) -> Option<u64> {
+    list.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+/// Channel accounting rolled up from the well-known counters — the
+/// single source the throughput report is derived from (Figure 7's
+/// `goodput = raw × available × (1 − error)` decomposition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelSummary {
+    /// Modulation cycles decoded.
+    pub cycles: u64,
+    /// GOBs recovered intact.
+    pub gobs_ok: u64,
+    /// GOBs decoded but failing parity.
+    pub gobs_erroneous: u64,
+    /// GOBs below the readability threshold.
+    pub gobs_unavailable: u64,
+    /// Payload bits whose decode matched ground truth.
+    pub bits_correct: u64,
+    /// Payload bits compared against ground truth.
+    pub bits_compared: u64,
+    /// Payload bits carried per cycle (gauge).
+    pub payload_bits: u64,
+    /// Data-frame rate in Hz (gauge, `f64` bits — the exact `120/τ`
+    /// identity must survive the round trip through the spine).
+    pub data_frame_rate: f64,
+}
+
+impl ChannelSummary {
+    /// Total GOB observations.
+    pub fn total_gobs(&self) -> u64 {
+        self.gobs_ok + self.gobs_erroneous + self.gobs_unavailable
+    }
+
+    /// Fraction of GOBs that cleared the readability threshold.
+    pub fn available_ratio(&self) -> f64 {
+        let total = self.total_gobs();
+        if total == 0 {
+            0.0
+        } else {
+            (self.gobs_ok + self.gobs_erroneous) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of *available* GOBs that failed parity.
+    pub fn error_rate(&self) -> f64 {
+        let avail = self.gobs_ok + self.gobs_erroneous;
+        if avail == 0 {
+            0.0
+        } else {
+            self.gobs_erroneous as f64 / avail as f64
+        }
+    }
+
+    /// Fraction of compared payload bits decoded correctly (1.0 when
+    /// nothing was compared).
+    pub fn bit_accuracy(&self) -> f64 {
+        if self.bits_compared == 0 {
+            1.0
+        } else {
+            self.bits_correct as f64 / self.bits_compared as f64
+        }
+    }
+}
+
+/// One parsed JSONL line: the event `kind` plus the set of keys present.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedLine {
+    /// The event discriminator.
+    pub kind: String,
+    /// Scalar fields by key (numbers kept as their source text).
+    pub fields: BTreeMap<String, String>,
+}
+
+/// Validates one JSONL line against the event schema: a flat JSON object
+/// with `seq`, `t_us`, and `kind`, plus the kind's required fields.
+pub fn validate_jsonl_line(line: &str) -> Result<ParsedLine, String> {
+    let fields = parse_flat_object(line)?;
+    for required in ["seq", "t_us", "kind"] {
+        if !fields.contains_key(required) {
+            return Err(format!("missing required key `{required}`: {line}"));
+        }
+    }
+    let kind = fields["kind"].clone();
+    let required: &[&str] = match kind.as_str() {
+        "cycle_rendered" => &["cycle"],
+        "cycle_decoded" => &["cycle", "ok", "erroneous", "unavailable", "captures"],
+        "sync_transition" => &["from", "to", "in_state_us"],
+        "session_health" => &["cycle", "state"],
+        "object_complete" => &["object", "cycle", "eps_milli"],
+        "command" => &["cycle", "delta", "tau", "cause"],
+        "fault_start" => &["fault", "from_cycle", "until_cycle"],
+        "fault_end" => &["fault", "clearance_cycle"],
+        other => return Err(format!("unknown event kind `{other}`")),
+    };
+    for key in required {
+        if !fields.contains_key(*key) {
+            return Err(format!("kind `{kind}` missing key `{key}`: {line}"));
+        }
+    }
+    Ok(ParsedLine { kind, fields })
+}
+
+/// Validates a whole JSONL log: every non-empty line must pass
+/// [`validate_jsonl_line`] and sequence numbers must be strictly
+/// increasing (one spine, one stream). Returns the number of validated
+/// events.
+pub fn validate_jsonl(log: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    let mut last_seq: Option<u64> = None;
+    for (lineno, line) in log.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = validate_jsonl_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let seq: u64 = parsed.fields["seq"]
+            .parse()
+            .map_err(|_| format!("line {}: non-integer seq", lineno + 1))?;
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Err(format!("line {}: seq {seq} not after {prev}", lineno + 1));
+            }
+        }
+        last_seq = Some(seq);
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Parses a flat JSON object of string/number/bool values — exactly the
+/// shape the event encoder emits. Nested containers are rejected; this
+/// is a schema checker, not a general JSON parser.
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut fields = BTreeMap::new();
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: {line}"))?;
+    let mut chars = inner.char_indices().peekable();
+    loop {
+        // Skip whitespace; stop at end.
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        let Some(&(start, c)) = chars.peek() else {
+            break;
+        };
+        if c != '"' {
+            return Err(format!("expected key quote at byte {start}: {line}"));
+        }
+        chars.next();
+        let key = take_string(inner, &mut chars)?;
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.next() {
+            Some((_, ':')) => {}
+            _ => return Err(format!("missing `:` after key `{key}`: {line}")),
+        }
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        let value = match chars.peek() {
+            Some((_, '"')) => {
+                chars.next();
+                take_string(inner, &mut chars)?
+            }
+            Some((vstart, _)) => {
+                let vstart = *vstart;
+                let mut vend = inner.len();
+                for (i, c) in chars.by_ref() {
+                    if c == ',' {
+                        vend = i;
+                        break;
+                    }
+                }
+                let raw = inner[vstart..vend].trim();
+                if raw.is_empty()
+                    || !(raw == "true" || raw == "false" || raw.parse::<f64>().is_ok())
+                {
+                    return Err(format!("invalid scalar `{raw}` for key `{key}`: {line}"));
+                }
+                fields.insert(key, raw.to_string());
+                continue;
+            }
+            None => return Err(format!("missing value for key `{key}`: {line}")),
+        };
+        fields.insert(key, value);
+        // Consume a separating comma if present.
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+        if matches!(chars.peek(), Some((_, ','))) {
+            chars.next();
+        }
+    }
+    Ok(fields)
+}
+
+/// Reads the body of a double-quoted string whose opening quote has been
+/// consumed. The schema emits no escapes, so a backslash is an error.
+fn take_string(
+    src: &str,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+) -> Result<String, String> {
+    let mut out = String::new();
+    for (_, c) in chars.by_ref() {
+        match c {
+            '"' => return Ok(out),
+            '\\' => return Err(format!("escape sequences not in schema: {src}")),
+            c => out.push(c),
+        }
+    }
+    Err(format!("unterminated string: {src}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{encode_event, CommandCause, Event, EventRecord, FaultClass, PhaseState};
+
+    fn encoded(seq: u64, event: Event) -> String {
+        let mut buf = String::new();
+        encode_event(
+            &mut buf,
+            &EventRecord {
+                seq,
+                t_us: seq,
+                event,
+            },
+        );
+        buf
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_the_validator() {
+        let events = [
+            Event::CycleRendered { cycle: 1 },
+            Event::CycleDecoded {
+                cycle: 2,
+                ok: 3,
+                erroneous: 1,
+                unavailable: 0,
+                captures: 9,
+            },
+            Event::SyncTransition {
+                from: PhaseState::Locked,
+                to: PhaseState::Suspect,
+                in_state_us: 1200,
+            },
+            Event::SessionHealth {
+                cycle: 4,
+                state: PhaseState::Reacquiring,
+            },
+            Event::ObjectComplete {
+                object: 7,
+                cycle: 40,
+                eps_milli: 150,
+            },
+            Event::Command {
+                cycle: 5,
+                delta: 0.3,
+                tau: 14,
+                cause: CommandCause::Adapt,
+            },
+            Event::FaultStart {
+                kind: FaultClass::Desync,
+                from_cycle: 8,
+                until_cycle: 9,
+            },
+            Event::FaultEnd {
+                kind: FaultClass::Desync,
+                clearance_cycle: 10,
+            },
+        ];
+        let log: String = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| encoded(i as u64, *e) + "\n")
+            .collect();
+        assert_eq!(validate_jsonl(&log), Ok(events.len()));
+    }
+
+    #[test]
+    fn validator_rejects_missing_fields_and_bad_seq() {
+        assert!(validate_jsonl_line("{\"seq\":1,\"t_us\":2}").is_err());
+        assert!(validate_jsonl_line("{\"seq\":1,\"t_us\":2,\"kind\":\"command\"}").is_err());
+        assert!(validate_jsonl_line("not json").is_err());
+        let log = format!(
+            "{}\n{}\n",
+            encoded(5, Event::CycleRendered { cycle: 0 }),
+            encoded(5, Event::CycleRendered { cycle: 1 })
+        );
+        assert!(validate_jsonl(&log).is_err());
+    }
+
+    #[test]
+    fn channel_summary_figures() {
+        let ch = ChannelSummary {
+            cycles: 10,
+            gobs_ok: 80,
+            gobs_erroneous: 10,
+            gobs_unavailable: 10,
+            bits_correct: 990,
+            bits_compared: 1000,
+            payload_bits: 100,
+            data_frame_rate: 10.0,
+        };
+        assert_eq!(ch.total_gobs(), 100);
+        assert!((ch.available_ratio() - 0.9).abs() < 1e-9);
+        assert!((ch.error_rate() - 10.0 / 90.0).abs() < 1e-9);
+        assert!((ch.bit_accuracy() - 0.99).abs() < 1e-9);
+    }
+}

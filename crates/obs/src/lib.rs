@@ -1,0 +1,428 @@
+//! `inframe-obs` — the telemetry spine of the InFrame pipeline.
+//!
+//! Every layer of the channel (render, demux, sync, session, control,
+//! fault injection) reports into one [`Telemetry`] handle:
+//!
+//! - **Metrics** — lock-free typed [`Counter`]s, [`Gauge`]s,
+//!   log₂-bucketed [`Histogram`]s, and band-sharded counters that
+//!   aggregate compatibly with `ParallelEngine` workers. Updates are
+//!   relaxed atomics; the hot paths stay allocation-free.
+//! - **Events** — a `Copy` vocabulary ([`Event`]) fed to a
+//!   [`FlightRecorder`] ring that snapshots itself on lock loss, and
+//!   optionally streamed as JSONL for offline analysis.
+//! - **Exporters** — [`ObsSummary`] (a point-in-time copy of every
+//!   instrument, subsuming the channel's `ThroughputReport`) and the
+//!   JSONL event log with a schema checker ([`export::validate_jsonl`]).
+//!
+//! The handle is `Clone` and cheap: a disabled handle is `None` inside,
+//! so every instrumented call site costs one well-predicted branch —
+//! measured ≤ 2% wall-clock on the 1080p render and demux paths by the
+//! `obs` bench. Constructors default to [`Telemetry::disabled`]; opt in
+//! per component with `with_telemetry`, or process-wide by setting
+//! `INFRAME_OBS=1` and using [`Telemetry::from_env`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod names;
+pub mod recorder;
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+pub use event::{CommandCause, Event, EventRecord, FaultClass, PhaseState};
+pub use export::{ChannelSummary, ObsSummary};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, ShardedCounter, SpanGuard};
+pub use recorder::FlightRecorder;
+
+use metrics::{HistogramCore, PaddedCell, COUNTER_SHARDS};
+
+/// Spine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Flight-recorder ring capacity (events).
+    pub recorder_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            recorder_capacity: recorder::DEFAULT_RECORDER_CAPACITY,
+        }
+    }
+}
+
+struct JsonlSink {
+    out: Box<dyn Write + Send>,
+    /// Reused encode buffer; grows once to steady-state size.
+    buf: String,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+/// The shared state behind an enabled [`Telemetry`] handle.
+#[derive(Debug)]
+struct Spine {
+    epoch: Instant,
+    seq: AtomicU64,
+    recorder: FlightRecorder,
+    counters: Mutex<HashMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<HashMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<HashMap<&'static str, Arc<HistogramCore>>>,
+    sharded: Mutex<HashMap<&'static str, Arc<[PaddedCell; COUNTER_SHARDS]>>>,
+    jsonl: Mutex<Option<JsonlSink>>,
+}
+
+/// Handle to the telemetry spine. Cloning shares the spine; a
+/// [`Telemetry::disabled`] handle makes every operation a no-op costing
+/// one branch.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Spine>>,
+}
+
+impl Telemetry {
+    /// The no-op handle — what every constructor defaults to.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled spine with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(ObsConfig::default())
+    }
+
+    /// An enabled spine with the given configuration.
+    pub fn with_config(cfg: ObsConfig) -> Self {
+        Self {
+            inner: Some(Arc::new(Spine {
+                epoch: Instant::now(),
+                seq: AtomicU64::new(0),
+                recorder: FlightRecorder::new(cfg.recorder_capacity),
+                counters: Mutex::new(HashMap::new()),
+                gauges: Mutex::new(HashMap::new()),
+                histograms: Mutex::new(HashMap::new()),
+                sharded: Mutex::new(HashMap::new()),
+                jsonl: Mutex::new(None),
+            })),
+        }
+    }
+
+    /// The process-wide spine gated by the environment: when
+    /// `INFRAME_OBS=1` every call returns a handle to one shared global
+    /// spine; otherwise the disabled handle. This is how the test suites
+    /// run instrumented in CI without threading a handle through every
+    /// call site.
+    pub fn from_env() -> Self {
+        static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+        match std::env::var("INFRAME_OBS") {
+            Ok(v) if v.trim() == "1" => GLOBAL.get_or_init(Telemetry::new).clone(),
+            _ => Self::disabled(),
+        }
+    }
+
+    /// Whether this handle carries a live spine.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since the spine epoch (0 for a disabled handle).
+    pub fn now_us(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |s| s.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Gets or creates the counter registered under `name`. On a
+    /// disabled handle, returns a no-op instrument.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        match &self.inner {
+            None => Counter::noop(),
+            Some(s) => {
+                let mut reg = s.counters.lock().expect("counter registry poisoned");
+                Counter(Some(Arc::clone(
+                    reg.entry(name)
+                        .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+                )))
+            }
+        }
+    }
+
+    /// Gets or creates the gauge registered under `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        match &self.inner {
+            None => Gauge::noop(),
+            Some(s) => {
+                let mut reg = s.gauges.lock().expect("gauge registry poisoned");
+                Gauge(Some(Arc::clone(
+                    reg.entry(name)
+                        .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+                )))
+            }
+        }
+    }
+
+    /// Gets or creates the histogram registered under `name`.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        match &self.inner {
+            None => Histogram::noop(),
+            Some(s) => {
+                let mut reg = s.histograms.lock().expect("histogram registry poisoned");
+                Histogram(Some(Arc::clone(
+                    reg.entry(name)
+                        .or_insert_with(|| Arc::new(HistogramCore::new())),
+                )))
+            }
+        }
+    }
+
+    /// Gets or creates the band-sharded counter registered under `name`.
+    pub fn sharded_counter(&self, name: &'static str) -> ShardedCounter {
+        match &self.inner {
+            None => ShardedCounter::noop(),
+            Some(s) => {
+                let mut reg = s.sharded.lock().expect("sharded registry poisoned");
+                ShardedCounter(Some(Arc::clone(reg.entry(name).or_insert_with(|| {
+                    Arc::new(std::array::from_fn(|_| PaddedCell::default()))
+                }))))
+            }
+        }
+    }
+
+    /// Records one event: stamps it with the next sequence number and
+    /// the spine clock, pushes it into the flight recorder (snapshotting
+    /// on lock loss), and streams it to the JSONL sink if one is
+    /// attached. No-op (one branch) on a disabled handle.
+    pub fn event(&self, event: Event) {
+        let Some(s) = &self.inner else { return };
+        let rec = EventRecord {
+            seq: s.seq.fetch_add(1, Ordering::Relaxed),
+            t_us: s.epoch.elapsed().as_micros() as u64,
+            event,
+        };
+        s.recorder.record(rec);
+        let mut sink = s.jsonl.lock().expect("jsonl sink poisoned");
+        if let Some(sink) = sink.as_mut() {
+            sink.buf.clear();
+            event::encode_event(&mut sink.buf, &rec);
+            sink.buf.push('\n');
+            let _ = sink.out.write_all(sink.buf.as_bytes());
+        }
+    }
+
+    /// Attaches a streaming JSONL sink; every subsequent event is
+    /// written as one line. Replaces any previous sink.
+    pub fn attach_jsonl(&self, out: Box<dyn Write + Send>) {
+        if let Some(s) = &self.inner {
+            *s.jsonl.lock().expect("jsonl sink poisoned") = Some(JsonlSink {
+                out,
+                buf: String::with_capacity(256),
+            });
+        }
+    }
+
+    /// Flushes and detaches the JSONL sink, if any.
+    pub fn detach_jsonl(&self) {
+        if let Some(s) = &self.inner {
+            if let Some(mut sink) = s.jsonl.lock().expect("jsonl sink poisoned").take() {
+                let _ = sink.out.flush();
+            }
+        }
+    }
+
+    /// The live flight-recorder contents, oldest first (empty for a
+    /// disabled handle).
+    pub fn recorder_dump(&self) -> Vec<EventRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.recorder.dump())
+    }
+
+    /// The ring snapshot taken at the most recent lock loss (empty if
+    /// none occurred or the handle is disabled).
+    pub fn lock_loss_dump(&self) -> Vec<EventRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |s| s.recorder.last_lock_loss_dump())
+    }
+
+    /// Installs a process panic hook that prints this spine's flight
+    /// recorder to stderr (after the default hook) so a panicking run
+    /// still yields its post-mortem. Call once per process, from tools
+    /// that opt in.
+    pub fn install_panic_hook(&self) {
+        let Some(s) = &self.inner else { return };
+        let spine = Arc::clone(s);
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            previous(info);
+            let mut line = String::with_capacity(256);
+            eprintln!(
+                "inframe-obs flight recorder ({} events):",
+                spine.recorder.dump().len()
+            );
+            for rec in spine.recorder.dump() {
+                line.clear();
+                event::encode_event(&mut line, &rec);
+                eprintln!("{line}");
+            }
+        }));
+    }
+
+    /// Point-in-time summary of every registered instrument, sorted by
+    /// name (empty for a disabled handle).
+    pub fn summary(&self) -> ObsSummary {
+        let Some(s) = &self.inner else {
+            return ObsSummary::default();
+        };
+        let mut counters: Vec<(String, u64)> = s
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, u64)> = s
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
+            .collect();
+        gauges.sort();
+        let mut histograms: Vec<(String, HistogramSnapshot)> = s
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, core)| {
+                (
+                    name.to_string(),
+                    Histogram(Some(Arc::clone(core))).snapshot(),
+                )
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut sharded: Vec<(String, u64)> = s
+            .sharded
+            .lock()
+            .expect("sharded registry poisoned")
+            .iter()
+            .map(|(name, shards)| {
+                (
+                    name.to_string(),
+                    ShardedCounter(Some(Arc::clone(shards))).sum(),
+                )
+            })
+            .collect();
+        sharded.sort();
+        ObsSummary {
+            counters,
+            gauges,
+            histograms,
+            sharded,
+            events_recorded: s.seq.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.counter("x").incr();
+        t.event(Event::CycleRendered { cycle: 0 });
+        assert!(t.recorder_dump().is_empty());
+        assert_eq!(t.summary().counter("x"), 0);
+    }
+
+    #[test]
+    fn registry_is_get_or_create_shared() {
+        let t = Telemetry::new();
+        let a = t.counter(names::chan::CYCLES);
+        let b = t.counter(names::chan::CYCLES);
+        a.add(2);
+        b.add(3);
+        assert_eq!(t.summary().counter(names::chan::CYCLES), 5);
+        // Clones of the handle share the spine.
+        let t2 = t.clone();
+        t2.counter(names::chan::CYCLES).incr();
+        assert_eq!(t.summary().counter(names::chan::CYCLES), 6);
+    }
+
+    #[test]
+    fn events_stream_to_jsonl_and_validate() {
+        let t = Telemetry::new();
+        let sink = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        t.attach_jsonl(Box::new(SharedSink(Arc::clone(&sink))));
+        t.event(Event::CycleRendered { cycle: 0 });
+        t.event(Event::SessionHealth {
+            cycle: 1,
+            state: PhaseState::Suspect,
+        });
+        t.detach_jsonl();
+        let log = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        assert_eq!(export::validate_jsonl(&log), Ok(2));
+    }
+
+    #[test]
+    fn lock_loss_dump_survives_later_events() {
+        let t = Telemetry::with_config(ObsConfig {
+            recorder_capacity: 8,
+        });
+        t.event(Event::CycleRendered { cycle: 1 });
+        t.event(Event::SessionHealth {
+            cycle: 1,
+            state: PhaseState::Reacquiring,
+        });
+        for c in 2..20 {
+            t.event(Event::CycleRendered { cycle: c });
+        }
+        let dump = t.lock_loss_dump();
+        assert_eq!(dump.len(), 2);
+        assert!(dump[1].event.is_lock_loss());
+    }
+
+    #[test]
+    fn summary_channel_rolls_up_well_known_names() {
+        let t = Telemetry::new();
+        t.counter(names::chan::CYCLES).add(4);
+        t.counter(names::chan::GOB_OK).add(30);
+        t.counter(names::chan::GOB_ERRONEOUS).add(5);
+        t.counter(names::chan::GOB_UNAVAILABLE).add(5);
+        t.gauge(names::chan::PAYLOAD_BITS).set(96);
+        t.gauge(names::chan::DATA_FRAME_RATE).set_f64(120.0 / 14.0);
+        let ch = t.summary().channel();
+        assert_eq!(ch.cycles, 4);
+        assert_eq!(ch.total_gobs(), 40);
+        assert!((ch.available_ratio() - 0.875).abs() < 1e-9);
+        assert_eq!(ch.payload_bits, 96);
+        // Bit-exact round trip — no f32 truncation of 120/τ.
+        assert_eq!(ch.data_frame_rate, 120.0 / 14.0);
+    }
+}

@@ -1,0 +1,396 @@
+//! Lock-free metric instruments: counters, gauges, log₂-bucketed
+//! histograms, and band-sharded counters.
+//!
+//! Every instrument is a thin handle around an `Option<Arc<…>>`: a handle
+//! minted from a disabled [`crate::Telemetry`] carries `None` and every
+//! operation is a single well-predicted branch. Enabled handles share
+//! their cells through the spine registry, so two components registering
+//! the same name observe one value. All updates are relaxed atomics — no
+//! locks, no allocation — which is what lets the instrumented render and
+//! demux hot paths keep their zero-steady-state-allocation guarantee
+//! (enforced by `tests/alloc_steady_state.rs` in the workspace root).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of log₂ buckets in a [`Histogram`]. Bucket `i` holds values
+/// whose bit length is `i` (bucket 0 holds the value zero), so the full
+/// `u64` range is covered.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Number of shards in a [`ShardedCounter`] — comfortably above the
+/// engine's 8-worker cap so band indices never collide after the modulo.
+pub const COUNTER_SHARDS: usize = 16;
+
+/// A monotone event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A permanently-zero counter that ignores every update.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Adds `v` to the counter.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge. Values are raw `u64`; use
+/// [`Gauge::set_f32`]/[`Gauge::get_f32`] for float payloads (stored as
+/// IEEE-754 bits).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A gauge that ignores every update.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Stores `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Stores an `f32` as its bit pattern.
+    #[inline]
+    pub fn set_f32(&self, v: f32) {
+        self.set(u64::from(v.to_bits()));
+    }
+
+    /// Stores an `f64` as its bit pattern (the full 64-bit cell — a
+    /// gauge holds either raw integers, `f32` bits, or `f64` bits; the
+    /// instrument name's documented convention says which).
+    #[inline]
+    pub fn set_f64(&self, v: f64) {
+        self.set(v.to_bits());
+    }
+
+    /// Current raw value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+
+    /// Current value reinterpreted as the `f32` stored by
+    /// [`Gauge::set_f32`].
+    pub fn get_f32(&self) -> f32 {
+        f32::from_bits(self.get() as u32)
+    }
+
+    /// Current value reinterpreted as the `f64` stored by
+    /// [`Gauge::set_f64`].
+    pub fn get_f64(&self) -> f64 {
+        f64::from_bits(self.get())
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the log₂ bucket holding `v`: zero maps to bucket 0, any other
+/// value to its bit length (`64 - leading_zeros`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A log₂-bucketed histogram for timings (nanoseconds) and score margins
+/// (milli-units). Recording is four relaxed atomic ops; there is no
+/// per-recording allocation or lock.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A histogram that ignores every recording.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            core.count.fetch_add(1, Ordering::Relaxed);
+            core.sum.fetch_add(v, Ordering::Relaxed);
+            core.min.fetch_min(v, Ordering::Relaxed);
+            core.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a duration in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, d: Duration) {
+        self.record(d.as_nanos() as u64);
+    }
+
+    /// Starts a span whose drop records its elapsed time into this
+    /// histogram, in nanoseconds. When the handle is a no-op the guard
+    /// still reads the clock once; the recording itself is skipped.
+    #[inline]
+    pub fn span(&self) -> SpanGuard<'_> {
+        SpanGuard {
+            hist: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Immutable snapshot of the histogram state (empty for a no-op
+    /// handle).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.0 {
+            None => HistogramSnapshot::default(),
+            Some(core) => HistogramSnapshot::of(core),
+        }
+    }
+}
+
+/// Times a scope and records the elapsed nanoseconds into a [`Histogram`]
+/// on drop — the span half of the span/event API.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl SpanGuard<'_> {
+    /// Elapsed time since the span started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.hist.record_ns(self.start.elapsed());
+    }
+}
+
+/// A counter split across [`COUNTER_SHARDS`] cache-line-padded cells so
+/// `ParallelEngine` band workers can increment without bouncing one cache
+/// line between cores. Shard by the band index the engine hands every
+/// band closure; readers sum the shards.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedCounter(pub(crate) Option<Arc<[PaddedCell; COUNTER_SHARDS]>>);
+
+/// One cache line worth of counter, so adjacent shards never share a
+/// line.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct PaddedCell(AtomicU64);
+
+impl ShardedCounter {
+    /// A sharded counter that ignores every update.
+    pub fn noop() -> Self {
+        Self(None)
+    }
+
+    /// Adds `v` to the shard for `band` (band indices beyond the shard
+    /// count wrap).
+    #[inline]
+    pub fn add(&self, band: usize, v: u64) {
+        if let Some(shards) = &self.0 {
+            shards[band % COUNTER_SHARDS]
+                .0
+                .fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Sum over all shards (0 for a no-op handle).
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |shards| {
+            shards.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+        })
+    }
+}
+
+/// Point-in-time copy of one histogram, used by the summary exporter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Per-bucket sample counts (log₂ buckets, see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    fn of(core: &HistogramCore) -> Self {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, cell) in buckets.iter_mut().zip(core.buckets.iter()) {
+            *b = cell.load(Ordering::Relaxed);
+        }
+        Self {
+            count: core.count.load(Ordering::Relaxed),
+            sum: core.sum.load(Ordering::Relaxed),
+            min: core.min.load(Ordering::Relaxed),
+            max: core.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Arithmetic mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0 ≤ q ≤ 1) —
+    /// a log₂-resolution quantile, exact enough for order-of-magnitude
+    /// latency reporting.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_instruments_stay_zero() {
+        let c = Counter::noop();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::noop();
+        h.record(3);
+        assert_eq!(h.snapshot().count, 0);
+        let s = ShardedCounter::noop();
+        s.add(0, 7);
+        assert_eq!(s.sum(), 0);
+    }
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let h = Histogram(Some(Arc::new(HistogramCore::new())));
+        for v in [1u64, 10, 100, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 1111);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 4);
+        assert!(snap.quantile_bound(0.5) >= 10);
+        assert!(snap.quantile_bound(1.0) >= 1000);
+    }
+
+    #[test]
+    fn gauge_round_trips_f32() {
+        let g = Gauge(Some(Arc::new(AtomicU64::new(0))));
+        g.set_f32(0.15);
+        assert_eq!(g.get_f32(), 0.15);
+    }
+
+    #[test]
+    fn sharded_counter_sums_across_bands() {
+        let s = ShardedCounter(Some(Arc::new(std::array::from_fn(|_| {
+            PaddedCell::default()
+        }))));
+        for band in 0..20 {
+            s.add(band, 2);
+        }
+        assert_eq!(s.sum(), 40);
+    }
+}

@@ -1,0 +1,127 @@
+//! Well-known instrument names.
+//!
+//! The spine's registry is name-keyed and get-or-create, so two
+//! components that register the same constant share one cell. These
+//! constants are the contract between the instrumented crates and the
+//! exporters: the channel roll-up in
+//! [`crate::export::ObsSummary::channel`] reads exactly the
+//! [`chan`] names, and `inframe_core`'s `ThroughputReport` is rebuilt
+//! from that roll-up.
+
+/// Channel accounting — the Figure 7 inputs.
+pub mod chan {
+    /// Counter: modulation cycles decoded.
+    pub const CYCLES: &str = "chan.cycles";
+    /// Counter: GOBs recovered intact.
+    pub const GOB_OK: &str = "chan.gob.ok";
+    /// Counter: GOBs decoded but failing parity.
+    pub const GOB_ERRONEOUS: &str = "chan.gob.erroneous";
+    /// Counter: GOBs below the readability threshold.
+    pub const GOB_UNAVAILABLE: &str = "chan.gob.unavailable";
+    /// Counter: payload bits decoded correctly (vs ground truth).
+    pub const BITS_CORRECT: &str = "chan.bits.correct";
+    /// Counter: payload bits compared against ground truth.
+    pub const BITS_COMPARED: &str = "chan.bits.compared";
+    /// Gauge: payload bits carried per cycle.
+    pub const PAYLOAD_BITS: &str = "chan.payload_bits";
+    /// Gauge (f64 bits): data-frame rate in Hz.
+    pub const DATA_FRAME_RATE: &str = "chan.data_frame_rate";
+}
+
+/// Sender-side instruments (`core::sender`).
+pub mod sender {
+    /// Counter: display frames rendered.
+    pub const FRAMES: &str = "core.sender.frames";
+    /// Counter: modulation cycles started.
+    pub const CYCLES: &str = "core.sender.cycles";
+    /// Histogram (ns): wall-clock render time per frame.
+    pub const RENDER_NS: &str = "core.sender.render_ns";
+    /// Gauge: pool buffers currently checked out.
+    pub const POOL_LIVE: &str = "core.sender.pool_live";
+    /// Gauge: pool buffers parked on the free list.
+    pub const POOL_FREE: &str = "core.sender.pool_free";
+    /// Gauge: planes ever allocated by the pool (flat in steady state).
+    pub const POOL_ALLOCATED: &str = "core.sender.pool_allocated";
+}
+
+/// Receiver-side demultiplexer instruments (`core::demux`).
+pub mod demux {
+    /// Counter: captures scored.
+    pub const CAPTURES: &str = "core.demux.captures";
+    /// Counter: cycles aborted before decode.
+    pub const ABORTED: &str = "core.demux.aborted";
+    /// Histogram (ns): wall-clock scoring time per capture.
+    pub const SCORE_NS: &str = "core.demux.score_ns";
+    /// Histogram (milli-units): |score − threshold| distance of each
+    /// readable block at decode time — the margin the thresholding
+    /// decision had to spare.
+    pub const MARGIN_MILLI: &str = "core.demux.margin_milli";
+    /// Sharded counter: rows processed by quantized front-end band
+    /// workers, keyed by band index.
+    pub const BAND_ROWS: &str = "core.demux.band_rows";
+}
+
+/// Phase-tracker instruments (`core::sync`).
+pub mod sync {
+    /// Counter: state transitions.
+    pub const TRANSITIONS: &str = "core.sync.transitions";
+    /// Counter: LOCKED entries after a loss (re-locks).
+    pub const RELOCKS: &str = "core.sync.relocks";
+    /// Counter: lock losses declared.
+    pub const LOCK_LOSSES: &str = "core.sync.lock_losses";
+    /// Histogram (µs of channel time): time spent in a state before
+    /// transitioning out of it.
+    pub const IN_STATE_US: &str = "core.sync.in_state_us";
+}
+
+/// Receiver-session instruments (`link::session`).
+pub mod session {
+    /// Counter: fountain symbols absorbed into the decoder.
+    pub const SYMBOLS_RECOVERED: &str = "link.session.symbols_recovered";
+    /// Counter: candidate symbols rejected by framing/validation.
+    pub const SYMBOLS_REJECTED: &str = "link.session.symbols_rejected";
+    /// Counter: cycles absorbed.
+    pub const CYCLES_ABSORBED: &str = "link.session.cycles_absorbed";
+    /// Counter: lock losses declared by decode-quality supervision.
+    pub const RESYNCS: &str = "link.session.resyncs";
+    /// Counter: objects fully decoded.
+    pub const OBJECTS_COMPLETED: &str = "link.session.objects_completed";
+    /// Histogram (milli-units): decode overhead ε per completed object.
+    pub const DECODE_EPS_MILLI: &str = "link.session.decode_eps_milli";
+}
+
+/// Modulation-controller instruments (`link::control`).
+pub mod control {
+    /// Counter: health-triggered backoff commands.
+    pub const BACKOFFS: &str = "link.control.backoffs";
+    /// Counter: health-triggered restore commands.
+    pub const RESTORES: &str = "link.control.restores";
+    /// Counter: windowed error-rate adaptations.
+    pub const ADAPTS: &str = "link.control.adapts";
+    /// Gauge (f32): current modulation amplitude δ.
+    pub const DELTA: &str = "link.control.delta";
+    /// Gauge: current cycle length τ in frames.
+    pub const TAU: &str = "link.control.tau";
+}
+
+/// Capture-tap instruments (`camera::tap`).
+pub mod tap {
+    /// Counter: captures entering the tap from the sensor.
+    pub const CAPTURES_IN: &str = "camera.tap.captures_in";
+    /// Counter: captures delivered downstream (duplicates counted).
+    pub const CAPTURES_OUT: &str = "camera.tap.captures_out";
+    /// Counter: sensor captures the tap swallowed entirely.
+    pub const SWALLOWED: &str = "camera.tap.swallowed";
+}
+
+/// Fault-injection instruments (`sim::faults` via `camera::tap`).
+pub mod faults {
+    /// Counter: captures delivered through the tap.
+    pub const DELIVERED: &str = "sim.faults.delivered";
+    /// Counter: captures dropped by an active window.
+    pub const DROPPED: &str = "sim.faults.dropped";
+    /// Counter: captures duplicated by an active window.
+    pub const DUPLICATED: &str = "sim.faults.duplicated";
+    /// Counter: fault windows that became active.
+    pub const WINDOWS: &str = "sim.faults.windows";
+}

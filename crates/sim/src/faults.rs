@@ -32,6 +32,7 @@ use inframe_link::carousel::{Carousel, SymbolGeometry};
 use inframe_link::control::{ChannelHealth, ControllerPolicy, ModulationController};
 use inframe_link::session::{CompletionTarget, ReceiverSession, SyncMode};
 use inframe_link::ModulationCommand;
+use inframe_obs::{names, Counter, Event, FaultClass, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -87,6 +88,20 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// This fault's class in telemetry's vocabulary (parameters erased).
+    pub fn obs_class(&self) -> FaultClass {
+        match self {
+            FaultKind::Drop { .. } => FaultClass::Drop,
+            FaultKind::Duplicate { .. } => FaultClass::Duplicate,
+            FaultKind::ClockSkew { .. } => FaultClass::ClockSkew,
+            FaultKind::ExposureDrift { .. } => FaultClass::ExposureDrift,
+            FaultKind::Occlusion { .. } => FaultClass::Occlusion,
+            FaultKind::Desync { .. } => FaultClass::Desync,
+        }
+    }
+}
+
 /// A fault active over `[from_cycle, until_cycle)` in true display
 /// cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -111,6 +126,30 @@ impl FaultWindow {
     }
 }
 
+/// The injector's telemetry instruments: capture-stream counters plus
+/// fault-window boundary events, so a flight-recorder dump shows which
+/// fault preceded a lock loss.
+#[derive(Debug, Clone)]
+struct InjectorObs {
+    telemetry: Telemetry,
+    delivered: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    windows: Counter,
+}
+
+impl InjectorObs {
+    fn new(telemetry: &Telemetry) -> Self {
+        Self {
+            telemetry: telemetry.clone(),
+            delivered: telemetry.counter(names::faults::DELIVERED),
+            dropped: telemetry.counter(names::faults::DROPPED),
+            duplicated: telemetry.counter(names::faults::DUPLICATED),
+            windows: telemetry.counter(names::faults::WINDOWS),
+        }
+    }
+}
+
 /// A seeded composition of [`FaultWindow`]s over the capture stream.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
@@ -123,6 +162,11 @@ pub struct FaultInjector {
     delivered: u64,
     dropped: u64,
     duplicated: u64,
+    obs: InjectorObs,
+    /// Per-window: [`Event::FaultStart`] emitted.
+    obs_started: Vec<bool>,
+    /// Per-window: [`Event::FaultEnd`] emitted.
+    obs_ended: Vec<bool>,
 }
 
 impl FaultInjector {
@@ -140,6 +184,8 @@ impl FaultInjector {
             assert!(w.from_cycle < w.until_cycle, "empty fault window");
         }
         let desync_fired = vec![false; plan.len()];
+        let obs_started = vec![false; plan.len()];
+        let obs_ended = vec![false; plan.len()];
         Self {
             plan,
             desync_fired,
@@ -150,6 +196,40 @@ impl FaultInjector {
             delivered: 0,
             dropped: 0,
             duplicated: 0,
+            obs: InjectorObs::new(&Telemetry::disabled()),
+            obs_started,
+            obs_ended,
+        }
+    }
+
+    /// Attaches a telemetry spine: capture deliveries/drops/duplications
+    /// report as counters, and each fault window's opening and clearance
+    /// become [`Event::FaultStart`] / [`Event::FaultEnd`] events.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.obs = InjectorObs::new(telemetry);
+        self
+    }
+
+    /// Emits window-boundary events for `true_cycle` (called once per
+    /// tapped capture, before the fault transforms are applied).
+    fn note_windows(&mut self, true_cycle: u64) {
+        for (i, w) in self.plan.iter().enumerate() {
+            if !self.obs_started[i] && true_cycle >= w.from_cycle {
+                self.obs_started[i] = true;
+                self.obs.windows.incr();
+                self.obs.telemetry.event(Event::FaultStart {
+                    kind: w.kind.obs_class(),
+                    from_cycle: w.from_cycle,
+                    until_cycle: w.until_cycle - 1,
+                });
+            }
+            if self.obs_started[i] && !self.obs_ended[i] && true_cycle >= w.clearance_cycle() {
+                self.obs_ended[i] = true;
+                self.obs.telemetry.event(Event::FaultEnd {
+                    kind: w.kind.obs_class(),
+                    clearance_cycle: w.clearance_cycle(),
+                });
+            }
         }
     }
 
@@ -186,6 +266,7 @@ impl FaultInjector {
 impl CaptureTap for FaultInjector {
     fn tap(&mut self, cap: TappedCapture) -> Vec<TappedCapture> {
         let true_cycle = (cap.t_mid / self.cycle_duration).floor().max(0.0) as u64;
+        self.note_windows(true_cycle);
         let mut plane = cap.plane;
         let mut t = cap.t_mid;
         let mut drop = false;
@@ -238,13 +319,16 @@ impl CaptureTap for FaultInjector {
         }
         if drop {
             self.dropped += 1;
+            self.obs.dropped.incr();
             return Vec::new();
         }
         t += self.time_offset;
         let main = TappedCapture { plane, t_mid: t };
         if dup {
             self.duplicated += 1;
+            self.obs.duplicated.incr();
             self.delivered += 2;
+            self.obs.delivered.add(2);
             let ghost = TappedCapture {
                 plane: main.plane.clone(),
                 // Stale pixels under a plausible later timestamp: the
@@ -254,6 +338,7 @@ impl CaptureTap for FaultInjector {
             vec![main, ghost]
         } else {
             self.delivered += 1;
+            self.obs.delivered.incr();
             vec![main]
         }
     }
@@ -360,6 +445,24 @@ fn health_of(state: LockState) -> ChannelHealth {
 /// Panics on an invalid simulation configuration or an empty fault
 /// window.
 pub fn run_fault_scenario(cfg: &FaultScenarioConfig) -> FaultOutcome {
+    run_fault_scenario_with_telemetry(cfg, &Telemetry::from_env())
+}
+
+/// [`run_fault_scenario`] with an explicit telemetry spine threaded
+/// through every layer: sender, session (and its embedded demultiplexer
+/// and phase tracker), controller, and fault injector all report to it,
+/// and the harness bridges the receiver's observed health transitions
+/// into [`Event::SessionHealth`] events on the true-display-cycle
+/// timeline — so a flight-recorder dump interleaves the fault windows
+/// with the lock collapse they caused.
+///
+/// # Panics
+/// Panics on an invalid simulation configuration or an empty fault
+/// window.
+pub fn run_fault_scenario_with_telemetry(
+    cfg: &FaultScenarioConfig,
+    telemetry: &Telemetry,
+) -> FaultOutcome {
     let c = &cfg.sim;
     c.inframe.validate();
     c.camera.validate();
@@ -384,19 +487,21 @@ pub fn run_fault_scenario(cfg: &FaultScenarioConfig) -> FaultOutcome {
         c.camera.height,
         SyncMode::Known { phase: 0.0 },
         CompletionTarget::AllOf(vec![cfg.object_id]),
-    );
+    )
+    .with_telemetry(telemetry);
     // Faulted channels trade transient tolerance for relock latency.
     session.set_tracker_policy(TrackerPolicy::fast_recovery());
 
     let cycle_duration = c.inframe.tau as f64 / c.inframe.refresh_hz;
     let capture_period = 1.0 / c.camera.fps;
     let mut injector =
-        FaultInjector::new(cfg.faults.clone(), cycle_duration, capture_period, c.seed);
+        FaultInjector::new(cfg.faults.clone(), cycle_duration, capture_period, c.seed)
+            .with_telemetry(telemetry);
     let clearance = injector.clearance_cycle();
 
-    let mut controller = cfg
-        .adaptive
-        .then(|| ModulationController::new(&c.inframe, ControllerPolicy::default()));
+    let mut controller = cfg.adaptive.then(|| {
+        ModulationController::new(&c.inframe, ControllerPolicy::default()).with_telemetry(telemetry)
+    });
     let mut commands = Vec::new();
     let mut transitions: Vec<(u64, LockState)> = Vec::new();
     let mut last_health = session.health();
@@ -404,7 +509,7 @@ pub fn run_fault_scenario(cfg: &FaultScenarioConfig) -> FaultOutcome {
     let video = cfg
         .scenario
         .source(c.inframe.display_w, c.inframe.display_h, c.seed);
-    let mut sender = Sender::new(c.inframe, video, carousel);
+    let mut sender = Sender::new(c.inframe, video, carousel).with_telemetry(telemetry);
     let mut display = DisplayStream::new(c.display);
     let mut camera = Camera::new(c.camera, c.geometry, c.seed ^ 0xCAFE);
     let readout = match c.camera.shutter {
@@ -446,6 +551,10 @@ pub fn run_fault_scenario(cfg: &FaultScenarioConfig) -> FaultOutcome {
                         let health = session.health();
                         if health != last_health {
                             transitions.push((true_cycle, health));
+                            telemetry.event(Event::SessionHealth {
+                                cycle: true_cycle,
+                                state: health.obs_state(),
+                            });
                             if let Some(ctl) = controller.as_mut() {
                                 if let Some(cmd) = ctl.set_health(health_of(health)) {
                                     commands.push(cmd);

@@ -6,6 +6,7 @@ use inframe_core::metrics::{bit_accuracy, ThroughputReport};
 use inframe_core::sender::{PrbsPayload, Sender};
 use inframe_core::{DecodedDataFrame, Demultiplexer, InFrameConfig};
 use inframe_display::{DisplayConfig, DisplayStream, FrameEmission};
+use inframe_obs::{names, ChannelSummary, Telemetry};
 use inframe_video::VideoSource;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -47,22 +48,29 @@ pub struct SimOutcome {
 impl SimOutcome {
     /// Fraction of recovered bits that match ground truth.
     pub fn bit_accuracy(&self) -> f64 {
-        if self.bits_compared == 0 {
-            1.0
-        } else {
-            self.bits_correct as f64 / self.bits_compared as f64
+        self.channel().bit_accuracy()
+    }
+
+    /// The run's channel accounting in the telemetry spine's unified
+    /// vocabulary. [`Simulation::run`] populates this outcome *from* the
+    /// spine's `chan.*` instruments, so this round-trips losslessly.
+    pub fn channel(&self) -> ChannelSummary {
+        ChannelSummary {
+            cycles: self.decoded.len() as u64,
+            gobs_ok: self.stats.available - self.stats.erroneous,
+            gobs_erroneous: self.stats.erroneous,
+            gobs_unavailable: self.stats.unavailable,
+            bits_correct: self.bits_correct as u64,
+            bits_compared: self.bits_compared as u64,
+            payload_bits: self.payload_bits as u64,
+            data_frame_rate: self.data_frame_rate,
         }
     }
 
-    /// The Figure 7 report for this run.
+    /// The Figure 7 report for this run, built from the unified channel
+    /// summary (see [`ThroughputReport::from_channel_summary`]).
     pub fn report(&self) -> ThroughputReport {
-        ThroughputReport::from_stats(
-            self.payload_bits,
-            self.data_frame_rate,
-            &self.stats,
-            self.bit_accuracy(),
-            self.decoded.len() as u64,
-        )
+        ThroughputReport::from_channel_summary(&self.channel())
     }
 }
 
@@ -88,9 +96,31 @@ impl Simulation {
     /// Runs the full sender → display → camera → receiver chain over the
     /// configured number of data cycles and scores the result against the
     /// sent ground truth.
+    ///
+    /// Accounting flows through a telemetry spine (the `INFRAME_OBS`
+    /// global one when enabled, a run-local one otherwise): the sender
+    /// and demultiplexer report into the `chan.*` instruments and the
+    /// outcome's GOB/bit numbers are read back from the spine, so the
+    /// Figure 7 report and telemetry can never disagree.
     pub fn run(&self, video: impl VideoSource) -> SimOutcome {
+        self.run_with_telemetry(video, &Telemetry::from_env())
+    }
+
+    /// [`Simulation::run`] reporting into an explicit telemetry spine.
+    /// Channel accounting is read back as the delta of the spine's
+    /// `chan.*` counters over the run.
+    pub fn run_with_telemetry(&self, video: impl VideoSource, telemetry: &Telemetry) -> SimOutcome {
+        let local;
+        let tele = if telemetry.is_enabled() {
+            telemetry
+        } else {
+            local = Telemetry::new();
+            &local
+        };
+        let before = tele.summary().channel();
         let c = &self.config;
-        let mut sender = Sender::new(c.inframe, video, PrbsPayload::new(c.seed));
+        let mut sender =
+            Sender::new(c.inframe, video, PrbsPayload::new(c.seed)).with_telemetry(tele);
         let mut display = DisplayStream::new(c.display);
         let mut camera = Camera::new(c.camera, c.geometry, c.seed ^ 0xCA_3E1A);
         let registration = c.geometry.display_to_sensor(
@@ -100,7 +130,8 @@ impl Simulation {
             c.camera.height,
         );
         let mut demux =
-            Demultiplexer::new(c.inframe, &registration, c.camera.width, c.camera.height);
+            Demultiplexer::new(c.inframe, &registration, c.camera.width, c.camera.height)
+                .with_telemetry(tele);
 
         let total_display_frames = c.cycles as u64 * c.inframe.tau as u64;
         let mut window: VecDeque<FrameEmission> = VecDeque::new();
@@ -144,18 +175,30 @@ impl Simulation {
             decoded.push(frame);
         }
 
-        // Score against ground truth.
-        let mut stats = GobStats::default();
+        // Score against ground truth, reporting into the spine.
         let mut bits_correct = 0;
         let mut bits_compared = 0;
         for d in &decoded {
-            stats.merge(&d.stats);
             if let Some(truth) = sender.sent_payload(d.cycle) {
                 let (correct, compared) = bit_accuracy(&d.payload, truth);
                 bits_correct += correct;
                 bits_compared += compared;
             }
         }
+        tele.counter(names::chan::BITS_CORRECT)
+            .add(bits_correct as u64);
+        tele.counter(names::chan::BITS_COMPARED)
+            .add(bits_compared as u64);
+
+        // Read the run's GOB accounting back from the spine (delta, so an
+        // externally shared spine with prior traffic stays correct).
+        let after = tele.summary().channel();
+        let erroneous = after.gobs_erroneous - before.gobs_erroneous;
+        let stats = GobStats {
+            available: (after.gobs_ok - before.gobs_ok) + erroneous,
+            erroneous,
+            unavailable: after.gobs_unavailable - before.gobs_unavailable,
+        };
         SimOutcome {
             stats,
             bits_correct,

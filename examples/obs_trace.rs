@@ -1,0 +1,80 @@
+//! Telemetry trace capture: runs the half-cycle desync fault scenario
+//! with a live spine, streams every event to a JSONL log, then validates
+//! the log against the event schema and prints the end-of-run summary.
+//!
+//! ```sh
+//! cargo run --release --example obs_trace -- [LOG_PATH]
+//! ```
+//!
+//! The log defaults to `obs_trace.jsonl` in the current directory. CI
+//! runs this example under both kernel backends and fails if the
+//! captured stream does not validate, so the exporter schema and the
+//! instrumented crates cannot drift apart. Exits non-zero on a schema
+//! violation.
+
+use inframe::obs::{export, ObsConfig, Telemetry};
+use inframe::sim::faults::{
+    run_fault_scenario_with_telemetry, FaultKind, FaultScenarioConfig, FaultWindow,
+};
+use inframe::sim::pipeline::SimulationConfig;
+use inframe::sim::{Scale, Scenario};
+use std::fs::File;
+use std::io::BufWriter;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "obs_trace.jsonl".to_string());
+    let s = Scale::Quick;
+    let cfg = FaultScenarioConfig {
+        sim: SimulationConfig {
+            inframe: s.inframe(),
+            display: s.display(),
+            camera: s.camera(),
+            geometry: s.geometry(),
+            cycles: 80,
+            seed: 11,
+        },
+        scenario: Scenario::Gray,
+        object_id: 7,
+        object_len: 96,
+        faults: vec![FaultWindow {
+            kind: FaultKind::Desync { shift_s: 0.05 },
+            from_cycle: 8,
+            until_cycle: 9,
+        }],
+        adaptive: true,
+    };
+
+    let tele = Telemetry::with_config(ObsConfig {
+        recorder_capacity: 4096,
+    });
+    let sink = BufWriter::new(File::create(&path).expect("create log file"));
+    tele.attach_jsonl(Box::new(sink));
+    let outcome = run_fault_scenario_with_telemetry(&cfg, &tele);
+    tele.detach_jsonl();
+
+    println!(
+        "scenario: half-cycle desync, adaptive controller — delivered: {}, \
+         lock losses: {}, relock after {:?} cycle(s)",
+        outcome.completed && outcome.object_ok,
+        outcome.lock_losses,
+        outcome.relock_cycles,
+    );
+
+    let log = std::fs::read_to_string(&path).expect("read log back");
+    let events = export::validate_jsonl(&log).unwrap_or_else(|e| {
+        eprintln!("JSONL schema violation: {e}");
+        std::process::exit(1);
+    });
+    println!("validated {events} event(s) in {path}");
+
+    let dump = tele.lock_loss_dump();
+    println!(
+        "flight recorder: {} event(s) in the lock-loss snapshot",
+        dump.len()
+    );
+
+    println!();
+    println!("summary: {}", tele.summary().to_json());
+}

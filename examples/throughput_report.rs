@@ -12,12 +12,15 @@
 //! (≈12.8 kbps on pure gray at δ=20, τ=10; ≈7 kbps over real video).
 
 use inframe::core::demux::{Demultiplexer, RegionCache};
+use inframe::core::metrics::ThroughputReport;
 use inframe::core::parallel::ParallelEngine;
 use inframe::core::sender::{PrbsPayload, Sender};
 use inframe::core::InFrameConfig;
 use inframe::frame::geometry::Homography;
 use inframe::frame::Plane;
-use inframe::sim::{fig7, Scale};
+use inframe::obs::Telemetry;
+use inframe::sim::pipeline::{Simulation, SimulationConfig};
+use inframe::sim::{fig7, Scale, Scenario};
 use inframe::video::synth::MovingBarsClip;
 use inframe::video::FrameRate;
 use std::sync::Arc;
@@ -66,6 +69,37 @@ fn pipeline_section(cfg: InFrameConfig) {
     );
 }
 
+/// One gray run under an explicit spine: the Figure 7 report is rebuilt
+/// purely from the spine's `chan.*` instruments and must agree with the
+/// outcome's own report — the single-source-of-truth accounting the
+/// telemetry layer guarantees.
+fn telemetry_section(scale: Scale, cycles: u32) {
+    let tele = Telemetry::new();
+    let cfg = scale.inframe();
+    let sim = Simulation::new(SimulationConfig {
+        inframe: cfg,
+        display: scale.display(),
+        camera: scale.camera(),
+        geometry: scale.geometry(),
+        cycles,
+        seed: 2014,
+    });
+    let out = sim.run_with_telemetry(
+        Scenario::Gray.source(cfg.display_w, cfg.display_h, 2014),
+        &tele,
+    );
+    let from_spine = ThroughputReport::from_channel_summary(&tele.summary().channel());
+    println!(
+        "telemetry: gray δ={} τ={} rebuilt from chan.* counters → {:.2} kbps \
+         (outcome report: {:.2} kbps, {} event(s) recorded)",
+        cfg.delta,
+        cfg.tau,
+        from_spine.goodput_kbps(),
+        out.report().goodput_kbps(),
+        tele.summary().events_recorded
+    );
+}
+
 fn main() {
     let paper_scale = std::env::args().any(|a| a == "--paper");
     let (scale, cycles) = if paper_scale {
@@ -86,6 +120,8 @@ fn main() {
     print!("{}", fig.render());
     println!();
     pipeline_section(scale.inframe());
+    println!();
+    telemetry_section(scale, cycles);
     println!();
     let violations = fig.check_shape();
     if violations.is_empty() {

@@ -10,6 +10,11 @@
 //!   video frame) nor a cycle boundary (`k == 0`, where the next payload
 //!   is fetched and encoded) performs **0 heap allocations**.
 //!
+//! Both paths are proven twice: with the disabled no-op telemetry handle
+//! and with a live spine attached — instrumentation resolves its
+//! atomics at construction time, so the steady-state hot paths must stay
+//! allocation-free even while counters and histograms are recording.
+//!
 //! The workspace crates `#![forbid(unsafe_code)]`; this integration test
 //! is its own crate root, and the `unsafe` below is confined to the
 //! allocator shim.
@@ -23,6 +28,7 @@ use inframe::core::sender::{PrbsPayload, Sender};
 use inframe::core::{DataLayout, InFrameConfig};
 use inframe::frame::geometry::Homography;
 use inframe::frame::Plane;
+use inframe::obs::Telemetry;
 use inframe::video::synth::SolidClip;
 use inframe::video::FrameRate;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -58,7 +64,7 @@ fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
-fn demux_steady_state_is_allocation_free(backend: KernelBackend) {
+fn demux_steady_state_is_allocation_free(backend: KernelBackend, telemetry: &Telemetry) {
     let cfg = InFrameConfig {
         kernel: backend,
         ..InFrameConfig::small_test()
@@ -78,7 +84,8 @@ fn demux_steady_state_is_allocation_free(backend: KernelBackend) {
         |bx, by| if frame.bit(bx, by) { 1.0 } else { 0.0 },
     );
     let cache = RegionCache::build(&cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
-    let mut demux = Demultiplexer::with_cache(cfg, cache, Arc::new(ParallelEngine::new(1)));
+    let mut demux = Demultiplexer::with_cache(cfg, cache, Arc::new(ParallelEngine::new(1)))
+        .with_telemetry(telemetry);
     let d = demux.cycle_duration();
     // Warm-up: fill every reusable buffer and cross one cycle boundary so
     // the retired best-score vector is in the recycle slot.
@@ -96,15 +103,17 @@ fn demux_steady_state_is_allocation_free(backend: KernelBackend) {
         let delta = allocation_count() - before;
         assert!(completed.is_none(), "captures stay inside cycle 1");
         assert_eq!(
-            delta, 0,
-            "{backend:?}: capture {i} allocated {delta} times in steady state"
+            delta,
+            0,
+            "{backend:?} (telemetry {}): capture {i} allocated {delta} times in steady state",
+            if telemetry.is_enabled() { "on" } else { "off" }
         );
     }
     let decoded = demux.finish().expect("cycle 1 accumulated");
     assert_eq!(decoded.captures_used, 9);
 }
 
-fn render_steady_state_is_allocation_free(backend: KernelBackend) {
+fn render_steady_state_is_allocation_free(backend: KernelBackend, telemetry: &Telemetry) {
     let cfg = InFrameConfig {
         kernel: backend,
         ..InFrameConfig::small_test()
@@ -120,7 +129,8 @@ fn render_steady_state_is_allocation_free(backend: KernelBackend) {
         video,
         PrbsPayload::new(42),
         Arc::new(ParallelEngine::new(1)),
-    );
+    )
+    .with_telemetry(telemetry);
     // Warm-up: three full cycles populate the frame pool, the amplitude
     // buffers and (on the quantized backend) every envelope step's LUT.
     for _ in 0..(3 * cfg.tau) {
@@ -135,9 +145,12 @@ fn render_steady_state_is_allocation_free(backend: KernelBackend) {
         drop(frame);
         if s.k != 0 && !s.display_index.is_multiple_of(4) {
             assert_eq!(
-                delta, 0,
-                "{backend:?}: frame {} (k={}) allocated {delta} times",
-                s.display_index, s.k
+                delta,
+                0,
+                "{backend:?} (telemetry {}): frame {} (k={}) allocated {delta} times",
+                if telemetry.is_enabled() { "on" } else { "off" },
+                s.display_index,
+                s.k
             );
             checked += 1;
         }
@@ -148,7 +161,9 @@ fn render_steady_state_is_allocation_free(backend: KernelBackend) {
 #[test]
 fn steady_state_hot_paths_allocate_nothing() {
     for backend in [KernelBackend::Reference, KernelBackend::Quantized] {
-        demux_steady_state_is_allocation_free(backend);
-        render_steady_state_is_allocation_free(backend);
+        for telemetry in [Telemetry::disabled(), Telemetry::new()] {
+            demux_steady_state_is_allocation_free(backend, &telemetry);
+            render_steady_state_is_allocation_free(backend, &telemetry);
+        }
     }
 }

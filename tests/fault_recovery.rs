@@ -252,6 +252,138 @@ fn outcomes_are_deterministic_for_a_fixed_seed() {
     assert_eq!(a, b, "same seed must replay bit-for-bit");
 }
 
+// ---- telemetry event stream (PR 5: observability) ----
+
+mod telemetry_stream {
+    use super::*;
+    use inframe::obs::{CommandCause, Event, FaultClass, ObsConfig, PhaseState, Telemetry};
+    use inframe::sim::faults::run_fault_scenario_with_telemetry;
+
+    /// The half-cycle desync scenario with the adaptive controller in the
+    /// loop — the run whose post-mortem the flight recorder must support.
+    fn desync_cfg() -> FaultScenarioConfig {
+        let mut c = cfg(vec![FaultWindow {
+            kind: FaultKind::Desync { shift_s: 0.05 },
+            from_cycle: 8,
+            until_cycle: 9,
+        }]);
+        c.adaptive = true;
+        c
+    }
+
+    /// A spine whose ring comfortably holds the whole run, so the
+    /// lock-loss snapshot is the complete history up to the loss.
+    fn spine() -> Telemetry {
+        Telemetry::with_config(ObsConfig {
+            recorder_capacity: 4096,
+        })
+    }
+
+    #[test]
+    fn flight_recorder_dump_holds_desync_forensics() {
+        let tele = spine();
+        let out = run_fault_scenario_with_telemetry(&desync_cfg(), &tele);
+        assert!(out.lock_losses >= 1, "desync must drop the lock; {out:?}");
+
+        let dump = tele.lock_loss_dump();
+        assert!(
+            !dump.is_empty(),
+            "a lock loss must snapshot the flight recorder"
+        );
+        // The snapshot is causally ordered and ends at a loss event.
+        assert!(dump.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(
+            dump.last().expect("non-empty").event.is_lock_loss(),
+            "the dump must end at the event that triggered it"
+        );
+        // 1) the fault window that opened…
+        assert!(
+            dump.iter().any(|r| matches!(
+                r.event,
+                Event::FaultStart {
+                    kind: FaultClass::Desync,
+                    from_cycle: 8,
+                    ..
+                }
+            )),
+            "dump must show the desync window opening: {dump:?}"
+        );
+        // 2) …the LOCKED → SUSPECT → REACQUIRE degradation it caused…
+        assert!(
+            dump.iter().any(|r| matches!(
+                r.event,
+                Event::SyncTransition {
+                    from: PhaseState::Locked,
+                    to: PhaseState::Suspect,
+                    ..
+                }
+            )),
+            "dump must show the SUSPECT entry: {dump:?}"
+        );
+        // (the collapse may route SUSPECT → LOCKED → REACQUIRE when the
+        // complementary half's crispness looks healthy and the session's
+        // decode-quality supervision forces the loss, so only the
+        // REACQUIRE entry itself is pinned here)
+        assert!(
+            dump.iter().any(|r| matches!(
+                r.event,
+                Event::SyncTransition {
+                    to: PhaseState::Reacquiring,
+                    ..
+                }
+            )),
+            "dump must show the lock collapse: {dump:?}"
+        );
+        // 3) …and the controller's backoff command in response.
+        assert!(
+            dump.iter().any(|r| matches!(
+                r.event,
+                Event::Command {
+                    cause: CommandCause::Backoff,
+                    ..
+                }
+            )),
+            "dump must show the controller backing off: {dump:?}"
+        );
+    }
+
+    #[test]
+    fn session_health_events_mirror_outcome_transitions() {
+        let tele = spine();
+        let out = run_fault_scenario_with_telemetry(&desync_cfg(), &tele);
+        assert!(
+            !out.health_transitions.is_empty(),
+            "the scenario must exercise health transitions; {out:?}"
+        );
+
+        // Every transition the harness recorded in the outcome must also
+        // be in the event stream, on the same true-cycle timeline.
+        let stream = tele.recorder_dump();
+        for &(cycle, state) in &out.health_transitions {
+            let want = state.obs_state();
+            assert!(
+                stream.iter().any(|r| matches!(
+                    r.event,
+                    Event::SessionHealth { cycle: c, state: s } if c == cycle && s == want
+                )),
+                "missing SessionHealth {{cycle: {cycle}, state: {want:?}}} in the stream"
+            );
+        }
+        // And the telemetry counters agree with the outcome's numbers.
+        let s = tele.summary();
+        assert_eq!(
+            s.counter(inframe::obs::names::session::RESYNCS),
+            out.lock_losses,
+            "resync counter must match the outcome's lock losses"
+        );
+        assert_eq!(
+            s.counter(inframe::obs::names::faults::DELIVERED),
+            out.captures.0,
+            "delivered-capture counter must match the outcome"
+        );
+    }
+}
+
 // ---- auto-exposure under a step (satellite: camera::autoexposure) ----
 
 mod exposure_step {
