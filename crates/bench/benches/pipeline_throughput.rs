@@ -9,8 +9,10 @@
 //! Prints one line per (backend, stage, scale, workers) and writes two
 //! machine records to the repository root: `BENCH_pipeline.json` (the
 //! reference-backend samples, schema unchanged since PR 1) and
-//! `BENCH_kernels.json` (all samples keyed by backend, plus the
-//! quantized/reference speedup summary). Worker counts beyond the
+//! `BENCH_kernels.json` (`"bench": "kernels"` — all samples keyed by
+//! backend and SIMD dispatch level, with the machine's CPU features,
+//! the forced-level 1080p sweep and the full receiver-chain numbers).
+//! Worker counts beyond the
 //! machine's core count still run correctly (output is bit-identical by
 //! construction) but cannot speed anything up; the JSON records
 //! `machine_cores` so readers can interpret the ratios.
@@ -21,6 +23,7 @@ use inframe_core::parallel::ParallelEngine;
 use inframe_core::sender::{PrbsPayload, Sender};
 use inframe_core::InFrameConfig;
 use inframe_frame::geometry::Homography;
+use inframe_frame::simd;
 use inframe_frame::Plane;
 use inframe_video::synth::MovingBarsClip;
 use inframe_video::FrameRate;
@@ -31,6 +34,8 @@ struct Sample {
     backend: &'static str,
     stage: &'static str,
     scale: &'static str,
+    /// SIMD dispatch level the sample ran at (scalar/sse2/avx2).
+    simd: &'static str,
     workers: usize,
     frames: u64,
     fps: f64,
@@ -92,6 +97,7 @@ fn measure_render(scale: &'static str, cfg: InFrameConfig, workers: usize, frame
         backend: backend_name(cfg.kernel),
         stage: "render",
         scale,
+        simd: simd::active_level().name(),
         workers,
         frames,
         fps: frames as f64 / wall,
@@ -129,6 +135,7 @@ fn measure_demux(
         backend: backend_name(cfg.kernel),
         stage: "demux",
         scale,
+        simd: simd::active_level().name(),
         workers,
         frames: captures,
         fps: captures as f64 / wall,
@@ -140,9 +147,12 @@ fn measure_demux(
     }
 }
 
+/// `with_backend` selects the extended `BENCH_kernels.json` entry form
+/// (backend + per-sample SIMD level); `false` keeps the frozen PR 1
+/// `BENCH_pipeline.json` schema.
 fn json_entry(s: &Sample, with_backend: bool) -> String {
     let backend = if with_backend {
-        format!("\"backend\": \"{}\", ", s.backend)
+        format!("\"backend\": \"{}\", \"simd\": \"{}\", ", s.backend, s.simd)
     } else {
         String::new()
     };
@@ -207,6 +217,60 @@ fn main() {
         }
     }
 
+    // Full receiver chain at native 1080p sensor resolution: every push
+    // both scores the capture and decodes the previous cycle, so this is
+    // the capture→demux→decode path of the real-time target.
+    {
+        let base = InFrameConfig::paper();
+        let (dw, dh) = (base.display_w, base.display_h);
+        let cache = RegionCache::build(&base, &Homography::identity(), dw, dh);
+        for backend in backends {
+            let cfg = InFrameConfig {
+                kernel: backend,
+                ..base
+            };
+            let mut s = measure_demux("1080p", cfg, dw, dh, &cache, 1, 12);
+            s.stage = "receiver_chain";
+            println!(
+                "receiver chain 1080p {:>9}  1 worker(s): {:8.2} captures/s",
+                backend_name(backend),
+                s.fps
+            );
+            samples.push(s);
+        }
+    }
+
+    // Forced-level sweep: the quantized 1080p operating points at every
+    // SIMD tier this machine supports, so BENCH_kernels.json carries the
+    // per-level trajectory (scalar = the bit-exact oracle's speed).
+    {
+        let base = InFrameConfig::paper();
+        let cfg = InFrameConfig {
+            kernel: KernelBackend::Quantized,
+            ..base
+        };
+        let (sw, sh) = (base.display_w * 2 / 3, base.display_h * 2 / 3);
+        let reg = Homography::scale(
+            sw as f64 / base.display_w as f64,
+            sh as f64 / base.display_h as f64,
+        );
+        let cache = RegionCache::build(&base, &reg, sw, sh);
+        for level in simd::SimdLevel::supported() {
+            simd::force_level(Some(level));
+            let r = measure_render("1080p", cfg, 1, 24);
+            let d = measure_demux("1080p", cfg, sw, sh, &cache, 1, 12);
+            println!(
+                "simd {:>6}: quantized 1080p render {:8.2} frames/s, demux {:8.2} captures/s",
+                level.name(),
+                r.fps,
+                d.fps
+            );
+            samples.push(r);
+            samples.push(d);
+        }
+        simd::force_level(None);
+    }
+
     println!();
     let find = |backend: &str, stage: &str, scale: &str, w: usize| {
         samples
@@ -250,7 +314,9 @@ fn main() {
         pipeline_body,
     );
 
-    // BENCH_kernels.json: every sample, keyed by backend.
+    // BENCH_kernels.json: every sample, keyed by backend and SIMD level,
+    // under its own bench name plus the machine's CPU feature set so
+    // perf trajectories are comparable across machines.
     let kernels_body = samples
         .iter()
         .map(|s| json_entry(s, true))
@@ -258,7 +324,12 @@ fn main() {
         .join(",\n");
     write_json(
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json"),
-        &format!("  \"bench\": \"pipeline_throughput\",\n  \"machine_cores\": {cores},"),
+        &format!(
+            "  \"bench\": \"kernels\",\n  \"machine_cores\": {cores},\n  \
+             \"cpu_features\": \"{}\",\n  \"simd_level\": \"{}\",",
+            simd::cpu_features(),
+            simd::active_level().name()
+        ),
         kernels_body,
     );
 }

@@ -29,6 +29,11 @@ pub enum CodingMode {
 /// bits are identical across backends on the test corpus; raw block
 /// scores agree within 1 LSB of Q8.7 (1/128 code value) — enforced by
 /// `tests/kernel_equivalence.rs`.
+///
+/// The quantized backend's hot loops additionally dispatch to explicit
+/// SSE2/AVX2 paths via [`inframe_frame::simd`]; the `INFRAME_SIMD`
+/// environment variable (`off`/`sse2`/`avx2`) caps the level for
+/// testing, and every level decodes bit-identically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum KernelBackend {
     /// Scalar f32/f64 kernels — the bit-exact oracle.

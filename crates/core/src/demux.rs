@@ -26,9 +26,11 @@ use crate::parallel::ParallelEngine;
 use inframe_code::parity::GobStats;
 use inframe_frame::geometry::Homography;
 use inframe_frame::integral::{
-    box_blur_fast, box_blur_fast_into, build_highpass_band, BlurScratch, QRowPrefix,
+    box_blur_fast, box_blur_fast_into, build_highpass_band, highpass_row_into,
+    prime_highpass_columns, BlurScratch, QRowPrefix,
 };
 use inframe_frame::qplane::{self, horizontal_window_sums_band, QPlane};
+use inframe_frame::simd;
 use inframe_frame::Plane;
 use inframe_obs::{names, Telemetry};
 use serde::{Deserialize, Serialize};
@@ -128,6 +130,65 @@ struct QTemplate {
     slice_h: usize,
     /// Static weight (`Σ |t|`) per slice.
     slice_weights: Vec<f64>,
+    /// Flattened absolute [`QRowPrefix`] table indices, one `(lo, hi)`
+    /// pair per run, grouped by slice — the gather-friendly layout
+    /// [`inframe_frame::simd::signed_segment_sum_i32`] consumes. Built
+    /// for a specific sensor stride; a capture of any other shape falls
+    /// back to the per-run `row_sum` loop.
+    g_run_lo: Vec<u32>,
+    /// Upper table index per run (`g_run_lo[i]..g_run_hi[i]`).
+    g_run_hi: Vec<u32>,
+    /// Run sign as ±1, parallel to `g_run_lo`.
+    g_run_sign: Vec<i32>,
+    /// Lower table index per merged span (energy sums).
+    g_span_lo: Vec<u32>,
+    /// Upper table index per merged span.
+    g_span_hi: Vec<u32>,
+    /// Per slice: half-open index range into the flattened run arrays.
+    slice_runs: Vec<(u32, u32)>,
+    /// Per slice: half-open index range into the flattened span arrays.
+    slice_spans: Vec<(u32, u32)>,
+    /// The `sensor_w + 1` table stride the absolute indices assume
+    /// (0 = not built; gather path disabled).
+    gather_stride: usize,
+}
+
+impl QTemplate {
+    /// Flattens the run-length template into absolute prefix-table
+    /// indices for one `(region, sensor)` placement. `stride` is the
+    /// [`QRowPrefix`] row stride (`sensor_w + 1`).
+    fn build_gather(&mut self, region_x: usize, region_y: usize, stride: usize) {
+        let h = self.row_runs.len();
+        // Absolute indices must round-trip through u32 gather lanes.
+        if (region_y + h) * stride + region_x >= u32::MAX as usize {
+            return;
+        }
+        self.gather_stride = stride;
+        let num_slices = self.slice_weights.len();
+        for s in 0..num_slices {
+            let run_start = self.g_run_lo.len() as u32;
+            let span_start = self.g_span_lo.len() as u32;
+            let y1 = ((s + 1) * self.slice_h).min(h);
+            for dy in s * self.slice_h..y1 {
+                let base = (region_y + dy) * stride + region_x;
+                let (r0, r1) = self.row_runs[dy];
+                for &(x0, x1, sign) in &self.runs[r0 as usize..r1 as usize] {
+                    self.g_run_lo.push((base + x0 as usize) as u32);
+                    self.g_run_hi.push((base + x1 as usize) as u32);
+                    self.g_run_sign.push(sign as i32);
+                }
+                let (s0, s1) = self.row_spans[dy];
+                for &(x0, x1) in &self.spans[s0 as usize..s1 as usize] {
+                    self.g_span_lo.push((base + x0 as usize) as u32);
+                    self.g_span_hi.push((base + x1 as usize) as u32);
+                }
+            }
+            self.slice_runs
+                .push((run_start, self.g_run_lo.len() as u32));
+            self.slice_spans
+                .push((span_start, self.g_span_lo.len() as u32));
+        }
+    }
 }
 
 /// Builds the run-length template representation from the dense `±1/0`
@@ -184,10 +245,106 @@ fn build_qtemplate(template: &Plane<f32>) -> QTemplate {
 #[derive(Debug)]
 pub struct RegionCache {
     regions: Vec<BlockRegion>,
+    /// Row-major scoring program for the single-worker direct sweep.
+    program: RowProgram,
     /// Smoothing radius for the high-pass prefilter, sensor pixels.
     smooth_radius: usize,
     sensor_w: usize,
     sensor_h: usize,
+}
+
+/// The per-Block templates re-bucketed by **sensor row**: for each row,
+/// every run/span segment any region reads there, with absolute sensor
+/// columns and a flat per-`(region, slice)` accumulator index.
+///
+/// The single-worker quantized path sweeps the capture once in row order,
+/// computes each high-pass prefix row into L1-resident scratch
+/// ([`highpass_row_into`]) and applies that row's program entries into the
+/// slice accumulators — the full prefix tables (12 bytes/px of write
+/// traffic per capture) are never materialized. Accumulation order differs
+/// from the per-region path (row-major vs region-major), but `i64`
+/// addition over the same exact segment sums is associative, so the
+/// resulting slice sums — and the scores — are bit-identical.
+#[derive(Debug, Default)]
+struct RowProgram {
+    /// Per sensor row `0..rows_used`: half-open ranges `(runs, spans)`
+    /// into the flattened arrays below.
+    rows: Vec<(u32, u32, u32, u32)>,
+    /// `(x0, x1, tag)` — absolute half-open sensor columns of a signed
+    /// template run; `tag` is the accumulator index with the run's sign
+    /// in the top bit (set = negative).
+    runs: Vec<(u32, u32, u32)>,
+    /// `(x0, x1, acc)` — absolute columns of an energy span.
+    spans: Vec<(u32, u32, u32)>,
+    /// Per region: first accumulator slot (a region's slices are
+    /// contiguous).
+    slice_base: Vec<u32>,
+    /// Accumulator slots across all regions (`Σ slices`).
+    total_slices: usize,
+}
+
+impl RowProgram {
+    fn build(regions: &[BlockRegion]) -> Self {
+        let mut slice_base = Vec::with_capacity(regions.len());
+        let mut total_slices = 0usize;
+        for rg in regions {
+            slice_base.push(total_slices as u32);
+            total_slices += rg.qt.slice_weights.len();
+        }
+        let rows_used = regions
+            .iter()
+            .map(|rg| rg.y + rg.qt.row_runs.len())
+            .max()
+            .unwrap_or(0);
+        // Build-time bucketing by row; flattened below so the hot sweep
+        // walks two contiguous arrays.
+        let mut by_row_runs: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); rows_used];
+        let mut by_row_spans: Vec<Vec<(u32, u32, u32)>> = vec![Vec::new(); rows_used];
+        for (ri, rg) in regions.iter().enumerate() {
+            let qt = &rg.qt;
+            for dy in 0..qt.row_runs.len() {
+                let y = rg.y + dy;
+                let acc = slice_base[ri] + (dy / qt.slice_h) as u32;
+                let (r0, r1) = qt.row_runs[dy];
+                for &(x0, x1, sign) in &qt.runs[r0 as usize..r1 as usize] {
+                    let tag = acc | if sign < 0 { 1 << 31 } else { 0 };
+                    by_row_runs[y].push((
+                        (rg.x + x0 as usize) as u32,
+                        (rg.x + x1 as usize) as u32,
+                        tag,
+                    ));
+                }
+                let (s0, s1) = qt.row_spans[dy];
+                for &(x0, x1) in &qt.spans[s0 as usize..s1 as usize] {
+                    by_row_spans[y].push((
+                        (rg.x + x0 as usize) as u32,
+                        (rg.x + x1 as usize) as u32,
+                        acc,
+                    ));
+                }
+            }
+        }
+        let mut program = RowProgram {
+            rows: Vec::with_capacity(rows_used),
+            runs: Vec::with_capacity(by_row_runs.iter().map(Vec::len).sum()),
+            spans: Vec::with_capacity(by_row_spans.iter().map(Vec::len).sum()),
+            slice_base,
+            total_slices,
+        };
+        for (rr, rs) in by_row_runs.into_iter().zip(by_row_spans) {
+            let r0 = program.runs.len() as u32;
+            let s0 = program.spans.len() as u32;
+            program.runs.extend(rr);
+            program.spans.extend(rs);
+            program.rows.push((
+                r0,
+                program.runs.len() as u32,
+                s0,
+                program.spans.len() as u32,
+            ));
+        }
+        program
+    }
 }
 
 impl RegionCache {
@@ -219,8 +376,10 @@ impl RegionCache {
                 regions.push(region);
             }
         }
+        let program = RowProgram::build(&regions);
         Arc::new(Self {
             regions,
+            program,
             smooth_radius,
             sensor_w,
             sensor_h,
@@ -277,6 +436,9 @@ struct DemuxObs {
     captures: inframe_obs::Counter,
     aborted: inframe_obs::Counter,
     score_ns: inframe_obs::Histogram,
+    /// Milli-ns per sensor pixel per scored capture (see
+    /// [`names::kern`] for the unit rationale).
+    ns_per_px: inframe_obs::Histogram,
     margin_milli: inframe_obs::Histogram,
     band_rows: inframe_obs::ShardedCounter,
     chan_cycles: inframe_obs::Counter,
@@ -291,6 +453,7 @@ impl DemuxObs {
             captures: telemetry.counter(names::demux::CAPTURES),
             aborted: telemetry.counter(names::demux::ABORTED),
             score_ns: telemetry.histogram(names::demux::SCORE_NS),
+            ns_per_px: telemetry.histogram(names::kern::DEMUX_NS_PER_PX),
             margin_milli: telemetry.histogram(names::demux::MARGIN_MILLI),
             band_rows: telemetry.sharded_counter(names::demux::BAND_ROWS),
             chan_cycles: telemetry.counter(names::chan::CYCLES),
@@ -316,9 +479,19 @@ struct QuantState {
     /// Per-band vertical running-sum scratch, keyed by band index. The
     /// mutex is uncontended by construction (each band has exactly one
     /// worker); it exists to keep the scoring closure `Fn`.
-    cols: Vec<Mutex<Vec<i64>>>,
-    /// Row-prefix tables over the high-pass residual.
+    cols: Vec<Mutex<Vec<i32>>>,
+    /// Row-prefix tables over the high-pass residual (multi-worker and
+    /// mismatched-shape captures only; the single-worker direct sweep
+    /// never touches them).
     prefix: QRowPrefix,
+    /// Direct-sweep slice accumulators (`Σ hp·t` per `(region, slice)`).
+    acc_s: Vec<i64>,
+    /// Direct-sweep energy accumulators (`Σ hp²`).
+    acc_q: Vec<i64>,
+    /// One high-pass prefix row (`sensor_w + 1`) of direct-sweep scratch.
+    row_s: Vec<i32>,
+    /// Squared-prefix counterpart of `row_s`.
+    row_q: Vec<i64>,
 }
 
 struct CycleAccumulator {
@@ -368,6 +541,10 @@ impl Demultiplexer {
                 .map(|_| Mutex::new(Vec::new()))
                 .collect(),
             prefix: QRowPrefix::default(),
+            acc_s: vec![0; cache.program.total_slices],
+            acc_q: vec![0; cache.program.total_slices],
+            row_s: vec![0; sensor_w + 1],
+            row_q: vec![0; sensor_w + 1],
         });
         Self {
             cycle_duration: config.tau as f64 / config.refresh_hz,
@@ -501,9 +678,9 @@ impl Demultiplexer {
                     q.rowsum.clear();
                     q.rowsum.resize(w * h, 0);
                 }
-                q.prefix.reshape(w, h);
                 // Stage 1 (band-parallel): quantize the capture and take
                 // each row's horizontal window sums — both row-local.
+                let level = simd::active_level();
                 self.engine.for_each_row_band2(
                     h,
                     w,
@@ -515,34 +692,84 @@ impl Demultiplexer {
                         // just-quantized row while it is still in L1.
                         for (i, y) in rows.enumerate() {
                             let dst = &mut cap[i * w..(i + 1) * w];
-                            for (o, &v) in dst.iter_mut().zip(capture.row(y)) {
-                                *o = qplane::quantize(v);
-                            }
+                            simd::quantize_slice(level, capture.row(y), dst);
                             horizontal_window_sums_band(dst, w, r, &mut rs[i * w..(i + 1) * w]);
                         }
                     },
                 );
-                // Stage 2 (band-parallel): fused vertical window, residual
-                // `capture − blur(capture)` and row-prefix build — bit-
-                // identical to the blur→subtract→build composition and to
-                // every other band partition.
-                let qcap = &q.capture;
-                let rowsum = &q.rowsum;
-                let cols = &q.cols;
-                let (sum, sq) = q.prefix.tables_mut();
-                let stride = w + 1;
-                let band_rows = &self.obs.band_rows;
-                self.engine
-                    .for_each_row_band2(h, stride, sum, stride, sq, |band, rows, bs, bq| {
-                        band_rows.add(band, rows.len() as u64);
-                        let mut col = cols[band].lock().expect("col scratch lock");
-                        build_highpass_band(bs, bq, qcap, rowsum, r, rows, &mut col);
-                    });
-                let prefix = &q.prefix;
-                self.engine
-                    .map_into(&self.cache.regions, &mut self.score_buf, |_, region| {
-                        demodulate_quantized(prefix, region)
-                    });
+                if self.engine.workers() == 1 && (w, h) == self.cache.sensor_shape() {
+                    // Direct row sweep: compute each high-pass prefix row
+                    // into one reused `w + 1` scratch row and fold the
+                    // row's template segments straight into per-(region,
+                    // slice) accumulators — the prefix tables are never
+                    // materialized, eliminating their 12 bytes/px of
+                    // write traffic per capture. Exact i64 sums in a
+                    // different (row-major) order, so the scores stay
+                    // bit-identical to the table path.
+                    let mut col = q.cols[0].lock().expect("col scratch lock");
+                    prime_highpass_columns(&q.rowsum, w, h, r, 0, &mut col);
+                    q.acc_s.fill(0);
+                    q.acc_q.fill(0);
+                    let prog = &self.cache.program;
+                    for (y, &(r0, r1, s0, s1)) in prog.rows.iter().enumerate() {
+                        highpass_row_into(
+                            &q.capture,
+                            &q.rowsum,
+                            r,
+                            y,
+                            &mut col,
+                            &mut q.row_s,
+                            &mut q.row_q,
+                        );
+                        for &(x0, x1, tag) in &prog.runs[r0 as usize..r1 as usize] {
+                            let s = (q.row_s[x1 as usize] - q.row_s[x0 as usize]) as i64;
+                            let i = (tag & 0x7FFF_FFFF) as usize;
+                            q.acc_s[i] += if tag >> 31 != 0 { -s } else { s };
+                        }
+                        for &(x0, x1, acc) in &prog.spans[s0 as usize..s1 as usize] {
+                            q.acc_q[acc as usize] += q.row_q[x1 as usize] - q.row_q[x0 as usize];
+                        }
+                    }
+                    self.obs.band_rows.add(0, prog.rows.len() as u64);
+                    for (ri, region) in self.cache.regions.iter().enumerate() {
+                        let base = prog.slice_base[ri] as usize;
+                        let n = region.qt.slice_weights.len();
+                        self.score_buf[ri] = score_from_slices(
+                            &region.qt,
+                            &q.acc_s[base..base + n],
+                            &q.acc_q[base..base + n],
+                        );
+                    }
+                } else {
+                    q.prefix.reshape(w, h);
+                    // Stage 2 (band-parallel): fused vertical window,
+                    // residual `capture − blur(capture)` and row-prefix
+                    // build — bit-identical to the blur→subtract→build
+                    // composition and to every other band partition.
+                    let qcap = &q.capture;
+                    let rowsum = &q.rowsum;
+                    let cols = &q.cols;
+                    let (sum, sq) = q.prefix.tables_mut();
+                    let stride = w + 1;
+                    let band_rows = &self.obs.band_rows;
+                    self.engine.for_each_row_band2(
+                        h,
+                        stride,
+                        sum,
+                        stride,
+                        sq,
+                        |band, rows, bs, bq| {
+                            band_rows.add(band, rows.len() as u64);
+                            let mut col = cols[band].lock().expect("col scratch lock");
+                            build_highpass_band(bs, bq, qcap, rowsum, r, rows, &mut col);
+                        },
+                    );
+                    let prefix = &q.prefix;
+                    self.engine
+                        .map_into(&self.cache.regions, &mut self.score_buf, |_, region| {
+                            demodulate_quantized(prefix, region)
+                        });
+                }
             }
         }
         let busy = self.engine.busy().saturating_sub(busy_before);
@@ -550,6 +777,10 @@ impl Demultiplexer {
         self.meter.record_frame(elapsed, busy);
         self.obs.captures.incr();
         self.obs.score_ns.record_ns(elapsed);
+        let px = (capture.width() * capture.height()) as u128;
+        if let Some(milli_ns) = elapsed.as_nanos().saturating_mul(1000).checked_div(px) {
+            self.obs.ns_per_px.record(milli_ns as u64);
+        }
     }
 
     /// Per-Block scores of the most recently scored capture (empty before
@@ -702,30 +933,68 @@ fn demodulate(capture: &Plane<f32>, smoothed: &Plane<f32>, region: &BlockRegion)
 fn demodulate_quantized(integral: &QRowPrefix, region: &BlockRegion) -> BlockScore {
     let qt = &region.qt;
     let h = qt.row_runs.len();
+    // The flattened gather indices bake in a specific sensor stride; use
+    // them (and the wide segment-sum kernels) only when this capture's
+    // prefix table matches the geometry the cache was built for.
+    let gather = qt.gather_stride == integral.shape().0 + 1;
+    // A Block has at most ~6 rolling-shutter slices (`slice_h = h/4`,
+    // floored at 2 rows); the batched gathers fill both stack arrays in
+    // one validated kernel call each instead of two calls per slice.
+    const MAX_SLICES: usize = 16;
+    let num_slices = qt.slice_weights.len();
+    assert!(num_slices <= MAX_SLICES, "unexpected slice count");
+    let mut accs = [0i64; MAX_SLICES];
+    let mut energies = [0i64; MAX_SLICES];
+    if gather {
+        let level = simd::active_level();
+        let (sum_tab, sq_tab) = integral.tables();
+        simd::signed_segment_sums_sliced(
+            level,
+            sum_tab,
+            &qt.g_run_lo,
+            &qt.g_run_hi,
+            &qt.g_run_sign,
+            &qt.slice_runs,
+            &mut accs[..num_slices],
+        );
+        simd::segment_sums_sliced(
+            level,
+            sq_tab,
+            &qt.g_span_lo,
+            &qt.g_span_hi,
+            &qt.slice_spans,
+            &mut energies[..num_slices],
+        );
+    } else {
+        for dy in 0..h {
+            let slice = dy / qt.slice_h;
+            let y = region.y + dy;
+            let (r0, r1) = qt.row_runs[dy];
+            for &(x0, x1, sign) in &qt.runs[r0 as usize..r1 as usize] {
+                let s = integral.row_sum(y, region.x + x0 as usize, region.x + x1 as usize);
+                accs[slice] += if sign > 0 { s } else { -s };
+            }
+            let (s0, s1) = qt.row_spans[dy];
+            for &(x0, x1) in &qt.spans[s0 as usize..s1 as usize] {
+                energies[slice] +=
+                    integral.row_sum_sq(y, region.x + x0 as usize, region.x + x1 as usize);
+            }
+        }
+    }
+    score_from_slices(qt, &accs[..num_slices], &energies[..num_slices])
+}
+
+/// Folds exact per-slice integer sums (`Σ hp·t` and `Σ hp²`, Q8.7 raw
+/// units) into a Block score — the shared back end of
+/// [`demodulate_quantized`] and the direct row sweep. Same per-slice
+/// correlate / noise-floor-subtract formula as [`demodulate`].
+fn score_from_slices(qt: &QTemplate, accs: &[i64], energies: &[i64]) -> BlockScore {
     // Q8.7 raw → code values; energies carry two factors of the scale.
     let scale = qplane::LSB as f64;
     let scale_sq = scale * scale;
     let mut total = 0.0f64;
     let mut total_weight = 0.0f64;
-    let mut y0 = 0;
-    let mut slice = 0;
-    while y0 < h {
-        let y1 = (y0 + qt.slice_h).min(h);
-        let mut acc_raw = 0i64;
-        let mut energy_raw = 0i64;
-        for dy in y0..y1 {
-            let y = region.y + dy;
-            let (r0, r1) = qt.row_runs[dy];
-            for &(x0, x1, sign) in &qt.runs[r0 as usize..r1 as usize] {
-                let s = integral.row_sum(y, region.x + x0 as usize, region.x + x1 as usize);
-                acc_raw += if sign > 0 { s } else { -s };
-            }
-            let (s0, s1) = qt.row_spans[dy];
-            for &(x0, x1) in &qt.spans[s0 as usize..s1 as usize] {
-                energy_raw +=
-                    integral.row_sum_sq(y, region.x + x0 as usize, region.x + x1 as usize);
-            }
-        }
+    for (slice, (&acc_raw, &energy_raw)) in accs.iter().zip(energies).enumerate() {
         let weight = qt.slice_weights[slice];
         let acc = acc_raw as f64 * scale;
         let energy = energy_raw as f64 * scale_sq;
@@ -737,8 +1006,6 @@ fn demodulate_quantized(integral: &QRowPrefix, region: &BlockRegion) -> BlockSco
         let noise_floor = (2.0 / std::f64::consts::PI * incoherent).sqrt();
         total += (acc.abs() - noise_floor).max(0.0);
         total_weight += weight;
-        y0 = y1;
-        slice += 1;
     }
     if total_weight == 0.0 {
         BlockScore::Unreadable
@@ -825,7 +1092,8 @@ fn build_region(
             None => 0.0,
         }
     });
-    let qt = build_qtemplate(&template);
+    let mut qt = build_qtemplate(&template);
+    qt.build_gather(x0, y0, sensor_w + 1);
     BlockRegion {
         x: x0,
         y: y0,

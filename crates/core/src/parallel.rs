@@ -22,10 +22,34 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use inframe_frame::plane::band_rows;
 use inframe_frame::Plane;
+
+/// Cached machine parallelism. On a single-core box (or one the
+/// scheduler has confined to one CPU) spawned band workers only time-
+/// slice against each other, so the engine runs its bands inline there.
+fn machine_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Minimum per-band element count that amortizes a scoped thread spawn.
+/// A spawn+join costs tens of µs; at the ~1 ns/element the band kernels
+/// run at, bands below this are faster inline (the measured 4-worker
+/// quantized render regression at 1080p came from exactly this).
+const SPAWN_GRAIN: usize = 64 * 1024;
+
+/// Minimum per-chunk item count for [`ParallelEngine::map`] /
+/// [`ParallelEngine::map_into`] (items are Block demodulations — far
+/// heavier than one band element).
+const SPAWN_ITEMS: usize = 8;
 
 /// A fixed-width pool of band workers (see module docs).
 #[derive(Debug)]
@@ -81,6 +105,20 @@ impl ParallelEngine {
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Whether band work of `per_band_elems` elements justifies spawning
+    /// worker threads. When it does not, the band methods still apply the
+    /// exact same band partition — they just run the bands sequentially
+    /// on the calling thread, so outputs, per-band scratch keying and
+    /// band-boundary behaviour are identical to the threaded path.
+    fn spawn_bands(&self, per_band_elems: usize) -> bool {
+        self.workers > 1 && machine_cores() > 1 && per_band_elems >= SPAWN_GRAIN
+    }
+
+    /// [`ParallelEngine::spawn_bands`] for item-chunked work.
+    fn spawn_chunks(&self, items: usize) -> bool {
+        self.workers > 1 && machine_cores() > 1 && items / self.workers >= SPAWN_ITEMS
+    }
+
     /// Runs `f` over matching horizontal bands of two same-shaped planes
     /// (the sender's `P⁺`/`P⁻` offset pair). Each invocation receives the
     /// band's row range and the two mutable band slices; bands are
@@ -100,8 +138,17 @@ impl ParallelEngine {
             self.note(t.elapsed());
             return;
         }
+        let width = a.width();
         let bands_a = a.bands_mut(self.workers);
         let bands_b = b.bands_mut(self.workers);
+        if !self.spawn_bands(height.div_ceil(self.workers) * width * 2) {
+            let t = Instant::now();
+            for ((range, slice_a), (_, slice_b)) in bands_a.into_iter().zip(bands_b) {
+                f(range, slice_a, slice_b);
+            }
+            self.note(t.elapsed());
+            return;
+        }
         let f = &f;
         crossbeam::thread::scope(|s| {
             for ((range, slice_a), (range_b, slice_b)) in bands_a.into_iter().zip(bands_b) {
@@ -133,7 +180,16 @@ impl ParallelEngine {
             self.note(t.elapsed());
             return;
         }
+        let width = plane.width();
         let bands = plane.bands_mut(self.workers);
+        if !self.spawn_bands(height.div_ceil(self.workers) * width) {
+            let t = Instant::now();
+            for (range, slice) in bands {
+                f(range, slice);
+            }
+            self.note(t.elapsed());
+            return;
+        }
         let f = &f;
         crossbeam::thread::scope(|s| {
             for (range, slice) in bands {
@@ -179,6 +235,20 @@ impl ParallelEngine {
             self.note(t.elapsed());
             return;
         }
+        if !self.spawn_bands(height.div_ceil(self.workers) * (stride_a + stride_b)) {
+            let t = Instant::now();
+            let mut rest_a = a;
+            let mut rest_b = b;
+            for (band, range) in band_rows(height, self.workers).into_iter().enumerate() {
+                let (band_a, tail_a) = rest_a.split_at_mut(range.len() * stride_a);
+                let (band_b, tail_b) = rest_b.split_at_mut(range.len() * stride_b);
+                rest_a = tail_a;
+                rest_b = tail_b;
+                f(band, range, band_a, band_b);
+            }
+            self.note(t.elapsed());
+            return;
+        }
         let f = &f;
         crossbeam::thread::scope(|s| {
             let mut rest_a = a;
@@ -219,7 +289,7 @@ impl ParallelEngine {
             out.len(),
             "map_into output must match item count"
         );
-        if self.workers == 1 || items.len() <= 1 {
+        if !self.spawn_chunks(items.len()) {
             let t = Instant::now();
             for (i, (o, it)) in out.iter_mut().zip(items).enumerate() {
                 *o = f(i, it);
@@ -258,7 +328,7 @@ impl ParallelEngine {
         O: Send,
         F: Fn(usize, &I) -> O + Sync,
     {
-        if self.workers == 1 || items.len() <= 1 {
+        if !self.spawn_chunks(items.len()) {
             let t = Instant::now();
             let out = items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
             self.note(t.elapsed());

@@ -25,6 +25,7 @@ use crate::layout::DataLayout;
 use crate::parallel::ParallelEngine;
 use inframe_frame::color;
 use inframe_frame::qplane;
+use inframe_frame::simd;
 use inframe_frame::Plane;
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -261,6 +262,11 @@ pub struct LutTable {
     pub plus: [i16; 256],
     /// `P⁻` offset per video code value, Q8.7.
     pub minus: [i16; 256],
+    /// `dequantize(plus)`, precomputed so the SIMD render gather adds
+    /// exactly the values the scalar path dequantizes per pixel.
+    pub plus_f32: [f32; 256],
+    /// `dequantize(minus)`, same contract.
+    pub minus_f32: [f32; 256],
 }
 
 /// Precomputed per-(amplitude step, video code) chessboard delta tables —
@@ -308,6 +314,8 @@ impl ChessLut {
         let mut table = Box::new(LutTable {
             plus: [0; 256],
             minus: [0; 256],
+            plus_f32: [0.0; 256],
+            minus_f32: [0.0; 256],
         });
         for code in 0..256usize {
             let v = code as f32;
@@ -330,6 +338,8 @@ impl ChessLut {
             };
             table.plus[code] = qplane::quantize(p);
             table.minus[code] = qplane::quantize(m);
+            table.plus_f32[code] = qplane::dequantize(table.plus[code]);
+            table.minus_f32[code] = qplane::dequantize(table.minus[code]);
         }
         *slot = Some(table);
     }
@@ -352,12 +362,16 @@ impl ChessLut {
 ///
 /// `steps[by·blocks_x + bx]` is the Block's quantized envelope amplitude
 /// (see [`ChessLut::amp_step`]); every step referenced must have been
-/// built via [`ChessLut::ensure_step`]. Each band copies its video rows
-/// (a straight `memcpy`) and then revisits only the odd-parity chessboard
-/// cells of active Blocks, adding the Q8.7 table offset for the pixel's
-/// video code. Per-pixel work is an index computation and one integer
-/// table read — no transfer-function math anywhere. Output is
-/// **bit-identical for every worker count** (pure per-pixel function).
+/// built via [`ChessLut::ensure_step`]. Each band walks its rows once,
+/// writing every output pixel exactly once: margins and even-parity
+/// chessboard cells are straight copies of the video row, odd-parity
+/// cells of active Blocks go through [`simd::lut_apply_span`] (AVX2
+/// hardware gather, SSE2 manual gather, or the scalar oracle — all
+/// bit-identical). The single-write row-major pass both halves the
+/// bytes written over the data rectangle (no copy-then-overwrite) and
+/// streams each video row through cache once instead of revisiting the
+/// band per Block column. Output is **bit-identical for every worker
+/// count and SIMD level** (pure per-pixel function).
 ///
 /// # Panics
 /// Panics if shapes mismatch or a referenced step was never built.
@@ -378,43 +392,58 @@ pub fn render_frame_lut(
     );
     let width = video.width();
     let cell = layout.pixel_size;
+    let bp = layout.block_px();
+    let grid_y0 = layout.origin_y;
+    let grid_y1 = grid_y0 + layout.blocks_y * bp;
+    let level = simd::active_level();
     engine.for_each_band(out, |rows, band| {
-        band.copy_from_slice(&video.samples()[rows.start * width..rows.end * width]);
-        for by in 0..layout.blocks_y {
-            let row_rect = layout.block_rect(0, by);
-            let y_lo = row_rect.y.max(rows.start);
-            let y_hi = (row_rect.y + row_rect.h).min(rows.end);
-            if y_lo >= y_hi {
+        let vsrc = video.samples();
+        for y in rows.clone() {
+            let row_off = (y - rows.start) * width;
+            let dst = &mut band[row_off..row_off + width];
+            let vrow = &vsrc[y * width..(y + 1) * width];
+            if y < grid_y0 || y >= grid_y1 {
+                dst.copy_from_slice(vrow);
                 continue;
             }
-            for bx in 0..layout.blocks_x {
-                let step = steps[by * layout.blocks_x + bx];
+            let by = (y - grid_y0) / bp;
+            let pj = ((y - grid_y0) % bp) / cell;
+            let row_steps = &steps[by * layout.blocks_x..(by + 1) * layout.blocks_x];
+            let mut cursor = 0usize;
+            for (bx, &step) in row_steps.iter().enumerate() {
+                let xa = layout.origin_x + bx * bp;
+                if xa > cursor {
+                    dst[cursor..xa].copy_from_slice(&vrow[cursor..xa]);
+                }
+                cursor = xa + bp;
                 if step == 0 {
+                    dst[xa..cursor].copy_from_slice(&vrow[xa..cursor]);
                     continue;
                 }
                 let table = lut.table(step);
-                let rect = layout.block_rect(bx, by);
-                for y in y_lo..y_hi {
-                    let row_off = (y - rows.start) * width;
-                    let vrow = video.row(y);
-                    let pj = (y - rect.y) / cell;
-                    for pi in 0..layout.block_size {
-                        // Paper: δ where Pixel (i+j) is odd, 0 otherwise.
-                        if (pi + pj) % 2 != 1 {
-                            continue;
-                        }
-                        let xa = rect.x + pi * cell;
-                        for x in xa..xa + cell {
-                            let v = vrow[x];
-                            let code = (v.clamp(0.0, 255.0) + 0.5) as usize & 0xFF;
-                            band[row_off + x] = if plus_frame {
-                                v + qplane::dequantize(table.plus[code])
-                            } else {
-                                v - qplane::dequantize(table.minus[code])
-                            };
-                        }
+                let table = if plus_frame {
+                    &table.plus_f32
+                } else {
+                    &table.minus_f32
+                };
+                for pi in 0..layout.block_size {
+                    let x0 = xa + pi * cell;
+                    // Paper: δ where Pixel (i+j) is odd, 0 otherwise.
+                    if (pi + pj) % 2 == 1 {
+                        simd::lut_apply_span(
+                            level,
+                            &vrow[x0..x0 + cell],
+                            table,
+                            plus_frame,
+                            &mut dst[x0..x0 + cell],
+                        );
+                    } else {
+                        dst[x0..x0 + cell].copy_from_slice(&vrow[x0..x0 + cell]);
                     }
                 }
+            }
+            if cursor < width {
+                dst[cursor..width].copy_from_slice(&vrow[cursor..width]);
             }
         }
     });

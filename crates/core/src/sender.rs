@@ -135,6 +135,9 @@ struct SenderObs {
     frames: inframe_obs::Counter,
     cycles: inframe_obs::Counter,
     render_ns: inframe_obs::Histogram,
+    /// Milli-ns per display pixel per rendered frame (see
+    /// [`names::kern`] for the unit rationale).
+    ns_per_px: inframe_obs::Histogram,
     pool_live: inframe_obs::Gauge,
     pool_free: inframe_obs::Gauge,
     pool_allocated: inframe_obs::Gauge,
@@ -146,6 +149,7 @@ impl SenderObs {
             frames: telemetry.counter(names::sender::FRAMES),
             cycles: telemetry.counter(names::sender::CYCLES),
             render_ns: telemetry.histogram(names::sender::RENDER_NS),
+            ns_per_px: telemetry.histogram(names::kern::RENDER_NS_PER_PX),
             pool_live: telemetry.gauge(names::sender::POOL_LIVE),
             pool_free: telemetry.gauge(names::sender::POOL_FREE),
             pool_allocated: telemetry.gauge(names::sender::POOL_ALLOCATED),
@@ -300,11 +304,20 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
     pub fn next_frame(&mut self) -> Option<SenderFrame> {
         let s = slot(&self.config, self.display_index);
         // Fetch the video frame at each video boundary (including frame 0).
+        // The buffer is refilled in place (`next_frame_into`): one plane
+        // lives for the whole stream, so video boundaries do not churn
+        // full-frame allocations through the allocator.
         if s.display_index
             .is_multiple_of(InFrameConfig::DUPLICATES_PER_VIDEO_FRAME as u64)
             || self.current_video.is_none()
         {
-            self.current_video = Some(self.video.next_frame()?);
+            let buf = self.current_video.get_or_insert_with(|| {
+                Plane::filled(self.config.display_w, self.config.display_h, 0.0)
+            });
+            if !self.video.next_frame_into(buf) {
+                self.current_video = None;
+                return None;
+            }
         }
         if s.k == 0 {
             self.obs.cycles.incr();
@@ -335,6 +348,10 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
         self.meter.record_frame(elapsed, busy);
         self.obs.frames.incr();
         self.obs.render_ns.record_ns(elapsed);
+        let px = (plane.width() * plane.height()) as u128;
+        if let Some(milli_ns) = elapsed.as_nanos().saturating_mul(1000).checked_div(px) {
+            self.obs.ns_per_px.record(milli_ns as u64);
+        }
         let pool = self.pool.stats();
         self.obs.pool_live.set(pool.live);
         self.obs.pool_free.set(pool.free);

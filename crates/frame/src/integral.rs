@@ -167,43 +167,55 @@ impl QIntegral {
         qplane::horizontal_window_sums(src, r, &mut scratch.rowsum);
         let area = ((2 * r + 1) * (2 * r + 1)) as i64;
         qplane::init_column_sums(&scratch.rowsum, w, h, r, &mut scratch.col);
-        // Same round-up reciprocal as the sliding blur (see its exactness
-        // note); both share the `area ≤ 2896` guard.
-        let use_magic = area <= 2896;
-        let magic = (1u64 << 40) / (2 * area as u64) + 1;
-        let rowsum = &scratch.rowsum;
-        let col = &mut scratch.col;
+        // Each row stages through the [`crate::simd`] fused kernel (the
+        // same reciprocal-mean semantics as the sliding blur — its i32
+        // row prefixes are exact up to 65 535-px rows, so widening them
+        // for the vertical accumulation reproduces the old i64 running
+        // sums term for term); huge windows take `div_round` directly,
+        // which equals the reciprocal quotient wherever both apply.
+        let use_kernel = area <= crate::simd::MAX_MEAN_AREA && w <= 65_535;
+        let level = crate::simd::active_level();
+        let (rowsum, col, row_s, row_q) = (
+            &scratch.rowsum,
+            &mut scratch.col,
+            &mut scratch.row_s,
+            &mut scratch.row_q,
+        );
+        if use_kernel {
+            row_s.clear();
+            row_s.resize(stride, 0);
+            row_q.clear();
+            row_q.resize(stride, 0);
+        }
         for y in 0..h {
             let row = &src.row(y)[..w];
             let (prev_s, cur_s) = self.sum[y * stride..(y + 2) * stride].split_at_mut(stride);
             let (prev_q, cur_q) = self.sq[y * stride..(y + 2) * stride].split_at_mut(stride);
             cur_s[0] = 0;
             cur_q[0] = 0;
-            let mut run_s = 0i64;
-            let mut run_q = 0i64;
-            for x in 0..w {
-                let n = col[x];
-                let mean = if use_magic {
-                    let q = (((2 * n.unsigned_abs() + area as u64) * magic) >> 40) as i64;
-                    if n < 0 {
-                        -q
-                    } else {
-                        q
-                    }
-                } else {
-                    qplane::div_round(n, area)
-                };
-                let hp = row[x].saturating_sub(mean as i16) as i64;
-                run_s += hp;
-                run_q += hp * hp;
-                cur_s[x + 1] = prev_s[x + 1] + run_s;
-                cur_q[x + 1] = prev_q[x + 1] + run_q;
+            if use_kernel {
+                crate::simd::highpass_prefix_row(level, row, col, area, row_s, row_q);
+                for x in 1..=w {
+                    cur_s[x] = prev_s[x] + row_s[x] as i64;
+                    cur_q[x] = prev_q[x] + row_q[x];
+                }
+            } else {
+                let mut run_s = 0i64;
+                let mut run_q = 0i64;
+                for x in 0..w {
+                    let mean = qplane::div_round(col[x] as i64, area);
+                    let hp = row[x].saturating_sub(mean as i16) as i64;
+                    run_s += hp;
+                    run_q += hp * hp;
+                    cur_s[x + 1] = prev_s[x + 1] + run_s;
+                    cur_q[x + 1] = prev_q[x + 1] + run_q;
+                }
             }
             if y + 1 < h {
                 let enter = &rowsum[(y + 1 + r).min(h - 1) * w..(y + 1 + r).min(h - 1) * w + w];
                 let leave = &rowsum[y.saturating_sub(r) * w..y.saturating_sub(r) * w + w];
                 for ((c, &e), &l) in col.iter_mut().zip(enter).zip(leave) {
-                    *c += e as i64 - l as i64;
+                    *c += e - l;
                 }
             }
         }
@@ -314,6 +326,12 @@ impl QRowPrefix {
         (&mut self.sum, &mut self.sq)
     }
 
+    /// The two tables as shared slices of stride `width + 1`, for the
+    /// gather-based segment scoring in [`crate::simd`].
+    pub fn tables(&self) -> (&[i32], &[i64]) {
+        (&self.sum, &self.sq)
+    }
+
     /// Raw-sum over the half-open row segment `[x0, x1)` of row `y`.
     ///
     /// # Panics
@@ -363,7 +381,128 @@ pub fn build_highpass_band(
     rowsum: &[i32],
     r: usize,
     rows: std::ops::Range<usize>,
-    col: &mut Vec<i64>,
+    col: &mut Vec<i32>,
+) {
+    let (w, h) = src.shape();
+    if r > 0 {
+        assert!(rows.end <= h, "band rows must lie inside the plane");
+        prime_highpass_columns(rowsum, w, h, r, rows.start, col);
+    }
+    build_highpass_band_seeded(dst_sum, dst_sq, src, rowsum, r, rows, col);
+}
+
+/// Seeds the vertical running column sums for a high-pass sweep starting
+/// at row `start`: per column, the replicate-border window sum of rows
+/// `start − r ..= start + r` of `rowsum`. This is the priming step
+/// [`build_highpass_band`] performs internally, exposed so row-at-a-time
+/// drivers ([`highpass_row_into`]) can start a sweep anywhere.
+///
+/// # Panics
+/// Panics if `rowsum` is not `w·h` long or `r > 127` (the i32 column-sum
+/// bound — see `qplane::init_column_sums`).
+pub fn prime_highpass_columns(
+    rowsum: &[i32],
+    w: usize,
+    h: usize,
+    r: usize,
+    start: usize,
+    col: &mut Vec<i32>,
+) {
+    assert!(r <= 127, "radius beyond 127 would overflow i32 column sums");
+    assert_eq!(rowsum.len(), w * h, "window sums must cover the plane");
+    col.clear();
+    col.resize(w, 0);
+    for j in start as isize - r as isize..=(start + r) as isize {
+        let jy = j.clamp(0, h as isize - 1) as usize;
+        let src_row = &rowsum[jy * w..(jy + 1) * w];
+        for (c, &v) in col.iter_mut().zip(src_row) {
+            *c += v;
+        }
+    }
+}
+
+/// Computes one row of the high-pass prefix tables into caller scratch
+/// (`row_s`/`row_q`, each `w + 1` long) without materializing any table,
+/// then slides the column window to row `y + 1`. `col` must be primed
+/// for row `y` ([`prime_highpass_columns`], or the slide of a previous
+/// call); the prefix values are bit-identical to the corresponding
+/// [`build_highpass_band`] table row at every SIMD level.
+///
+/// The single-worker demodulator drives this row by row and consumes
+/// each prefix row's segment sums while it is still L1-resident — the
+/// full tables (`12` bytes/px of write traffic per capture) are never
+/// written.
+///
+/// # Panics
+/// Panics on inconsistent slice lengths or `y` outside the plane.
+pub fn highpass_row_into(
+    src: &QPlane,
+    rowsum: &[i32],
+    r: usize,
+    y: usize,
+    col: &mut [i32],
+    row_s: &mut [i32],
+    row_q: &mut [i64],
+) {
+    let (w, h) = src.shape();
+    assert!(y < h, "row outside the plane");
+    assert_eq!(rowsum.len(), w * h, "window sums must cover the plane");
+    assert!(
+        row_s.len() == w + 1 && row_q.len() == w + 1,
+        "prefix rows are w+1"
+    );
+    if r == 0 {
+        row_s.fill(0);
+        row_q.fill(0);
+        return;
+    }
+    assert_eq!(col.len(), w, "column sums must be primed for the row");
+    let area = ((2 * r + 1) * (2 * r + 1)) as i64;
+    let row = &src.row(y)[..w];
+    if area <= crate::simd::MAX_MEAN_AREA {
+        let level = crate::simd::active_level();
+        crate::simd::highpass_prefix_row(level, row, col, area, row_s, row_q);
+    } else {
+        row_s[0] = 0;
+        row_q[0] = 0;
+        let mut run_s = 0i32;
+        let mut run_q = 0i64;
+        for x in 0..w {
+            let mean = qplane::div_round(col[x] as i64, area);
+            let hp = row[x].saturating_sub(mean as i16);
+            run_s += hp as i32;
+            run_q += (hp as i64) * (hp as i64);
+            row_s[x + 1] = run_s;
+            row_q[x + 1] = run_q;
+        }
+    }
+    if y + 1 < h {
+        let enter = &rowsum[(y + 1 + r).min(h - 1) * w..(y + 1 + r).min(h - 1) * w + w];
+        let leave = &rowsum[y.saturating_sub(r) * w..y.saturating_sub(r) * w + w];
+        for ((c, &e), &l) in col.iter_mut().zip(enter).zip(leave) {
+            *c += e - l;
+        }
+    }
+}
+
+/// [`build_highpass_band`] continuation: assumes `col` already holds the
+/// vertical window sums centred on `rows.start` — exactly the state a
+/// previous call over `..rows.start` leaves behind (each call slides the
+/// window one past its last processed row). Strip-at-a-time drivers use
+/// this to extend the tables without re-priming the `2r+1`-row window per
+/// strip, which would otherwise cost an extra full pass over `rowsum`
+/// across a frame's strips.
+///
+/// # Panics
+/// Panics on inconsistent slice lengths.
+pub fn build_highpass_band_seeded(
+    dst_sum: &mut [i32],
+    dst_sq: &mut [i64],
+    src: &QPlane,
+    rowsum: &[i32],
+    r: usize,
+    rows: std::ops::Range<usize>,
+    col: &mut [i32],
 ) {
     let (w, h) = src.shape();
     let stride = w + 1;
@@ -377,53 +516,39 @@ pub fn build_highpass_band(
         dst_sq.fill(0);
         return;
     }
-    // Seed the vertical running sums for the band's first row: the
-    // replicate-border window `rows.start − r ..= rows.start + r`.
-    col.clear();
-    col.resize(w, 0);
-    for j in rows.start as isize - r as isize..=(rows.start + r) as isize {
-        let jy = j.clamp(0, h as isize - 1) as usize;
-        let src_row = &rowsum[jy * w..(jy + 1) * w];
-        for (c, &v) in col.iter_mut().zip(src_row) {
-            *c += v as i64;
-        }
-    }
+    assert_eq!(col.len(), w, "column sums must be primed for the band");
     let area = ((2 * r + 1) * (2 * r + 1)) as i64;
-    // Same round-up reciprocal as the sliding blur (see its exactness
-    // note); both share the `area ≤ 2896` guard.
-    let use_magic = area <= 2896;
-    let magic = (1u64 << 40) / (2 * area as u64) + 1;
+    // The fused mean/residual/prefix row is [`crate::simd`]'s hot
+    // kernel (same round-up reciprocal semantics as the sliding blur,
+    // same `area ≤ 2896` guard, bit-identical at every level); larger
+    // windows take the exact `div_round` fallback.
+    let use_kernel = area <= crate::simd::MAX_MEAN_AREA;
+    let level = crate::simd::active_level();
     for (i, y) in rows.clone().enumerate() {
         let row = &src.row(y)[..w];
         let sum_row = &mut dst_sum[i * stride..(i + 1) * stride];
         let sq_row = &mut dst_sq[i * stride..(i + 1) * stride];
-        sum_row[0] = 0;
-        sq_row[0] = 0;
-        let mut run_s = 0i32;
-        let mut run_q = 0i64;
-        for x in 0..w {
-            let n = col[x];
-            let mean = if use_magic {
-                let q = (((2 * n.unsigned_abs() + area as u64) * magic) >> 40) as i64;
-                if n < 0 {
-                    -q
-                } else {
-                    q
-                }
-            } else {
-                qplane::div_round(n, area)
-            };
-            let hp = row[x].saturating_sub(mean as i16);
-            run_s += hp as i32;
-            run_q += (hp as i64) * (hp as i64);
-            sum_row[x + 1] = run_s;
-            sq_row[x + 1] = run_q;
+        if use_kernel {
+            crate::simd::highpass_prefix_row(level, row, col, area, sum_row, sq_row);
+        } else {
+            sum_row[0] = 0;
+            sq_row[0] = 0;
+            let mut run_s = 0i32;
+            let mut run_q = 0i64;
+            for x in 0..w {
+                let mean = qplane::div_round(col[x] as i64, area);
+                let hp = row[x].saturating_sub(mean as i16);
+                run_s += hp as i32;
+                run_q += (hp as i64) * (hp as i64);
+                sum_row[x + 1] = run_s;
+                sq_row[x + 1] = run_q;
+            }
         }
         if y + 1 < h {
             let enter = &rowsum[(y + 1 + r).min(h - 1) * w..(y + 1 + r).min(h - 1) * w + w];
             let leave = &rowsum[y.saturating_sub(r) * w..y.saturating_sub(r) * w + w];
             for ((c, &e), &l) in col.iter_mut().zip(enter).zip(leave) {
-                *c += e as i64 - l as i64;
+                *c += e - l;
             }
         }
     }

@@ -22,9 +22,12 @@
 //! * [`pool`] — a fixed-geometry frame arena ([`FramePool`]) whose
 //!   checkout/return handles give the streaming pipeline zero steady-state
 //!   heap allocations.
-//! * [`qplane`] — Q8.7 fixed-point planes and the autovectorizable O(1)
-//!   sliding-window blur behind the quantized kernel backend; [`integral`]
-//!   adds the paired integer summed-area tables it scores Blocks with.
+//! * [`qplane`] — Q8.7 fixed-point planes and the O(1) sliding-window
+//!   blur behind the quantized kernel backend; [`integral`] adds the
+//!   paired integer summed-area tables it scores Blocks with.
+//! * [`simd`] — explicit SSE2/AVX2 paths for the quantized hot kernels
+//!   with one-time runtime dispatch (`INFRAME_SIMD` override), each
+//!   bit-identical to the scalar oracle.
 //! * [`draw`] — rectangle/checkerboard/gradient drawing helpers used by the
 //!   synthetic video generators.
 //! * [`io`] — binary PGM/PPM reading and writing so examples can emit
@@ -36,7 +39,10 @@
 //!
 //! [HotNets 2014]: https://doi.org/10.1145/2670518.2673862
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one module holding the SIMD intrinsic
+// bodies — [`simd`], which confines every `unsafe` in the workspace
+// behind safe, bounds-checked dispatchers — can opt back in locally.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arith;
@@ -53,6 +59,7 @@ pub mod pool;
 pub mod qplane;
 pub mod resample;
 pub mod rgb;
+pub mod simd;
 
 pub use error::FrameError;
 pub use plane::Plane;

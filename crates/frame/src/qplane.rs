@@ -87,12 +87,13 @@ impl QPlane {
     }
 
     /// Re-quantizes `src` into this plane, reshaping if needed. Steady
-    /// state (same shape every call) never reallocates.
+    /// state (same shape every call) never reallocates. Dispatches to
+    /// the active [`crate::simd`] level (bit-identical at every level).
     pub fn quantize_from(&mut self, src: &Plane<f32>) {
         self.width = src.width();
         self.height = src.height();
-        self.data.clear();
-        self.data.extend(src.samples().iter().map(|&v| quantize(v)));
+        self.data.resize(src.samples().len(), 0);
+        crate::simd::quantize_slice(crate::simd::active_level(), src.samples(), &mut self.data);
     }
 
     /// Dequantizes into a new f32 plane.
@@ -180,8 +181,13 @@ pub fn saturating_sub_into(a: &QPlane, b: &QPlane, out: &mut QPlane) {
 pub struct QBlurScratch {
     /// Horizontal pass output: window sums of width `2r+1`, row-major.
     pub(crate) rowsum: Vec<i32>,
-    /// Vertical running accumulators, one per column.
-    pub(crate) col: Vec<i64>,
+    /// Vertical running accumulators, one per column (`i32` — see
+    /// [`init_column_sums`] for the overflow bound).
+    pub(crate) col: Vec<i32>,
+    /// Staging row for the fused high-pass prefix sums (`w + 1` i32).
+    pub(crate) row_s: Vec<i32>,
+    /// Staging row for the squared prefix sums (`w + 1` i64).
+    pub(crate) row_q: Vec<i64>,
 }
 
 /// Rounded division for the window mean: nearest integer, ties away from
@@ -225,8 +231,9 @@ pub fn sliding_box_blur_into(src: &QPlane, r: usize, scratch: &mut QBlurScratch,
         return;
     }
     horizontal_window_sums(src, r, &mut scratch.rowsum);
-    // Pass 2: vertical running sums over the horizontal sums (i64 so even
-    // extreme radii cannot overflow), one row of output per step.
+    // Pass 2: vertical running sums over the horizontal sums (i32 — the
+    // radius bound asserted by `init_column_sums` keeps them exact), one
+    // row of output per step.
     let area = ((2 * r + 1) * (2 * r + 1)) as i64;
     init_column_sums(&scratch.rowsum, w, h, r, &mut scratch.col);
     let rowsum = &scratch.rowsum;
@@ -239,26 +246,25 @@ pub fn sliding_box_blur_into(src: &QPlane, r: usize, scratch: &mut QBlurScratch,
     // `div_round(|n|, area)` — exactly, for every |n| ≤ area·i16::MAX,
     // provided area ≤ 2896 (Granlund–Montgomery round-up method: the
     // numerator bound area·65535 stays below 2⁴⁰/(2·area)). Exactness is
-    // pinned against `div_round` by unit and property tests below.
-    let use_magic = area <= 2896;
-    let magic = (1u64 << 40) / (2 * area as u64) + 1;
+    // pinned against `div_round` by unit and property tests below. The
+    // division itself lives in [`crate::simd::blur_mean_row`], which
+    // runs the same arithmetic at the active SIMD level.
+    let use_magic = area <= crate::simd::MAX_MEAN_AREA;
+    let level = crate::simd::active_level();
     for y in 0..h {
         let dst = &mut out.samples_mut()[y * w..(y + 1) * w];
         if use_magic {
-            for (o, &n) in dst.iter_mut().zip(col.iter()) {
-                let q = (((2 * n.unsigned_abs() + area as u64) * magic) >> 40) as i64;
-                *o = (if n < 0 { -q } else { q }) as i16;
-            }
+            crate::simd::blur_mean_row(level, col, area, dst);
         } else {
             for (o, &n) in dst.iter_mut().zip(col.iter()) {
-                *o = div_round(n, area) as i16;
+                *o = div_round(n as i64, area) as i16;
             }
         }
         if y + 1 < h {
             let enter = &rowsum[(y + 1 + r).min(h - 1) * w..(y + 1 + r).min(h - 1) * w + w];
             let leave = &rowsum[y.saturating_sub(r) * w..y.saturating_sub(r) * w + w];
             for ((c, &e), &l) in col.iter_mut().zip(enter).zip(leave) {
-                *c += e as i64 - l as i64;
+                *c += e - l;
             }
         }
     }
@@ -283,18 +289,9 @@ pub fn horizontal_window_sums_band(band: &[i16], w: usize, r: usize, out: &mut [
         "band must hold whole rows"
     );
     assert_eq!(band.len(), out.len(), "output must match the band");
+    let level = crate::simd::active_level();
     for (row, dst) in band.chunks_exact(w).zip(out.chunks_exact_mut(w)) {
-        let mut sum: i32 = (r as i32 + 1) * row[0] as i32;
-        for i in 1..=r {
-            sum += row[i.min(w - 1)] as i32;
-        }
-        dst[0] = sum;
-        for x in 1..w {
-            let entering = row[(x + r).min(w - 1)] as i32;
-            let leaving = row[(x - 1).saturating_sub(r)] as i32;
-            sum += entering - leaving;
-            dst[x] = sum;
-        }
+        crate::simd::window_sums_row(level, row, r, dst);
     }
 }
 
@@ -309,13 +306,19 @@ pub(crate) fn horizontal_window_sums(src: &QPlane, r: usize, rowsum: &mut Vec<i3
 
 /// Seeds the vertical running accumulators for output row 0: the
 /// replicate-border window sum of rows `-r..=r` per column.
-pub(crate) fn init_column_sums(rowsum: &[i32], w: usize, h: usize, r: usize, col: &mut Vec<i64>) {
+///
+/// The accumulators are `i32`: a column sum is at most
+/// `(2r+1)² · 32768`, which stays below `2³¹` for every `r ≤ 127` —
+/// asserted here so the bound is load-bearing, not folklore (practical
+/// smoothing radii are ≤ 26, the reciprocal-mean ceiling).
+pub(crate) fn init_column_sums(rowsum: &[i32], w: usize, h: usize, r: usize, col: &mut Vec<i32>) {
+    assert!(r <= 127, "radius beyond 127 would overflow i32 column sums");
     col.clear();
     col.resize(w, 0);
     for x in 0..w {
-        let mut s = (r as i64 + 1) * rowsum[x] as i64;
+        let mut s = (r as i32 + 1) * rowsum[x];
         for j in 1..=r {
-            s += rowsum[j.min(h - 1) * w + x] as i64;
+            s += rowsum[j.min(h - 1) * w + x];
         }
         col[x] = s;
     }

@@ -61,6 +61,22 @@ pub mod demux {
     pub const BAND_ROWS: &str = "core.demux.band_rows";
 }
 
+/// Per-stage kernel throughput (`core::sender` / `core::demux`).
+///
+/// Both histograms record **milli-nanoseconds per pixel** (ns/px ×
+/// 1000): at 1080p the hot kernels run at ~1–3 ns/px, below the
+/// resolution of an integer ns histogram. Divide by 1000 to read
+/// ns/px. Bench runs and live sessions record through the same
+/// instruments, so BENCH_kernels.json and telemetry snapshots are
+/// directly comparable.
+pub mod kern {
+    /// Histogram (milli-ns per pixel): sender render chain, per frame.
+    pub const RENDER_NS_PER_PX: &str = "kern.render.ns_per_px";
+    /// Histogram (milli-ns per pixel): receiver capture scoring, per
+    /// capture.
+    pub const DEMUX_NS_PER_PX: &str = "kern.demux.ns_per_px";
+}
+
 /// Phase-tracker instruments (`core::sync`).
 pub mod sync {
     /// Counter: state transitions.

@@ -25,6 +25,15 @@ impl FrameRate {
     }
 }
 
+/// Copies `src` into `out`, reallocating only on a shape change.
+fn copy_plane_into(src: &Plane<f32>, out: &mut Plane<f32>) {
+    if out.shape() == src.shape() {
+        out.samples_mut().copy_from_slice(src.samples());
+    } else {
+        *out = src.clone();
+    }
+}
+
 /// A pull-based stream of luma frames.
 ///
 /// Implementations must yield frames of a constant size; `next_frame`
@@ -38,6 +47,30 @@ pub trait VideoSource {
     fn frame_rate(&self) -> FrameRate;
     /// Produces the next frame, or `None` at end of stream.
     fn next_frame(&mut self) -> Option<Plane<f32>>;
+
+    /// Writes the next frame into `out` (resizing it on first use),
+    /// returning `false` at end of stream.
+    ///
+    /// This is the allocation-free twin of [`VideoSource::next_frame`]:
+    /// the sender holds one video plane for the life of the stream and
+    /// refills it in place at each video boundary, so steady-state
+    /// playback never churns full-frame buffers through the allocator
+    /// (at 4K a frame is ~33 MB — large enough that repeated
+    /// alloc/free round-trips through `mmap` and cost hundreds of
+    /// milliseconds on some hosts). The default forwards to
+    /// `next_frame` and copies; procedural sources override it to
+    /// synthesize directly into `out`.
+    fn next_frame_into(&mut self, out: &mut Plane<f32>) -> bool {
+        match self.next_frame() {
+            Some(f) => {
+                // The frame was freshly allocated anyway — move it in
+                // rather than paying a copy on top.
+                *out = f;
+                true
+            }
+            None => false,
+        }
+    }
 
     /// Collects up to `n` frames into a vector (fewer if the stream ends).
     fn take_frames(&mut self, n: usize) -> Vec<Plane<f32>>
@@ -67,6 +100,9 @@ impl<T: VideoSource + ?Sized> VideoSource for Box<T> {
     }
     fn next_frame(&mut self) -> Option<Plane<f32>> {
         (**self).next_frame()
+    }
+    fn next_frame_into(&mut self, out: &mut Plane<f32>) -> bool {
+        (**self).next_frame_into(out)
     }
 }
 
@@ -119,6 +155,16 @@ impl VideoSource for FrameList {
             self.pos += 1;
         }
         f
+    }
+    fn next_frame_into(&mut self, out: &mut Plane<f32>) -> bool {
+        match self.frames.get(self.pos) {
+            Some(f) => {
+                copy_plane_into(f, out);
+                self.pos += 1;
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -174,6 +220,24 @@ impl<S: VideoSource> VideoSource for RateConverter<S> {
         }
         Some(frame)
     }
+    fn next_frame_into(&mut self, out: &mut Plane<f32>) -> bool {
+        if let Some((frame, left)) = &mut self.pending {
+            copy_plane_into(frame, out);
+            if *left > 1 {
+                *left -= 1;
+            } else {
+                self.pending = None;
+            }
+            return true;
+        }
+        if !self.inner.next_frame_into(out) {
+            return false;
+        }
+        if self.factor > 1 {
+            self.pending = Some((out.clone(), self.factor - 1));
+        }
+        true
+    }
 }
 
 /// Loops an inner finite source forever (rewinding at end of stream).
@@ -222,6 +286,11 @@ impl VideoSource for Looped {
         self.pos = (self.pos + 1) % self.frames.len();
         Some(f)
     }
+    fn next_frame_into(&mut self, out: &mut Plane<f32>) -> bool {
+        copy_plane_into(&self.frames[self.pos], out);
+        self.pos = (self.pos + 1) % self.frames.len();
+        true
+    }
 }
 
 /// Truncates an inner source to at most `n` frames.
@@ -254,6 +323,13 @@ impl<S: VideoSource> VideoSource for Limited<S> {
         }
         self.left -= 1;
         self.inner.next_frame()
+    }
+    fn next_frame_into(&mut self, out: &mut Plane<f32>) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        self.left -= 1;
+        self.inner.next_frame_into(out)
     }
 }
 

@@ -9,6 +9,14 @@
 use crate::source::{FrameRate, VideoSource};
 use inframe_frame::{draw, Plane};
 
+/// Reshapes `out` to `w × h` if needed (procedural sources synthesize
+/// into the caller's buffer; the realloc happens at most once).
+fn ensure_shape(out: &mut Plane<f32>, w: usize, h: usize) {
+    if out.shape() != (w, h) {
+        *out = Plane::filled(w, h, 0.0);
+    }
+}
+
 /// A tiny deterministic value-noise field used for textures; seeded and
 /// dependency-free. Internal helper exposed for the stats tests.
 mod inframe_code_shim {
@@ -114,6 +122,11 @@ impl VideoSource for SolidClip {
     fn next_frame(&mut self) -> Option<Plane<f32>> {
         Some(Plane::filled(self.width, self.height, self.level))
     }
+    fn next_frame_into(&mut self, out: &mut Plane<f32>) -> bool {
+        ensure_shape(out, self.width, self.height);
+        out.samples_mut().fill(self.level);
+        true
+    }
 }
 
 /// Vertical bars scrolling horizontally — a high-texture, high-motion
@@ -168,18 +181,33 @@ impl VideoSource for MovingBarsClip {
         self.rate
     }
     fn next_frame(&mut self) -> Option<Plane<f32>> {
+        let mut frame = Plane::filled(self.width, self.height, 0.0);
+        self.next_frame_into(&mut frame);
+        Some(frame)
+    }
+    fn next_frame_into(&mut self, out: &mut Plane<f32>) -> bool {
+        ensure_shape(out, self.width, self.height);
         let offset = (self.t as f64 * self.speed_px_per_frame) as usize;
         let bw = self.bar_width;
         let (lo, hi) = (self.lo, self.hi);
-        let frame = Plane::from_fn(self.width, self.height, |x, _| {
-            if ((x + offset) / bw).is_multiple_of(2) {
+        // Bars are constant down each column: synthesize the top row once
+        // and replicate it, instead of a per-pixel division over the whole
+        // frame (the row copies are ~100× cheaper at 4K).
+        let w = self.width;
+        let samples = out.samples_mut();
+        for (x, v) in samples[..w].iter_mut().enumerate() {
+            *v = if ((x + offset) / bw).is_multiple_of(2) {
                 lo
             } else {
                 hi
-            }
-        });
+            };
+        }
+        let (first, rest) = samples.split_at_mut(w);
+        for row in rest.chunks_exact_mut(w) {
+            row.copy_from_slice(first);
+        }
         self.t += 1;
-        Some(frame)
+        true
     }
 }
 
@@ -238,6 +266,17 @@ impl VideoSource for BrightnessRampClip {
         let level = self.start + a * (self.end - self.start);
         self.t += 1;
         Some(Plane::filled(self.width, self.height, level))
+    }
+    fn next_frame_into(&mut self, out: &mut Plane<f32>) -> bool {
+        if self.t >= self.frames {
+            return false;
+        }
+        let a = self.t as f32 / (self.frames - 1) as f32;
+        let level = self.start + a * (self.end - self.start);
+        self.t += 1;
+        ensure_shape(out, self.width, self.height);
+        out.samples_mut().fill(level);
+        true
     }
 }
 

@@ -15,9 +15,10 @@
 //! atomics at construction time, so the steady-state hot paths must stay
 //! allocation-free even while counters and histograms are recording.
 //!
-//! The workspace crates `#![forbid(unsafe_code)]`; this integration test
-//! is its own crate root, and the `unsafe` below is confined to the
-//! allocator shim.
+//! The workspace crates `#![deny(unsafe_code)]` (with the intrinsic
+//! bodies of `inframe_frame::simd` as the single audited exception);
+//! this integration test is its own crate root, and the `unsafe` below
+//! is confined to the allocator shim.
 
 use inframe::core::config::KernelBackend;
 use inframe::core::dataframe::DataFrame;
@@ -27,6 +28,7 @@ use inframe::core::pattern::{self, Complementation};
 use inframe::core::sender::{PrbsPayload, Sender};
 use inframe::core::{DataLayout, InFrameConfig};
 use inframe::frame::geometry::Homography;
+use inframe::frame::simd;
 use inframe::frame::Plane;
 use inframe::obs::Telemetry;
 use inframe::video::synth::SolidClip;
@@ -160,10 +162,18 @@ fn render_steady_state_is_allocation_free(backend: KernelBackend, telemetry: &Te
 
 #[test]
 fn steady_state_hot_paths_allocate_nothing() {
-    for backend in [KernelBackend::Reference, KernelBackend::Quantized] {
-        for telemetry in [Telemetry::disabled(), Telemetry::new()] {
-            demux_steady_state_is_allocation_free(backend, &telemetry);
-            render_steady_state_is_allocation_free(backend, &telemetry);
+    // Every supported SIMD dispatch tier must preserve the guarantee —
+    // the vector kernels write through caller-provided buffers only.
+    // (The reference backend ignores the level; looping it anyway also
+    // proves the dispatch check itself stays off the allocator.)
+    for level in simd::SimdLevel::supported() {
+        simd::force_level(Some(level));
+        for backend in [KernelBackend::Reference, KernelBackend::Quantized] {
+            for telemetry in [Telemetry::disabled(), Telemetry::new()] {
+                demux_steady_state_is_allocation_free(backend, &telemetry);
+                render_steady_state_is_allocation_free(backend, &telemetry);
+            }
         }
     }
+    simd::force_level(None);
 }

@@ -15,6 +15,7 @@ use inframe::core::{DataLayout, InFrameConfig};
 use inframe::frame::geometry::Homography;
 use inframe::frame::qplane;
 use inframe::frame::resample::downsample_area;
+use inframe::frame::simd;
 use inframe::frame::Plane;
 use inframe::video::synth::MovingBarsClip;
 use inframe::video::FrameRate;
@@ -320,6 +321,94 @@ fn quantized_link_decodes_same_payload_as_reference_link() {
     for (r, q) in reference.iter().zip(&quantized) {
         assert_eq!(q.cycle, r.cycle);
         assert_eq!(q.payload, r.payload, "cycle {}", r.cycle);
+    }
+}
+
+/// Restores environment/CPU SIMD dispatch when a forced-level test exits
+/// (including on panic), so test order cannot leak a pinned level.
+struct SimdGuard;
+
+impl Drop for SimdGuard {
+    fn drop(&mut self) {
+        simd::force_level(None);
+    }
+}
+
+/// Tentpole acceptance: on every corpus case, every supported SIMD level
+/// (`INFRAME_SIMD=off|sse2|avx2` equivalents, skipping levels this CPU
+/// lacks) decodes the same bits and produces bit-identical raw scores as
+/// the scalar oracle — at multiple worker counts, so the vector kernels
+/// are also exercised across band boundaries.
+#[test]
+fn quantized_decode_identical_across_simd_levels() {
+    let _restore = SimdGuard;
+    let cfg = InFrameConfig::small_test();
+    for scenario in corpus(&cfg) {
+        simd::force_level(Some(simd::SimdLevel::Scalar));
+        let (oracle, oracle_scores) = run_backend(&cfg, KernelBackend::Quantized, 1, &scenario);
+        for level in simd::SimdLevel::supported() {
+            simd::force_level(Some(level));
+            for workers in [1usize, 3] {
+                let (decoded, scores) =
+                    run_backend(&cfg, KernelBackend::Quantized, workers, &scenario);
+                assert_eq!(
+                    decoded,
+                    oracle,
+                    "{} decode differs at {} × {workers} workers",
+                    scenario.name,
+                    level.name()
+                );
+                assert_eq!(
+                    scores,
+                    oracle_scores,
+                    "{} scores differ at {} × {workers} workers",
+                    scenario.name,
+                    level.name()
+                );
+            }
+        }
+    }
+}
+
+/// The quantized sender renders bit-identical display frames at every
+/// supported SIMD level (the LUT-apply kernel is part of the oracle
+/// contract, not just the demux side).
+#[test]
+fn quantized_sender_bit_identical_across_simd_levels() {
+    let _restore = SimdGuard;
+    let cfg = InFrameConfig {
+        kernel: KernelBackend::Quantized,
+        ..InFrameConfig::small_test()
+    };
+    let frames = 2 * cfg.tau as usize + 3;
+    simd::force_level(Some(simd::SimdLevel::Scalar));
+    let mut oracle = Sender::with_engine(
+        cfg,
+        bars(&cfg),
+        PrbsPayload::new(9),
+        Arc::new(ParallelEngine::new(1)),
+    );
+    let oracle_frames: Vec<_> = (0..frames)
+        .map(|_| oracle.next_frame().expect("endless clip"))
+        .collect();
+    for level in simd::SimdLevel::supported() {
+        simd::force_level(Some(level));
+        let mut sender = Sender::with_engine(
+            cfg,
+            bars(&cfg),
+            PrbsPayload::new(9),
+            Arc::new(ParallelEngine::new(1)),
+        );
+        for (i, want) in oracle_frames.iter().enumerate() {
+            let got = sender.next_frame().expect("endless clip");
+            assert_eq!(got.slot, want.slot);
+            assert_eq!(
+                got.plane.samples(),
+                want.plane.samples(),
+                "frame {i} differs at {}",
+                level.name()
+            );
+        }
     }
 }
 
