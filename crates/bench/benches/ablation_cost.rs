@@ -53,7 +53,7 @@ fn bench_receiver(c: &mut Criterion) {
         let geometry = CaptureGeometry::Fronto;
         let registration =
             geometry.display_to_sensor(cfg.display_w, cfg.display_h, cam.width, cam.height);
-        let demux = Demultiplexer::new(cfg, &registration, cam.width, cam.height);
+        let mut demux = Demultiplexer::new(cfg, &registration, cam.width, cam.height);
         let capture = Plane::from_fn(cam.width, cam.height, |x, y| {
             127.0 + if (x / 3 + y / 3) % 2 == 0 { 8.0 } else { -8.0 }
         });

@@ -1,0 +1,376 @@
+//! Fleet scaling: the batched demux path against the looping
+//! single-receiver baseline, plus the per-core receiver capacity of the
+//! vectorized fleet and a Quick-scale population run.
+//!
+//! ```sh
+//! cargo bench -p inframe-bench --bench fleet
+//! ```
+//!
+//! Three measurements, all written to `BENCH_fleet.json` at the
+//! repository root:
+//!
+//! 1. **Batched vs sequential** — score one 1080p quantized capture for
+//!    N = 1024 receivers through [`BatchScorer`] (shared sweeps + class
+//!    folds + assignment fan-out) against the naive fleet that
+//!    materializes each receiver's perturbed capture and runs its own
+//!    [`Demultiplexer`]. The sequential side is measured at N = 16 and
+//!    extrapolated linearly (it is embarrassingly per-receiver); the
+//!    acceptance floor is a ×20 speedup.
+//! 2. **Per-core capacity** — one full fleet cycle (scored captures,
+//!    fan-out merges, per-receiver verdict extraction) at N = 8192 on a
+//!    single worker, expressed as receivers per core per real-time
+//!    cycle. The acceptance floor is 5 000.
+//! 3. **Population run** — a Quick-scale 512-receiver fleet through the
+//!    real sender → display → camera → session chain, reporting the
+//!    completion CDF, availability percentiles, and decode-ε tails.
+
+use inframe_core::batch::{BatchScorer, ScoreClass, SKIP, UNREADABLE};
+use inframe_core::config::KernelBackend;
+use inframe_core::demux::{Demultiplexer, RegionCache};
+use inframe_core::parallel::ParallelEngine;
+use inframe_core::InFrameConfig;
+use inframe_frame::geometry::Homography;
+use inframe_frame::perturb::{materialized, CaptureTransform, OcclusionRect};
+use inframe_frame::Plane;
+use inframe_obs::Telemetry;
+use inframe_sim::fleet::{run_fleet_with_telemetry, FleetConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A fleet-realistic photometric population at 1080p: the AE ladder
+/// (five settle points), white-balance shifts (alias the identity sweep),
+/// and one occluded cohort.
+fn population(sensor_w: usize, sensor_h: usize) -> (Vec<CaptureTransform>, Vec<ScoreClass>) {
+    let mut transforms = Vec::new();
+    for k in -2i32..=2 {
+        let gain_q12 = inframe_camera::perturb::ae_gain_q12(256, k);
+        for awb_raw in [-32i16, 0, 32] {
+            transforms.push(CaptureTransform {
+                gain_q12,
+                awb_raw,
+                occlusion: None,
+            });
+        }
+    }
+    transforms.push(CaptureTransform {
+        occlusion: Some(OcclusionRect {
+            x0: sensor_w / 4,
+            y0: sensor_h / 4,
+            w: sensor_w / 3,
+            h: sensor_h / 3,
+            level_raw: 128 * 128,
+        }),
+        ..CaptureTransform::IDENTITY
+    });
+    let mut classes: Vec<ScoreClass> = (0..transforms.len() as u32)
+        .map(ScoreClass::clean)
+        .collect();
+    // Two noised cohorts on the identity sweep (σ = 0.25 and 0.5 code
+    // values) — folds, not sweeps, so they are nearly free.
+    let identity = transforms
+        .iter()
+        .position(|t| *t == CaptureTransform::IDENTITY)
+        .expect("ladder contains the identity") as u32;
+    for sigma in [0.25, 0.5] {
+        classes.push(ScoreClass {
+            transform: identity,
+            noise_raw_sq: ScoreClass::noise_raw_sq_from_sigma(sigma),
+        });
+    }
+    (transforms, classes)
+}
+
+fn capture(sensor_w: usize, sensor_h: usize) -> Plane<f32> {
+    Plane::from_fn(sensor_w, sensor_h, |x, y| {
+        127.0 + if (x / 3 + y / 3) % 2 == 0 { 8.0 } else { -8.0 }
+    })
+}
+
+struct SpeedupSample {
+    n: usize,
+    n_ref: usize,
+    distinct_transforms: usize,
+    distinct_classes: usize,
+    batched_ms_per_capture: f64,
+    sequential_ms_per_capture_per_receiver: f64,
+    speedup: f64,
+}
+
+/// Measurement 1: batched fan-out vs looping single-receiver demux on
+/// one core, 1080p quantized.
+fn measure_speedup(
+    cfg: InFrameConfig,
+    cache: &Arc<RegionCache>,
+    sw: usize,
+    sh: usize,
+) -> SpeedupSample {
+    let n = 1024usize;
+    let n_ref = 16usize;
+    let rounds = 4u32;
+    let (transforms, classes) = population(sw, sh);
+    let engine = Arc::new(ParallelEngine::new(1));
+    let cap = capture(sw, sh);
+
+    // Batched side: one scorer, N receivers fanned over the class set.
+    let mut scorer = BatchScorer::new(cfg, Arc::clone(cache), Arc::clone(&engine));
+    let nb = scorer.num_blocks();
+    let assign: Vec<u32> = (0..n).map(|r| (r % classes.len()) as u32).collect();
+    let mut best = vec![UNREADABLE; n * nb];
+    scorer.score_classes(&cap, &transforms, &classes);
+    scorer.merge_assigned(&assign, &mut best);
+    let t = Instant::now();
+    for _ in 0..rounds {
+        scorer.score_classes(&cap, &transforms, &classes);
+        scorer.merge_assigned(&assign, &mut best);
+    }
+    let batched_ms = t.elapsed().as_secs_f64() * 1e3 / rounds as f64;
+
+    // Sequential baseline: each receiver owns a streaming demultiplexer
+    // and scores its own (pre-materialized — generous to the baseline)
+    // perturbed capture. Embarrassingly per-receiver, so N_ref receivers
+    // extrapolate linearly to N.
+    let planes: Vec<Plane<f32>> = (0..n_ref)
+        .map(|r| {
+            let class = &classes[r % classes.len()];
+            materialized(&cap, &transforms[class.transform as usize])
+        })
+        .collect();
+    let mut demuxes: Vec<Demultiplexer> = (0..n_ref)
+        .map(|_| Demultiplexer::with_cache(cfg, Arc::clone(cache), Arc::clone(&engine)))
+        .collect();
+    let d = demuxes[0].cycle_duration();
+    for (demux, plane) in demuxes.iter_mut().zip(&planes) {
+        demux.push_capture(plane, 0.01);
+    }
+    let t = Instant::now();
+    for i in 1..=rounds as u64 {
+        for (demux, plane) in demuxes.iter_mut().zip(&planes) {
+            demux.push_capture(plane, i as f64 * d + 0.01);
+        }
+    }
+    let seq_ms_per_rx = t.elapsed().as_secs_f64() * 1e3 / (rounds as usize * n_ref) as f64;
+
+    SpeedupSample {
+        n,
+        n_ref,
+        distinct_transforms: transforms.len(),
+        distinct_classes: classes.len(),
+        batched_ms_per_capture: batched_ms,
+        sequential_ms_per_capture_per_receiver: seq_ms_per_rx,
+        speedup: seq_ms_per_rx * n as f64 / batched_ms,
+    }
+}
+
+struct CapacitySample {
+    n: usize,
+    captures_per_cycle: u32,
+    cycle_s: f64,
+    work_ms_per_cycle: f64,
+    receivers_per_core_per_cycle: f64,
+}
+
+/// Measurement 2: one full fleet cycle of batched work at N = 8192 on a
+/// single worker — scored captures, fan-out merges, and per-receiver
+/// verdict extraction — against the real-time cycle duration.
+fn measure_capacity(
+    cfg: InFrameConfig,
+    cache: &Arc<RegionCache>,
+    sw: usize,
+    sh: usize,
+) -> CapacitySample {
+    let n = 8192usize;
+    // At the paper's 30 FPS camera over 0.1 s cycles, three captures land
+    // per cycle and the stable-half phase gate scores two of them.
+    let captures_per_cycle = 2u32;
+    let rounds = 3u32;
+    let (transforms, classes) = population(sw, sh);
+    let engine = Arc::new(ParallelEngine::new(1));
+    let cap = capture(sw, sh);
+    let mut scorer = BatchScorer::new(cfg, Arc::clone(cache), Arc::clone(&engine));
+    let nb = scorer.num_blocks();
+    let assign: Vec<u32> = (0..n)
+        .map(|r| {
+            if r % 16 == 7 {
+                SKIP // dropped capture
+            } else {
+                (r % classes.len()) as u32
+            }
+        })
+        .collect();
+    let mut best = vec![UNREADABLE; n * nb];
+    let mut row = Vec::with_capacity(nb);
+    // Warm-up one full cycle.
+    scorer.score_classes(&cap, &transforms, &classes);
+    scorer.merge_assigned(&assign, &mut best);
+    scorer.verdicts_into(&best[..nb], &mut row);
+    let t = Instant::now();
+    for _ in 0..rounds {
+        for _ in 0..captures_per_cycle {
+            scorer.score_classes(&cap, &transforms, &classes);
+            scorer.merge_assigned(&assign, &mut best);
+        }
+        for r in 0..n {
+            scorer.verdicts_into(&best[r * nb..(r + 1) * nb], &mut row);
+        }
+        best.fill(UNREADABLE);
+    }
+    let work_s = t.elapsed().as_secs_f64() / rounds as f64;
+    let cycle_s = cfg.tau as f64 / cfg.refresh_hz;
+    CapacitySample {
+        n,
+        captures_per_cycle,
+        cycle_s,
+        work_ms_per_cycle: work_s * 1e3,
+        receivers_per_core_per_cycle: n as f64 * cycle_s / work_s,
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("fleet scaling — {cores} core(s) available");
+    println!();
+
+    // 1080p quantized, the paper's 2/3 sensor registration (the same
+    // operating point BENCH_pipeline's demux stage measures).
+    let base = InFrameConfig::paper();
+    let cfg = InFrameConfig {
+        kernel: KernelBackend::Quantized,
+        ..base
+    };
+    let (sw, sh) = (base.display_w * 2 / 3, base.display_h * 2 / 3);
+    let reg = Homography::scale(
+        sw as f64 / base.display_w as f64,
+        sh as f64 / base.display_h as f64,
+    );
+    let cache = RegionCache::build(&cfg, &reg, sw, sh);
+
+    let s = measure_speedup(cfg, &cache, sw, sh);
+    println!(
+        "batched  1080p quantized: {:7.2} ms/capture for N={} ({} transforms, {} classes)",
+        s.batched_ms_per_capture, s.n, s.distinct_transforms, s.distinct_classes
+    );
+    println!(
+        "looping  1080p quantized: {:7.3} ms/capture/receiver (measured at N={})",
+        s.sequential_ms_per_capture_per_receiver, s.n_ref
+    );
+    println!("speedup at N={}: ×{:.1}", s.n, s.speedup);
+    assert!(
+        s.speedup >= 20.0,
+        "batched path must beat the looping baseline ×20 at N={}, got ×{:.1}",
+        s.n,
+        s.speedup
+    );
+
+    let c = measure_capacity(cfg, &cache, sw, sh);
+    println!(
+        "capacity 1080p quantized: {:7.2} ms/cycle of fleet work at N={} \
+         ({} scored captures + verdicts) → {:.0} receivers/core/cycle",
+        c.work_ms_per_cycle, c.n, c.captures_per_cycle, c.receivers_per_core_per_cycle
+    );
+    assert!(
+        c.receivers_per_core_per_cycle >= 5000.0,
+        "fleet capacity must reach 5000 receivers/core/cycle, got {:.0}",
+        c.receivers_per_core_per_cycle
+    );
+    println!();
+
+    // Population run: Quick scale, 512 heterogeneous receivers.
+    let fleet_cfg = FleetConfig::quick(512, 16, 7);
+    let tele = Telemetry::new();
+    let t = Instant::now();
+    let report = run_fleet_with_telemetry(&fleet_cfg, &tele);
+    let fleet_s = t.elapsed().as_secs_f64();
+    let cdf_cycles = [2u64, 4, 8, 12, 16];
+    println!(
+        "fleet    quick: {} receivers, {} cycles, {} bins → {} completed in {:.2} s \
+         ({} classes, {} captures scored, {} drops)",
+        report.receivers,
+        report.cycles,
+        report.phase_bins,
+        report.completed,
+        fleet_s,
+        report.distinct_classes,
+        report.captures_scored,
+        report.dropped
+    );
+    for &cyc in &cdf_cycles {
+        println!(
+            "  completion CDF @ {cyc:2} cycles: {:.3}",
+            report.completion_cdf(cyc)
+        );
+    }
+    println!(
+        "  availability p10/p50/p90: {:.3} / {:.3} / {:.3}",
+        report.availability_percentile(0.1),
+        report.availability_percentile(0.5),
+        report.availability_percentile(0.9)
+    );
+    println!(
+        "  decode ε (milli) p50/p90/p99: {} / {} / {}",
+        report.eps_p50_milli, report.eps_p90_milli, report.eps_p99_milli
+    );
+
+    let cdf_json = cdf_cycles
+        .iter()
+        .map(|&cyc| {
+            format!(
+                "{{\"cycles\": {cyc}, \"fraction\": {:.4}}}",
+                report.completion_cdf(cyc)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let completion_p = |q: f64| {
+        report
+            .completion_percentile(q)
+            .map_or("null".to_string(), |v| v.to_string())
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"fleet\",\n  \"machine_cores\": {cores},\n  \
+         \"speedup\": {{\"scale\": \"1080p\", \"backend\": \"quantized\", \"n\": {}, \"n_ref\": {}, \
+         \"distinct_transforms\": {}, \"distinct_classes\": {}, \
+         \"batched_ms_per_capture\": {:.3}, \"sequential_ms_per_capture_per_receiver\": {:.4}, \
+         \"speedup\": {:.1}}},\n  \
+         \"capacity\": {{\"n\": {}, \"captures_per_cycle\": {}, \"cycle_s\": {:.3}, \
+         \"work_ms_per_cycle\": {:.2}, \"receivers_per_core_per_cycle\": {:.0}}},\n  \
+         \"fleet\": {{\"receivers\": {}, \"cycles\": {}, \"phase_bins\": {}, \
+         \"distinct_classes\": {}, \"captures_scored\": {}, \"dropped\": {}, \
+         \"completed\": {}, \"wall_s\": {:.2},\n    \
+         \"completion_cdf\": [{cdf_json}],\n    \
+         \"completion_cycles_p50\": {}, \"completion_cycles_p90\": {},\n    \
+         \"availability_p10\": {:.4}, \"availability_p50\": {:.4}, \"availability_p90\": {:.4},\n    \
+         \"eps_p50_milli\": {}, \"eps_p90_milli\": {}, \"eps_p99_milli\": {}}}\n}}\n",
+        s.n,
+        s.n_ref,
+        s.distinct_transforms,
+        s.distinct_classes,
+        s.batched_ms_per_capture,
+        s.sequential_ms_per_capture_per_receiver,
+        s.speedup,
+        c.n,
+        c.captures_per_cycle,
+        c.cycle_s,
+        c.work_ms_per_cycle,
+        c.receivers_per_core_per_cycle,
+        report.receivers,
+        report.cycles,
+        report.phase_bins,
+        report.distinct_classes,
+        report.captures_scored,
+        report.dropped,
+        report.completed,
+        fleet_s,
+        completion_p(0.5),
+        completion_p(0.9),
+        report.availability_percentile(0.1),
+        report.availability_percentile(0.5),
+        report.availability_percentile(0.9),
+        report.eps_p50_milli,
+        report.eps_p90_milli,
+        report.eps_p99_milli,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::write(path, &json).expect("write bench json");
+    println!();
+    println!("wrote {path}");
+}

@@ -33,6 +33,7 @@ pub mod config;
 pub mod geometry;
 pub mod isp;
 pub mod noise;
+pub mod perturb;
 pub mod tap;
 
 pub use autoexposure::AutoExposure;

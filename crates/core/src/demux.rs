@@ -26,8 +26,8 @@ use crate::parallel::ParallelEngine;
 use inframe_code::parity::GobStats;
 use inframe_frame::geometry::Homography;
 use inframe_frame::integral::{
-    box_blur_fast, box_blur_fast_into, build_highpass_band, highpass_row_into,
-    prime_highpass_columns, BlurScratch, QRowPrefix,
+    box_blur_fast_into, build_highpass_band, highpass_row_into, prime_highpass_columns,
+    BlurScratch, QRowPrefix,
 };
 use inframe_frame::qplane::{self, horizontal_window_sums_band, QPlane};
 use inframe_frame::simd;
@@ -63,7 +63,7 @@ impl BlockScore {
 
     /// Keeps the more confident of `self` and `other` (readable beats
     /// unreadable; higher score beats lower).
-    fn merge_max(&mut self, other: BlockScore) {
+    pub(crate) fn merge_max(&mut self, other: BlockScore) {
         match (*self, other) {
             (_, BlockScore::Unreadable) => {}
             (BlockScore::Unreadable, s) => *self = s,
@@ -97,15 +97,17 @@ impl DecodedDataFrame {
 }
 
 /// Per-Block sensor-space region plus its demodulation template.
+/// `pub(crate)` so the batched scorer (`crate::batch`) can replay the
+/// same regions against shared sweeps.
 #[derive(Debug, Clone)]
-struct BlockRegion {
-    x: usize,
-    y: usize,
+pub(crate) struct BlockRegion {
+    pub(crate) x: usize,
+    pub(crate) y: usize,
     /// The ±1 chessboard template over the region (0 where the sensor
     /// pixel maps outside the Block). Reference-backend representation.
-    template: Plane<f32>,
+    pub(crate) template: Plane<f32>,
     /// Run-length compressed template for the quantized backend.
-    qt: QTemplate,
+    pub(crate) qt: QTemplate,
 }
 
 /// Run-length compressed chessboard template: per row, the signed runs of
@@ -117,7 +119,7 @@ struct BlockRegion {
 /// column stripe) and `Σ hp²` as one segment sum per merged span —
 /// instead of re-walking every sensor pixel of every Block per capture.
 #[derive(Debug, Clone, Default)]
-struct QTemplate {
+pub(crate) struct QTemplate {
     /// Per template row: half-open index range into `runs`.
     row_runs: Vec<(u32, u32)>,
     /// Per template row: half-open index range into `spans`.
@@ -129,7 +131,7 @@ struct QTemplate {
     /// Rows per demodulation slice (`(h/4).max(2)`, as in [`demodulate`]).
     slice_h: usize,
     /// Static weight (`Σ |t|`) per slice.
-    slice_weights: Vec<f64>,
+    pub(crate) slice_weights: Vec<f64>,
     /// Flattened absolute [`QRowPrefix`] table indices, one `(lo, hi)`
     /// pair per run, grouped by slice — the gather-friendly layout
     /// [`inframe_frame::simd::signed_segment_sum_i32`] consumes. Built
@@ -244,9 +246,9 @@ fn build_qtemplate(template: &Plane<f32>) -> QTemplate {
 /// over the same setup).
 #[derive(Debug)]
 pub struct RegionCache {
-    regions: Vec<BlockRegion>,
+    pub(crate) regions: Vec<BlockRegion>,
     /// Row-major scoring program for the single-worker direct sweep.
-    program: RowProgram,
+    pub(crate) program: RowProgram,
     /// Smoothing radius for the high-pass prefilter, sensor pixels.
     smooth_radius: usize,
     sensor_w: usize,
@@ -266,21 +268,21 @@ pub struct RegionCache {
 /// addition over the same exact segment sums is associative, so the
 /// resulting slice sums — and the scores — are bit-identical.
 #[derive(Debug, Default)]
-struct RowProgram {
+pub(crate) struct RowProgram {
     /// Per sensor row `0..rows_used`: half-open ranges `(runs, spans)`
     /// into the flattened arrays below.
-    rows: Vec<(u32, u32, u32, u32)>,
+    pub(crate) rows: Vec<(u32, u32, u32, u32)>,
     /// `(x0, x1, tag)` — absolute half-open sensor columns of a signed
     /// template run; `tag` is the accumulator index with the run's sign
     /// in the top bit (set = negative).
-    runs: Vec<(u32, u32, u32)>,
+    pub(crate) runs: Vec<(u32, u32, u32)>,
     /// `(x0, x1, acc)` — absolute columns of an energy span.
-    spans: Vec<(u32, u32, u32)>,
+    pub(crate) spans: Vec<(u32, u32, u32)>,
     /// Per region: first accumulator slot (a region's slices are
     /// contiguous).
-    slice_base: Vec<u32>,
+    pub(crate) slice_base: Vec<u32>,
     /// Accumulator slots across all regions (`Σ slices`).
-    total_slices: usize,
+    pub(crate) total_slices: usize,
 }
 
 impl RowProgram {
@@ -707,29 +709,18 @@ impl Demultiplexer {
                     // different (row-major) order, so the scores stay
                     // bit-identical to the table path.
                     let mut col = q.cols[0].lock().expect("col scratch lock");
-                    prime_highpass_columns(&q.rowsum, w, h, r, 0, &mut col);
-                    q.acc_s.fill(0);
-                    q.acc_q.fill(0);
                     let prog = &self.cache.program;
-                    for (y, &(r0, r1, s0, s1)) in prog.rows.iter().enumerate() {
-                        highpass_row_into(
-                            &q.capture,
-                            &q.rowsum,
-                            r,
-                            y,
-                            &mut col,
-                            &mut q.row_s,
-                            &mut q.row_q,
-                        );
-                        for &(x0, x1, tag) in &prog.runs[r0 as usize..r1 as usize] {
-                            let s = (q.row_s[x1 as usize] - q.row_s[x0 as usize]) as i64;
-                            let i = (tag & 0x7FFF_FFFF) as usize;
-                            q.acc_s[i] += if tag >> 31 != 0 { -s } else { s };
-                        }
-                        for &(x0, x1, acc) in &prog.spans[s0 as usize..s1 as usize] {
-                            q.acc_q[acc as usize] += q.row_q[x1 as usize] - q.row_q[x0 as usize];
-                        }
-                    }
+                    direct_sweep(
+                        prog,
+                        &q.capture,
+                        &q.rowsum,
+                        r,
+                        &mut col,
+                        &mut q.row_s,
+                        &mut q.row_q,
+                        &mut q.acc_s,
+                        &mut q.acc_q,
+                    );
                     self.obs.band_rows.add(0, prog.rows.len() as u64);
                     for (ri, region) in self.cache.regions.iter().enumerate() {
                         let base = prog.slice_base[ri] as usize;
@@ -851,13 +842,68 @@ impl Demultiplexer {
     /// Raw per-Block scores of a single capture — exposed for calibration
     /// and the threshold ablation. Always runs the reference kernels (it
     /// is the oracle); Blocks with no usable sensor pixels report `0.0`.
-    pub fn score_capture(&self, capture: &Plane<f32>) -> Vec<f32> {
-        let smoothed = box_blur_fast(capture, self.cache.smooth_radius);
-        self.cache
-            .regions
-            .iter()
-            .map(|r| demodulate(capture, &smoothed, r).value().unwrap_or(0.0))
-            .collect()
+    /// Thin allocating wrapper over [`Demultiplexer::score_capture_into`].
+    pub fn score_capture(&mut self, capture: &Plane<f32>) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.cache.regions.len());
+        self.score_capture_into(capture, &mut out);
+        out
+    }
+
+    /// [`Demultiplexer::score_capture`] writing into a caller-provided
+    /// scratch vector (cleared first) and reusing the receiver's blur
+    /// buffers — allocation-free once `out`'s capacity covers the Block
+    /// count, which is what lets the session layer score acquisition
+    /// probes at the streaming rate.
+    pub fn score_capture_into(&mut self, capture: &Plane<f32>, out: &mut Vec<f32>) {
+        box_blur_fast_into(
+            capture,
+            self.cache.smooth_radius,
+            &mut self.scratch,
+            &mut self.smoothed,
+        );
+        out.clear();
+        out.extend(self.cache.regions.iter().map(|r| {
+            demodulate(capture, &self.smoothed, r)
+                .value()
+                .unwrap_or(0.0)
+        }));
+    }
+}
+
+/// One full direct row sweep: computes each fused high-pass prefix row
+/// into L1-resident scratch and folds the row program's segments into
+/// the per-`(region, slice)` accumulators. Shared verbatim by the
+/// single-worker streaming path and the batched scorer
+/// (`crate::batch`), which replays it once per distinct photometric
+/// variant — keeping the two bit-identical by construction.
+#[allow(clippy::too_many_arguments)] // scratch-threading seam; all slices
+pub(crate) fn direct_sweep(
+    prog: &RowProgram,
+    qcap: &QPlane,
+    rowsum: &[i32],
+    r: usize,
+    col: &mut Vec<i32>,
+    row_s: &mut [i32],
+    row_q: &mut [i64],
+    acc_s: &mut [i64],
+    acc_q: &mut [i64],
+) {
+    let (w, h) = qcap.shape();
+    prime_highpass_columns(rowsum, w, h, r, 0, col);
+    acc_s.fill(0);
+    acc_q.fill(0);
+    let level = simd::active_level();
+    for (y, &(r0, r1, s0, s1)) in prog.rows.iter().enumerate() {
+        highpass_row_into(qcap, rowsum, r, y, col, row_s, row_q);
+        simd::sweep_row_segments(
+            level,
+            row_s,
+            row_q,
+            &prog.runs[r0 as usize..r1 as usize],
+            &prog.spans[s0 as usize..s1 as usize],
+            acc_s,
+            acc_q,
+        );
     }
 }
 
@@ -871,6 +917,22 @@ impl Demultiplexer {
 /// cancel there, while per-slice magnitudes survive with only the boundary
 /// slice lost — the receiver-side rolling-shutter resilience of §3.3.
 fn demodulate(capture: &Plane<f32>, smoothed: &Plane<f32>, region: &BlockRegion) -> BlockScore {
+    demodulate_noised(capture, smoothed, region, 0.0)
+}
+
+/// [`demodulate`] with an extra per-cell expected noise power folded into
+/// each slice's energy term — how the batched scorer models a receiver's
+/// sensor-noise class without perturbing pixels: extra incoherent energy
+/// raises the noise floor (and so deterministically lowers the score)
+/// exactly as white residual noise of that power would in expectation.
+/// `noise_cell_sq = 0.0` adds literal `+0.0` per slice, so the result is
+/// bit-identical to the unnoised path.
+pub(crate) fn demodulate_noised(
+    capture: &Plane<f32>,
+    smoothed: &Plane<f32>,
+    region: &BlockRegion,
+    noise_cell_sq: f64,
+) -> BlockScore {
     let t = &region.template;
     let h = t.height();
     // Slices of ~1/4 block height (at least 2 rows) balance sign-flip
@@ -898,6 +960,7 @@ fn demodulate(capture: &Plane<f32>, smoothed: &Plane<f32>, region: &BlockRegion)
                 weight += tv.abs() as f64;
             }
         }
+        let energy = energy + noise_cell_sq * weight;
         // Noise-floor subtraction — the paper's "remove the mean absolute
         // difference": content that is incoherent with the template (video
         // texture, sensor noise) contributes E|Σ hpᵢ| ≈ √(2/π · Σ hpᵢ²) to
@@ -989,6 +1052,20 @@ fn demodulate_quantized(integral: &QRowPrefix, region: &BlockRegion) -> BlockSco
 /// [`demodulate_quantized`] and the direct row sweep. Same per-slice
 /// correlate / noise-floor-subtract formula as [`demodulate`].
 fn score_from_slices(qt: &QTemplate, accs: &[i64], energies: &[i64]) -> BlockScore {
+    score_from_slices_noised(qt, accs, energies, 0)
+}
+
+/// [`score_from_slices`] with a per-cell expected noise power (in
+/// squared Q8.7 raw units) added to each slice's energy — the quantized
+/// twin of [`demodulate_noised`]'s noise-as-class model, kept in the
+/// integer domain so noise classes fold into exact i64 sums.
+/// `noise_raw_sq = 0` is bit-identical to the unnoised path.
+pub(crate) fn score_from_slices_noised(
+    qt: &QTemplate,
+    accs: &[i64],
+    energies: &[i64],
+    noise_raw_sq: i64,
+) -> BlockScore {
     // Q8.7 raw → code values; energies carry two factors of the scale.
     let scale = qplane::LSB as f64;
     let scale_sq = scale * scale;
@@ -996,6 +1073,9 @@ fn score_from_slices(qt: &QTemplate, accs: &[i64], energies: &[i64]) -> BlockSco
     let mut total_weight = 0.0f64;
     for (slice, (&acc_raw, &energy_raw)) in accs.iter().zip(energies).enumerate() {
         let weight = qt.slice_weights[slice];
+        // Slice weights are integral (run-length counts), so the noise
+        // energy lands as an exact i64 before any float rounding.
+        let energy_raw = energy_raw + noise_raw_sq * weight as i64;
         let acc = acc_raw as f64 * scale;
         let energy = energy_raw as f64 * scale_sq;
         let incoherent = if weight > 0.0 {
@@ -1202,7 +1282,8 @@ mod tests {
         let (layout, frame, _) = encode_frame(&cfg, 2);
         let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
         let plus = render_plus(&cfg, &layout, &frame, &video);
-        let demux = Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        let mut demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
         let scores = demux.score_capture(&plus);
         for (i, &score) in scores.iter().enumerate() {
             let (bx, by) = (i % layout.blocks_x, i / layout.blocks_x);
@@ -1359,7 +1440,8 @@ mod tests {
                 .wrapping_add((y as u64).wrapping_mul(40503));
             80.0 + ((h >> 3) % 120) as f32
         });
-        let demux = Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        let mut demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
         let scores = demux.score_capture(&noisy_video);
         let max = scores.iter().cloned().fold(0.0f32, f32::max);
         assert!(

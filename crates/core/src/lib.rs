@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod dataframe;
 pub mod demux;
@@ -49,6 +50,7 @@ pub mod rgbmux;
 pub mod sender;
 pub mod sync;
 
+pub use batch::{BatchScorer, ScoreClass};
 pub use config::{CodingMode, InFrameConfig, KernelBackend};
 pub use dataframe::DataFrame;
 pub use demux::{BlockScore, DecodedDataFrame, Demultiplexer};

@@ -106,10 +106,14 @@ impl ParallelEngine {
     }
 
     /// Whether band work of `per_band_elems` elements justifies spawning
-    /// worker threads. When it does not, the band methods still apply the
-    /// exact same band partition — they just run the bands sequentially
-    /// on the calling thread, so outputs, per-band scratch keying and
-    /// band-boundary behaviour are identical to the threaded path.
+    /// worker threads. Where banding is semantically visible (the indexed
+    /// [`ParallelEngine::for_each_row_band2`], whose callers key per-band
+    /// scratch off the band index), the non-spawn path still applies the
+    /// exact same band partition sequentially. The plane-band methods'
+    /// callbacks are pure per-row, so their non-spawn path makes one
+    /// full-range call instead — bit-identical output, and it skips the
+    /// band bookkeeping that cost the 1080p 4-worker render ~9% against
+    /// 1-worker on a single-core machine (where spawning never engages).
     fn spawn_bands(&self, per_band_elems: usize) -> bool {
         self.workers > 1 && machine_cores() > 1 && per_band_elems >= SPAWN_GRAIN
     }
@@ -132,23 +136,18 @@ impl ParallelEngine {
     {
         assert_eq!(a.shape(), b.shape(), "band pair must be same-shaped");
         let height = a.height();
-        if self.workers == 1 || height <= 1 {
+        let width = a.width();
+        if self.workers == 1
+            || height <= 1
+            || !self.spawn_bands(height.div_ceil(self.workers) * width * 2)
+        {
             let t = Instant::now();
             f(0..height, a.samples_mut(), b.samples_mut());
             self.note(t.elapsed());
             return;
         }
-        let width = a.width();
         let bands_a = a.bands_mut(self.workers);
         let bands_b = b.bands_mut(self.workers);
-        if !self.spawn_bands(height.div_ceil(self.workers) * width * 2) {
-            let t = Instant::now();
-            for ((range, slice_a), (_, slice_b)) in bands_a.into_iter().zip(bands_b) {
-                f(range, slice_a, slice_b);
-            }
-            self.note(t.elapsed());
-            return;
-        }
         let f = &f;
         crossbeam::thread::scope(|s| {
             for ((range, slice_a), (range_b, slice_b)) in bands_a.into_iter().zip(bands_b) {
@@ -174,22 +173,17 @@ impl ParallelEngine {
         F: Fn(Range<usize>, &mut [f32]) + Sync,
     {
         let height = plane.height();
-        if self.workers == 1 || height <= 1 {
+        let width = plane.width();
+        if self.workers == 1
+            || height <= 1
+            || !self.spawn_bands(height.div_ceil(self.workers) * width)
+        {
             let t = Instant::now();
             f(0..height, plane.samples_mut());
             self.note(t.elapsed());
             return;
         }
-        let width = plane.width();
         let bands = plane.bands_mut(self.workers);
-        if !self.spawn_bands(height.div_ceil(self.workers) * width) {
-            let t = Instant::now();
-            for (range, slice) in bands {
-                f(range, slice);
-            }
-            self.note(t.elapsed());
-            return;
-        }
         let f = &f;
         crossbeam::thread::scope(|s| {
             for (range, slice) in bands {
@@ -261,6 +255,49 @@ impl ParallelEngine {
                 s.spawn(move |_| {
                     let t = Instant::now();
                     f(band, range, band_a, band_b);
+                    self.note(t.elapsed());
+                });
+            }
+        })
+        .expect("row band workers must not panic");
+    }
+
+    /// Runs `f` over row bands of a single row-major buffer — the
+    /// one-buffer sibling of [`ParallelEngine::for_each_row_band2`], used
+    /// by the fleet simulator to band-slice over *receivers* rather than
+    /// pixel rows (each receiver owns `stride` consecutive elements: its
+    /// per-block score row, or a single session slot at stride 1). The
+    /// closure receives the band's row range and its mutable band slice;
+    /// callbacks must be pure per-row, as the non-spawn path makes one
+    /// full-range call.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` is not `height * stride`, or a worker
+    /// panics.
+    pub fn for_each_row_band<T, F>(&self, height: usize, stride: usize, buf: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(Range<usize>, &mut [T]) + Sync,
+    {
+        assert_eq!(buf.len(), height * stride, "buffer must be h × stride");
+        if self.workers == 1
+            || height <= 1
+            || !self.spawn_bands(height.div_ceil(self.workers) * stride)
+        {
+            let t = Instant::now();
+            f(0..height, buf);
+            self.note(t.elapsed());
+            return;
+        }
+        let f = &f;
+        crossbeam::thread::scope(|s| {
+            let mut rest = buf;
+            for range in band_rows(height, self.workers) {
+                let (band, tail) = rest.split_at_mut(range.len() * stride);
+                rest = tail;
+                s.spawn(move |_| {
+                    let t = Instant::now();
+                    f(range, band);
                     self.note(t.elapsed());
                 });
             }
@@ -458,6 +495,33 @@ mod tests {
             assert_eq!(a, a1, "plus plane, workers = {workers}");
             assert_eq!(b, b1, "minus plane, workers = {workers}");
         }
+    }
+
+    #[test]
+    fn row_band_writes_are_identical_across_worker_counts() {
+        let run = |workers: usize| {
+            let engine = ParallelEngine::new(workers);
+            let mut buf = vec![0u64; 29 * 3];
+            engine.for_each_row_band(29, 3, &mut buf, |rows, band| {
+                for (i, v) in band.iter_mut().enumerate() {
+                    let row = rows.start + i / 3;
+                    *v = (row * 100 + i % 3) as u64;
+                }
+            });
+            buf
+        };
+        let reference = run(1);
+        for workers in [2usize, 4, 7] {
+            assert_eq!(run(workers), reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer must be h × stride")]
+    fn row_band_rejects_mismatched_buffer() {
+        let engine = ParallelEngine::new(2);
+        let mut buf = vec![0u8; 10];
+        engine.for_each_row_band(3, 4, &mut buf, |_, _| {});
     }
 
     #[test]

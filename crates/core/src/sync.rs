@@ -742,7 +742,8 @@ mod tests {
         );
         let faded = video.clone(); // transition-half capture: washed out
 
-        let demux = Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        let mut demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
         let mut sync = CycleSynchronizer::new(&cfg);
         let d = sync.cycle_duration();
         let true_phase = 0.04;

@@ -54,6 +54,7 @@ pub mod geometry;
 pub mod integral;
 pub mod io;
 pub mod metrics;
+pub mod perturb;
 pub mod plane;
 pub mod pool;
 pub mod qplane;

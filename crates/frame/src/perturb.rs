@@ -1,0 +1,300 @@
+//! Receiver-side photometric capture perturbations in the quantized
+//! Q8.7 domain.
+//!
+//! The batched demultiplexer ([`crate::qplane`] raws swept once per
+//! *distinct* transform, then folded per noise class) and the sequential
+//! single-receiver reference must see byte-identical captures, so
+//! perturbations are defined on the **integer** raws rather than on f32
+//! pixels: `dequantize(raw) = raw · 2⁻⁷` is exact and re-quantizes to
+//! the same raw (the LSB is a power of two), which makes
+//! [`materialized`] a lossless bridge — the f32 plane it returns is what
+//! a sequential receiver pushes through `push_capture`, and quantizing
+//! it back reproduces the transformed raws the batch path swept.
+//!
+//! A transform is `clamp(round(raw · gain) + awb)` followed by an
+//! optional occlusion rectangle painted at a fixed level — the cheap
+//! affine/masking algebra the fleet simulator draws per receiver. Two
+//! identities matter downstream:
+//!
+//! - **Photometric identity** (unity gain, zero AWB) copies raws
+//!   verbatim, with *no* clamp — so out-of-code-range synthetic inputs
+//!   survive the round trip bit-exactly.
+//! - **Pure AWB shift** (unity gain, no occlusion, no pixel clamping)
+//!   adds one constant to every raw. The demodulator's high-pass is
+//!   shift-invariant under replicate-border box means, so such variants
+//!   can alias the identity sweep's accumulators (see
+//!   `core`'s `BatchScorer`, which checks eligibility with
+//!   [`CaptureTransform::shifts_without_clamp`]).
+
+use crate::plane::Plane;
+use crate::qplane::{self, QPlane};
+
+/// Unity gain in the Q4.12 gain fixed point used by
+/// [`CaptureTransform::gain_q12`].
+pub const GAIN_ONE_Q12: i32 = 1 << 12;
+
+/// Largest in-code-range raw: code value 255 in Q8.7.
+pub const CODE_MAX_RAW: i16 = 255 * qplane::ONE;
+
+/// An opaque rectangle (lens blockage, a passer-by) painted over the
+/// capture after the photometric transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OcclusionRect {
+    /// Left edge in sensor pixels.
+    pub x0: usize,
+    /// Top edge in sensor pixels.
+    pub y0: usize,
+    /// Width in sensor pixels.
+    pub w: usize,
+    /// Height in sensor pixels.
+    pub h: usize,
+    /// Fill level as a Q8.7 raw (e.g. `quantize(40.0)` for a dark
+    /// blocker).
+    pub level_raw: i16,
+}
+
+impl OcclusionRect {
+    /// Whether the rectangle covers zero pixels (treated as absent).
+    pub fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+}
+
+/// One receiver's photometric difference from the shared capture:
+/// exposure gain, AWB offset, and an optional occlusion mask, all in the
+/// integer Q8.7 domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaptureTransform {
+    /// Exposure/AE gain in Q4.12 fixed point ([`GAIN_ONE_Q12`] = 1.0).
+    pub gain_q12: i32,
+    /// AWB / black-level offset added after the gain, in Q8.7 raws.
+    pub awb_raw: i16,
+    /// Optional occlusion rectangle painted last.
+    pub occlusion: Option<OcclusionRect>,
+}
+
+impl CaptureTransform {
+    /// The do-nothing transform.
+    pub const IDENTITY: Self = Self {
+        gain_q12: GAIN_ONE_Q12,
+        awb_raw: 0,
+        occlusion: None,
+    };
+
+    /// Gain-only transform from a linear factor (rounded into Q4.12, so
+    /// nearby factors snap to the same discrete transform — exactly what
+    /// batch scoring wants).
+    pub fn with_gain_factor(factor: f64) -> Self {
+        Self {
+            gain_q12: (factor * GAIN_ONE_Q12 as f64).round().max(0.0) as i32,
+            ..Self::IDENTITY
+        }
+    }
+
+    /// Whether gain and AWB leave pixels untouched (occlusion may still
+    /// be present).
+    pub fn is_photometric_identity(&self) -> bool {
+        self.gain_q12 == GAIN_ONE_Q12 && self.awb_raw == 0
+    }
+
+    /// Whether the whole transform is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.is_photometric_identity() && self.occlusion.is_none_or(|o| o.is_empty())
+    }
+
+    /// Whether this transform is a *pure uniform shift* of `base`: unity
+    /// gain, no occlusion, and no pixel clamps at this base's raw range.
+    /// Such a variant's high-pass accumulators equal the identity
+    /// variant's exactly (replicate-border box means are shift
+    /// invariant), so the batch scorer reuses the shared sweep for it.
+    pub fn shifts_without_clamp(&self, base_min: i16, base_max: i16) -> bool {
+        self.gain_q12 == GAIN_ONE_Q12
+            && self.occlusion.is_none_or(|o| o.is_empty())
+            && (base_min as i32 + self.awb_raw as i32) >= 0
+            && (base_max as i32 + self.awb_raw as i32) <= CODE_MAX_RAW as i32
+    }
+
+    /// The gain+AWB map on one raw. The photometric identity copies the
+    /// raw verbatim (no clamp); anything else rounds the gain product
+    /// half-up, adds the AWB offset, and clamps to the code range.
+    #[inline]
+    pub fn apply_raw_value(&self, raw: i16) -> i16 {
+        if self.is_photometric_identity() {
+            return raw;
+        }
+        let scaled = (raw as i64 * self.gain_q12 as i64 + (GAIN_ONE_Q12 as i64 / 2))
+            .div_euclid(GAIN_ONE_Q12 as i64);
+        (scaled + self.awb_raw as i64).clamp(0, CODE_MAX_RAW as i64) as i16
+    }
+
+    /// Applies the photometric map to one row span, then the occlusion
+    /// overwrite where the rectangle intersects row `y`. `src` and `dst`
+    /// are the same row of two same-shaped planes.
+    pub fn apply_row(&self, y: usize, src: &[i16], dst: &mut [i16]) {
+        debug_assert_eq!(src.len(), dst.len());
+        if self.is_photometric_identity() {
+            dst.copy_from_slice(src);
+        } else {
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d = self.apply_raw_value(s);
+            }
+        }
+        if let Some(o) = self.occlusion {
+            if !o.is_empty() && y >= o.y0 && y < o.y0 + o.h && o.x0 < dst.len() {
+                let x1 = (o.x0 + o.w).min(dst.len());
+                dst[o.x0..x1].fill(o.level_raw);
+            }
+        }
+    }
+
+    /// Applies the full transform `src → dst` (same-shaped planes).
+    pub fn apply_raw(&self, src: &QPlane, dst: &mut QPlane) {
+        assert_eq!(src.shape(), dst.shape(), "transform planes must match");
+        let (w, h) = src.shape();
+        for y in 0..h {
+            let row = &src.samples()[y * w..(y + 1) * w];
+            let drow = &mut dst.samples_mut()[y * w..(y + 1) * w];
+            self.apply_row(y, row, drow);
+        }
+    }
+
+    /// Applies the full transform in place.
+    pub fn apply_raw_in_place(&self, plane: &mut QPlane) {
+        let (w, h) = plane.shape();
+        if !self.is_photometric_identity() {
+            for raw in plane.samples_mut() {
+                *raw = self.apply_raw_value(*raw);
+            }
+        }
+        if let Some(o) = self.occlusion {
+            if !o.is_empty() {
+                for y in o.y0..(o.y0 + o.h).min(h) {
+                    if o.x0 >= w {
+                        break;
+                    }
+                    let x1 = (o.x0 + o.w).min(w);
+                    plane.samples_mut()[y * w + o.x0..y * w + x1].fill(o.level_raw);
+                }
+            }
+        }
+    }
+}
+
+/// What a receiver with transform `t` actually captures, as an f32
+/// plane: quantize the shared capture, transform the raws, dequantize.
+/// This is the **canonical materialization** — pushing it through the
+/// sequential demultiplexer re-quantizes to exactly the raws the batch
+/// path swept, which is what makes batch scoring bit-identical to the
+/// per-receiver loop on both kernel backends. In-place, allocation-free
+/// variant; `qscratch` is reshaped as needed.
+pub fn materialize_in_place(plane: &mut Plane<f32>, t: &CaptureTransform, qscratch: &mut QPlane) {
+    qscratch.quantize_from(plane);
+    t.apply_raw_in_place(qscratch);
+    for (dst, &raw) in plane.samples_mut().iter_mut().zip(qscratch.samples()) {
+        *dst = qplane::dequantize(raw);
+    }
+}
+
+/// Allocating convenience wrapper over [`materialize_in_place`].
+pub fn materialized(base: &Plane<f32>, t: &CaptureTransform) -> Plane<f32> {
+    let mut out = base.clone();
+    let mut q = QPlane::new(base.width(), base.height());
+    materialize_in_place(&mut out, t, &mut q);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qplane::quantize;
+
+    #[test]
+    fn identity_copies_raws_verbatim_even_out_of_range() {
+        let t = CaptureTransform::IDENTITY;
+        assert!(t.is_identity());
+        // Out-of-code-range raws survive — no clamp on the identity.
+        for raw in [-300i16, -1, 0, 77, CODE_MAX_RAW, i16::MAX] {
+            assert_eq!(t.apply_raw_value(raw), raw);
+        }
+        let mut q = QPlane::new(4, 3);
+        q.samples_mut()
+            .copy_from_slice(&[-5, 0, 1, 2, 100, 200, 300, 400, 32000, 32640, 12345, -7]);
+        let mut out = QPlane::new(4, 3);
+        t.apply_raw(&q, &mut out);
+        assert_eq!(out.samples(), q.samples());
+    }
+
+    #[test]
+    fn gain_rounds_half_up_and_clamps() {
+        let t = CaptureTransform {
+            gain_q12: GAIN_ONE_Q12 * 2,
+            awb_raw: 0,
+            occlusion: None,
+        };
+        assert_eq!(t.apply_raw_value(100), 200);
+        assert_eq!(t.apply_raw_value(20000), CODE_MAX_RAW); // clamped
+        let half = CaptureTransform {
+            gain_q12: GAIN_ONE_Q12 / 2,
+            awb_raw: 0,
+            occlusion: None,
+        };
+        assert_eq!(half.apply_raw_value(101), 51); // 50.5 rounds up
+    }
+
+    #[test]
+    fn awb_shift_detection_matches_clamping() {
+        let t = CaptureTransform {
+            gain_q12: GAIN_ONE_Q12,
+            awb_raw: 256,
+            occlusion: None,
+        };
+        assert!(t.shifts_without_clamp(0, CODE_MAX_RAW - 256));
+        assert!(!t.shifts_without_clamp(0, CODE_MAX_RAW)); // top clamps
+        let neg = CaptureTransform {
+            awb_raw: -128,
+            ..CaptureTransform::IDENTITY
+        };
+        assert!(neg.shifts_without_clamp(128, CODE_MAX_RAW));
+        assert!(!neg.shifts_without_clamp(0, CODE_MAX_RAW)); // bottom clamps
+                                                             // Within range it truly is a pure shift.
+        assert_eq!(t.apply_raw_value(1000), 1256);
+    }
+
+    #[test]
+    fn occlusion_paints_clipped_rectangle() {
+        let t = CaptureTransform {
+            occlusion: Some(OcclusionRect {
+                x0: 2,
+                y0: 1,
+                w: 10, // extends past the right edge — clipped
+                h: 2,
+                level_raw: quantize(40.0),
+            }),
+            ..CaptureTransform::IDENTITY
+        };
+        let base = Plane::filled(4, 4, 127.0);
+        let cap = materialized(&base, &t);
+        for (i, (x, y, v)) in cap.iter_xy().enumerate() {
+            let inside = x >= 2 && (1..3).contains(&y);
+            let want = if inside { 40.0 } else { 127.0 };
+            assert_eq!(v, want, "pixel {i} at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn materialization_round_trips_through_quantization() {
+        let base = Plane::from_fn(16, 9, |x, y| ((x * 31 + y * 7) % 256) as f32 * 0.93);
+        let t = CaptureTransform {
+            gain_q12: GAIN_ONE_Q12 + 300,
+            awb_raw: -64,
+            occlusion: None,
+        };
+        let cap = materialized(&base, &t);
+        // Quantizing the materialized capture reproduces the transformed
+        // raws exactly — the lossless bridge batch scoring relies on.
+        let qbase = QPlane::from_plane(&base);
+        let mut want = QPlane::new(16, 9);
+        t.apply_raw(&qbase, &mut want);
+        assert_eq!(QPlane::from_plane(&cap).samples(), want.samples());
+    }
+}

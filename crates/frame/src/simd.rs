@@ -616,6 +616,47 @@ pub fn segment_sums_sliced(
     }
 }
 
+/// Folds one fused high-pass prefix row into the direct row sweep's
+/// slice accumulators: every run `(x0, x1, tag)` adds the prefix
+/// difference `row_s[x1] − row_s[x0]` (negated when the tag's top bit is
+/// set) into `acc_s[tag & 0x7FFF_FFFF]`, and every span `(x0, x1, acc)`
+/// adds `row_q[x1] − row_q[x0]` into `acc_q[acc]`.
+///
+/// This is the per-row entry point of the quantized demodulator's direct
+/// row sweep *and* of the batched multi-receiver scorer, which replays
+/// the same row program once per distinct photometric variant — the
+/// kernel-launch shape a GPU port would batch. The body is deliberately
+/// scalar at every level: the endpoints are a run-length gather and the
+/// accumulator indices a scatter with unpredictable collisions, and with
+/// ~2 table loads per short run the loop is bound by the same L1 reads a
+/// vector gather would issue — measured no faster under AVX2 (unlike the
+/// gather kernels above, which amortize over long materialized prefix
+/// tables). Routing it through the dispatch layer pins the bit-identical
+/// contract at every level and marks the seam for wider ISAs.
+///
+/// # Panics
+/// Panics on a run or span endpoint outside the prefix rows or an
+/// accumulator index outside the accumulator slices.
+pub fn sweep_row_segments(
+    level: SimdLevel,
+    row_s: &[i32],
+    row_q: &[i64],
+    runs: &[(u32, u32, u32)],
+    spans: &[(u32, u32, u32)],
+    acc_s: &mut [i64],
+    acc_q: &mut [i64],
+) {
+    let _ = level.min(detected_level()); // scalar at every level (see above)
+    for &(x0, x1, tag) in runs {
+        let s = (row_s[x1 as usize] - row_s[x0 as usize]) as i64;
+        let i = (tag & 0x7FFF_FFFF) as usize;
+        acc_s[i] += if tag >> 31 != 0 { -s } else { s };
+    }
+    for &(x0, x1, acc) in spans {
+        acc_q[acc as usize] += row_q[x1 as usize] - row_q[x0 as usize];
+    }
+}
+
 // --------------------------------------------------------------------
 // x86-64 intrinsic bodies
 // --------------------------------------------------------------------

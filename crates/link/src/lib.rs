@@ -42,6 +42,7 @@ pub use control::{
 };
 pub use rlc::{Absorb, ObjectDecoder, RlcEncoder};
 pub use session::{
-    CompletionTarget, CycleReport, ReceiverSession, SessionState, SymbolScanner, SyncMode,
+    absorb_cycle_bulk, CompletionTarget, CycleReport, ReceiverSession, SessionState, SymbolScanner,
+    SyncMode,
 };
 pub use symbol::{Symbol, SymbolHeader};

@@ -33,7 +33,10 @@ use crate::symbol::Symbol;
 use inframe_code::framing::{scan_packed, PackedBits};
 use inframe_code::parity::GobStats;
 use inframe_core::sync::{CycleSynchronizer, LockState, PhaseTracker, TrackerEvent, TrackerPolicy};
-use inframe_core::{DecodedDataFrame, Demultiplexer, InFrameConfig};
+use inframe_core::{
+    dataframe, CodingMode, DataLayout, DecodedDataFrame, Demultiplexer, InFrameConfig,
+    ParallelEngine,
+};
 use inframe_frame::geometry::Homography;
 use inframe_frame::Plane;
 use inframe_obs::{names, Counter, Event, Histogram, Telemetry};
@@ -239,6 +242,9 @@ pub struct ReceiverSession {
     /// Decoded cycles, retained for capture-level callers that also
     /// consume the raw bit stream (ticker-style side channels).
     decoded_log: Vec<DecodedDataFrame>,
+    /// Per-capture score scratch, reused so steady-state capture
+    /// processing stays allocation-free.
+    score_scratch: Vec<f32>,
     obs: SessionObs,
 }
 
@@ -348,6 +354,7 @@ impl ReceiverSession {
             bad_cycles: 0,
             relock_probe: None,
             decoded_log: Vec::new(),
+            score_scratch: Vec::new(),
             obs: SessionObs::new(&Telemetry::disabled()),
         }
     }
@@ -429,12 +436,11 @@ impl ReceiverSession {
         let tracker = self.tracker.as_mut().expect("capture sessions track");
         if !tracker.is_decodable() {
             // (Re-)acquiring: captures feed the estimator, nothing decodes.
-            let scores = self
-                .demux
-                .as_ref()
+            self.demux
+                .as_mut()
                 .expect("checked above")
-                .score_capture(plane);
-            let crisp = CycleSynchronizer::crispness_of_scores(&scores);
+                .score_capture_into(plane, &mut self.score_scratch);
+            let crisp = CycleSynchronizer::crispness_of_scores(&self.score_scratch);
             if let Some(TrackerEvent::Locked { phase }) = tracker.observe(t_mid, crisp) {
                 self.phase = Some(phase);
                 // An estimator phase is provisional until it decodes.
@@ -461,13 +467,10 @@ impl ReceiverSession {
         // just used (stable-half captures only; transition-half ones are
         // expected to be faded and say nothing about lock health).
         if ((t_mid - phase) / demux.cycle_duration()).fract() < 0.45 {
-            let crisp = CycleSynchronizer::crispness_of_scores(
-                &demux
-                    .last_scores()
-                    .iter()
-                    .map(|s| s.value().unwrap_or(0.0))
-                    .collect::<Vec<f32>>(),
-            );
+            self.score_scratch.clear();
+            self.score_scratch
+                .extend(demux.last_scores().iter().map(|s| s.value().unwrap_or(0.0)));
+            let crisp = CycleSynchronizer::crispness_of_scores(&self.score_scratch);
             if let Some(TrackerEvent::LockLost) = tracker.observe(t_mid, crisp) {
                 self.lose_lock();
                 // The cycle this capture flushed accumulated during the
@@ -772,6 +775,47 @@ impl ReceiverSession {
     pub fn decoded(&self) -> &[DecodedDataFrame] {
         &self.decoded_log
     }
+}
+
+/// Steps a whole fleet of cycle-level sessions through one decoded cycle.
+///
+/// `verdicts` is row-major `sessions.len() × layout.num_blocks()` — one
+/// per-Block verdict row per receiver, as produced by
+/// [`inframe_core::BatchScorer::verdicts_into`]. Receivers whose `active`
+/// flag is `false` (not yet joined, or dropped this cycle) are skipped
+/// and keep their cycle numbering gap, which the session's scanner
+/// interprets as a lost cycle exactly like the streaming path would.
+///
+/// Each receiver runs the *real* PHY decode ([`dataframe::decode`]) and
+/// the real session state machine ([`ReceiverSession::push_cycle_indexed`]);
+/// the only batching is that receivers are band-sliced across the
+/// engine's workers. Sessions are independent, so the result is
+/// bit-identical to calling `push_cycle_indexed` in a loop.
+pub fn absorb_cycle_bulk(
+    engine: &ParallelEngine,
+    layout: &DataLayout,
+    coding: CodingMode,
+    sessions: &mut [ReceiverSession],
+    verdicts: &[Option<bool>],
+    active: &[bool],
+    cycle: u64,
+) {
+    let nb = layout.num_blocks();
+    assert_eq!(
+        verdicts.len(),
+        sessions.len() * nb,
+        "verdicts must be sessions × blocks"
+    );
+    assert_eq!(active.len(), sessions.len(), "one active flag per session");
+    engine.for_each_row_band(sessions.len(), 1, sessions, |rows, band| {
+        for (session, r) in band.iter_mut().zip(rows) {
+            if !active[r] {
+                continue;
+            }
+            let (bits, stats) = dataframe::decode(layout, &verdicts[r * nb..(r + 1) * nb], coding);
+            session.push_cycle_indexed(&bits, &stats, cycle);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -1082,5 +1126,68 @@ mod tests {
         }
         assert!(rx.evicted_objects().is_empty());
         assert_eq!(rx.object(2).unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn bulk_absorb_matches_sequential_push() {
+        let (cfg, layout) = channel();
+        let mut car = Carousel::for_channel(&layout, cfg.coding);
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 7) as u8).collect();
+        car.add_object(9, 1, &data);
+        let geometry = car.geometry();
+        let n = 5usize;
+        let nb = layout.num_blocks();
+        let build = || {
+            (0..n)
+                .map(|_| ReceiverSession::new(&cfg, geometry, CompletionTarget::AllOf(vec![9])))
+                .collect::<Vec<_>>()
+        };
+        let mut bulk = build();
+        let mut seq = build();
+        let engine = ParallelEngine::new(4);
+        for cycle in 0..30u64 {
+            let payload = car.next_cycle_payload();
+            let frame = inframe_core::DataFrame::encode(&layout, &payload, cfg.coding);
+            // Heterogeneous fleet view: receiver r loses every (r + cycle)-th
+            // GOB's blocks; receiver 3 joins late; receiver 4 drops one cycle.
+            let mut verdicts = vec![None; n * nb];
+            let mut active = vec![true; n];
+            active[3] = cycle >= 7;
+            active[4] = cycle != 11;
+            for r in 0..n {
+                for by in 0..layout.blocks_y {
+                    for bx in 0..layout.blocks_x {
+                        let i = by * layout.blocks_x + bx;
+                        let lost = r > 0
+                            && (layout.gob_of_block(bx, by) + r + cycle as usize)
+                                .is_multiple_of(r + 3);
+                        verdicts[r * nb + i] = (!lost).then(|| frame.bit(bx, by));
+                    }
+                }
+            }
+            absorb_cycle_bulk(
+                &engine, &layout, cfg.coding, &mut bulk, &verdicts, &active, cycle,
+            );
+            for (r, session) in seq.iter_mut().enumerate() {
+                if !active[r] {
+                    continue;
+                }
+                let (bits, stats) =
+                    dataframe::decode(&layout, &verdicts[r * nb..(r + 1) * nb], cfg.coding);
+                session.push_cycle_indexed(&bits, &stats, cycle);
+            }
+        }
+        for (b, s) in bulk.iter().zip(&seq) {
+            assert_eq!(b.state(), s.state());
+            assert_eq!(b.cycles_processed(), s.cycles_processed());
+            assert_eq!(b.stats().available_ratio(), s.stats().available_ratio());
+            assert_eq!(b.completed_objects(), s.completed_objects());
+            assert_eq!(b.object(9), s.object(9));
+            assert_eq!(b.completion_cycle(9), s.completion_cycle(9));
+        }
+        assert!(
+            bulk.iter().any(|s| s.is_complete()),
+            "clean receivers should finish inside the run"
+        );
     }
 }

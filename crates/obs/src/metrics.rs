@@ -197,6 +197,27 @@ impl Histogram {
             Some(core) => HistogramSnapshot::of(core),
         }
     }
+
+    /// Absorbs a snapshot taken from *another* registry into this live
+    /// histogram — the aggregation half of a sharded-spine setup (e.g.
+    /// `sim::fleet` merging per-shard session spines into one fleet
+    /// spine). Bucket counts, count, and sum add; min/max fold. A no-op
+    /// handle or an empty snapshot leaves everything unchanged.
+    pub fn merge(&self, other: &HistogramSnapshot) {
+        let Some(core) = &self.0 else { return };
+        if other.count == 0 {
+            return;
+        }
+        for (cell, &b) in core.buckets.iter().zip(other.buckets.iter()) {
+            if b > 0 {
+                cell.fetch_add(b, Ordering::Relaxed);
+            }
+        }
+        core.count.fetch_add(other.count, Ordering::Relaxed);
+        core.sum.fetch_add(other.sum, Ordering::Relaxed);
+        core.min.fetch_min(other.min, Ordering::Relaxed);
+        core.max.fetch_max(other.max, Ordering::Relaxed);
+    }
 }
 
 /// Times a scope and records the elapsed nanoseconds into a [`Histogram`]
@@ -300,6 +321,21 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Merges another snapshot into this one (pure-value sibling of
+    /// [`Histogram::merge`], for aggregating already-exported spines).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, &b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Arithmetic mean of the recorded samples (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -374,6 +410,52 @@ mod tests {
         assert_eq!(snap.buckets.iter().sum::<u64>(), 4);
         assert!(snap.quantile_bound(0.5) >= 10);
         assert!(snap.quantile_bound(1.0) >= 1000);
+    }
+
+    #[test]
+    fn merged_histograms_match_single_recording() {
+        // Recording into shards then merging must equal recording
+        // everything into one histogram — the property fleet aggregation
+        // relies on.
+        let whole = Histogram(Some(Arc::new(HistogramCore::new())));
+        let shard_a = Histogram(Some(Arc::new(HistogramCore::new())));
+        let shard_b = Histogram(Some(Arc::new(HistogramCore::new())));
+        for v in [3u64, 17, 900] {
+            whole.record(v);
+            shard_a.record(v);
+        }
+        for v in [1u64, 250_000] {
+            whole.record(v);
+            shard_b.record(v);
+        }
+        let merged_live = Histogram(Some(Arc::new(HistogramCore::new())));
+        merged_live.merge(&shard_a.snapshot());
+        merged_live.merge(&shard_b.snapshot());
+        assert_eq!(merged_live.snapshot(), whole.snapshot());
+
+        let mut merged_snap = shard_a.snapshot();
+        merged_snap.merge(&shard_b.snapshot());
+        assert_eq!(merged_snap, whole.snapshot());
+        assert_eq!(
+            merged_snap.quantile_bound(0.5),
+            whole.snapshot().quantile_bound(0.5)
+        );
+    }
+
+    #[test]
+    fn merging_empty_snapshot_is_identity() {
+        let h = Histogram(Some(Arc::new(HistogramCore::new())));
+        h.record(42);
+        let before = h.snapshot();
+        h.merge(&HistogramSnapshot::default());
+        assert_eq!(h.snapshot(), before);
+        // Min must survive (an empty snapshot's u64::MAX min must not
+        // clobber a real one on the value-side merge either).
+        let mut snap = before.clone();
+        snap.merge(&HistogramSnapshot::default());
+        assert_eq!(snap, before);
+        // No-op handles ignore merges entirely.
+        Histogram::noop().merge(&before);
     }
 
     #[test]

@@ -141,3 +141,25 @@ pub mod faults {
     /// Counter: fault windows that became active.
     pub const WINDOWS: &str = "sim.faults.windows";
 }
+
+/// Receiver-fleet-simulator aggregates (`sim::fleet`).
+pub mod fleet {
+    /// Counter: receiver sessions in the fleet.
+    pub const RECEIVERS: &str = "sim.fleet.receivers";
+    /// Counter: displayed cycles fanned out to the fleet.
+    pub const CYCLES: &str = "sim.fleet.cycles";
+    /// Counter: capture scorings performed across the fleet (batched).
+    pub const CAPTURES_SCORED: &str = "sim.fleet.captures_scored";
+    /// Counter: captures lost to per-receiver drop faults.
+    pub const DROPPED: &str = "sim.fleet.dropped";
+    /// Counter: receivers that completed their target object set.
+    pub const COMPLETIONS: &str = "sim.fleet.completions";
+    /// Histogram (cycles since join): completion time per completed
+    /// receiver — the fleet completion CDF.
+    pub const COMPLETION_CYCLE: &str = "sim.fleet.completion_cycle";
+    /// Histogram (milli-ratio): per-receiver mean GOB availability.
+    pub const AVAILABILITY_MILLI: &str = "sim.fleet.availability_milli";
+    /// Histogram (milli-units): decode overhead ε merged from the
+    /// per-shard session spines (see `link.session.decode_eps_milli`).
+    pub const EPS_MILLI: &str = "sim.fleet.eps_milli";
+}

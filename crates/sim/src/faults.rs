@@ -344,14 +344,20 @@ impl CaptureTap for FaultInjector {
     }
 }
 
-/// Paints a centred rectangle covering `frac` of the plane at `level`.
-fn occlude_centre(plane: &mut inframe_frame::Plane<f32>, frac: f64, level: f32) {
-    let (w, h) = (plane.width(), plane.height());
+/// The centred rectangle covering `frac` of a `w × h` plane: returns
+/// `(x0, y0, ow, oh)`. Shared between the streaming occlusion tap and
+/// the fleet simulator's batched occlusion classes so both paint the
+/// same pixels for the same fraction.
+pub fn occlusion_rect(w: usize, h: usize, frac: f64) -> (usize, usize, usize, usize) {
     let side = frac.clamp(0.0, 1.0).sqrt();
     let ow = ((w as f64 * side).round() as usize).min(w);
     let oh = ((h as f64 * side).round() as usize).min(h);
-    let x0 = (w - ow) / 2;
-    let y0 = (h - oh) / 2;
+    ((w - ow) / 2, (h - oh) / 2, ow, oh)
+}
+
+/// Paints a centred rectangle covering `frac` of the plane at `level`.
+fn occlude_centre(plane: &mut inframe_frame::Plane<f32>, frac: f64, level: f32) {
+    let (x0, y0, ow, oh) = occlusion_rect(plane.width(), plane.height(), frac);
     for y in y0..y0 + oh {
         for x in x0..x0 + ow {
             plane.put(x, y, level);

@@ -40,6 +40,7 @@ pub mod fig3;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod fleet;
 pub mod link;
 pub mod linksim;
 pub mod pipeline;
@@ -49,6 +50,7 @@ pub mod scenarios;
 pub use faults::{
     run_fault_scenario, FaultInjector, FaultKind, FaultOutcome, FaultScenarioConfig, FaultWindow,
 };
+pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use link::Link;
 pub use linksim::{run_link_scenario, LinkScenarioConfig, LinkScenarioOutcome};
 pub use pipeline::{SimOutcome, Simulation, SimulationConfig};

@@ -1,0 +1,75 @@
+//! Fleet smoke run: 512 heterogeneous receivers watching one Quick-scale
+//! display, demultiplexed through the batched scorer and stepped in bulk.
+//!
+//! ```sh
+//! INFRAME_OBS=1 cargo run --release --example fleet_smoke -- [RECEIVERS] [CYCLES]
+//! ```
+//!
+//! Prints the completion CDF, availability percentiles and decode-ε
+//! tails, plus the telemetry summary when the obs spine is enabled. CI
+//! runs this under `INFRAME_OBS=1` and fails on any panic or on a fleet
+//! where nobody completes — a cheap end-to-end check that the batched
+//! path, the population model and the bulk session stepping stay wired
+//! together.
+
+use inframe::obs::{names, Telemetry};
+use inframe::sim::fleet::{run_fleet_with_telemetry, FleetConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let receivers: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(512);
+    let cycles: u32 = args.next().and_then(|v| v.parse().ok()).unwrap_or(16);
+
+    let cfg = FleetConfig::quick(receivers, cycles, 7);
+    let tele = Telemetry::from_env();
+    let t = std::time::Instant::now();
+    let report = run_fleet_with_telemetry(&cfg, &tele);
+    let wall = t.elapsed().as_secs_f64();
+
+    println!(
+        "fleet: {} receivers over {} cycles ({} phase bins, {} workers) in {:.2} s",
+        report.receivers, report.cycles, report.phase_bins, cfg.workers, wall
+    );
+    println!(
+        "population: {} distinct transforms, {} score classes, {} captures scored, {} drops",
+        report.distinct_transforms, report.distinct_classes, report.captures_scored, report.dropped
+    );
+    println!(
+        "completed: {}/{} ({:.1}%)",
+        report.completed,
+        report.receivers,
+        100.0 * report.completed as f64 / report.receivers as f64
+    );
+    for cyc in [4u64, 8, 12, report.cycles] {
+        println!(
+            "  completion CDF @ {cyc:2} cycles from join: {:.3}",
+            report.completion_cdf(cyc)
+        );
+    }
+    println!(
+        "availability p10/p50/p90: {:.3} / {:.3} / {:.3}",
+        report.availability_percentile(0.1),
+        report.availability_percentile(0.5),
+        report.availability_percentile(0.9)
+    );
+    println!(
+        "decode ε (milli) p50/p90/p99: {} / {} / {}",
+        report.eps_p50_milli, report.eps_p90_milli, report.eps_p99_milli
+    );
+
+    if tele.is_enabled() {
+        let summary = tele.summary();
+        assert_eq!(
+            summary.counter(names::fleet::COMPLETIONS),
+            report.completed as u64,
+            "spine and report disagree on completions"
+        );
+        println!();
+        println!("summary: {}", summary.to_json());
+    }
+
+    if report.completed == 0 {
+        eprintln!("no receiver completed — the fleet channel is broken");
+        std::process::exit(1);
+    }
+}

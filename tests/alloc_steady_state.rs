@@ -20,6 +20,7 @@
 //! this integration test is its own crate root, and the `unsafe` below
 //! is confined to the allocator shim.
 
+use inframe::core::batch::{BatchScorer, ScoreClass, SKIP, UNREADABLE};
 use inframe::core::config::KernelBackend;
 use inframe::core::dataframe::DataFrame;
 use inframe::core::demux::{Demultiplexer, RegionCache};
@@ -28,6 +29,7 @@ use inframe::core::pattern::{self, Complementation};
 use inframe::core::sender::{PrbsPayload, Sender};
 use inframe::core::{DataLayout, InFrameConfig};
 use inframe::frame::geometry::Homography;
+use inframe::frame::perturb::{CaptureTransform, OcclusionRect};
 use inframe::frame::simd;
 use inframe::frame::Plane;
 use inframe::obs::Telemetry;
@@ -115,6 +117,90 @@ fn demux_steady_state_is_allocation_free(backend: KernelBackend, telemetry: &Tel
     assert_eq!(decoded.captures_used, 9);
 }
 
+fn batch_steady_state_is_allocation_free(backend: KernelBackend) {
+    let cfg = InFrameConfig {
+        kernel: backend,
+        ..InFrameConfig::small_test()
+    };
+    let layout = DataLayout::from_config(&cfg);
+    let payload: Vec<bool> = (0..layout.payload_bits_parity())
+        .map(|i| i % 3 == 0)
+        .collect();
+    let frame = DataFrame::encode(&layout, &payload, cfg.coding);
+    let video = Plane::filled(cfg.display_w, cfg.display_h, 127.0);
+    let (plus, minus) = pattern::complementary_pair(
+        &layout,
+        &video,
+        &frame,
+        cfg.delta,
+        Complementation::Code,
+        |bx, by| if frame.bit(bx, by) { 1.0 } else { 0.0 },
+    );
+    let cache = RegionCache::build(&cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+    let mut scorer = BatchScorer::new(cfg, cache, Arc::new(ParallelEngine::new(1)));
+    let nb = scorer.num_blocks();
+    // A representative class mix: identity, pure AWB shift (aliases the
+    // identity sweep), a gain step and an occlusion (each their own
+    // sweep), plus a noised fold on the identity sweep.
+    let transforms = [
+        CaptureTransform::IDENTITY,
+        CaptureTransform {
+            awb_raw: 64,
+            ..CaptureTransform::IDENTITY
+        },
+        CaptureTransform {
+            gain_q12: 4352,
+            ..CaptureTransform::IDENTITY
+        },
+        CaptureTransform {
+            occlusion: Some(OcclusionRect {
+                x0: 8,
+                y0: 8,
+                w: 24,
+                h: 16,
+                level_raw: 128 * 128,
+            }),
+            ..CaptureTransform::IDENTITY
+        },
+    ];
+    let classes = [
+        ScoreClass::clean(0),
+        ScoreClass::clean(1),
+        ScoreClass::clean(2),
+        ScoreClass::clean(3),
+        ScoreClass {
+            transform: 0,
+            noise_raw_sq: 1024,
+        },
+    ];
+    let receivers = 64usize;
+    let assign: Vec<u32> = (0..receivers)
+        .map(|r| if r % 7 == 3 { SKIP } else { (r % 5) as u32 })
+        .collect();
+    let mut best = vec![UNREADABLE; receivers * nb];
+    let mut verdicts = Vec::new();
+    // Warm-up: size every internal buffer for this class mix.
+    scorer.score_classes(&plus, &transforms, &classes);
+    scorer.merge_assigned(&assign, &mut best);
+    scorer.verdicts_into(&best[..nb], &mut verdicts);
+    // Steady state: the whole batched path — scoring, fan-out merge,
+    // verdict extraction — must stay off the allocator.
+    for i in 0..4u32 {
+        let capture = if i % 2 == 0 { &minus } else { &plus };
+        let before = allocation_count();
+        scorer.score_classes(capture, &transforms, &classes);
+        scorer.merge_assigned(&assign, &mut best);
+        for r in 0..receivers {
+            scorer.verdicts_into(&best[r * nb..(r + 1) * nb], &mut verdicts);
+        }
+        let delta = allocation_count() - before;
+        assert_eq!(
+            delta, 0,
+            "{backend:?}: batch round {i} allocated {delta} times in steady state"
+        );
+    }
+}
+
 fn render_steady_state_is_allocation_free(backend: KernelBackend, telemetry: &Telemetry) {
     let cfg = InFrameConfig {
         kernel: backend,
@@ -173,6 +259,7 @@ fn steady_state_hot_paths_allocate_nothing() {
                 demux_steady_state_is_allocation_free(backend, &telemetry);
                 render_steady_state_is_allocation_free(backend, &telemetry);
             }
+            batch_steady_state_is_allocation_free(backend);
         }
     }
     simd::force_level(None);

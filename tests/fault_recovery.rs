@@ -445,7 +445,8 @@ mod exposure_step {
             Complementation::Code,
             |bx, by| if data.bit(bx, by) { 1.0 } else { 0.0 },
         );
-        let demux = Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
+        let mut demux =
+            Demultiplexer::new(cfg, &Homography::identity(), cfg.display_w, cfg.display_h);
         let reference = decisions(&demux.score_capture(&crisp), &cfg);
         assert!(
             reference.iter().any(|d| d.is_some()),

@@ -74,7 +74,7 @@ fn blind_sync_recovers_unknown_camera_phase() {
     let registration = c
         .geometry
         .display_to_sensor(w, h, c.camera.width, c.camera.height);
-    let demux = Demultiplexer::new(c.inframe, &registration, c.camera.width, c.camera.height);
+    let mut demux = Demultiplexer::new(c.inframe, &registration, c.camera.width, c.camera.height);
     let mut sync = CycleSynchronizer::new(&c.inframe);
 
     let mut window = VecDeque::new();
