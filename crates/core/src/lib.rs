@@ -46,6 +46,7 @@ pub mod multiplex;
 pub mod naive;
 pub mod parallel;
 pub mod pattern;
+pub mod region;
 pub mod rgbmux;
 pub mod sender;
 pub mod sync;
@@ -57,4 +58,5 @@ pub use demux::{BlockScore, DecodedDataFrame, Demultiplexer};
 pub use layout::DataLayout;
 pub use metrics::{ThroughputMeter, ThroughputReport};
 pub use parallel::ParallelEngine;
+pub use region::RegionMap;
 pub use sender::Sender;

@@ -75,14 +75,21 @@ pub struct Multiplexer {
     layout: DataLayout,
     envelope: Envelope,
     engine: Arc<ParallelEngine>,
-    /// Which `(video_index, cycle_index, pair)` the offset planes hold.
-    cache_key: Option<(u64, u64, u32)>,
+    /// Which `(video_index, cycle_index, pair, scale_epoch)` the offset
+    /// planes hold.
+    cache_key: Option<(u64, u64, u32, u64)>,
     p_plus: Plane<f32>,
     p_minus: Plane<f32>,
     /// Reused per-Block envelope amplitude buffer (row-major).
     amps: Vec<f32>,
-    /// Which `(cycle_index, pair)` the quantized amplitude steps hold.
-    steps_key: Option<(u64, u32)>,
+    /// Per-Block amplitude scales (row-major; empty ⇒ all 1.0). Spatial
+    /// sub-channels back individual regions off from the global δ here.
+    scales: Vec<f32>,
+    /// Bumped whenever `scales` changes, invalidating both render caches.
+    scale_epoch: u64,
+    /// Which `(cycle_index, pair, scale_epoch)` the quantized amplitude
+    /// steps hold.
+    steps_key: Option<(u64, u32, u64)>,
     /// Reused quantized amplitude steps (row-major, Quantized backend).
     steps: Vec<u16>,
     /// Chessboard delta LUT cache (Quantized backend).
@@ -108,6 +115,8 @@ impl Multiplexer {
             p_plus: Plane::filled(config.display_w, config.display_h, 0.0),
             p_minus: Plane::filled(config.display_w, config.display_h, 0.0),
             amps: Vec::new(),
+            scales: Vec::new(),
+            scale_epoch: 0,
             steps_key: None,
             steps: Vec::new(),
             lut: ChessLut::new(config.delta, config.complementation),
@@ -183,6 +192,34 @@ impl Multiplexer {
         }
     }
 
+    /// Sets per-Block amplitude scales (row-major over the Block grid),
+    /// multiplied into the envelope amplitude of every Block. Scales are
+    /// clamped to `[0, 1]`: spatial sub-channels may back a region off
+    /// from the global δ but never exceed the HVS-assessed ceiling. Both
+    /// backend caches are invalidated; the scale buffer is reused, so
+    /// steady-state scale updates allocate nothing after the first call.
+    ///
+    /// # Panics
+    /// Panics unless `scales` has one entry per Block.
+    pub fn set_block_amp_scales(&mut self, scales: &[f32]) {
+        assert_eq!(
+            scales.len(),
+            self.layout.num_blocks(),
+            "one amplitude scale per Block"
+        );
+        self.scales.clear();
+        self.scales.extend(scales.iter().map(|s| s.clamp(0.0, 1.0)));
+        self.scale_epoch += 1;
+    }
+
+    /// Clears per-Block amplitude scales (back to uniform full δ).
+    pub fn clear_block_amp_scales(&mut self) {
+        if !self.scales.is_empty() {
+            self.scales.clear();
+            self.scale_epoch += 1;
+        }
+    }
+
     /// The maximum per-pair envelope amplitude step across a cycle — feeds
     /// the phantom-array term of the HVS assessment.
     pub fn max_envelope_step(&self) -> f64 {
@@ -208,15 +245,24 @@ impl Multiplexer {
         cur: &DataFrame,
         next: &DataFrame,
     ) {
-        let key = (s.video_index, s.cycle_index, s.pair);
+        let key = (s.video_index, s.cycle_index, s.pair, self.scale_epoch);
         if self.cache_key == Some(key) {
             return;
         }
         let env = &self.envelope;
         let pair = s.pair;
+        let scales = &self.scales;
+        let bxs = self.layout.blocks_x;
         pattern::sample_amplitudes(
             &self.layout,
-            |bx, by| env.amplitude(pair, cur.bit(bx, by), next.bit(bx, by)) as f32,
+            |bx, by| {
+                let scale = if scales.is_empty() {
+                    1.0
+                } else {
+                    scales[by * bxs + bx]
+                };
+                env.amplitude(pair, cur.bit(bx, by), next.bit(bx, by)) as f32 * scale
+            },
             &mut self.amps,
         );
         pattern::render_offsets_with_amps(
@@ -240,15 +286,24 @@ impl Multiplexer {
     /// steady-state pair turnover costs neither per-pixel math nor heap
     /// allocations.
     fn ensure_steps(&mut self, s: &FrameSlot, cur: &DataFrame, next: &DataFrame) {
-        let key = (s.cycle_index, s.pair);
+        let key = (s.cycle_index, s.pair, self.scale_epoch);
         if self.steps_key == Some(key) {
             return;
         }
         let env = &self.envelope;
         let pair = s.pair;
+        let scales = &self.scales;
+        let bxs = self.layout.blocks_x;
         pattern::sample_amplitudes(
             &self.layout,
-            |bx, by| env.amplitude(pair, cur.bit(bx, by), next.bit(bx, by)) as f32,
+            |bx, by| {
+                let scale = if scales.is_empty() {
+                    1.0
+                } else {
+                    scales[by * bxs + bx]
+                };
+                env.amplitude(pair, cur.bit(bx, by), next.bit(bx, by)) as f32 * scale
+            },
             &mut self.amps,
         );
         self.steps.clear();
@@ -451,6 +506,47 @@ mod tests {
             // Code-symmetric LUT entries are shared between the signs, so
             // the pair averages back to V bit-exactly.
             assert_eq!((plus.get(x, y) + minus.get(x, y)) / 2.0, v, "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn block_amp_scales_shape_both_backends() {
+        for kernel in [KernelBackend::Reference, KernelBackend::Quantized] {
+            let c = InFrameConfig { kernel, ..cfg() };
+            let mut m = Multiplexer::new(c);
+            let layout = *m.layout();
+            let all1: Vec<bool> = vec![true; layout.payload_bits_parity()];
+            let cur = DataFrame::encode(&layout, &all1, CodingMode::Parity);
+            let video = Plane::filled(c.display_w, c.display_h, 127.0);
+            let s = slot(&c, 0);
+            // Baseline render at full amplitude, then scale block (0,0)
+            // to half: the cache must invalidate and the perturbation at
+            // that block must halve while an unscaled block keeps full δ.
+            let full = m.render(&s, &video, &cur, &cur);
+            let mut scales = vec![1.0f32; layout.num_blocks()];
+            scales[0] = 0.5;
+            m.set_block_amp_scales(&scales);
+            let scaled = m.render(&s, &video, &cur, &cur);
+            let probe = |out: &Plane<f32>, bx: usize, by: usize| {
+                let r = layout.block_rect(bx, by);
+                (out.get(r.x + layout.pixel_size, r.y) - 127.0).abs()
+            };
+            assert!((probe(&full, 0, 0) - c.delta).abs() < 0.1, "{kernel:?}");
+            assert!(
+                (probe(&scaled, 0, 0) - c.delta * 0.5).abs() < 0.1,
+                "{kernel:?}: scaled block at {}",
+                probe(&scaled, 0, 0)
+            );
+            assert!(
+                (probe(&scaled, 1, 1) - c.delta).abs() < 0.1,
+                "{kernel:?}: unscaled block keeps full amplitude"
+            );
+            // Clearing restores the uniform render bit-exactly.
+            m.clear_block_amp_scales();
+            let restored = m.render(&s, &video, &cur, &cur);
+            for (x, y, v) in full.iter_xy() {
+                assert_eq!(restored.get(x, y), v, "{kernel:?} ({x},{y})");
+            }
         }
     }
 

@@ -364,6 +364,21 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
     pub fn max_envelope_step(&self) -> f64 {
         self.mux.max_envelope_step()
     }
+
+    /// Sets per-Block amplitude scales on the embedded multiplexer —
+    /// spatial sub-channels drive per-region δ backoff through this seam
+    /// (see [`crate::region::RegionMap::block_scales`]).
+    ///
+    /// # Panics
+    /// Panics unless `scales` has one entry per Block.
+    pub fn set_block_amp_scales(&mut self, scales: &[f32]) {
+        self.mux.set_block_amp_scales(scales);
+    }
+
+    /// Clears per-Block amplitude scales (uniform full δ).
+    pub fn clear_block_amp_scales(&mut self) {
+        self.mux.clear_block_amp_scales();
+    }
 }
 
 #[cfg(test)]

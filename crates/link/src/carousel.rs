@@ -137,6 +137,10 @@ struct CarouselSlot {
     credit: i64,
     encoder: RlcEncoder,
     next_seq: u32,
+    /// Symbol-sequence stride: a spatial shard `r` of `R` emits seqs
+    /// `r, r+R, r+2R, …` so that `R` shards jointly cover every sequence
+    /// number exactly once.
+    seq_step: u32,
 }
 
 /// A priority-interleaved rateless object carousel.
@@ -181,7 +185,32 @@ impl Carousel {
     /// # Panics
     /// Panics on a duplicate id, a zero priority, or empty data.
     pub fn add_object(&mut self, id: u16, priority: u32, data: &[u8]) {
+        self.add_object_strided(id, priority, data, 0, 1);
+    }
+
+    /// Adds an object whose symbol sequence starts at `seq_offset` and
+    /// advances by `seq_step` — the sharding primitive behind spatial
+    /// sub-channels. Adding the same object to `R` carousel shards with
+    /// offsets `0..R` and step `R` makes the shards jointly emit every
+    /// sequence number exactly once (shards schedule identically because
+    /// smooth WRR is deterministic), so a receiver seeing all shards gets
+    /// the systematic pass intact while a receiver missing a shard loses
+    /// only `1/R` of the symbols and completes through rateless repair.
+    ///
+    /// # Panics
+    /// Panics on a duplicate id, a zero priority or step, an offset not
+    /// below the step, or empty data.
+    pub fn add_object_strided(
+        &mut self,
+        id: u16,
+        priority: u32,
+        data: &[u8],
+        seq_offset: u32,
+        seq_step: u32,
+    ) {
         assert!(priority > 0, "priority must be positive");
+        assert!(seq_step > 0, "sequence step must be positive");
+        assert!(seq_offset < seq_step, "offset must lie below the step");
         assert!(
             self.slots.iter().all(|s| s.encoder.object_id() != id),
             "object id {id} already on the carousel"
@@ -190,8 +219,18 @@ impl Carousel {
             priority,
             credit: 0,
             encoder: RlcEncoder::new(id, data, self.geometry.symbol_bytes),
-            next_seq: 0,
+            next_seq: seq_offset,
+            seq_step,
         });
+    }
+
+    /// Removes an object from the schedule (content churn). Returns
+    /// whether the id was present. Other slots keep their WRR credit, so
+    /// removal never perturbs the relative schedule of the survivors.
+    pub fn remove_object(&mut self, id: u16) -> bool {
+        let before = self.slots.len();
+        self.slots.retain(|s| s.encoder.object_id() != id);
+        self.slots.len() != before
     }
 
     /// Object ids currently on the carousel.
@@ -199,7 +238,8 @@ impl Carousel {
         self.slots.iter().map(|s| s.encoder.object_id()).collect()
     }
 
-    /// Symbols emitted so far for object `id`.
+    /// Next symbol sequence number of object `id` (equals the symbols
+    /// emitted for unsharded slots; strided shards advance by their step).
     pub fn symbols_sent(&self, id: u16) -> Option<u32> {
         self.slots
             .iter()
@@ -239,7 +279,7 @@ impl Carousel {
             .expect("nonempty");
         winner.credit -= total;
         let sym = winner.encoder.symbol(winner.next_seq);
-        winner.next_seq += 1;
+        winner.next_seq += winner.seq_step;
         sym
     }
 
@@ -418,6 +458,50 @@ mod tests {
         assert_eq!(car.k_of(5), Some(2));
         let seqs: Vec<u32> = (0..6).map(|_| car.next_symbol().header.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5], "repair symbols never repeat");
+    }
+
+    #[test]
+    fn strided_shards_jointly_cover_every_seq() {
+        // R = 3 shards of the same carousel schedule: union of emitted
+        // seqs per object is exactly 0..n with no duplicates.
+        let g = SymbolGeometry::for_payload_bits(8 * 4 * (SYMBOL_OVERHEAD_BYTES + 8));
+        const R: u32 = 3;
+        let mut shards: Vec<Carousel> = (0..R)
+            .map(|r| {
+                let mut c = Carousel::new(g);
+                c.add_object_strided(1, 2, &[9; 64], r, R);
+                c.add_object_strided(2, 1, &[7; 48], r, R);
+                c
+            })
+            .collect();
+        let mut seqs: BTreeMap<u16, Vec<u32>> = BTreeMap::new();
+        for shard in &mut shards {
+            for _ in 0..60 {
+                let s = shard.next_symbol();
+                seqs.entry(s.header.object_id)
+                    .or_default()
+                    .push(s.header.seq);
+            }
+        }
+        for (id, mut got) in seqs {
+            got.sort_unstable();
+            let expect: Vec<u32> = (0..got.len() as u32).collect();
+            assert_eq!(got, expect, "object {id} seq coverage");
+        }
+    }
+
+    #[test]
+    fn remove_object_drops_it_from_the_schedule() {
+        let g = SymbolGeometry::for_payload_bits(8 * 2 * (SYMBOL_OVERHEAD_BYTES + 8));
+        let mut car = Carousel::new(g);
+        car.add_object(1, 1, &[1; 32]);
+        car.add_object(2, 1, &[2; 32]);
+        assert!(car.remove_object(1));
+        assert!(!car.remove_object(1));
+        for _ in 0..20 {
+            assert_eq!(car.next_symbol().header.object_id, 2);
+        }
+        assert_eq!(car.object_ids(), vec![2]);
     }
 
     #[test]

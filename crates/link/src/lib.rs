@@ -45,4 +45,4 @@ pub use session::{
     absorb_cycle_bulk, CompletionTarget, CycleReport, ReceiverSession, SessionState, SymbolScanner,
     SyncMode,
 };
-pub use symbol::{Symbol, SymbolHeader};
+pub use symbol::{object_hint, Symbol, SymbolHeader};

@@ -185,6 +185,7 @@ struct SessionObs {
     telemetry: Telemetry,
     symbols_recovered: Counter,
     symbols_rejected: Counter,
+    symbols_filtered: Counter,
     cycles_absorbed: Counter,
     resyncs: Counter,
     objects_completed: Counter,
@@ -197,6 +198,7 @@ impl SessionObs {
             telemetry: telemetry.clone(),
             symbols_recovered: telemetry.counter(names::session::SYMBOLS_RECOVERED),
             symbols_rejected: telemetry.counter(names::session::SYMBOLS_REJECTED),
+            symbols_filtered: telemetry.counter(names::session::SYMBOLS_FILTERED),
             cycles_absorbed: telemetry.counter(names::session::CYCLES_ABSORBED),
             resyncs: telemetry.counter(names::session::RESYNCS),
             objects_completed: telemetry.counter(names::session::OBJECTS_COMPLETED),
@@ -239,6 +241,14 @@ pub struct ReceiverSession {
     /// consecutive healthy cycles seen so far. A relock that decodes
     /// garbage gets a short fuse back to re-acquisition.
     relock_probe: Option<u32>,
+    /// Admission mask over the 64 object-id hint values
+    /// ([`crate::symbol::object_hint`]): `None` admits everything, bit
+    /// `h` admits hint `h`. Symbols of non-admitted objects are dropped
+    /// before any decoder state is bought for them — per-receiver address
+    /// filtering at the cheapest possible point.
+    admission: Option<u64>,
+    /// Valid symbols dropped by the admission mask.
+    filtered: u64,
     /// Decoded cycles, retained for capture-level callers that also
     /// consume the raw bit stream (ticker-style side channels).
     decoded_log: Vec<DecodedDataFrame>,
@@ -353,6 +363,8 @@ impl ReceiverSession {
             resyncs: 0,
             bad_cycles: 0,
             relock_probe: None,
+            admission: None,
+            filtered: 0,
             decoded_log: Vec::new(),
             score_scratch: Vec::new(),
             obs: SessionObs::new(&Telemetry::disabled()),
@@ -588,6 +600,13 @@ impl ReceiverSession {
                 self.first_symbol_cycle = Some(cycle);
             }
             let id = s.header.object_id;
+            if let Some(mask) = self.admission {
+                if mask & (1u64 << crate::symbol::object_hint(id)) == 0 {
+                    self.filtered += 1;
+                    self.obs.symbols_filtered.incr();
+                    continue;
+                }
+            }
             self.last_progress.insert(id, cycle);
             let dec = self
                 .decoders
@@ -740,6 +759,30 @@ impl ReceiverSession {
         &self.evicted
     }
 
+    /// Restricts the session to objects whose id hint
+    /// ([`crate::symbol::object_hint`]) is admitted by `mask` (bit `h`
+    /// admits hint `h`). Symbols of other objects are dropped before any
+    /// decoder is created — the session-level half of per-receiver MAC
+    /// address filtering. Clears with [`ReceiverSession::admit_all`].
+    pub fn set_admission_hints(&mut self, mask: u64) {
+        self.admission = Some(mask);
+    }
+
+    /// Removes the admission mask (back to decoding every object).
+    pub fn admit_all(&mut self) {
+        self.admission = None;
+    }
+
+    /// The admission mask in force, if any.
+    pub fn admission_hints(&self) -> Option<u64> {
+        self.admission
+    }
+
+    /// Valid symbols dropped by the admission mask so far.
+    pub fn symbols_filtered(&self) -> u64 {
+        self.filtered
+    }
+
     /// Cycles absorbed so far.
     pub fn cycles_processed(&self) -> u64 {
         self.cycles_processed
@@ -831,6 +874,37 @@ mod tests {
 
     fn clean(payload: &[bool]) -> Vec<Option<bool>> {
         payload.iter().map(|&b| Some(b)).collect()
+    }
+
+    #[test]
+    fn admission_mask_drops_unaddressed_objects_before_decoding() {
+        let (cfg, layout) = channel();
+        let mut car = Carousel::for_channel(&layout, cfg.coding);
+        // Hint 1 (ids 1024..2047) is ours; hint 2 is someone else's.
+        let mine: Vec<u8> = (0..300u32).map(|i| (i * 5) as u8).collect();
+        let theirs: Vec<u8> = (0..300u32).map(|i| (i * 7) as u8).collect();
+        car.add_object(1 << 10, 1, &mine);
+        car.add_object(2 << 10, 1, &theirs);
+        let mut rx =
+            ReceiverSession::new(&cfg, car.geometry(), CompletionTarget::AllOf(vec![1 << 10]));
+        rx.set_admission_hints(1 << 1);
+        assert_eq!(rx.admission_hints(), Some(2));
+        let stats = GobStats::default();
+        for _ in 0..40 {
+            let p = car.next_cycle_payload();
+            rx.push_cycle(&clean(&p), &stats);
+            if rx.is_complete() {
+                break;
+            }
+        }
+        assert_eq!(rx.state(), SessionState::Complete);
+        assert_eq!(rx.object(1 << 10).unwrap(), &mine[..]);
+        // The foreign object never grew a decoder, and its symbols were
+        // counted as filtered rather than rejected.
+        assert!(rx.object(2 << 10).is_none());
+        assert!(rx.decoder(2 << 10).is_none());
+        assert!(rx.symbols_filtered() > 0);
+        assert_eq!(rx.scanner().rejected(), 0);
     }
 
     #[test]

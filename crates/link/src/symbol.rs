@@ -23,6 +23,17 @@ pub const HEADER_BYTES: usize = 10;
 /// symbol header.
 pub const SYMBOL_OVERHEAD_BYTES: usize = framing::OVERHEAD_BYTES + HEADER_BYTES;
 
+/// Address-hint bits of an object id: the network layer partitions the
+/// u16 id space into a high 6-bit destination hint (a hash of the MAC
+/// destination, `63` reserved for broadcast) and a low 10-bit rolling
+/// object number. A session with an admission mask drops symbols whose
+/// hint it does not admit *before* buying a decoder — hint collisions are
+/// harmless (the MAC filter above re-checks the exact address), missed
+/// admissions are impossible (the hint is a pure function of the id).
+pub fn object_hint(object_id: u16) -> u8 {
+    (object_id >> 10) as u8
+}
+
 /// The self-describing part of a symbol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SymbolHeader {

@@ -1,0 +1,53 @@
+//! # inframe-net
+//!
+//! The network layer over the InFrame carousel: one full-frame display
+//! serving many devices *selectively*, with multiple logical streams and
+//! throughput that scales with display area.
+//!
+//! The transport below ([`inframe_link`]) delivers anonymous objects to
+//! whoever listens. This crate layers three mechanisms on top:
+//!
+//! * [`addr`] / [`mac`] — **addressed MAC frames**: a compact codec
+//!   (destination/source address, stream id, fragment sequence, length,
+//!   CRC-16) packed back-to-back into fountain-coded objects, plus a
+//!   per-receiver [`addr::AddressFilter`] (unicast, group, broadcast,
+//!   promiscuous). Filtering happens twice: cheaply at the symbol level
+//!   — the high 6 bits of every object id carry a destination hint
+//!   ([`inframe_link::symbol::object_hint`]) that the receiver's
+//!   admission mask screens before buying any decoder state — and
+//!   exactly at the MAC level once an object completes.
+//! * [`stream`] — **multi-stream QoS**: N logical streams, each with a
+//!   [`stream::StreamQos`] (priority, min-goodput weight, deadline
+//!   class) that maps onto the priority-WRR carousel share, and a
+//!   per-stream zero-allocation reassembly window + in-order delivery
+//!   queue on the receiver.
+//! * [`spatial`] — **spatial sub-channels**: the frame tiled into
+//!   per-GOB-region channels ([`inframe_core::region::RegionMap`]), each
+//!   with its own carousel shard (symbol sequences strided so the shards
+//!   jointly emit every sequence exactly once), its own symbol scanner
+//!   alignment, and its own δ controller state
+//!   ([`spatial::RegionControllerBank`]). A receiver with one tile
+//!   occluded loses exactly that shard's symbols and completes through
+//!   rateless repair on the visible tiles.
+//!
+//! [`NetSender`] and [`NetReceiver`] assemble the full stack:
+//! datagrams → MAC frames → objects → carousel shards → cycle payload
+//! bits on the way down, and the exact inverse — with address filtering
+//! and in-order per-stream delivery — on the way up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod mac;
+pub mod receiver;
+pub mod sender;
+pub mod spatial;
+pub mod stream;
+
+pub use addr::{AddressFilter, MacAddr};
+pub use mac::{MacFrameView, MacScanner};
+pub use receiver::NetReceiver;
+pub use sender::NetSender;
+pub use spatial::{RegionControllerBank, SpatialMux};
+pub use stream::{DeadlineClass, StreamQos, StreamRx, StreamTx};

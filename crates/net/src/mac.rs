@@ -1,0 +1,323 @@
+//! The MAC frame codec: compact addressed frames packed back-to-back
+//! inside fountain-coded objects.
+//!
+//! Wire layout (big-endian multi-byte fields):
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  destination address (nonzero; 0x0000 ⇒ padding, stop)
+//!      2     2  source address
+//!      4     1  stream id
+//!      5     1  flags (bit 0: last fragment of the datagram)
+//!      6     2  per-(stream, destination) fragment sequence number
+//!      8     2  payload length L
+//!     10     L  payload
+//!   10+L     2  CRC-16/CCITT over bytes [0, 10+L)
+//! ```
+//!
+//! Frames are concatenated without gaps; an object's tail may be zero
+//! padding (a zero destination cannot start a frame). The scanner is
+//! zero-copy — [`MacFrameView`] borrows the payload — and resynchronizes
+//! after corruption by sliding one byte at a time until a frame
+//! validates, so one flipped bit costs at most its own frame.
+
+use crate::addr::MacAddr;
+use inframe_code::crc::{crc16_ccitt_update, CRC16_CCITT_INIT};
+
+/// Header bytes before the payload.
+pub const HEADER_BYTES: usize = 10;
+
+/// Total per-frame overhead (header + CRC-16).
+pub const OVERHEAD_BYTES: usize = HEADER_BYTES + 2;
+
+/// Hard cap on a frame payload, bounding receiver reassembly buffers.
+pub const MAX_PAYLOAD_BYTES: usize = 1024;
+
+/// Flag bit: this fragment completes its datagram.
+pub const FLAG_LAST: u8 = 0x01;
+
+/// A decoded MAC frame borrowing its payload from the scanned bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacFrameView<'a> {
+    /// Destination address.
+    pub dst: MacAddr,
+    /// Source address.
+    pub src: MacAddr,
+    /// Logical stream id.
+    pub stream: u8,
+    /// Flags ([`FLAG_LAST`], rest reserved).
+    pub flags: u8,
+    /// Per-(stream, destination) fragment sequence number (wrapping).
+    pub seq: u16,
+    /// Fragment payload.
+    pub payload: &'a [u8],
+}
+
+impl MacFrameView<'_> {
+    /// Whether this fragment completes its datagram.
+    pub fn is_last(&self) -> bool {
+        self.flags & FLAG_LAST != 0
+    }
+}
+
+/// Appends one encoded frame to `out`.
+///
+/// # Panics
+/// Panics on a zero destination/source or an oversized payload.
+pub fn encode_frame_into(
+    dst: MacAddr,
+    src: MacAddr,
+    stream: u8,
+    flags: u8,
+    seq: u16,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    assert!(dst.0 != 0 && src.0 != 0, "zero address is reserved");
+    assert!(
+        payload.len() <= MAX_PAYLOAD_BYTES,
+        "payload exceeds MAX_PAYLOAD_BYTES"
+    );
+    let start = out.len();
+    out.extend_from_slice(&dst.0.to_be_bytes());
+    out.extend_from_slice(&src.0.to_be_bytes());
+    out.push(stream);
+    out.push(flags);
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+    out.extend_from_slice(payload);
+    let mut crc = CRC16_CCITT_INIT;
+    for &b in &out[start..] {
+        crc = crc16_ccitt_update(crc, b);
+    }
+    out.extend_from_slice(&crc.to_be_bytes());
+}
+
+/// Tries to decode one frame at the start of `buf`. Returns the view and
+/// the encoded size, or `None` if no valid frame starts here.
+pub fn decode_frame(buf: &[u8]) -> Option<(MacFrameView<'_>, usize)> {
+    if buf.len() < OVERHEAD_BYTES {
+        return None;
+    }
+    let dst = u16::from_be_bytes([buf[0], buf[1]]);
+    if dst == 0 {
+        return None;
+    }
+    let src = u16::from_be_bytes([buf[2], buf[3]]);
+    if src == 0 {
+        return None;
+    }
+    let len = u16::from_be_bytes([buf[8], buf[9]]) as usize;
+    if len > MAX_PAYLOAD_BYTES || buf.len() < OVERHEAD_BYTES + len {
+        return None;
+    }
+    let total = HEADER_BYTES + len;
+    let mut crc = CRC16_CCITT_INIT;
+    for &b in &buf[..total] {
+        crc = crc16_ccitt_update(crc, b);
+    }
+    if crc != u16::from_be_bytes([buf[total], buf[total + 1]]) {
+        return None;
+    }
+    Some((
+        MacFrameView {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            stream: buf[4],
+            flags: buf[5],
+            seq: u16::from_be_bytes([buf[6], buf[7]]),
+            payload: &buf[HEADER_BYTES..total],
+        },
+        OVERHEAD_BYTES + len,
+    ))
+}
+
+/// A zero-copy iterator over the frames of an object bundle.
+///
+/// Valid frames are yielded in order; bytes that do not start a valid
+/// frame are skipped one at a time (counted in
+/// [`MacScanner::rejected_bytes`]), so the scanner recovers after a
+/// corrupted frame at the next intact one. Padding zeros at the bundle
+/// tail are skipped silently (not counted as rejections).
+#[derive(Debug)]
+pub struct MacScanner<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    rejected: usize,
+}
+
+impl<'a> MacScanner<'a> {
+    /// A scanner over `bundle`.
+    pub fn new(bundle: &'a [u8]) -> Self {
+        Self {
+            buf: bundle,
+            pos: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Bytes skipped because they did not start a valid frame (padding
+    /// zeros excluded).
+    pub fn rejected_bytes(&self) -> usize {
+        self.rejected
+    }
+}
+
+impl<'a> Iterator for MacScanner<'a> {
+    type Item = MacFrameView<'a>;
+
+    fn next(&mut self) -> Option<MacFrameView<'a>> {
+        while self.pos < self.buf.len() {
+            if let Some((view, used)) = decode_frame(&self.buf[self.pos..]) {
+                self.pos += used;
+                return Some(view);
+            }
+            if self.buf[self.pos] != 0 {
+                self.rejected += 1;
+            }
+            self.pos += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn frame(seq: u16, last: bool, payload: &[u8], out: &mut Vec<u8>) {
+        encode_frame_into(
+            MacAddr::new(0x0042),
+            MacAddr::new(0x0001),
+            3,
+            if last { FLAG_LAST } else { 0 },
+            seq,
+            payload,
+            out,
+        );
+    }
+
+    #[test]
+    fn roundtrip_and_padding() {
+        let mut bundle = Vec::new();
+        frame(0, false, b"hello", &mut bundle);
+        frame(1, true, b" world", &mut bundle);
+        bundle.resize(bundle.len() + 17, 0); // object tail padding
+        let mut scan = MacScanner::new(&bundle);
+        let a = scan.next().expect("frame 0");
+        assert_eq!((a.seq, a.is_last(), a.payload), (0, false, &b"hello"[..]));
+        let b = scan.next().expect("frame 1");
+        assert_eq!((b.seq, b.is_last(), b.payload), (1, true, &b" world"[..]));
+        assert!(scan.next().is_none());
+        assert_eq!(scan.rejected_bytes(), 0);
+    }
+
+    #[test]
+    fn corruption_loses_one_frame_and_resyncs() {
+        let mut bundle = Vec::new();
+        frame(0, true, &[7; 40], &mut bundle);
+        let second_start = bundle.len();
+        frame(1, true, &[9; 40], &mut bundle);
+        frame(2, true, &[11; 40], &mut bundle);
+        // Flip a bit in the middle of frame 1's payload.
+        bundle[second_start + HEADER_BYTES + 20] ^= 0x10;
+        let got: Vec<u16> = MacScanner::new(&bundle).map(|f| f.seq).collect();
+        assert_eq!(got, vec![0, 2], "corrupted frame dropped, rest recovered");
+    }
+
+    /// Deterministic frame-parameter generator (the vendored proptest
+    /// stub has no tuple strategies, so cases derive from one seed).
+    fn gen_frames(seed: u64, n: usize) -> Vec<(u16, u16, u8, bool, u16, Vec<u8>)> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|_| {
+                let d = (next() % 0xFFFE + 1) as u16;
+                let s = (next() % 0xFFFE + 1) as u16;
+                let stream = next() as u8;
+                let last = next() & 1 == 0;
+                let seq = next() as u16;
+                let len = (next() % 96) as usize;
+                let payload = (0..len).map(|_| next() as u8).collect();
+                (d, s, stream, last, seq, payload)
+            })
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_identity(
+            seed in any::<u64>(),
+            n in 0usize..8,
+            pad in 0usize..32,
+        ) {
+            let frames = gen_frames(seed, n);
+            let mut bundle = Vec::new();
+            for (d, s, stream, last, seq, payload) in &frames {
+                encode_frame_into(
+                    MacAddr::new(*d), MacAddr::new(*s), *stream,
+                    if *last { FLAG_LAST } else { 0 }, *seq, payload, &mut bundle,
+                );
+            }
+            bundle.resize(bundle.len() + pad, 0);
+            let decoded: Vec<_> = MacScanner::new(&bundle).collect();
+            prop_assert_eq!(decoded.len(), frames.len());
+            for (got, (d, s, stream, last, seq, payload)) in decoded.iter().zip(&frames) {
+                prop_assert_eq!(got.dst.0, *d);
+                prop_assert_eq!(got.src.0, *s);
+                prop_assert_eq!(got.stream, *stream);
+                prop_assert_eq!(got.is_last(), *last);
+                prop_assert_eq!(got.seq, *seq);
+                prop_assert_eq!(got.payload, &payload[..]);
+            }
+        }
+
+        #[test]
+        fn prop_truncation_never_yields_phantom_content(
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+            cut in 1usize..OVERHEAD_BYTES,
+        ) {
+            let mut bundle = Vec::new();
+            frame(5, true, &payload, &mut bundle);
+            bundle.truncate(bundle.len() - cut);
+            // A truncated frame must never be delivered.
+            prop_assert_eq!(MacScanner::new(&bundle).count(), 0);
+        }
+
+        #[test]
+        fn prop_bit_flip_never_delivers_altered_payload(
+            payload in proptest::collection::vec(any::<u8>(), 1..64),
+            flip_byte in 0usize..32,
+            flip_bit in 0u32..8,
+        ) {
+            let mut bundle = Vec::new();
+            frame(9, true, &payload, &mut bundle);
+            let i = flip_byte % bundle.len();
+            bundle[i] ^= 1 << flip_bit;
+            // CRC-16 detects every single-bit error, so a frame carrying
+            // the original header must carry the original payload — the
+            // altered bytes are never delivered under that identity. (A
+            // resync at a shifted offset could in principle parse as some
+            // unrelated frame; it cannot reproduce this header.)
+            for f in MacScanner::new(&bundle) {
+                if f.dst == MacAddr(0x0042) && f.src == MacAddr(0x0001) && f.seq == 9 {
+                    prop_assert_eq!(f.payload, &payload[..]);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_arbitrary_bytes_never_panic(
+            junk in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let n = MacScanner::new(&junk).count();
+            prop_assert!(n <= junk.len() / OVERHEAD_BYTES + 1);
+        }
+    }
+}

@@ -104,6 +104,9 @@ pub mod session {
     pub const OBJECTS_COMPLETED: &str = "link.session.objects_completed";
     /// Histogram (milli-units): decode overhead ε per completed object.
     pub const DECODE_EPS_MILLI: &str = "link.session.decode_eps_milli";
+    /// Counter: valid symbols dropped by the admission mask (objects not
+    /// addressed to this receiver).
+    pub const SYMBOLS_FILTERED: &str = "link.session.symbols_filtered";
 }
 
 /// Modulation-controller instruments (`link::control`).
@@ -162,4 +165,40 @@ pub mod fleet {
     /// Histogram (milli-units): decode overhead ε merged from the
     /// per-shard session spines (see `link.session.decode_eps_milli`).
     pub const EPS_MILLI: &str = "sim.fleet.eps_milli";
+}
+
+/// Network-layer instruments (`inframe-net`): MAC framing, stream
+/// delivery, and spatial sub-channels.
+pub mod net {
+    /// Counter: MAC frames encoded onto the carousel.
+    pub const FRAMES_TX: &str = "net.frames_tx";
+    /// Counter: MAC frames scanned out of completed objects.
+    pub const FRAMES_RX: &str = "net.frames_rx";
+    /// Counter: MAC frames dropped by the address filter.
+    pub const FRAMES_FILTERED: &str = "net.frames_filtered";
+    /// Counter: MAC frames rejected (bad CRC, malformed header, unknown
+    /// stream).
+    pub const FRAMES_REJECTED: &str = "net.frames_rejected";
+    /// Counter: datagrams submitted for transmission.
+    pub const DATAGRAMS_TX: &str = "net.datagrams_tx";
+    /// Counter: datagrams delivered in order to stream consumers.
+    pub const DATAGRAMS_RX: &str = "net.datagrams_rx";
+    /// Counter: datagram payload bytes delivered in order.
+    pub const BYTES_RX: &str = "net.bytes_rx";
+    /// Counter: transport objects completed and ingested by the net layer.
+    pub const OBJECTS_INGESTED: &str = "net.objects_ingested";
+    /// Gauge: spatial sub-channel regions in the active tiling.
+    pub const REGIONS: &str = "net.regions";
+
+    /// Per-stream delivered-bytes counter name (resolved at stream
+    /// registration, never on the per-cycle path).
+    pub fn stream_bytes(stream: u8) -> String {
+        format!("net.stream.{stream}.bytes_rx")
+    }
+
+    /// Per-region δ-scale gauge name (resolved at controller-bank
+    /// construction, never on the per-cycle path).
+    pub fn region_scale(region: usize) -> String {
+        format!("net.region.{region}.delta_scale")
+    }
 }

@@ -29,7 +29,9 @@
 //! scene-cut bursts and the adaptive δ/τ control loop. [`faults`]
 //! injects seeded capture-path faults — drops, duplicates, clock skew,
 //! exposure drift, occlusion, desync — and measures how the hardened
-//! receiver re-locks and recovers.
+//! receiver re-locks and recovers. [`netsim`] drives the `inframe-net`
+//! stack (addressed MAC frames, QoS streams, spatial sub-channels)
+//! through per-receiver region channels with occlusion windows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +45,7 @@ pub mod fig7;
 pub mod fleet;
 pub mod link;
 pub mod linksim;
+pub mod netsim;
 pub mod pipeline;
 pub mod report;
 pub mod scenarios;
@@ -52,6 +55,9 @@ pub use faults::{
 };
 pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use link::Link;
-pub use linksim::{run_link_scenario, LinkScenarioConfig, LinkScenarioOutcome};
+pub use linksim::{
+    run_link_scenario, LinkScenarioConfig, LinkScenarioOutcome, RegionChannel, RegionOcclusion,
+};
+pub use netsim::{run_net_scenario, NetScenarioConfig, NetScenarioOutcome};
 pub use pipeline::{SimOutcome, Simulation, SimulationConfig};
 pub use scenarios::{Scale, Scenario};

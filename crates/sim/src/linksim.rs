@@ -148,6 +148,126 @@ impl GobChannel {
     }
 }
 
+/// A window during which one spatial region is fully occluded (a hand,
+/// a passer-by, a sticker on the display) for this receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionOcclusion {
+    /// Region index in the channel's [`RegionMap`].
+    pub region: usize,
+    /// First occluded cycle (inclusive).
+    pub from_cycle: u64,
+    /// First clear cycle (exclusive; `u64::MAX` = permanent).
+    pub until_cycle: u64,
+}
+
+impl RegionOcclusion {
+    /// Whether the window covers `cycle`.
+    pub fn active(&self, cycle: u64) -> bool {
+        (self.from_cycle..self.until_cycle).contains(&cycle)
+    }
+}
+
+/// A per-GOB erasure channel with *per-region* state: each spatial
+/// sub-channel gets its own base erasure, its own modulation response
+/// (the per-region δ controllers command regions independently) and its
+/// own occlusion windows. The heterogeneity is the whole point — a
+/// frame-wide channel would force every region to the worst region's
+/// operating point.
+#[derive(Debug, Clone)]
+pub struct RegionChannel {
+    map: inframe_core::region::RegionMap,
+    /// One response model per region (rngs unused; draws come from
+    /// `rng` so region count does not perturb the noise stream).
+    channels: Vec<GobChannel>,
+    occlusions: Vec<RegionOcclusion>,
+    rng: Xoshiro256,
+}
+
+impl RegionChannel {
+    /// A channel over `map` with one base erasure rate per region.
+    ///
+    /// # Panics
+    /// Panics unless `base_erasures` has exactly one entry per region.
+    pub fn new(map: inframe_core::region::RegionMap, base_erasures: &[f64], seed: u64) -> Self {
+        assert_eq!(
+            base_erasures.len(),
+            map.num_regions(),
+            "one base erasure per region"
+        );
+        let channels = base_erasures
+            .iter()
+            .enumerate()
+            .map(|(r, &e)| GobChannel::new(e, None, seed ^ (r as u64) << 24))
+            .collect();
+        Self {
+            map,
+            channels,
+            occlusions: Vec::new(),
+            rng: Xoshiro256::seed_from_u64(seed ^ 0x5245_4749_4F4E),
+        }
+    }
+
+    /// The region map.
+    pub fn region_map(&self) -> &inframe_core::region::RegionMap {
+        &self.map
+    }
+
+    /// Applies a modulation command to one region's response model.
+    pub fn set_region_modulation(&mut self, region: usize, cmd: ModulationCommand) {
+        self.channels[region].set_modulation(cmd);
+    }
+
+    /// Schedules an occlusion window.
+    pub fn add_occlusion(&mut self, occ: RegionOcclusion) {
+        assert!(occ.region < self.map.num_regions(), "region out of range");
+        assert!(occ.from_cycle < occ.until_cycle, "empty occlusion window");
+        self.occlusions.push(occ);
+    }
+
+    /// Whether `region` is occluded at `cycle`.
+    pub fn occluded(&self, region: usize, cycle: u64) -> bool {
+        self.occlusions
+            .iter()
+            .any(|o| o.region == region && o.active(cycle))
+    }
+
+    /// The effective erasure probability of `region` at `cycle` (1 when
+    /// occluded).
+    pub fn erasure_at(&self, region: usize, cycle: u64) -> f64 {
+        if self.occluded(region, cycle) {
+            1.0
+        } else {
+            self.channels[region].erasure_at(cycle)
+        }
+    }
+
+    /// Transmits one cycle's channel-order payload bits: per-GOB i.i.d.
+    /// erasure at the GOB's region rate, occluded regions fully erased.
+    /// Returns one `Option<bool>` per payload bit, ready for
+    /// [`inframe_net::NetReceiver::push_cycle`].
+    pub fn transmit_payload(&mut self, payload: &[bool], cycle: u64) -> Vec<Option<bool>> {
+        let bits_per_gob = self.map.region_payload_bits() / self.map.gobs_per_region();
+        let num_gobs = self.map.num_regions() * self.map.gobs_per_region();
+        assert_eq!(
+            payload.len(),
+            num_gobs * bits_per_gob,
+            "payload is not a whole frame"
+        );
+        let mut out: Vec<Option<bool>> = payload.iter().map(|&b| Some(b)).collect();
+        for g in 0..num_gobs {
+            let region = self.map.region_of_gob(g);
+            let p = self.erasure_at(region, cycle);
+            // One draw per GOB regardless of p keeps runs comparable
+            // across erasure settings with the same seed.
+            let erased = self.rng.next_f64() < p;
+            if erased {
+                out[g * bits_per_gob..(g + 1) * bits_per_gob].fill(None);
+            }
+        }
+        out
+    }
+}
+
 /// One object riding the scenario's carousel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScenarioObject {

@@ -42,6 +42,7 @@
 //! | [`hvs`] | `inframe-hvs` | flicker fusion / phantom array perception model |
 //! | [`code`] | `inframe-code` | parity, CRC, Reed–Solomon, interleaving, PRBS |
 //! | [`link`] | `inframe-link` | rateless transport: fountain-coded carousel, receiver sessions, δ/τ control |
+//! | [`net`] | `inframe-net` | network layer: addressed MAC frames, multi-stream QoS, spatial sub-channels |
 //! | [`obs`] | `inframe-obs` | telemetry spine: counters, histograms, events, flight recorder, exporters |
 //! | [`sim`] | `inframe-sim` | end-to-end channel simulation and every paper experiment |
 //!
@@ -62,6 +63,7 @@ pub use inframe_dsp as dsp;
 pub use inframe_frame as frame;
 pub use inframe_hvs as hvs;
 pub use inframe_link as link;
+pub use inframe_net as net;
 pub use inframe_obs as obs;
 pub use inframe_sim as sim;
 pub use inframe_video as video;
