@@ -220,6 +220,25 @@ impl Multiplexer {
         }
     }
 
+    /// Re-points the multiplexer at a new (δ, τ) operating point:
+    /// rebuilds the smoothing envelope and the chessboard LUT and
+    /// invalidates both backend render caches. Must only be called at a
+    /// cycle boundary (`k == 0`) — mid-cycle the envelope phase would
+    /// jump visibly. No-op when the operating point is unchanged.
+    pub fn set_modulation(&mut self, delta: f32, tau: u32) {
+        if self.config.delta == delta && self.config.tau == tau {
+            return;
+        }
+        self.config.delta = delta;
+        self.config.tau = tau;
+        self.config.validate();
+        self.envelope = Envelope::new(self.config.pairs_per_cycle(), self.config.envelope);
+        self.lut = ChessLut::new(delta, self.config.complementation);
+        self.cache_key = None;
+        self.steps_key = None;
+        self.scale_epoch += 1;
+    }
+
     /// The maximum per-pair envelope amplitude step across a cycle — feeds
     /// the phantom-array term of the HVS assessment.
     pub fn max_envelope_step(&self) -> f64 {

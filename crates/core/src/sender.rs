@@ -122,6 +122,13 @@ pub struct Sender<V, P> {
     sent_payloads: Vec<Vec<bool>>,
     display_index: u64,
     paused: bool,
+    /// Pending (δ, τ) command, applied at the next cycle boundary.
+    queued_modulation: Option<(f32, u32)>,
+    /// τ re-basing epoch: cycle counting restarts here whenever τ
+    /// changes mid-run, so `cycle_index` stays contiguous across the
+    /// change instead of jumping with the new divisor.
+    epoch_display: u64,
+    epoch_cycle: u64,
     /// Display-frame buffer arena; emitted frames return here on drop.
     pool: FramePool,
     meter: ThroughputMeter,
@@ -213,6 +220,9 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
             next,
             display_index: 0,
             paused: false,
+            queued_modulation: None,
+            epoch_display: 0,
+            epoch_cycle: 0,
             pool: FramePool::new(config.display_w, config.display_h),
             meter,
             obs: SenderObs::default(),
@@ -300,9 +310,62 @@ impl<V: VideoSource, P: PayloadSource> Sender<V, P> {
         self.paused
     }
 
+    /// Queues a mid-run (δ, τ) modulation command. It takes effect at
+    /// the next cycle boundary — never mid-cycle, so the smoothing
+    /// envelope stays continuous and emitted frames remain
+    /// bit-deterministic for a given command schedule. A later queue
+    /// call before the boundary replaces the earlier one.
+    ///
+    /// # Panics
+    /// The command is validated at application; an invalid (δ, τ) pair
+    /// panics at the boundary (see [`InFrameConfig::validate`]).
+    pub fn queue_modulation(&mut self, delta: f32, tau: u32) {
+        self.queued_modulation = Some((delta, tau));
+    }
+
+    /// The active (δ, τ) operating point (queued commands excluded
+    /// until they apply).
+    pub fn modulation(&self) -> (f32, u32) {
+        (self.config.delta, self.config.tau)
+    }
+
+    /// Computes the schedule slot for the current display index under
+    /// the τ epoch: cycle position restarts at each τ change so
+    /// `cycle_index` advances contiguously (1 per τ_new frames) instead
+    /// of re-dividing the absolute frame count.
+    fn current_slot(&self) -> FrameSlot {
+        let rel = self.display_index - self.epoch_display;
+        let mut s = slot(&self.config, rel);
+        s.display_index = self.display_index;
+        s.video_index = self.display_index / InFrameConfig::DUPLICATES_PER_VIDEO_FRAME as u64;
+        s.cycle_index += self.epoch_cycle;
+        s.t_start = self.display_index as f64 / self.config.refresh_hz;
+        s
+    }
+
     /// Emits the next displayed frame, or `None` when the video ends.
     pub fn next_frame(&mut self) -> Option<SenderFrame> {
-        let s = slot(&self.config, self.display_index);
+        let mut s = self.current_slot();
+        // Apply a queued modulation command exactly at the cycle
+        // boundary. δ swaps the chessboard LUT; τ re-bases the cycle
+        // epoch so this boundary starts the first cycle of the new
+        // length.
+        if s.k == 0 {
+            if let Some((delta, tau)) = self.queued_modulation.take() {
+                if tau != self.config.tau {
+                    self.epoch_display = self.display_index;
+                    self.epoch_cycle = s.cycle_index;
+                }
+                self.config.delta = delta;
+                self.config.tau = tau;
+                self.mux.set_modulation(delta, tau);
+                self.obs
+                    .telemetry
+                    .gauge(names::chan::DATA_FRAME_RATE)
+                    .set_f64(self.config.data_frame_rate());
+                s = self.current_slot();
+            }
+        }
         // Fetch the video frame at each video boundary (including frame 0).
         // The buffer is refilled in place (`next_frame_into`): one plane
         // lives for the whole stream, so video boundaries do not churn

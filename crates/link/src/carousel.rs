@@ -155,6 +155,12 @@ pub struct Carousel {
     slots: Vec<CarouselSlot>,
     /// Framed bits carried over a cycle boundary (streamed geometry).
     pending: Vec<bool>,
+    /// NACKed `(object, seq)` pairs awaiting retransmission; served
+    /// before the WRR schedule. The ring reuses its capacity, so the
+    /// steady-state ARQ path allocates nothing.
+    retransmit: std::collections::VecDeque<(u16, u32)>,
+    /// Symbols emitted from the retransmit ring.
+    retransmitted: u64,
     cycles_emitted: u64,
 }
 
@@ -165,6 +171,8 @@ impl Carousel {
             geometry,
             slots: Vec::new(),
             pending: Vec::new(),
+            retransmit: std::collections::VecDeque::new(),
+            retransmitted: 0,
             cycles_emitted: 0,
         }
     }
@@ -260,14 +268,61 @@ impl Carousel {
         self.cycles_emitted
     }
 
-    /// Emits the next symbol by smooth weighted round-robin: every slot
-    /// earns its priority in credit, the richest slot wins and pays the
-    /// total priority back.
+    /// Queues one symbol of object `id` for retransmission (selective
+    /// repeat). Retransmits preempt the WRR schedule but do not touch
+    /// any slot's credit, so they never perturb the relative schedule
+    /// of the live objects. Returns `false` (and queues nothing) when
+    /// the object is not on the carousel or the same symbol is already
+    /// pending — re-NACKs that race an in-flight repair must not grow
+    /// the ring.
+    pub fn queue_retransmit(&mut self, id: u16, seq: u32) -> bool {
+        if self.slots.iter().all(|s| s.encoder.object_id() != id) {
+            return false;
+        }
+        if self.retransmit.contains(&(id, seq)) {
+            return false;
+        }
+        self.retransmit.push_back((id, seq));
+        true
+    }
+
+    /// Whether symbol `seq` of object `id` is already queued and not
+    /// yet re-emitted.
+    pub fn retransmit_pending(&self, id: u16, seq: u32) -> bool {
+        self.retransmit.contains(&(id, seq))
+    }
+
+    /// NACKed symbols queued and not yet re-emitted.
+    pub fn retransmit_backlog(&self) -> usize {
+        self.retransmit.len()
+    }
+
+    /// Drops queued retransmissions for `id` (object retired or flow
+    /// degraded to pure fountain).
+    pub fn cancel_retransmits(&mut self, id: u16) {
+        self.retransmit.retain(|&(rid, _)| rid != id);
+    }
+
+    /// Symbols re-emitted from the retransmit ring so far.
+    pub fn symbols_retransmitted(&self) -> u64 {
+        self.retransmitted
+    }
+
+    /// Emits the next symbol: queued retransmissions first (skipping
+    /// any whose object has since been removed), then smooth weighted
+    /// round-robin — every slot earns its priority in credit, the
+    /// richest slot wins and pays the total priority back.
     ///
     /// # Panics
     /// Panics on an empty carousel.
     pub fn next_symbol(&mut self) -> Symbol {
         assert!(!self.slots.is_empty(), "carousel has no objects");
+        while let Some((id, seq)) = self.retransmit.pop_front() {
+            if let Some(s) = self.slots.iter().find(|s| s.encoder.object_id() == id) {
+                self.retransmitted += 1;
+                return s.encoder.symbol(seq);
+            }
+        }
         let total: i64 = self.slots.iter().map(|s| s.priority as i64).sum();
         for s in &mut self.slots {
             s.credit += s.priority as i64;

@@ -1,0 +1,533 @@
+//! The back-channel vocabulary: compact receiver → sender decode-quality
+//! reports and per-object NACK bitmaps.
+//!
+//! InFrame's forward channel is a display; the return path is whatever
+//! scrap of connectivity the receiver has (Wi-Fi, BLE, acoustic side
+//! channel) — low-rate, lossy, delayed, and possibly absent. A report is
+//! therefore a single small datagram that is useful in isolation:
+//!
+//! * **per-region quality** — availability and error rate of each
+//!   spatial sub-channel, quantized to a byte each, so the sender's
+//!   [`crate::control::ModulationController`] bank can re-modulate the
+//!   in-flight carousel per region;
+//! * **per-object NACKs** — for each incomplete object, the decoder's
+//!   rank and a bitmap of missing systematic columns
+//!   ([`crate::rlc::ObjectDecoder::missing_systematic_into`]), enough
+//!   for a selective-repeat sender to retransmit exactly the holes.
+//!
+//! Reports are fixed-capacity `Copy` structs: building, encoding and
+//! decoding one allocates nothing after the caller's buffers reach
+//! steady state. The wire codec frames the report with a magic/version
+//! prefix and a Fletcher-16 checksum so a corrupted or truncated report
+//! is dropped rather than misread. [`FeedbackAggregator`] is the
+//! sender-side fold: it deduplicates stale reports per receiver, merges
+//! region quality across receivers into [`GobStats`] windows, collects
+//! fresh NACKs, and exposes the feedback age that drives graceful
+//! degradation to open-loop control.
+
+use inframe_code::parity::GobStats;
+
+/// Most spatial regions one report can carry.
+pub const MAX_REGIONS: usize = 64;
+/// Most per-object NACK entries one report can carry.
+pub const MAX_NACK_OBJECTS: usize = 8;
+/// Words in a NACK bitmap: covers the first `64 ×` this many systematic
+/// columns of an object (larger objects report only their head window —
+/// rateless repair covers the tail).
+pub const NACK_WORDS: usize = 4;
+/// Systematic columns covered by one NACK bitmap.
+pub const NACK_SPAN: usize = NACK_WORDS * 64;
+
+const MAGIC: u8 = 0xFB;
+const VERSION: u8 = 1;
+const HEADER_BYTES: usize = 2 + 2 + 8 + 1 + 1;
+const REGION_BYTES: usize = 2;
+const NACK_BYTES: usize = 2 + 2 + 2 + NACK_WORDS * 8;
+
+/// Largest encoded report, bytes (header + full payload + checksum).
+pub const MAX_REPORT_BYTES: usize =
+    HEADER_BYTES + MAX_REGIONS * REGION_BYTES + MAX_NACK_OBJECTS * NACK_BYTES + 2;
+
+/// Quantized decode quality of one spatial region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegionQuality {
+    /// Available-GOB ratio, `0..=255` ≙ `0.0..=1.0`.
+    pub availability_q8: u8,
+    /// Error rate among available GOBs, `0..=255` ≙ `0.0..=1.0`.
+    pub error_q8: u8,
+}
+
+impl RegionQuality {
+    /// Quantizes measured ratios (clamped to `[0, 1]`).
+    pub fn quantize(availability: f64, error_rate: f64) -> Self {
+        let q = |v: f64| (v.clamp(0.0, 1.0) * 255.0).round() as u8;
+        Self {
+            availability_q8: q(availability),
+            error_q8: q(error_rate),
+        }
+    }
+
+    /// De-quantized available-GOB ratio.
+    pub fn availability(&self) -> f64 {
+        self.availability_q8 as f64 / 255.0
+    }
+
+    /// De-quantized error rate.
+    pub fn error_rate(&self) -> f64 {
+        self.error_q8 as f64 / 255.0
+    }
+
+    /// Synthesizes a 255-GOB statistics window with this quality, so
+    /// quantized feedback can drive the same
+    /// [`crate::control::ModulationController::observe_cycle`] path as
+    /// locally measured stats.
+    pub fn to_stats(&self) -> GobStats {
+        let available = self.availability_q8 as u64;
+        let erroneous = ((available as f64 * self.error_rate()).round() as u64).min(available);
+        GobStats {
+            available,
+            erroneous,
+            unavailable: 255 - available,
+        }
+    }
+}
+
+/// Missing-symbol report for one incomplete object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectNack {
+    /// Object identifier.
+    pub object_id: u16,
+    /// Source-symbol count K (saturated to `u16::MAX`).
+    pub k: u16,
+    /// Decoder rank at report time.
+    pub rank: u16,
+    /// Bit `j` set ⇒ systematic column `j` has no pivot yet
+    /// (`j < NACK_SPAN`).
+    pub words: [u64; NACK_WORDS],
+}
+
+impl Default for ObjectNack {
+    fn default() -> Self {
+        Self {
+            object_id: 0,
+            k: 0,
+            rank: 0,
+            words: [0; NACK_WORDS],
+        }
+    }
+}
+
+impl ObjectNack {
+    /// Missing systematic columns reported in the bitmap.
+    pub fn holes(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterates the missing columns in ascending order.
+    pub fn missing(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64u32)
+                .filter(move |b| w >> b & 1 == 1)
+                .map(move |b| wi as u32 * 64 + b)
+        })
+    }
+}
+
+/// One receiver → sender feedback datagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackReport {
+    /// Reporting receiver (raw MAC address bits).
+    pub receiver: u16,
+    /// Receiver cycle the report describes — the aggregator's staleness
+    /// / duplicate key.
+    pub cycle: u64,
+    num_regions: u8,
+    regions: [RegionQuality; MAX_REGIONS],
+    num_nacks: u8,
+    nacks: [ObjectNack; MAX_NACK_OBJECTS],
+}
+
+impl FeedbackReport {
+    /// An empty report from `receiver` describing `cycle`.
+    pub fn new(receiver: u16, cycle: u64) -> Self {
+        Self {
+            receiver,
+            cycle,
+            num_regions: 0,
+            regions: [RegionQuality::default(); MAX_REGIONS],
+            num_nacks: 0,
+            nacks: [ObjectNack::default(); MAX_NACK_OBJECTS],
+        }
+    }
+
+    /// Appends a region-quality entry (region index = position).
+    /// Returns `false` when the report is full.
+    pub fn push_region(&mut self, q: RegionQuality) -> bool {
+        if (self.num_regions as usize) < MAX_REGIONS {
+            self.regions[self.num_regions as usize] = q;
+            self.num_regions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Appends a per-object NACK. Returns `false` when full.
+    pub fn push_nack(&mut self, n: ObjectNack) -> bool {
+        if (self.num_nacks as usize) < MAX_NACK_OBJECTS {
+            self.nacks[self.num_nacks as usize] = n;
+            self.num_nacks += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The region-quality entries, indexed by region.
+    pub fn regions(&self) -> &[RegionQuality] {
+        &self.regions[..self.num_regions as usize]
+    }
+
+    /// The NACK entries.
+    pub fn nacks(&self) -> &[ObjectNack] {
+        &self.nacks[..self.num_nacks as usize]
+    }
+
+    /// Appends the wire encoding to `out` (cleared first). The buffer
+    /// reaches steady-state capacity after one call and never
+    /// reallocates for subsequent reports.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.push(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&self.receiver.to_le_bytes());
+        out.extend_from_slice(&self.cycle.to_le_bytes());
+        out.push(self.num_regions);
+        out.push(self.num_nacks);
+        for q in self.regions() {
+            out.push(q.availability_q8);
+            out.push(q.error_q8);
+        }
+        for n in self.nacks() {
+            out.extend_from_slice(&n.object_id.to_le_bytes());
+            out.extend_from_slice(&n.k.to_le_bytes());
+            out.extend_from_slice(&n.rank.to_le_bytes());
+            for w in &n.words {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        let ck = fletcher16(out);
+        out.extend_from_slice(&ck.to_le_bytes());
+    }
+
+    /// Decodes a wire report; `None` on bad magic/version, truncation,
+    /// bounds violations, or checksum mismatch.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < HEADER_BYTES + 2 || buf[0] != MAGIC || buf[1] != VERSION {
+            return None;
+        }
+        let (body, ck_bytes) = buf.split_at(buf.len() - 2);
+        let ck = u16::from_le_bytes([ck_bytes[0], ck_bytes[1]]);
+        if fletcher16(body) != ck {
+            return None;
+        }
+        let receiver = u16::from_le_bytes([buf[2], buf[3]]);
+        let cycle = u64::from_le_bytes(buf[4..12].try_into().ok()?);
+        let num_regions = buf[12];
+        let num_nacks = buf[13];
+        if num_regions as usize > MAX_REGIONS || num_nacks as usize > MAX_NACK_OBJECTS {
+            return None;
+        }
+        let expected = HEADER_BYTES
+            + num_regions as usize * REGION_BYTES
+            + num_nacks as usize * NACK_BYTES
+            + 2;
+        if buf.len() != expected {
+            return None;
+        }
+        let mut report = Self::new(receiver, cycle);
+        let mut at = HEADER_BYTES;
+        for _ in 0..num_regions {
+            report.push_region(RegionQuality {
+                availability_q8: buf[at],
+                error_q8: buf[at + 1],
+            });
+            at += REGION_BYTES;
+        }
+        for _ in 0..num_nacks {
+            let object_id = u16::from_le_bytes([buf[at], buf[at + 1]]);
+            let k = u16::from_le_bytes([buf[at + 2], buf[at + 3]]);
+            let rank = u16::from_le_bytes([buf[at + 4], buf[at + 5]]);
+            let mut words = [0u64; NACK_WORDS];
+            for (wi, w) in words.iter_mut().enumerate() {
+                let o = at + 6 + wi * 8;
+                *w = u64::from_le_bytes(buf[o..o + 8].try_into().ok()?);
+            }
+            report.push_nack(ObjectNack {
+                object_id,
+                k,
+                rank,
+                words,
+            });
+            at += NACK_BYTES;
+        }
+        Some(report)
+    }
+}
+
+/// Fletcher-16 over `data` (modulo 255, zero-initialized sums).
+fn fletcher16(data: &[u8]) -> u16 {
+    let (mut a, mut b) = (0u32, 0u32);
+    for &byte in data {
+        a = (a + byte as u32) % 255;
+        b = (b + a) % 255;
+    }
+    ((b << 8) | a) as u16
+}
+
+/// Sender-side fold of feedback from many receivers.
+///
+/// Ingest deduplicates per receiver by report cycle (a report no newer
+/// than the freshest already seen from the same receiver is stale and
+/// rejected — delayed duplicates from a reordering back-channel fall
+/// out here). Accepted reports merge their region quality into
+/// per-region [`GobStats`] windows — summing across receivers, so the
+/// controller sees the population average weighted toward whoever
+/// reports — and append their NACKs to the window's NACK list. The
+/// consumer drains the window once per control decision via
+/// [`FeedbackAggregator::reset_window`].
+#[derive(Debug, Clone)]
+pub struct FeedbackAggregator {
+    num_regions: usize,
+    window: Vec<GobStats>,
+    reported: Vec<bool>,
+    /// `(receiver, freshest report cycle)`.
+    peers: Vec<(u16, u64)>,
+    /// `(receiver, nack)` accepted this window.
+    nacks: Vec<(u16, ObjectNack)>,
+    /// Sender cycle at which the last fresh report was accepted.
+    last_fresh: Option<u64>,
+    accepted: u64,
+    stale: u64,
+}
+
+impl FeedbackAggregator {
+    /// An aggregator folding quality over `num_regions` regions.
+    pub fn new(num_regions: usize) -> Self {
+        Self {
+            num_regions,
+            window: vec![GobStats::default(); num_regions],
+            reported: vec![false; num_regions],
+            peers: Vec::new(),
+            nacks: Vec::new(),
+            last_fresh: None,
+            accepted: 0,
+            stale: 0,
+        }
+    }
+
+    /// Ingests one report at sender cycle `now_cycle`. Returns `false`
+    /// (fold untouched) when the report is stale or duplicated.
+    pub fn ingest(&mut self, report: &FeedbackReport, now_cycle: u64) -> bool {
+        match self.peers.iter_mut().find(|(r, _)| *r == report.receiver) {
+            Some((_, freshest)) => {
+                if report.cycle <= *freshest {
+                    self.stale += 1;
+                    return false;
+                }
+                *freshest = report.cycle;
+            }
+            None => self.peers.push((report.receiver, report.cycle)),
+        }
+        for (r, q) in report.regions().iter().enumerate().take(self.num_regions) {
+            self.window[r].merge(&q.to_stats());
+            self.reported[r] = true;
+        }
+        for n in report.nacks() {
+            self.nacks.push((report.receiver, *n));
+        }
+        self.last_fresh = Some(now_cycle);
+        self.accepted += 1;
+        true
+    }
+
+    /// The folded quality window of region `r`, or `None` if no fresh
+    /// report touched it since the last drain.
+    pub fn window_stats(&self, r: usize) -> Option<&GobStats> {
+        (r < self.num_regions && self.reported[r]).then(|| &self.window[r])
+    }
+
+    /// NACKs accepted this window, with their reporting receiver.
+    pub fn nacks(&self) -> &[(u16, ObjectNack)] {
+        &self.nacks
+    }
+
+    /// Clears the fold for the next decision window (capacities are
+    /// kept, so the steady-state loop allocates nothing).
+    pub fn reset_window(&mut self) {
+        for s in &mut self.window {
+            *s = GobStats::default();
+        }
+        for r in &mut self.reported {
+            *r = false;
+        }
+        self.nacks.clear();
+    }
+
+    /// Cycles since the last fresh report, or `None` if none was ever
+    /// accepted. This is the degradation trigger: when the age exceeds
+    /// the policy timeout the loop falls back to open-loop control.
+    pub fn feedback_age(&self, now_cycle: u64) -> Option<u64> {
+        self.last_fresh.map(|c| now_cycle.saturating_sub(c))
+    }
+
+    /// Reports accepted over the aggregator's lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Reports rejected as stale or duplicated.
+    pub fn stale(&self) -> u64 {
+        self.stale
+    }
+
+    /// Receivers that have ever reported.
+    pub fn receivers(&self) -> usize {
+        self.peers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_report() -> FeedbackReport {
+        let mut r = FeedbackReport::new(0x0101, 42);
+        r.push_region(RegionQuality::quantize(0.97, 0.01));
+        r.push_region(RegionQuality::quantize(0.40, 0.25));
+        r.push_nack(ObjectNack {
+            object_id: 7,
+            k: 13,
+            rank: 9,
+            words: [0b1011, 0, 0, 0],
+        });
+        r
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let r = sample_report();
+        let mut buf = Vec::new();
+        r.encode_into(&mut buf);
+        assert!(buf.len() <= MAX_REPORT_BYTES);
+        assert_eq!(FeedbackReport::decode(&buf), Some(r));
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let r = sample_report();
+        let mut buf = Vec::new();
+        r.encode_into(&mut buf);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x20;
+            // Any single-byte corruption must fail closed (magic,
+            // bounds, or checksum).
+            assert_eq!(FeedbackReport::decode(&bad), None, "byte {i}");
+        }
+        assert_eq!(FeedbackReport::decode(&buf[..buf.len() - 1]), None);
+        assert_eq!(FeedbackReport::decode(&[]), None);
+    }
+
+    #[test]
+    fn nack_iterates_missing_columns() {
+        let n = ObjectNack {
+            object_id: 1,
+            k: 130,
+            rank: 127,
+            words: [1 << 3, 0, 1 << 0, 0],
+        };
+        assert_eq!(n.holes(), 2);
+        assert_eq!(n.missing().collect::<Vec<_>>(), vec![3, 128]);
+    }
+
+    #[test]
+    fn aggregator_rejects_stale_and_tracks_age() {
+        let mut agg = FeedbackAggregator::new(2);
+        let mut r = FeedbackReport::new(1, 10);
+        r.push_region(RegionQuality::quantize(1.0, 0.0));
+        assert!(agg.ingest(&r, 100));
+        // Same cycle again (duplicate) and older (reordered): rejected.
+        assert!(!agg.ingest(&r, 101));
+        r.cycle = 5;
+        assert!(!agg.ingest(&r, 102));
+        assert_eq!(agg.accepted(), 1);
+        assert_eq!(agg.stale(), 2);
+        assert_eq!(agg.feedback_age(130), Some(30));
+        // A genuinely fresh report is accepted.
+        r.cycle = 11;
+        assert!(agg.ingest(&r, 140));
+        assert_eq!(agg.feedback_age(141), Some(1));
+    }
+
+    #[test]
+    fn aggregator_folds_regions_across_receivers() {
+        let mut agg = FeedbackAggregator::new(2);
+        let mut a = FeedbackReport::new(1, 1);
+        a.push_region(RegionQuality::quantize(1.0, 0.0));
+        a.push_region(RegionQuality::quantize(0.5, 0.0));
+        let mut b = FeedbackReport::new(2, 1);
+        b.push_region(RegionQuality::quantize(0.8, 0.0));
+        assert!(agg.ingest(&a, 0));
+        assert!(agg.ingest(&b, 0));
+        let r0 = agg.window_stats(0).expect("region 0 reported");
+        assert!((r0.available_ratio() - 0.9).abs() < 0.01);
+        let r1 = agg.window_stats(1).expect("region 1 reported");
+        assert!((r1.available_ratio() - 0.5).abs() < 0.01);
+        agg.reset_window();
+        assert!(agg.window_stats(0).is_none());
+        assert!(agg.nacks().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn any_report_round_trips(
+            receiver in any::<u16>(),
+            cycle in any::<u64>(),
+            regions in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..MAX_REGIONS),
+            nacks in proptest::collection::vec(
+                (any::<u16>(), any::<u16>(), any::<u16>(), any::<[u64; NACK_WORDS]>()),
+                0..MAX_NACK_OBJECTS,
+            ),
+        ) {
+            let mut r = FeedbackReport::new(receiver, cycle);
+            for (a, e) in &regions {
+                prop_assert!(r.push_region(RegionQuality {
+                    availability_q8: *a,
+                    error_q8: *e,
+                }));
+            }
+            for (id, k, rank, words) in &nacks {
+                prop_assert!(r.push_nack(ObjectNack {
+                    object_id: *id,
+                    k: *k,
+                    rank: *rank,
+                    words: *words,
+                }));
+            }
+            let mut buf = Vec::new();
+            r.encode_into(&mut buf);
+            prop_assert_eq!(FeedbackReport::decode(&buf), Some(r));
+        }
+
+        #[test]
+        fn quantization_error_is_bounded(avail in 0.0f64..=1.0, err in 0.0f64..=1.0) {
+            let q = RegionQuality::quantize(avail, err);
+            prop_assert!((q.availability() - avail).abs() <= 0.5 / 255.0 + 1e-9);
+            prop_assert!((q.error_rate() - err).abs() <= 0.5 / 255.0 + 1e-9);
+            let stats = q.to_stats();
+            prop_assert!((stats.available_ratio() - avail).abs() <= 1.0 / 255.0 + 1e-9);
+        }
+    }
+}

@@ -25,12 +25,18 @@
 //! * [`control`] — adaptive modulation: δ/τ commands from windowed GOB
 //!   statistics, bounded by the HVS imperceptibility ceiling, backing
 //!   off while the receiver reports the channel SUSPECT.
+//! * [`feedback`] — the back-channel vocabulary: compact per-region
+//!   decode-quality reports with per-object NACK bitmaps, a checksummed
+//!   wire codec, and the sender-side multi-receiver aggregator that
+//!   closes the control loop (and ages out, triggering graceful
+//!   degradation back to open-loop fountain operation).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod carousel;
 pub mod control;
+pub mod feedback;
 pub mod rlc;
 pub mod session;
 pub mod symbol;
@@ -40,6 +46,7 @@ pub use control::{
     imperceptible_delta_ceiling, ChannelHealth, ControllerPolicy, ModulationCommand,
     ModulationController,
 };
+pub use feedback::{FeedbackAggregator, FeedbackReport, ObjectNack, RegionQuality};
 pub use rlc::{Absorb, ObjectDecoder, RlcEncoder};
 pub use session::{
     absorb_cycle_bulk, CompletionTarget, CycleReport, ReceiverSession, SessionState, SymbolScanner,

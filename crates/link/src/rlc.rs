@@ -195,6 +195,35 @@ impl ObjectDecoder {
             .map(|r| r as f64 / self.k as f64 - 1.0)
     }
 
+    /// Whether a pivot row exists at source column `j` — once set, the
+    /// systematic symbol `j` is recoverable without further repair.
+    pub fn has_pivot(&self, j: usize) -> bool {
+        j < self.k && self.rows[j].is_some()
+    }
+
+    /// Writes the systematic-gap bitmap into `out`: bit `j` of the map
+    /// is set when source column `j` has no pivot row yet — the holes a
+    /// selective-repeat sender can fill with a direct retransmission.
+    /// Columns beyond `64 × out.len()` are ignored (callers size `out`
+    /// for their K ceiling); surplus words are cleared. Returns the
+    /// number of holes reported. Allocation-free.
+    pub fn missing_systematic_into(&self, out: &mut [u64]) -> u32 {
+        let mut holes = 0u32;
+        for w in out.iter_mut() {
+            *w = 0;
+        }
+        if self.decoded.is_some() {
+            return 0;
+        }
+        for j in 0..self.k.min(out.len() * 64) {
+            if self.rows[j].is_none() {
+                out[j / 64] |= 1u64 << (j % 64);
+                holes += 1;
+            }
+        }
+        holes
+    }
+
     /// Absorbs one symbol, reducing it against the pivot rows held so
     /// far. O(K·(K+S)) worst case per symbol; completion triggers
     /// automatically when rank reaches K.

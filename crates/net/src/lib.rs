@@ -29,6 +29,14 @@
 //!   ([`spatial::RegionControllerBank`]). A receiver with one tile
 //!   occluded loses exactly that shard's symbols and completes through
 //!   rateless repair on the visible tiles.
+//! * [`arq`] — **closed-loop repair**: when a (lossy, delayed) back-
+//!   channel exists, receivers report per-region decode quality and
+//!   per-object NACK bitmaps ([`inframe_link::feedback`]); the sender
+//!   aggregates them, re-modulates δ per region through the
+//!   [`spatial::RegionControllerBank`], and selectively retransmits
+//!   NACKed symbols under retry budgets and no-progress backoff. A
+//!   silent back-channel degrades the whole loop gracefully to the
+//!   open-loop fountain schedule, recovering when feedback returns.
 //!
 //! [`NetSender`] and [`NetReceiver`] assemble the full stack:
 //! datagrams → MAC frames → objects → carousel shards → cycle payload
@@ -39,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod arq;
 pub mod mac;
 pub mod receiver;
 pub mod sender;
@@ -46,6 +55,7 @@ pub mod spatial;
 pub mod stream;
 
 pub use addr::{AddressFilter, MacAddr};
+pub use arq::{ArqEngine, ArqMode, ArqPolicy};
 pub use mac::{MacFrameView, MacScanner};
 pub use receiver::NetReceiver;
 pub use sender::NetSender;

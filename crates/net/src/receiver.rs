@@ -20,7 +20,9 @@
 use crate::addr::AddressFilter;
 use crate::mac::MacScanner;
 use crate::stream::StreamRx;
+use inframe_code::parity::GobStats;
 use inframe_core::region::RegionMap;
+use inframe_link::feedback::{FeedbackReport, ObjectNack, RegionQuality, NACK_WORDS};
 use inframe_link::rlc::ObjectDecoder;
 use inframe_link::session::SymbolScanner;
 use inframe_link::symbol::object_hint;
@@ -52,6 +54,12 @@ impl RecvObs {
     }
 }
 
+/// Strided rounds the global reception frontier must lead a hole by
+/// before the hole counts as lost without any same-class evidence —
+/// covers the scan pipeline (a symbol spans multiple cycles) plus the
+/// slight shard drift retransmit preemption introduces.
+const FRONTIER_SLACK_ROUNDS: u32 = 3;
+
 /// One reassembly lane: the [`StreamRx`] for a single (stream,
 /// destination) pair, matching the sender's per-destination sequence
 /// spaces.
@@ -82,6 +90,11 @@ pub struct NetReceiver {
     /// Symbol-level admission mask derived from `filter`.
     admission: u64,
     decoders: BTreeMap<u16, ObjectDecoder>,
+    /// Per-object reception frontiers, one per stride class (`seq % R`):
+    /// `max received seq + 1` in that class. A systematic hole below its
+    /// class frontier was provably emitted and lost; one at or past it
+    /// may simply not have been scheduled yet, and must not be NACKed.
+    frontiers: BTreeMap<u16, Vec<u32>>,
     /// Completed object ids in completion order.
     completed: Vec<u16>,
     /// How many completed objects have been MAC-ingested.
@@ -91,6 +104,10 @@ pub struct NetReceiver {
     region_buf: Vec<Option<bool>>,
     /// Scratch completed-object bytes (ingest staging).
     object_buf: Vec<u8>,
+    /// Per-region decode-quality window since the last feedback report.
+    region_window: Vec<GobStats>,
+    /// Per-region scanner-rejection watermarks (error attribution).
+    rejected_mark: Vec<u64>,
     symbols_filtered: u64,
     frames_rx: u64,
     frames_filtered: u64,
@@ -111,6 +128,8 @@ impl NetReceiver {
             .collect();
         let admission = filter.admission_mask();
         let region_buf = Vec::with_capacity(map.region_payload_bits());
+        let region_window = vec![GobStats::default(); map.num_regions()];
+        let rejected_mark = vec![0u64; map.num_regions()];
         Self {
             filter,
             map,
@@ -118,11 +137,14 @@ impl NetReceiver {
             scanners,
             admission,
             decoders: BTreeMap::new(),
+            frontiers: BTreeMap::new(),
             completed: Vec::new(),
             ingested: 0,
             streams: BTreeMap::new(),
             region_buf,
             object_buf: Vec::new(),
+            region_window,
+            rejected_mark,
             symbols_filtered: 0,
             frames_rx: 0,
             frames_filtered: 0,
@@ -196,6 +218,13 @@ impl NetReceiver {
     /// before returning.
     pub fn push_cycle(&mut self, full: &[Option<bool>]) {
         for r in 0..self.scanners.len() {
+            // Decode-quality accounting for the feedback loop: per-GOB
+            // availability from the erasure pattern, symbol-CRC
+            // rejections as the in-region error proxy (GOB parity is
+            // resolved below this layer).
+            let (ok, lost) = self.map.region_availability(full, r);
+            self.region_window[r].available += ok;
+            self.region_window[r].unavailable += lost;
             // A fully-erased region yields no symbols, but still keeps
             // its own scanner: damage to one tile's framing alignment
             // never leaks into another tile.
@@ -206,6 +235,13 @@ impl NetReceiver {
                     self.symbols_filtered += 1;
                     continue;
                 }
+                let regions = self.scanners.len();
+                let fr = self
+                    .frontiers
+                    .entry(id)
+                    .or_insert_with(|| vec![0u32; regions]);
+                let class = (symbol.header.seq as usize) % fr.len();
+                fr[class] = fr[class].max(symbol.header.seq + 1);
                 let decoder = self
                     .decoders
                     .entry(id)
@@ -217,9 +253,93 @@ impl NetReceiver {
                     self.obs.objects_ingested.incr();
                 }
             }
+            let rejected = self.scanners[r].rejected();
+            let delta = rejected - self.rejected_mark[r];
+            self.rejected_mark[r] = rejected;
+            // Attribute CRC-failed symbols to this region's window,
+            // capped so error_rate stays ≤ 1.
+            let w = &mut self.region_window[r];
+            w.erroneous = (w.erroneous + delta).min(w.available);
         }
         self.cycles += 1;
         self.ingest_completed();
+    }
+
+    /// Builds one back-channel report: the per-region decode-quality
+    /// window accumulated since the previous report (then reset), plus
+    /// NACK bitmaps for up to [`inframe_link::feedback::MAX_NACK_OBJECTS`]
+    /// in-progress objects (lowest object id first; the bitmap covers the
+    /// first [`inframe_link::feedback::NACK_SPAN`] systematic columns).
+    /// Stack-only — nothing allocates.
+    pub fn build_feedback(&mut self, cycle: u64) -> FeedbackReport {
+        let mut report = FeedbackReport::new(self.filter.own_addr().0, cycle);
+        for w in &mut self.region_window {
+            let availability = if w.total() == 0 {
+                1.0
+            } else {
+                w.available_ratio()
+            };
+            report.push_region(RegionQuality::quantize(availability, w.error_rate()));
+            *w = GobStats::default();
+        }
+        for (&id, d) in &self.decoders {
+            if d.is_complete() || d.received() == 0 {
+                continue;
+            }
+            let mut words = [0u64; NACK_WORDS];
+            if d.missing_systematic_into(&mut words) == 0 {
+                continue;
+            }
+            // Selective-repeat discipline: only NACK holes the schedule
+            // has provably passed — anything else is in flight (or not
+            // yet scheduled) and NACKing it only provokes duplicate
+            // repeats. Two proofs of "passed":
+            //  * class frontier — a later symbol of the same stride
+            //    class arrived, so the hole's shard emitted and lost it;
+            //  * round frontier — the shards emit in lockstep, so a
+            //    symbol received `FRONTIER_SLACK` strided rounds past
+            //    the hole proves every shard (even one so occluded that
+            //    nothing of its class ever arrives) emitted it long ago.
+            let mut holes = 0u32;
+            if let Some(fr) = self.frontiers.get(&id) {
+                let classes = fr.len() as u32;
+                let round_frontier = fr
+                    .iter()
+                    .map(|&f| f.saturating_sub(1) / classes)
+                    .max()
+                    .unwrap_or(0);
+                for (w, word) in words.iter_mut().enumerate() {
+                    let mut bits = *word;
+                    while bits != 0 {
+                        let b = bits.trailing_zeros();
+                        bits &= bits - 1;
+                        let j = w as u32 * 64 + b;
+                        let class_passed = j + 1 < fr[(j as usize) % fr.len()];
+                        let round_passed = j / classes + FRONTIER_SLACK_ROUNDS <= round_frontier;
+                        if class_passed || round_passed {
+                            holes += 1;
+                        } else {
+                            *word &= !(1u64 << b);
+                        }
+                    }
+                }
+            } else {
+                words = [0u64; NACK_WORDS];
+            }
+            if holes == 0 {
+                continue;
+            }
+            let nack = ObjectNack {
+                object_id: id,
+                k: d.k().min(u16::MAX as usize) as u16,
+                rank: d.rank().min(u16::MAX as usize) as u16,
+                words,
+            };
+            if !report.push_nack(nack) {
+                break;
+            }
+        }
+        report
     }
 
     /// MAC-ingests completed objects not yet processed.
@@ -338,6 +458,7 @@ impl NetReceiver {
     pub fn forget_object(&mut self, id: u16) -> bool {
         if self.completed.contains(&id) && self.decoders.contains_key(&id) {
             self.decoders.remove(&id);
+            self.frontiers.remove(&id);
             return true;
         }
         false

@@ -12,26 +12,44 @@
 //! has finished.
 
 use crate::addr::MacAddr;
-use crate::spatial::SpatialMux;
+use crate::arq::{ArqEngine, ArqMode, ArqPolicy};
+use crate::spatial::{RegionControllerBank, SpatialMux};
 use crate::stream::{StreamQos, StreamTx};
 use inframe_core::region::RegionMap;
 use inframe_core::sender::PayloadSource;
 use inframe_link::carousel::SymbolGeometry;
+use inframe_link::feedback::{FeedbackAggregator, FeedbackReport};
 use inframe_obs::{names, Counter, Gauge, Telemetry};
 use std::collections::BTreeMap;
 
 struct SenderObs {
+    telemetry: Telemetry,
     frames_tx: Counter,
     datagrams_tx: Counter,
     regions: Gauge,
+    reports_rx: Counter,
+    reports_stale: Counter,
+    commands_applied: Counter,
+    fallbacks: Counter,
+    recoveries: Counter,
+    closed: Gauge,
+    feedback_age: Gauge,
 }
 
 impl SenderObs {
     fn new(telemetry: &Telemetry) -> Self {
         Self {
+            telemetry: telemetry.clone(),
             frames_tx: telemetry.counter(names::net::FRAMES_TX),
             datagrams_tx: telemetry.counter(names::net::DATAGRAMS_TX),
             regions: telemetry.gauge(names::net::REGIONS),
+            reports_rx: telemetry.counter(names::ctrl_loop::REPORTS_RX),
+            reports_stale: telemetry.counter(names::ctrl_loop::REPORTS_STALE),
+            commands_applied: telemetry.counter(names::ctrl_loop::COMMANDS_APPLIED),
+            fallbacks: telemetry.counter(names::ctrl_loop::FALLBACKS),
+            recoveries: telemetry.counter(names::ctrl_loop::RECOVERIES),
+            closed: telemetry.gauge(names::ctrl_loop::CLOSED),
+            feedback_age: telemetry.gauge(names::ctrl_loop::FEEDBACK_AGE),
         }
     }
 }
@@ -43,6 +61,15 @@ pub struct NetSender {
     streams: BTreeMap<u8, StreamTx>,
     /// Rolling low 10 bits of the next object id.
     next_lo: u16,
+    /// Cycles emitted (the ARQ / feedback clock).
+    cycles: u64,
+    /// Selective-repeat engine, present once [`NetSender::enable_arq`]
+    /// ran.
+    arq: Option<ArqEngine>,
+    /// Multi-receiver feedback aggregator, paired with `arq`.
+    agg: Option<FeedbackAggregator>,
+    /// Mode at the end of the previous cycle (fallback edge detector).
+    last_mode: ArqMode,
     obs: SenderObs,
 }
 
@@ -56,6 +83,10 @@ impl NetSender {
             mux,
             streams: BTreeMap::new(),
             next_lo: 0,
+            cycles: 0,
+            arq: None,
+            agg: None,
+            last_mode: ArqMode::Fountain,
             obs,
         }
     }
@@ -155,10 +186,111 @@ impl NetSender {
         panic!("all 1024 object ids of hint {:#x} are live", hint >> 10);
     }
 
-    /// Retires a completed object from every shard. Returns whether it
-    /// was present.
+    /// Retires a completed object from every shard (dropping any ARQ
+    /// state and pending retransmits it held). Returns whether it was
+    /// present.
     pub fn retire_object(&mut self, id: u16) -> bool {
+        if let Some(arq) = &mut self.arq {
+            arq.object_retired(id, &mut self.mux);
+        }
         self.mux.remove_object(id)
+    }
+
+    /// Turns on the closed control loop: a multi-receiver
+    /// [`FeedbackAggregator`] plus a selective-repeat [`ArqEngine`]
+    /// under `policy`. Until the first fresh report arrives the sender
+    /// behaves exactly as before (pure fountain).
+    pub fn enable_arq(&mut self, policy: ArqPolicy) {
+        self.agg = Some(FeedbackAggregator::new(self.mux.num_regions()));
+        self.arq = Some(ArqEngine::new(policy).with_telemetry(&self.obs.telemetry));
+        self.last_mode = ArqMode::Fountain;
+    }
+
+    /// Ingests one receiver report from the back-channel: folds its
+    /// per-region quality into the aggregation window and routes its
+    /// NACKs to the ARQ engine. Returns whether the report was fresh
+    /// (stale/duplicate reports are dropped, counted on
+    /// `ctrl.loop.reports_stale`).
+    ///
+    /// # Panics
+    /// Panics unless [`NetSender::enable_arq`] ran first.
+    pub fn ingest_feedback(&mut self, report: &FeedbackReport) -> bool {
+        let agg = self.agg.as_mut().expect("enable_arq first");
+        let arq = self.arq.as_mut().expect("enable_arq first");
+        if !agg.ingest(report, self.cycles) {
+            self.obs.reports_stale.incr();
+            return false;
+        }
+        self.obs.reports_rx.incr();
+        for nack in report.nacks() {
+            arq.on_nack(nack, self.cycles, &mut self.mux);
+        }
+        true
+    }
+
+    /// Feeds the closed aggregation window to a per-region controller
+    /// bank and resets the window. Returns whether any region's δ/τ
+    /// command (and thus the scale fan-out) changed; the caller then
+    /// re-applies `bank.block_scales(..)` and the τ/δ envelope to the
+    /// in-flight core sender. While the ARQ engine is degraded the bank
+    /// is left alone — the open-loop controller policy owns the channel.
+    ///
+    /// # Panics
+    /// Panics unless [`NetSender::enable_arq`] ran first.
+    pub fn observe_feedback_window(&mut self, bank: &mut RegionControllerBank) -> bool {
+        let agg = self.agg.as_mut().expect("enable_arq first");
+        if self.last_mode == ArqMode::Fountain {
+            agg.reset_window();
+            return false;
+        }
+        let changed = bank.observe_feedback(agg);
+        agg.reset_window();
+        if changed {
+            self.obs.commands_applied.incr();
+        }
+        changed
+    }
+
+    /// The feedback aggregator, when the loop is enabled.
+    pub fn aggregator(&self) -> Option<&FeedbackAggregator> {
+        self.agg.as_ref()
+    }
+
+    /// The ARQ engine, when the loop is enabled.
+    pub fn arq(&self) -> Option<&ArqEngine> {
+        self.arq.as_ref()
+    }
+
+    /// Current loop mode: `Some(Closed)` with a healthy back-channel,
+    /// `Some(Fountain)` when degraded, `None` when ARQ is not enabled.
+    pub fn arq_mode(&self) -> Option<ArqMode> {
+        self.arq.as_ref().map(|a| a.mode())
+    }
+
+    /// Cycles emitted so far (the feedback clock).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Per-cycle loop upkeep: ages the back-channel, degrades or
+    /// restores the ARQ mode, and maintains the `ctrl.loop.*` gauges.
+    fn loop_upkeep(&mut self) {
+        let (Some(arq), Some(agg)) = (&mut self.arq, &self.agg) else {
+            return;
+        };
+        let mode = arq.on_cycle(self.cycles, agg, &mut self.mux);
+        match (self.last_mode, mode) {
+            (ArqMode::Closed, ArqMode::Fountain) => self.obs.fallbacks.incr(),
+            (ArqMode::Fountain, ArqMode::Closed) => self.obs.recoveries.incr(),
+            _ => {}
+        }
+        self.last_mode = mode;
+        self.obs
+            .closed
+            .set(if mode == ArqMode::Closed { 1 } else { 0 });
+        self.obs
+            .feedback_age
+            .set(agg.feedback_age(self.cycles).unwrap_or(u64::MAX));
     }
 
     /// Object ids currently riding the carousel.
@@ -173,6 +305,8 @@ impl NetSender {
     /// Panics when nothing has ever been queued (the carousel is empty).
     pub fn next_cycle_payload(&mut self) -> Vec<bool> {
         self.flush();
+        self.loop_upkeep();
+        self.cycles += 1;
         self.mux.next_cycle_payload()
     }
 }
@@ -180,6 +314,8 @@ impl NetSender {
 impl PayloadSource for NetSender {
     fn next_payload(&mut self, bits: usize) -> Vec<bool> {
         self.flush();
+        self.loop_upkeep();
+        self.cycles += 1;
         PayloadSource::next_payload(&mut self.mux, bits)
     }
 }

@@ -37,6 +37,8 @@ pub struct SpatialMux {
     /// Scratch full-frame payload (reused across cycles).
     full: Vec<bool>,
     cycles_emitted: u64,
+    /// Round-robin cursor spreading retransmits across shards.
+    retransmit_rr: usize,
 }
 
 impl SpatialMux {
@@ -54,6 +56,7 @@ impl SpatialMux {
             frame_bits,
             full: vec![false; frame_bits],
             cycles_emitted: 0,
+            retransmit_rr: 0,
         }
     }
 
@@ -111,6 +114,77 @@ impl SpatialMux {
     /// Cycles emitted so far.
     pub fn cycles_emitted(&self) -> u64 {
         self.cycles_emitted
+    }
+
+    /// Queues symbol `seq` of object `id` for retransmission. Symbols
+    /// are self-describing (object id + sequence ride the header), so a
+    /// repeat need not retrace the strided shard that first carried it —
+    /// and deliberately must not: a symbol is usually NACKed *because*
+    /// its home region is faulted, so repeats rotate round-robin across
+    /// all shards and mostly ride healthy tiles. Returns `false` when
+    /// the object is not loaded or that symbol is already pending on
+    /// some shard (re-NACK racing an in-flight repair).
+    pub fn queue_retransmit(&mut self, id: u16, seq: u32) -> bool {
+        self.queue_retransmit_avoiding(id, seq, 0)
+    }
+
+    /// Like [`Self::queue_retransmit`], but skips shards whose region
+    /// index is set in `avoid` (a bitmask, bit `r` = shard `r`). The
+    /// NACK bitmap localizes the faulted tiles — the very classes being
+    /// NACKed — and a repeat routed back through a faulted tile mostly
+    /// dies there. Falls back to plain rotation when every shard is
+    /// avoided.
+    pub fn queue_retransmit_avoiding(&mut self, id: u16, seq: u32, avoid: u64) -> bool {
+        if self.shards[0].k_of(id).is_none() {
+            return false;
+        }
+        if self.shards.iter().any(|s| s.retransmit_pending(id, seq)) {
+            return false;
+        }
+        let n = self.shards.len();
+        let mut r = self.retransmit_rr % n;
+        self.retransmit_rr = self.retransmit_rr.wrapping_add(1);
+        if avoid != 0 {
+            for _ in 0..n {
+                if avoid & (1u64 << (r as u32 & 63)) == 0 {
+                    break;
+                }
+                r = (r + 1) % n;
+                self.retransmit_rr = self.retransmit_rr.wrapping_add(1);
+            }
+        }
+        self.shards[r].queue_retransmit(id, seq)
+    }
+
+    /// Whether object `id` is loaded on the shards.
+    pub fn has_object(&self, id: u16) -> bool {
+        self.shards[0].k_of(id).is_some()
+    }
+
+    /// Whether the strided schedule has emitted symbol `seq` of object
+    /// `id` at least once. A receiver's NACK bitmap cannot tell "lost"
+    /// from "not sent yet" — the sender can, and must not burn repeat
+    /// slots on columns the regular schedule is about to carry anyway.
+    pub fn seq_emitted(&self, id: u16, seq: u32) -> bool {
+        let r = (seq as usize) % self.shards.len();
+        self.shards[r].symbols_sent(id).is_some_and(|n| seq < n)
+    }
+
+    /// Drops queued retransmissions of `id` on every shard.
+    pub fn cancel_retransmits(&mut self, id: u16) {
+        for shard in &mut self.shards {
+            shard.cancel_retransmits(id);
+        }
+    }
+
+    /// NACKed symbols queued and not yet re-emitted, across all shards.
+    pub fn retransmit_backlog(&self) -> usize {
+        self.shards.iter().map(|s| s.retransmit_backlog()).sum()
+    }
+
+    /// Symbols re-emitted from retransmit rings, across all shards.
+    pub fn symbols_retransmitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.symbols_retransmitted()).sum()
     }
 
     /// Emits one full-frame cycle payload: each shard fills its own
@@ -200,6 +274,45 @@ impl RegionControllerBank {
         if !any_command {
             return false;
         }
+        self.recompute_scales()
+    }
+
+    /// Feeds one aggregated feedback window to the bank — the
+    /// closed-loop sibling of [`RegionControllerBank::observe_cycle`]
+    /// for a sender whose only view of the channel is receiver reports.
+    /// Region `r`'s controller observes the aggregator's folded window
+    /// for `r`; regions no fresh report touched observe nothing (their
+    /// controllers hold). Returns `true` when the per-region scales
+    /// changed.
+    pub fn observe_feedback(&mut self, agg: &inframe_link::FeedbackAggregator) -> bool {
+        let mut any_command = false;
+        for (r, ctl) in self.controllers.iter_mut().enumerate() {
+            if let Some(stats) = agg.window_stats(r) {
+                any_command |= ctl.observe_cycle(stats).is_some();
+            }
+        }
+        if !any_command {
+            return false;
+        }
+        self.recompute_scales()
+    }
+
+    /// Open-loop fallback: forgets the per-region differentiation (all
+    /// scales back to 1.0 — uniform modulation at the envelope), used
+    /// when the back-channel goes silent and per-region knowledge can
+    /// no longer be trusted. Returns `true` when any scale changed.
+    pub fn reset_scales(&mut self) -> bool {
+        let mut changed = false;
+        for s in &mut self.scales {
+            if *s != 1.0 {
+                *s = 1.0;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn recompute_scales(&mut self) -> bool {
         let envelope = self.delta_envelope();
         let mut changed = false;
         for r in 0..self.controllers.len() {

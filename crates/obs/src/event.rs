@@ -163,6 +163,16 @@ pub enum Event {
         /// Cycle after which the channel is clean again.
         clearance_cycle: u64,
     },
+    /// The decode watchdog fired: no cycle decoded within its budget.
+    Watchdog {
+        /// Cycle at which the watchdog expired.
+        cycle: u64,
+        /// Last cycle that decoded successfully (`u64::MAX` if none).
+        last_decoded_cycle: u64,
+        /// The budget that was exceeded, in cycles (N×τ walltime
+        /// expressed in cycle counts).
+        budget_cycles: u64,
+    },
 }
 
 impl Event {
@@ -177,6 +187,7 @@ impl Event {
             Event::Command { .. } => "command",
             Event::FaultStart { .. } => "fault_start",
             Event::FaultEnd { .. } => "fault_end",
+            Event::Watchdog { .. } => "watchdog",
         }
     }
 
@@ -193,6 +204,12 @@ impl Event {
                 ..
             }
         )
+    }
+
+    /// Whether this event snapshots the flight recorder: lock losses
+    /// (the PR 5 trigger) and decode-watchdog expiries both dump.
+    pub fn is_dump_trigger(&self) -> bool {
+        self.is_lock_loss() || matches!(self, Event::Watchdog { .. })
     }
 }
 
@@ -294,6 +311,16 @@ pub fn encode_event(out: &mut String, rec: &EventRecord) {
                 out,
                 ",\"fault\":\"{}\",\"clearance_cycle\":{clearance_cycle}",
                 kind.name()
+            );
+        }
+        Event::Watchdog {
+            cycle,
+            last_decoded_cycle,
+            budget_cycles,
+        } => {
+            let _ = write!(
+                out,
+                ",\"cycle\":{cycle},\"last_decoded_cycle\":{last_decoded_cycle},\"budget_cycles\":{budget_cycles}"
             );
         }
     }

@@ -221,6 +221,7 @@ pub fn validate_jsonl_line(line: &str) -> Result<ParsedLine, String> {
         "command" => &["cycle", "delta", "tau", "cause"],
         "fault_start" => &["fault", "from_cycle", "until_cycle"],
         "fault_end" => &["fault", "clearance_cycle"],
+        "watchdog" => &["cycle", "last_decoded_cycle", "budget_cycles"],
         other => return Err(format!("unknown event kind `{other}`")),
     };
     for key in required {
@@ -403,6 +404,11 @@ mod tests {
             Event::FaultEnd {
                 kind: FaultClass::Desync,
                 clearance_cycle: 10,
+            },
+            Event::Watchdog {
+                cycle: 64,
+                last_decoded_cycle: 40,
+                budget_cycles: 16,
             },
         ];
         let log: String = events

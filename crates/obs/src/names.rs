@@ -167,6 +167,51 @@ pub mod fleet {
     pub const EPS_MILLI: &str = "sim.fleet.eps_milli";
 }
 
+/// Closed-loop control-plane instruments (`net::sender` /
+/// `sim::backchannel`): receiver feedback reports driving in-flight
+/// re-modulation of the live sender.
+pub mod ctrl_loop {
+    /// Counter: feedback reports accepted by the sender aggregator.
+    pub const REPORTS_RX: &str = "ctrl.loop.reports_rx";
+    /// Counter: reports rejected as stale (older than the freshest seen
+    /// from the same receiver) or duplicated.
+    pub const REPORTS_STALE: &str = "ctrl.loop.reports_stale";
+    /// Counter: reports lost, delayed past usefulness, or dropped by the
+    /// modeled feedback channel.
+    pub const REPORTS_LOST: &str = "ctrl.loop.reports_lost";
+    /// Counter: δ/τ commands applied to the in-flight sender at a cycle
+    /// boundary (as opposed to merely recorded).
+    pub const COMMANDS_APPLIED: &str = "ctrl.loop.commands_applied";
+    /// Counter: transitions into open-loop fallback (feedback silent).
+    pub const FALLBACKS: &str = "ctrl.loop.fallbacks";
+    /// Counter: transitions back to closed loop (feedback returned).
+    pub const RECOVERIES: &str = "ctrl.loop.recoveries";
+    /// Gauge: 1 while the loop is closed (fresh feedback), 0 while the
+    /// controller is running the open-loop backoff policy.
+    pub const CLOSED: &str = "ctrl.loop.closed";
+    /// Gauge: cycles since the last fresh feedback report.
+    pub const FEEDBACK_AGE: &str = "ctrl.loop.feedback_age";
+}
+
+/// Selective-repeat ARQ instruments (`net::arq`).
+pub mod arq {
+    /// Counter: NACK bitmap entries received for live objects.
+    pub const NACKS_RX: &str = "arq.nacks_rx";
+    /// Counter: symbols queued for retransmission.
+    pub const RETRANSMITS: &str = "arq.retransmits";
+    /// Counter: retransmissions suppressed by the per-object retry
+    /// budget.
+    pub const BUDGET_EXHAUSTED: &str = "arq.budget_exhausted";
+    /// Counter: per-destination timeouts expired without feedback.
+    pub const TIMEOUTS: &str = "arq.timeouts";
+    /// Counter: flows degraded to pure fountain repair.
+    pub const DEGRADED: &str = "arq.degraded";
+    /// Counter: flows restored to ARQ after feedback returned.
+    pub const RESTORED: &str = "arq.restored";
+    /// Gauge: current retransmission backoff in cycles (post-jitter).
+    pub const BACKOFF_CYCLES: &str = "arq.backoff_cycles";
+}
+
 /// Network-layer instruments (`inframe-net`): MAC framing, stream
 /// delivery, and spatial sub-channels.
 pub mod net {

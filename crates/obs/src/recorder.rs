@@ -77,10 +77,11 @@ impl FlightRecorder {
         }
     }
 
-    /// Appends one event; if it marks a lock loss, snapshots the ring
-    /// (including this event) into the last-dump buffer.
+    /// Appends one event; if it marks a dump trigger (lock loss or a
+    /// decode-watchdog expiry), snapshots the ring (including this
+    /// event) into the last-dump buffer.
     pub fn record(&self, rec: EventRecord) {
-        let is_loss = rec.event.is_lock_loss();
+        let is_loss = rec.event.is_dump_trigger();
         let ring = &mut *self.ring.lock().expect("recorder ring poisoned");
         ring.push(rec);
         if is_loss {

@@ -460,10 +460,19 @@ pub struct FaultScenarioConfig {
     pub object_len: usize,
     /// The fault plan.
     pub faults: Vec<FaultWindow>,
-    /// Run the δ/τ controller (observing, health-coupled; the sender in
-    /// this harness is not re-modulated mid-run — commands are recorded
-    /// open-loop, the closed loop is exercised by `linksim`).
+    /// Run the δ/τ controller (observing, health-coupled). With
+    /// `closed_loop` false the commands are only recorded.
     pub adaptive: bool,
+    /// Apply controller commands to the in-flight sender via
+    /// [`Sender::queue_modulation`] — the full actuation path, not just
+    /// the decision log. τ is pinned to the configured value (the
+    /// capture-level session tracks one cycle length), so the loop
+    /// exercises δ re-modulation.
+    pub closed_loop: bool,
+    /// Decode watchdog budget: if no cycle decodes for this many true
+    /// display cycles, emit [`Event::Watchdog`] (a flight-recorder dump
+    /// trigger) once per stall episode.
+    pub watchdog_cycles: Option<u64>,
 }
 
 impl FaultScenarioConfig {
@@ -476,6 +485,8 @@ impl FaultScenarioConfig {
             object_len,
             faults: Vec::new(),
             adaptive: false,
+            closed_loop: false,
+            watchdog_cycles: None,
         }
     }
 }
@@ -511,6 +522,8 @@ pub struct FaultOutcome {
     pub commands: Vec<ModulationCommand>,
     /// Captures delivered / dropped / duplicated by the injector.
     pub captures: (u64, u64, u64),
+    /// Times the decode watchdog fired (one per stall episode).
+    pub watchdog_fires: u64,
 }
 
 /// Deterministic object content.
@@ -588,7 +601,22 @@ pub fn run_fault_scenario_with_telemetry(
     let clearance = injector.clearance_cycle();
 
     let mut controller = cfg.adaptive.then(|| {
-        ModulationController::new(&c.inframe, ControllerPolicy::default()).with_telemetry(telemetry)
+        // Closed loop pins τ: the capture session locks to one cycle
+        // length, so the actuated knob is δ only. The availability
+        // target is per-GOB, and a carousel symbol spans tens of GOB
+        // draws, so per-symbol survival compounds steeply — 92 %/GOB is
+        // near-zero per symbol. The loop must aim much higher.
+        let policy = if cfg.closed_loop {
+            ControllerPolicy {
+                taus: vec![c.inframe.tau],
+                target_availability: 0.985,
+                hysteresis: 0.008,
+                ..ControllerPolicy::default()
+            }
+        } else {
+            ControllerPolicy::default()
+        };
+        ModulationController::new(&c.inframe, policy).with_telemetry(telemetry)
     });
     let mut commands = Vec::new();
     let mut transitions: Vec<(u64, LockState)> = Vec::new();
@@ -607,6 +635,9 @@ pub fn run_fault_scenario_with_telemetry(
     let exposure_mid = readout / 2.0 + c.camera.exposure_s / 2.0;
 
     let mut window: VecDeque<FrameEmission> = VecDeque::new();
+    let mut last_decoded_cycle: Option<u64> = None;
+    let mut watchdog_fires = 0u64;
+    let mut watchdog_stalled = false;
     let total = c.cycles as u64 * c.inframe.tau as u64;
     'pump: for _ in 0..total {
         let Some(frame) = sender.next_frame() else {
@@ -629,6 +660,21 @@ pub fn run_fault_scenario_with_telemetry(
             let emissions: Vec<FrameEmission> = window.iter().cloned().collect();
             let t_mid = camera.config().frame_start(camera.next_index()) + exposure_mid;
             let true_cycle = (t_mid / cycle_duration).floor().max(0.0) as u64;
+            // The watchdog measures on the capture clock, not on decode
+            // deliveries — a fault that swallows every capture must
+            // still trip it.
+            if let Some(budget) = cfg.watchdog_cycles {
+                let since = true_cycle.saturating_sub(last_decoded_cycle.unwrap_or(0));
+                if !watchdog_stalled && since > budget {
+                    watchdog_stalled = true;
+                    watchdog_fires += 1;
+                    telemetry.event(Event::Watchdog {
+                        cycle: true_cycle,
+                        last_decoded_cycle: last_decoded_cycle.unwrap_or(u64::MAX),
+                        budget_cycles: budget,
+                    });
+                }
+            }
             match camera.capture(&emissions) {
                 Ok(cap) => {
                     for delivered in injector.tap(TappedCapture {
@@ -645,16 +691,24 @@ pub fn run_fault_scenario_with_telemetry(
                             });
                             if let Some(ctl) = controller.as_mut() {
                                 if let Some(cmd) = ctl.set_health(health_of(health)) {
+                                    if cfg.closed_loop {
+                                        sender.queue_modulation(cmd.delta, cmd.tau);
+                                    }
                                     commands.push(cmd);
                                 }
                             }
                             last_health = health;
                         }
                         if report.is_some() {
+                            last_decoded_cycle = Some(true_cycle);
+                            watchdog_stalled = false;
                             if let (Some(ctl), Some(d)) =
                                 (controller.as_mut(), session.decoded().last())
                             {
                                 if let Some(cmd) = ctl.observe_cycle(&d.stats) {
+                                    if cfg.closed_loop {
+                                        sender.queue_modulation(cmd.delta, cmd.tau);
+                                    }
                                     commands.push(cmd);
                                 }
                             }
@@ -702,6 +756,7 @@ pub fn run_fault_scenario_with_telemetry(
             injector.dropped(),
             injector.duplicated(),
         ),
+        watchdog_fires,
     }
 }
 

@@ -32,11 +32,15 @@
 //! receiver re-locks and recovers. [`netsim`] drives the `inframe-net`
 //! stack (addressed MAC frames, QoS streams, spatial sub-channels)
 //! through per-receiver region channels with occlusion windows.
+//! [`backchannel`] models the lossy receiver→sender return path
+//! (delay, jitter, loss windows, duplicate storms, stale replays) that
+//! carries feedback reports for the closed δ/τ + ARQ control loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod backchannel;
 pub mod faults;
 pub mod fig3;
 pub mod fig5;
@@ -50,6 +54,7 @@ pub mod pipeline;
 pub mod report;
 pub mod scenarios;
 
+pub use backchannel::{Backchannel, BackchannelConfig, FeedbackFaultKind, FeedbackFaultWindow};
 pub use faults::{
     run_fault_scenario, FaultInjector, FaultKind, FaultOutcome, FaultScenarioConfig, FaultWindow,
 };

@@ -22,6 +22,7 @@ use inframe_core::layout::DataLayout;
 use inframe_core::InFrameConfig;
 use inframe_link::carousel::Carousel;
 use inframe_link::control::{ControllerPolicy, ModulationCommand, ModulationController};
+use inframe_link::feedback::{FeedbackReport, RegionQuality};
 use inframe_link::session::{CompletionTarget, ReceiverSession, SessionState};
 use serde::{Deserialize, Serialize};
 
@@ -298,6 +299,13 @@ pub struct LinkScenarioConfig {
     pub seed: u64,
     /// Run the adaptive δ/τ controller in the loop.
     pub adaptive: bool,
+    /// Route the controller's observations through a modeled
+    /// back-channel (delay, loss, reordering) instead of the
+    /// instantaneous ideal. The controller then reacts to quantized
+    /// [`RegionQuality`](inframe_link::feedback::RegionQuality) reports
+    /// that arrive late or not at all — a blackout silences the loop
+    /// while the rateless carousel keeps completing.
+    pub feedback: Option<crate::backchannel::BackchannelConfig>,
 }
 
 impl LinkScenarioConfig {
@@ -320,6 +328,7 @@ impl LinkScenarioConfig {
             max_cycles: 4000,
             seed,
             adaptive: false,
+            feedback: None,
         }
     }
 }
@@ -387,6 +396,10 @@ pub fn run_link_scenario(cfg: &LinkScenarioConfig) -> LinkScenarioOutcome {
     let mut controller = cfg
         .adaptive
         .then(|| ModulationController::new(&cfg.inframe, ControllerPolicy::default()));
+    let mut backchannel = cfg
+        .feedback
+        .clone()
+        .map(|fb| crate::backchannel::Backchannel::new(fb, cfg.seed ^ 0xBAC_C4A7));
     channel.set_modulation(ModulationCommand {
         delta: cfg.inframe.delta,
         tau: cfg.inframe.tau,
@@ -408,7 +421,27 @@ pub fn run_link_scenario(cfg: &LinkScenarioConfig) -> LinkScenarioOutcome {
             time_to_first = Some(elapsed_s);
         }
         if let Some(ctl) = controller.as_mut() {
-            if let Some(cmd) = ctl.observe_cycle(&stats) {
+            if let Some(bc) = backchannel.as_mut() {
+                // Closed loop over the lossy return path: the receiver
+                // quantizes its cycle stats into a feedback report; the
+                // controller only sees what survives the channel, when
+                // it arrives.
+                let mut report = FeedbackReport::new(0, cycle);
+                report.push_region(RegionQuality::quantize(
+                    stats.available_ratio(),
+                    stats.error_rate(),
+                ));
+                bc.send(&report, cycle);
+                bc.poll(cycle, |rep| {
+                    if let Some(q) = rep.regions().first() {
+                        if let Some(cmd) = ctl.observe_cycle(&q.to_stats()) {
+                            channel.set_modulation(cmd);
+                            tau = cmd.tau;
+                            commands.push(cmd);
+                        }
+                    }
+                });
+            } else if let Some(cmd) = ctl.observe_cycle(&stats) {
                 channel.set_modulation(cmd);
                 tau = cmd.tau;
                 commands.push(cmd);
@@ -558,5 +591,43 @@ mod tests {
         assert_eq!(a.cycles_to_complete, b.cycles_to_complete);
         assert_eq!(a.epsilon_max, b.epsilon_max);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn controller_still_reacts_over_a_delayed_backchannel() {
+        let mut cfg = LinkScenarioConfig::baseline(0.35, 23);
+        cfg.adaptive = true;
+        cfg.feedback = Some(crate::backchannel::BackchannelConfig {
+            delay_cycles: 3,
+            ..crate::backchannel::BackchannelConfig::clean()
+        });
+        let out = run_link_scenario(&cfg);
+        assert!(
+            !out.commands.is_empty(),
+            "quantized, delayed reports must still drive the controller"
+        );
+        assert!(out.completed, "final state {:?}", out.final_state);
+    }
+
+    #[test]
+    fn backchannel_blackout_silences_the_loop_but_not_the_carousel() {
+        let mut cfg = LinkScenarioConfig::baseline(0.30, 23);
+        cfg.adaptive = true;
+        cfg.feedback = Some(crate::backchannel::BackchannelConfig::dead());
+        let out = run_link_scenario(&cfg);
+        assert!(
+            out.commands.is_empty(),
+            "a dead back-channel must silence the controller"
+        );
+        // Graceful degradation: the rateless schedule still completes,
+        // it just pays the un-adapted erasure the whole way.
+        assert!(out.completed, "final state {:?}", out.final_state);
+        let mut open = LinkScenarioConfig::baseline(0.30, 23);
+        open.adaptive = false;
+        let open_out = run_link_scenario(&open);
+        assert_eq!(
+            out.cycles_to_complete, open_out.cycles_to_complete,
+            "a silent loop must behave exactly like the open loop"
+        );
     }
 }

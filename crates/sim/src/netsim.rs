@@ -15,11 +15,16 @@
 //! a wrong byte anywhere shows up as a digest mismatch, not a silent
 //! pass.
 
+use crate::backchannel::{Backchannel, BackchannelConfig};
 use crate::linksim::{RegionChannel, RegionOcclusion};
 use inframe_core::layout::DataLayout;
 use inframe_core::region::RegionMap;
 use inframe_core::InFrameConfig;
-use inframe_net::{AddressFilter, MacAddr, NetReceiver, NetSender, StreamQos};
+use inframe_link::control::ControllerPolicy;
+use inframe_net::{
+    AddressFilter, ArqMode, ArqPolicy, MacAddr, NetReceiver, NetSender, RegionControllerBank,
+    StreamQos,
+};
 use serde::{Deserialize, Serialize};
 
 /// One logical stream opened on the sender and on every receiver.
@@ -53,6 +58,9 @@ pub struct NetReceiverSpec {
     pub groups: Vec<u16>,
     /// Base per-GOB erasure probability (uniform across regions).
     pub base_erasure: f64,
+    /// Per-region base erasures overriding `base_erasure` (empty =
+    /// uniform; otherwise one entry per region of the tiling).
+    pub region_erasures: Vec<f64>,
     /// Occlusion windows over spatial sub-channels.
     pub occlusions: Vec<RegionOcclusion>,
 }
@@ -64,6 +72,7 @@ impl NetReceiverSpec {
             addr,
             groups: Vec::new(),
             base_erasure: 0.0,
+            region_erasures: Vec::new(),
             occlusions: Vec::new(),
         }
     }
@@ -72,6 +81,43 @@ impl NetReceiverSpec {
     pub fn expects(&self, dst: u16) -> bool {
         let dst = MacAddr::new(dst);
         dst.is_broadcast() || dst.0 == self.addr || self.groups.contains(&dst.0)
+    }
+}
+
+/// Closed-loop configuration: receivers report decode quality and NACKs
+/// through a modeled [`Backchannel`]; the sender runs selective-repeat
+/// ARQ and (optionally) re-modulates δ per region through a
+/// [`RegionControllerBank`].
+#[derive(Debug, Clone)]
+pub struct ClosedLoopSpec {
+    /// ARQ policy at the sender.
+    pub arq: ArqPolicy,
+    /// Receivers build one feedback report every this many cycles.
+    pub report_every: u64,
+    /// The return-path model (every receiver gets its own seeded
+    /// instance).
+    pub backchannel: BackchannelConfig,
+    /// Drive the per-region δ controllers from aggregated feedback and
+    /// apply their commands to the region channels (the GOB-level model
+    /// of re-modulating the in-flight carousel).
+    pub remodulate: bool,
+    /// δ adjustment per controller decision. The open-loop default
+    /// (2.0) is tuned for imperceptibility under instant feedback; a
+    /// delayed windowed loop can afford a coarser step.
+    pub delta_step: f32,
+}
+
+impl ClosedLoopSpec {
+    /// ARQ over a clean one-cycle back-channel, reporting every 4
+    /// cycles, with per-region re-modulation on.
+    pub fn healthy() -> Self {
+        Self {
+            arq: ArqPolicy::default(),
+            report_every: 4,
+            backchannel: BackchannelConfig::clean(),
+            remodulate: true,
+            delta_step: ControllerPolicy::default().delta_step,
+        }
     }
 }
 
@@ -92,6 +138,9 @@ pub struct NetScenarioConfig {
     pub max_cycles: u64,
     /// Master seed for datagram bytes and channel noise.
     pub seed: u64,
+    /// Close the loop: feedback + ARQ (+ δ re-modulation). `None` runs
+    /// the original open-loop broadcast.
+    pub closed_loop: Option<ClosedLoopSpec>,
 }
 
 impl NetScenarioConfig {
@@ -123,6 +172,7 @@ impl NetScenarioConfig {
             ],
             max_cycles: 400,
             seed,
+            closed_loop: None,
         }
     }
 }
@@ -182,6 +232,27 @@ impl ReceiverOutcome {
     }
 }
 
+/// What the closed loop did during a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LoopStats {
+    /// Feedback reports offered to the back-channels.
+    pub reports_sent: u64,
+    /// Reports that reached the sender intact.
+    pub reports_delivered: u64,
+    /// Reports lost in flight (including checksum kills).
+    pub reports_lost: u64,
+    /// Reports the aggregator rejected as stale/duplicate.
+    pub reports_stale: u64,
+    /// Symbols retransmitted on NACKs.
+    pub retransmits: u64,
+    /// Closed → fountain degradations.
+    pub fallbacks: u64,
+    /// Fountain → closed recoveries.
+    pub recoveries: u64,
+    /// Feedback windows that changed a region's δ command.
+    pub commands_applied: u64,
+}
+
 /// The scenario result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetScenarioOutcome {
@@ -189,6 +260,8 @@ pub struct NetScenarioOutcome {
     pub cycles_run: u64,
     /// One ledger per receiver, in config order.
     pub receivers: Vec<ReceiverOutcome>,
+    /// Closed-loop accounting (`None` for open-loop runs).
+    pub loop_stats: Option<LoopStats>,
 }
 
 impl NetScenarioOutcome {
@@ -226,6 +299,32 @@ pub fn run_net_scenario(config: &NetScenarioConfig) -> NetScenarioOutcome {
     for s in &config.streams {
         tx.open_stream(s.id, s.qos, s.max_fragment);
     }
+    if let Some(cl) = &config.closed_loop {
+        tx.enable_arq(cl.arq);
+    }
+    // The δ controller bank: τ pinned to the single paper rung (the
+    // GOB-level carousel carries no τ; only δ moves the channel
+    // response), δ free to climb per region.
+    let mut bank = config
+        .closed_loop
+        .as_ref()
+        .filter(|cl| cl.remodulate)
+        .map(|cl| {
+            let inframe = InFrameConfig::paper();
+            let policy = ControllerPolicy {
+                taus: vec![inframe.tau],
+                delta_step: cl.delta_step,
+                // A carousel symbol spans dozens of GOB draws (3 payload
+                // bits per GOB at the paper tiling ⇒ ~50 draws per
+                // symbol), so per-GOB availability compounds brutally:
+                // 0.92 per GOB is ~1% symbol survival. The GOB-
+                // granularity loop must steer very close to 1.
+                target_availability: 0.985,
+                hysteresis: 0.008,
+                ..ControllerPolicy::default()
+            };
+            RegionControllerBank::new(&inframe, policy, map.clone())
+        });
     let payloads: Vec<Vec<u8>> = config
         .datagrams
         .iter()
@@ -239,6 +338,7 @@ pub fn run_net_scenario(config: &NetScenarioConfig) -> NetScenarioOutcome {
     struct Station {
         rx: NetReceiver,
         chan: RegionChannel,
+        bc: Option<Backchannel>,
         expected: Vec<FlowDelivery>,
         completed_cycle: Option<u64>,
     }
@@ -254,14 +354,25 @@ pub fn run_net_scenario(config: &NetScenarioConfig) -> NetScenarioOutcome {
             for s in &config.streams {
                 rx.open_stream(s.id, 256, s.max_fragment, 1 << 16);
             }
+            let erasures = if spec.region_erasures.is_empty() {
+                vec![spec.base_erasure; map.num_regions()]
+            } else {
+                spec.region_erasures.clone()
+            };
             let mut chan = RegionChannel::new(
                 map.clone(),
-                &vec![spec.base_erasure; map.num_regions()],
+                &erasures,
                 config.seed ^ (spec.addr as u64) << 16,
             );
             for &occ in &spec.occlusions {
                 chan.add_occlusion(occ);
             }
+            let bc = config.closed_loop.as_ref().map(|cl| {
+                Backchannel::new(
+                    cl.backchannel.clone(),
+                    config.seed ^ ((spec.addr as u64) << 8) ^ 0xFEED,
+                )
+            });
             // Expected ledger: one flow per (stream, destination) pair
             // this receiver accepts, digests folded in send order (the
             // order each lane delivers in).
@@ -299,6 +410,7 @@ pub fn run_net_scenario(config: &NetScenarioConfig) -> NetScenarioOutcome {
             Station {
                 rx,
                 chan,
+                bc,
                 expected,
                 completed_cycle: None,
             }
@@ -307,6 +419,8 @@ pub fn run_net_scenario(config: &NetScenarioConfig) -> NetScenarioOutcome {
 
     let mut scratch = Vec::new();
     let mut cycles_run = 0;
+    let mut loop_stats = config.closed_loop.as_ref().map(|_| LoopStats::default());
+    let mut prev_mode = tx.arq_mode();
     for cycle in 0..config.max_cycles {
         cycles_run = cycle + 1;
         let payload = tx.next_cycle_payload();
@@ -319,6 +433,12 @@ pub fn run_net_scenario(config: &NetScenarioConfig) -> NetScenarioOutcome {
             st.rx.push_cycle(&seen);
             for s in &config.streams {
                 while st.rx.pop_datagram(s.id, &mut scratch) {}
+            }
+            if let (Some(cl), Some(bc)) = (&config.closed_loop, &mut st.bc) {
+                if (cycle + 1) % cl.report_every == 0 {
+                    let report = st.rx.build_feedback(cycle);
+                    bc.send(&report, cycle);
+                }
             }
             let done = st.expected.iter().all(|e| {
                 let lane = st.rx.stream_lane(e.stream, MacAddr::new(e.dst));
@@ -333,13 +453,57 @@ pub fn run_net_scenario(config: &NetScenarioConfig) -> NetScenarioOutcome {
                 all_done = false;
             }
         }
+        if let Some(stats) = loop_stats.as_mut() {
+            // Deliver the return path: reports due this cycle reach the
+            // sender, which folds region quality and routes NACKs into
+            // the retransmit ring (riding the *next* cycle payload).
+            for st in &mut stations {
+                if let Some(bc) = &mut st.bc {
+                    bc.poll(cycle, |report| {
+                        if !tx.ingest_feedback(report) {
+                            stats.reports_stale += 1;
+                        }
+                    });
+                }
+            }
+            if let Some(bank) = &mut bank {
+                if tx.observe_feedback_window(bank) {
+                    stats.commands_applied += 1;
+                    for r in 0..bank.num_regions() {
+                        let cmd = bank.command(r);
+                        for st in &mut stations {
+                            st.chan.set_region_modulation(r, cmd);
+                        }
+                    }
+                }
+            }
+            let mode = tx.arq_mode();
+            match (prev_mode, mode) {
+                (Some(ArqMode::Closed), Some(ArqMode::Fountain)) => stats.fallbacks += 1,
+                (Some(ArqMode::Fountain), Some(ArqMode::Closed)) => stats.recoveries += 1,
+                _ => {}
+            }
+            prev_mode = mode;
+        }
         if all_done {
             break;
         }
     }
 
+    if let Some(stats) = loop_stats.as_mut() {
+        for st in &stations {
+            if let Some(bc) = &st.bc {
+                stats.reports_sent += bc.sent();
+                stats.reports_delivered += bc.delivered();
+                stats.reports_lost += bc.lost();
+            }
+        }
+        stats.retransmits = tx.arq().map_or(0, |a| a.retransmits());
+    }
+
     NetScenarioOutcome {
         cycles_run,
+        loop_stats,
         receivers: stations
             .into_iter()
             .zip(&config.receivers)
@@ -480,6 +644,197 @@ mod tests {
         let bc = a.flows.iter().find(|f| f.stream == 1).unwrap();
         assert_eq!(uni.delivered_bytes, 1200);
         assert_eq!(bc.delivered_bytes, 64);
+    }
+
+    /// One unicast the measured receiver wants, one fat background
+    /// object contending for carousel slots: the scenario where NACK
+    /// retransmission pays (it preempts WRR slots for the symbols the
+    /// receiver actually misses).
+    fn contended(seed: u64) -> NetScenarioConfig {
+        let mut cfg = NetScenarioConfig::smoke(seed);
+        cfg.datagrams = vec![
+            NetDatagramSpec {
+                stream: 0,
+                dst: 0x0101,
+                len: 1200,
+            },
+            NetDatagramSpec {
+                stream: 0,
+                dst: 0x0155,
+                len: 6000,
+            },
+        ];
+        cfg.receivers = vec![NetReceiverSpec {
+            base_erasure: 0.005,
+            ..NetReceiverSpec::clean(0x0101)
+        }];
+        cfg.max_cycles = 4000;
+        cfg
+    }
+
+    #[test]
+    fn arq_with_healthy_backchannel_beats_fountain_only() {
+        let open = run_net_scenario(&contended(0xA40));
+        let mut cfg = contended(0xA40);
+        cfg.closed_loop = Some(ClosedLoopSpec {
+            remodulate: false,
+            ..ClosedLoopSpec::healthy()
+        });
+        let closed = run_net_scenario(&cfg);
+        assert!(open.all_complete() && closed.all_complete());
+        let open_c = open.receivers[0].completed_cycle.unwrap();
+        let closed_c = closed.receivers[0].completed_cycle.unwrap();
+        assert!(
+            closed_c < open_c,
+            "ARQ must complete the unicast sooner: {closed_c} vs {open_c}"
+        );
+        let stats = closed.loop_stats.unwrap();
+        assert!(stats.retransmits > 0, "no retransmits ever queued");
+        assert_eq!(stats.fallbacks, 0, "healthy back-channel must not degrade");
+    }
+
+    #[test]
+    fn dead_backchannel_degrades_to_fountain_within_bound() {
+        let open = run_net_scenario(&contended(0xA41));
+        let mut cfg = contended(0xA41);
+        cfg.closed_loop = Some(ClosedLoopSpec {
+            backchannel: BackchannelConfig::dead(),
+            remodulate: false,
+            ..ClosedLoopSpec::healthy()
+        });
+        let dead = run_net_scenario(&cfg);
+        assert!(dead.all_complete(), "a dead back-channel must not stall");
+        let open_c = open.receivers[0].completed_cycle.unwrap() as f64;
+        let dead_c = dead.receivers[0].completed_cycle.unwrap() as f64;
+        assert!(
+            dead_c <= open_c * 1.1,
+            "degraded loop must stay within 1.1× of fountain-only: {dead_c} vs {open_c}"
+        );
+        let stats = dead.loop_stats.unwrap();
+        assert_eq!(stats.retransmits, 0, "no feedback, no retransmits");
+        assert_eq!(stats.reports_delivered, 0);
+    }
+
+    #[test]
+    fn backchannel_blackout_falls_back_and_recovers() {
+        let mut cfg = contended(0xA42);
+        // A fatter unicast so the run outlives the blackout window plus
+        // the feedback timeout — the fallback and the recovery must both
+        // happen while symbols are still flowing.
+        cfg.datagrams[0].len = 6000;
+        let mut spec = ClosedLoopSpec::healthy();
+        spec.remodulate = false;
+        spec.backchannel.faults = vec![crate::backchannel::FeedbackFaultWindow {
+            kind: crate::backchannel::FeedbackFaultKind::Loss { rate: 1.0 },
+            from_cycle: 20,
+            until_cycle: 100,
+        }];
+        cfg.closed_loop = Some(spec);
+        let out = run_net_scenario(&cfg);
+        assert!(out.all_complete(), "blackout must not stall delivery");
+        let stats = out.loop_stats.unwrap();
+        assert!(stats.fallbacks >= 1, "blackout must trip the fallback");
+        assert!(
+            stats.recoveries >= 1,
+            "returning feedback must restore closed mode"
+        );
+    }
+
+    #[test]
+    fn regional_remodulation_beats_open_loop_on_a_bad_tile() {
+        // A carousel symbol spans ~50 GOB draws, so per-GOB erasure
+        // compounds steeply into symbol loss: 4% per GOB is ~12% symbol
+        // survival, and boosting δ 20→40 ((20/δ)² response) lifts it to
+        // ~59%. That cliff is exactly where re-modulation pays; much
+        // higher per-GOB erasure and no δ in range can save the tile,
+        // much lower and there is nothing to heal.
+        let base = |seed| {
+            let mut cfg = NetScenarioConfig::smoke(seed);
+            cfg.datagrams = vec![NetDatagramSpec {
+                stream: 0,
+                dst: 0x0101,
+                len: 12000,
+            }];
+            let mut erasures = vec![0.0; 15];
+            for r in [2, 6, 7, 8, 12] {
+                erasures[r] = 0.04;
+            }
+            cfg.receivers = vec![NetReceiverSpec {
+                region_erasures: erasures,
+                ..NetReceiverSpec::clean(0x0101)
+            }];
+            cfg.max_cycles = 4000;
+            cfg
+        };
+        let open = run_net_scenario(&base(0xA43));
+        let mut cfg = base(0xA43);
+        cfg.closed_loop = Some(ClosedLoopSpec {
+            report_every: 2,
+            delta_step: 6.0,
+            ..ClosedLoopSpec::healthy()
+        });
+        let closed = run_net_scenario(&cfg);
+        assert!(open.all_complete() && closed.all_complete());
+        let open_c = open.receivers[0].completed_cycle.unwrap();
+        let closed_c = closed.receivers[0].completed_cycle.unwrap();
+        assert!(
+            closed_c < open_c,
+            "per-region δ re-modulation must recover the bad tile: {closed_c} vs {open_c}"
+        );
+        let stats = closed.loop_stats.unwrap();
+        assert!(
+            stats.commands_applied > 0,
+            "the bank must have re-commanded the bad region"
+        );
+    }
+
+    #[test]
+    fn steady_clean_channel_has_bounded_command_churn() {
+        let mut cfg = NetScenarioConfig::smoke(0xA44);
+        cfg.datagrams = vec![NetDatagramSpec {
+            stream: 0,
+            dst: 0x0101,
+            len: 4000,
+        }];
+        cfg.receivers = vec![NetReceiverSpec {
+            base_erasure: 0.005,
+            ..NetReceiverSpec::clean(0x0101)
+        }];
+        cfg.max_cycles = 900;
+        cfg.closed_loop = Some(ClosedLoopSpec {
+            report_every: 2,
+            ..ClosedLoopSpec::healthy()
+        });
+        let out = run_net_scenario(&cfg);
+        let stats = out.loop_stats.unwrap();
+        // The reclaim ladder walks δ down until hysteresis holds, then
+        // the loop must go quiet — command churn is a one-time settling
+        // cost, not a steady-state oscillation.
+        assert!(
+            stats.commands_applied <= 12,
+            "δ commands oscillate on a steady channel: {} windows changed",
+            stats.commands_applied
+        );
+        assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
+    fn closed_loop_outcome_is_deterministic_for_a_seed() {
+        let mk = || {
+            let mut cfg = contended(0xA45);
+            cfg.closed_loop = Some(ClosedLoopSpec::healthy());
+            cfg
+        };
+        let one = run_net_scenario(&mk());
+        let two = run_net_scenario(&mk());
+        assert_eq!(
+            one.receivers[0].completed_cycle,
+            two.receivers[0].completed_cycle
+        );
+        let (a, b) = (one.loop_stats.unwrap(), two.loop_stats.unwrap());
+        assert_eq!(a.retransmits, b.retransmits);
+        assert_eq!(a.reports_delivered, b.reports_delivered);
+        assert_eq!(a.commands_applied, b.commands_applied);
     }
 
     #[test]

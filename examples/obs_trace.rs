@@ -44,6 +44,8 @@ fn main() {
             until_cycle: 9,
         }],
         adaptive: true,
+        closed_loop: false,
+        watchdog_cycles: None,
     };
 
     let tele = Telemetry::with_config(ObsConfig {

@@ -12,7 +12,11 @@
 //! * the network receiver's per-cycle hot path — MAC frame scanning,
 //!   address filtering, per-lane stream reassembly, in-order datagram
 //!   delivery — performs **0 heap allocations** once every lane and the
-//!   caller's output buffer are warm.
+//!   caller's output buffer are warm, and
+//! * the feedback/ARQ loop — receiver report build, wire codec, sender
+//!   aggregation, mode bookkeeping, selective-repeat queueing — performs
+//!   **0 heap allocations** once the per-object records, the NACK fold
+//!   and every shard's retransmit ring are warm.
 //!
 //! Both paths are proven twice: with the disabled no-op telemetry handle
 //! and with a live spine attached — instrumentation resolves its
@@ -349,6 +353,111 @@ fn net_steady_state_is_allocation_free(telemetry: &Telemetry) {
     assert_eq!(rx.frames_filtered(), rounds as u64, "filter count drifted");
 }
 
+fn feedback_arq_steady_state_is_allocation_free(telemetry: &Telemetry) {
+    use inframe::link::feedback::{FeedbackAggregator, FeedbackReport, ObjectNack};
+    use inframe::net::spatial::SpatialMux;
+    use inframe::net::{AddressFilter, ArqEngine, ArqMode, ArqPolicy, MacAddr, NetReceiver};
+
+    let layout = DataLayout::from_config(&InFrameConfig::paper());
+    let regions = 15usize;
+
+    // Sender side: a spatial carousel carrying one object, the ARQ
+    // engine driving its retransmit ring, and the feedback fold.
+    let mut mux = SpatialMux::new(inframe::core::region::RegionMap::new(&layout, 5, 3));
+    let data: Vec<u8> = (0..2000u32).map(|i| (i * 3) as u8).collect();
+    mux.add_object(7, 1, &data);
+    let mut arq = ArqEngine::new(ArqPolicy::default()).with_telemetry(telemetry);
+    let mut agg = FeedbackAggregator::new(regions);
+
+    // Receiver side: a full network receiver whose per-cycle quality
+    // windows feed `build_feedback`.
+    let map = inframe::core::region::RegionMap::new(&layout, 5, 3);
+    let filter = AddressFilter::new(MacAddr::new(0x0042));
+    let mut rx = NetReceiver::new(map, filter).with_telemetry(telemetry);
+    rx.open_stream(0, 64, 64, 1 << 16);
+
+    // The synthetic NACK alternates between two disjoint hole sets, so
+    // consecutive rounds dodge both the repeat holdoff (different seqs)
+    // and the no-progress backoff (4 → 3 holes reads as progress).
+    let nack_for = |round: usize| {
+        let mut words = [0u64; 4];
+        let seqs: &[u32] = if round.is_multiple_of(2) {
+            &[1, 3, 5, 7]
+        } else {
+            &[2, 4, 6]
+        };
+        for &s in seqs {
+            words[s as usize / 64] |= 1 << (s % 64);
+        }
+        ObjectNack {
+            object_id: 7,
+            k: 60,
+            rank: 50,
+            words,
+        }
+    };
+
+    let mut wire = Vec::new();
+    let mut full: Vec<Option<bool>> = Vec::new();
+    // Warm rounds must outlast two onset effects: the receiver's own
+    // NACKs only start once its round frontier clears the
+    // frontier-slack gate, and the retransmit round-robin touches each
+    // shard's ring (15 of them) for the first time over several rounds.
+    let rounds = 20usize;
+    let warm = 10usize;
+    let mut queued_total = 0u32;
+    for round in 0..rounds {
+        // Rounds are 12 cycles apart: past the repeat holdoff (8) and
+        // the round-0 pacing gate (4 + jitter ≤ 6), so every round's
+        // NACK actually reaches the queueing path.
+        let cycle = 16 + 12 * round as u64;
+
+        // Channel leg — sender emit, per-GOB erasure on the first
+        // region, receiver absorb. This is the modem hot path (measured
+        // by the demux/net sections, and `next_cycle_payload` returns an
+        // owned frame by design), so it runs outside the counter window;
+        // emitting here also drains the retransmit ring each round.
+        let payload = mux.next_cycle_payload();
+        full.clear();
+        full.extend(payload.iter().map(|&b| Some(b)));
+        let erase = full.len() / regions;
+        for slot in &mut full[..erase] {
+            *slot = None;
+        }
+        rx.push_cycle(&full);
+
+        // Feedback/ARQ leg — report build, wire codec, aggregation,
+        // mode bookkeeping, selective-repeat queueing. After the warm
+        // rounds this whole loop must stay off the allocator.
+        let before = allocation_count();
+        let mut report = rx.build_feedback(cycle);
+        report.push_nack(nack_for(round));
+        report.encode_into(&mut wire);
+        let decoded = FeedbackReport::decode(&wire).expect("round-trip");
+        assert!(agg.ingest(&decoded, cycle), "fresh report rejected");
+        assert_eq!(arq.on_cycle(cycle, &agg, &mut mux), ArqMode::Closed);
+        for i in 0..agg.nacks().len() {
+            let (_, n) = agg.nacks()[i];
+            queued_total += arq.on_nack(&n, cycle, &mut mux);
+        }
+        agg.reset_window();
+        let delta = allocation_count() - before;
+        if round >= warm {
+            assert_eq!(
+                delta,
+                0,
+                "feedback/ARQ round {round} (telemetry {}): hot path allocated {delta} times",
+                if telemetry.is_enabled() { "on" } else { "off" }
+            );
+        }
+    }
+    assert!(
+        queued_total >= rounds as u32,
+        "ARQ queueing path was not exercised: {queued_total} retransmits"
+    );
+    assert_eq!(agg.accepted(), rounds as u64, "reports lost in the fold");
+}
+
 #[test]
 fn steady_state_hot_paths_allocate_nothing() {
     // Every supported SIMD dispatch tier must preserve the guarantee —
@@ -370,5 +479,6 @@ fn steady_state_hot_paths_allocate_nothing() {
     // SIMD tier can't reach it, so once (per telemetry mode) suffices.
     for telemetry in [Telemetry::disabled(), Telemetry::new()] {
         net_steady_state_is_allocation_free(&telemetry);
+        feedback_arq_steady_state_is_allocation_free(&telemetry);
     }
 }

@@ -52,6 +52,8 @@ fn cfg(faults: Vec<FaultWindow>) -> FaultScenarioConfig {
         object_len: OBJECT_LEN,
         faults,
         adaptive: false,
+        closed_loop: false,
+        watchdog_cycles: None,
     }
 }
 
@@ -477,5 +479,130 @@ mod exposure_step {
                 "Block decisions must be stable across a {step}x exposure step"
             );
         }
+    }
+}
+
+// ---- closed loop + watchdog (PR 9: robustness) ----
+
+mod closed_loop {
+    use super::*;
+    use inframe::obs::{Event, FaultClass, ObsConfig, Telemetry};
+    use inframe::sim::faults::run_fault_scenario_with_telemetry;
+
+    /// A capture blackout long past the watchdog budget: the decode
+    /// pipeline goes silent while display cycles keep passing.
+    fn blackout_cfg() -> FaultScenarioConfig {
+        let mut c = cfg(vec![FaultWindow {
+            kind: FaultKind::Drop { rate: 1.0 },
+            from_cycle: 6,
+            until_cycle: 30,
+        }]);
+        c.watchdog_cycles = Some(8);
+        c
+    }
+
+    #[test]
+    fn watchdog_fires_once_per_stall_and_dumps_forensics() {
+        let tele = Telemetry::with_config(ObsConfig {
+            recorder_capacity: 4096,
+        });
+        let out = run_fault_scenario_with_telemetry(&blackout_cfg(), &tele);
+        assert!(
+            out.watchdog_fires >= 1,
+            "a 24-cycle capture blackout must trip the 8-cycle watchdog; {out:?}"
+        );
+        assert_eq!(
+            out.watchdog_fires, 1,
+            "one stall episode must fire the watchdog exactly once; {out:?}"
+        );
+        assert!(
+            out.completed && out.object_ok,
+            "delivery must resume after the blackout; {out:?}"
+        );
+        // The watchdog is a flight-recorder dump trigger: the snapshot
+        // must hold the fault window that caused the stall, then the
+        // watchdog expiry itself.
+        let dump = tele.lock_loss_dump();
+        assert!(!dump.is_empty(), "the watchdog must snapshot the recorder");
+        let fault_at = dump.iter().position(|r| {
+            matches!(
+                r.event,
+                Event::FaultStart {
+                    kind: FaultClass::Drop,
+                    ..
+                }
+            )
+        });
+        let dog_at = dump
+            .iter()
+            .position(|r| matches!(r.event, Event::Watchdog { .. }));
+        let (Some(fault_at), Some(dog_at)) = (fault_at, dog_at) else {
+            panic!("dump must hold the drop window and the watchdog expiry: {dump:?}");
+        };
+        assert!(
+            fault_at < dog_at,
+            "forensics order: the fault opens, then the watchdog expires"
+        );
+        assert!(
+            dump.iter().any(|r| matches!(
+                r.event,
+                Event::Watchdog {
+                    budget_cycles: 8,
+                    ..
+                }
+            )),
+            "the expiry must carry the configured budget: {dump:?}"
+        );
+    }
+
+    #[test]
+    fn quiet_channel_never_wakes_the_watchdog() {
+        let mut c = cfg(Vec::new());
+        c.watchdog_cycles = Some(8);
+        let out = run_fault_scenario(&c);
+        assert_eq!(out.watchdog_fires, 0, "{out:?}");
+        assert!(out.completed && out.object_ok);
+    }
+
+    /// A sustained multiplicative exposure drift: the gain oscillation
+    /// scales the chessboard contrast by up to 1 ± 0.35, exactly the
+    /// damage a larger δ undoes. The controller issues the same degrade
+    /// commands either way; only the closed run actuates them via
+    /// `Sender::queue_modulation`.
+    fn drift_cfg(closed: bool) -> FaultScenarioConfig {
+        let mut c = cfg(vec![FaultWindow {
+            kind: FaultKind::ExposureDrift {
+                gain_amplitude: 0.35,
+                awb_shift: 0.0,
+                period_s: 0.9,
+            },
+            from_cycle: 6,
+            until_cycle: 100_000, // never clears within the run
+        }]);
+        c.sim.cycles = 400;
+        c.adaptive = true;
+        c.closed_loop = closed;
+        c
+    }
+
+    #[test]
+    fn closed_loop_remodulation_beats_recording_commands_open_loop() {
+        let open = run_fault_scenario(&drift_cfg(false));
+        let closed = run_fault_scenario(&drift_cfg(true));
+        assert!(open.completed && open.object_ok, "{open:?}");
+        assert!(closed.completed && closed.object_ok, "{closed:?}");
+        assert!(!closed.commands.is_empty(), "the loop must have actuated");
+        let open_c = open.completion_cycle.unwrap();
+        let closed_c = closed.completion_cycle.unwrap();
+        assert!(
+            closed_c < open_c,
+            "actuated δ must out-deliver recorded-only commands: {closed_c} vs {open_c}"
+        );
+        assert!(
+            closed.availability > open.availability,
+            "the boosted chessboard must ride the gain trough better: {} vs {}",
+            closed.availability,
+            open.availability
+        );
     }
 }

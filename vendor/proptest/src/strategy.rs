@@ -77,6 +77,22 @@ impl Strategy for RangeInclusive<f64> {
     }
 }
 
+macro_rules! tuple_strategy {
+    ($($s:ident : $idx:tt),*) => {
+        impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+            type Value = ($($s::Value,)*);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)*)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
 /// Types with a canonical "anything" strategy.
 pub trait Arbitrary: Sized {
     /// Draws an arbitrary value.
@@ -111,6 +127,12 @@ impl Arbitrary for f32 {
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> f64 {
         (rng.unit_f64() - 0.5) * 2.0e12
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
     }
 }
 
