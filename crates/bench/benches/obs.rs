@@ -12,13 +12,15 @@
 //! the best run is kept, so scheduler noise cannot masquerade as
 //! instrument cost. Writes `BENCH_obs.json` at the repository root.
 
+use inframe_core::batch::{BatchScorer, ScoreClass, SKIP, UNREADABLE};
 use inframe_core::demux::{Demultiplexer, RegionCache};
 use inframe_core::parallel::ParallelEngine;
 use inframe_core::sender::{PrbsPayload, Sender};
 use inframe_core::InFrameConfig;
 use inframe_frame::geometry::Homography;
+use inframe_frame::perturb::CaptureTransform;
 use inframe_frame::Plane;
-use inframe_obs::Telemetry;
+use inframe_obs::{names, FleetAggregator, Telemetry};
 use inframe_video::synth::MovingBarsClip;
 use inframe_video::FrameRate;
 use std::sync::Arc;
@@ -30,6 +32,14 @@ const REPS: usize = 7;
 const RENDER_FRAMES: u64 = 36;
 /// Captures timed per demux repetition (after a warm-up score).
 const DEMUX_CAPTURES: u64 = 36;
+/// Batched scoring rounds timed per repetition (after a warm-up round).
+const BATCH_ROUNDS: u64 = 12;
+/// Receivers fanned out per batch round.
+const BATCH_RECEIVERS: usize = 256;
+/// Session summaries folded per fleet-merge operation.
+const MERGE_SESSIONS: usize = 64;
+/// Fleet-merge operations timed per repetition.
+const MERGE_OPS: u64 = 200;
 /// The acceptance budget, percent.
 const BUDGET_PCT: f64 = 2.0;
 
@@ -116,6 +126,106 @@ fn measure_demux(
     }
 }
 
+fn measure_batch(
+    cfg: InFrameConfig,
+    cache: &Arc<RegionCache>,
+    capture: &Plane<f32>,
+    mode: &'static str,
+) -> Sample {
+    // A representative class mix: identity plus an AWB shift, a gain
+    // step and a noised fold — two distinct sweeps, four classes.
+    let transforms = [
+        CaptureTransform::IDENTITY,
+        CaptureTransform {
+            gain_q12: 4352,
+            ..CaptureTransform::IDENTITY
+        },
+    ];
+    let classes = [
+        ScoreClass::clean(0),
+        ScoreClass::clean(1),
+        ScoreClass {
+            transform: 0,
+            noise_raw_sq: 1024,
+        },
+        ScoreClass {
+            transform: 1,
+            noise_raw_sq: 1024,
+        },
+    ];
+    let assign: Vec<u32> = (0..BATCH_RECEIVERS)
+        .map(|r| if r % 9 == 5 { SKIP } else { (r % 4) as u32 })
+        .collect();
+    let mut best = f64::MAX;
+    for _ in 0..REPS {
+        let tele = telemetry(mode);
+        let engine = Arc::new(ParallelEngine::new(1));
+        let mut scorer = BatchScorer::new(cfg, Arc::clone(cache), engine).with_telemetry(&tele);
+        let nb = scorer.num_blocks();
+        let mut merged = vec![UNREADABLE; BATCH_RECEIVERS * nb];
+        // Warm-up sizes every per-class buffer.
+        scorer.score_classes(capture, &transforms, &classes);
+        scorer.merge_assigned(&assign, &mut merged);
+        let t0 = Instant::now();
+        for _ in 0..BATCH_ROUNDS {
+            scorer.score_classes(capture, &transforms, &classes);
+            scorer.merge_assigned(&assign, &mut merged);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Sample {
+        stage: "batch",
+        mode,
+        frames: BATCH_ROUNDS,
+        fps: BATCH_ROUNDS as f64 / best,
+    }
+}
+
+/// One synthetic session spine summary, shaped like a real fleet shard
+/// (availability + ε histograms, completion counters).
+fn session_summary(shard: u64) -> inframe_obs::export::ObsSummary {
+    let tele = Telemetry::new();
+    let avail = tele.histogram(names::fleet::AVAILABILITY_MILLI);
+    let eps = tele.histogram(names::session::DECODE_EPS_MILLI);
+    let completions = tele.counter(names::fleet::COMPLETIONS);
+    for i in 0..64u64 {
+        avail.record(900 + (shard * 31 + i * 7) % 100);
+        eps.record((shard * 13 + i * 3) % 400);
+        if i % 3 == 0 {
+            completions.add(1);
+        }
+    }
+    tele.counter(names::fleet::RECEIVERS).add(64);
+    tele.summary()
+}
+
+fn measure_fleet_merge(mode: &'static str) -> Sample {
+    let sessions: Vec<_> = (0..MERGE_SESSIONS as u64).map(session_summary).collect();
+    let mut best = f64::MAX;
+    for _ in 0..REPS {
+        let tele = telemetry(mode);
+        let t0 = Instant::now();
+        for _ in 0..MERGE_OPS {
+            let mut agg = if tele.is_enabled() {
+                FleetAggregator::with_telemetry(&tele)
+            } else {
+                FleetAggregator::new()
+            };
+            for s in &sessions {
+                agg.absorb(s);
+            }
+            std::hint::black_box(agg.rollup());
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Sample {
+        stage: "fleet_merge",
+        mode,
+        frames: MERGE_OPS,
+        fps: MERGE_OPS as f64 / best,
+    }
+}
+
 fn main() {
     let cfg = InFrameConfig::paper();
     let (sw, sh) = (cfg.display_w * 2 / 3, cfg.display_h * 2 / 3);
@@ -139,6 +249,18 @@ fn main() {
         let s = measure_demux(cfg, &cache, &capture, mode);
         println!("demux  {mode:>12}: {:8.2} captures/s", s.fps);
         samples.push(s);
+        let s = measure_batch(cfg, &cache, &capture, mode);
+        println!(
+            "batch  {mode:>12}: {:8.2} rounds/s ({BATCH_RECEIVERS}-receiver fan-out)",
+            s.fps
+        );
+        samples.push(s);
+        let s = measure_fleet_merge(mode);
+        println!(
+            "merge  {mode:>12}: {:8.2} folds/s ({MERGE_SESSIONS} sessions each)",
+            s.fps
+        );
+        samples.push(s);
     }
 
     println!();
@@ -150,7 +272,7 @@ fn main() {
             .expect("sample present")
     };
     let mut overheads = Vec::new();
-    for stage in ["render", "demux"] {
+    for stage in ["render", "demux", "batch", "fleet_merge"] {
         let overhead_pct = (fps(stage, "noop") / fps(stage, "instrumented") - 1.0) * 100.0;
         let ok = overhead_pct <= BUDGET_PCT;
         println!(

@@ -39,6 +39,7 @@ use inframe_frame::integral::{box_blur_fast_into, BlurScratch};
 use inframe_frame::perturb::CaptureTransform;
 use inframe_frame::qplane::{self, horizontal_window_sums_band, QPlane};
 use inframe_frame::Plane;
+use inframe_obs::{names, Telemetry};
 use std::sync::Arc;
 
 /// Score encoding of [`BlockScore::Unreadable`] in the flat `f32`
@@ -131,6 +132,10 @@ pub struct BatchScorer {
     /// [`BatchScorer::score_classes`] call.
     class_scores: Vec<f32>,
     num_classes: usize,
+    /// Histogram (ns): one `score_classes` fan-out (all sweeps + folds).
+    score_ns: inframe_obs::Histogram,
+    /// Counter: per-receiver scorings fanned out by `merge_assigned`.
+    fanout: inframe_obs::Counter,
 }
 
 impl BatchScorer {
@@ -163,8 +168,20 @@ impl BatchScorer {
             blur: BlurScratch::default(),
             class_scores: Vec::new(),
             num_classes: 0,
+            score_ns: inframe_obs::Histogram::noop(),
+            fanout: inframe_obs::Counter::noop(),
             cache,
         }
+    }
+
+    /// Attaches telemetry: `core.batch.score_ns` times each
+    /// `score_classes` fan-out and `core.batch.fanout` counts receiver
+    /// scorings folded by `merge_assigned`. Builder-style, like the
+    /// streaming [`Demultiplexer`].
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.score_ns = telemetry.histogram(names::batch::SCORE_NS);
+        self.fanout = telemetry.counter(names::batch::FANOUT);
+        self
     }
 
     /// Blocks per receiver (the width of every score row).
@@ -219,6 +236,10 @@ impl BatchScorer {
         self.num_classes = classes.len();
         self.class_scores.clear();
         self.class_scores.resize(classes.len() * nb, UNREADABLE);
+        // Owned clone of the handle so the span guard does not hold a
+        // borrow of `self` across the &mut dispatch below.
+        let timer = self.score_ns.clone();
+        let _span = timer.span();
         match self.config.kernel {
             KernelBackend::Quantized => self.score_classes_quantized(base, transforms, classes),
             KernelBackend::Reference => self.score_classes_reference(base, transforms, classes),
@@ -420,6 +441,8 @@ impl BatchScorer {
                 .all(|&c| c == SKIP || (c as usize) < self.num_classes),
             "assignment references a class out of range"
         );
+        self.fanout
+            .add(assign.iter().filter(|&&c| c != SKIP).count() as u64);
         let scores = &self.class_scores;
         self.engine
             .for_each_row_band(assign.len(), nb, best, |rows, band| {

@@ -1,0 +1,362 @@
+//! Fleet-wide aggregation: folding many session spines into one
+//! operator view.
+//!
+//! InFrame is one-to-many — a deployed display serves hundreds of
+//! heterogeneous receivers, each with its own telemetry spine. The
+//! operator cares about the *fleet*: what fraction of receivers hold
+//! lock, where the ε tail sits, how long relocks take, whether the
+//! controller is thrashing. [`FleetAggregator`] folds point-in-time
+//! [`ObsSummary`]s (live handles, tailer snapshots, or files) into one
+//! merged summary: counters and sharded sums add, gauges are
+//! last-writer-wins, and histograms merge bucket-wise through
+//! [`HistogramSnapshot::merge`] — associative and commutative, so the
+//! fold is independent of the order sessions report in, and merged
+//! quantiles equal whole-population quantiles to the sketch error.
+//!
+//! Summaries are *cumulative*, so absorb each spine **once** per fold:
+//! a live console builds a fresh aggregator every tick from the current
+//! summaries rather than re-absorbing into an old one.
+//!
+//! [`FleetRollup`] then derives the operator-facing figures (channel
+//! roll-up, availability/ε/relock quantiles, controller and ARQ
+//! activity) from the well-known instrument names — this is the
+//! protocol half of the operator console; the ANSI rendering half lives
+//! in `examples/ops_console.rs`.
+
+use std::collections::BTreeMap;
+
+use crate::export::{ChannelSummary, ObsSummary};
+use crate::metrics::HistogramSnapshot;
+use crate::names;
+use crate::{Histogram, Telemetry};
+
+/// Folds session [`ObsSummary`]s into one fleet-wide summary.
+#[derive(Debug, Default)]
+pub struct FleetAggregator {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+    sharded: BTreeMap<String, u64>,
+    events_recorded: u64,
+    events_dropped: u64,
+    sessions: u64,
+    merge_ns: Histogram,
+    session_count: Option<crate::Counter>,
+}
+
+impl FleetAggregator {
+    /// An aggregator with no sessions absorbed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An aggregator that self-instruments on `telemetry`: each absorb
+    /// records its wall-clock into `obs.aggregate.merge_ns` and counts
+    /// `obs.aggregate.sessions`.
+    pub fn with_telemetry(telemetry: &Telemetry) -> Self {
+        Self {
+            merge_ns: telemetry.histogram(names::obs::AGG_MERGE_NS),
+            session_count: Some(telemetry.counter(names::obs::AGG_SESSIONS)),
+            ..Self::default()
+        }
+    }
+
+    /// Folds one session's summary into the fleet. Counters and sharded
+    /// sums add; gauges take the newest value; histograms merge
+    /// bucket-wise.
+    pub fn absorb(&mut self, summary: &ObsSummary) {
+        let _span = self.merge_ns.span();
+        for (name, v) in &summary.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &summary.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, v) in &summary.sharded {
+            *self.sharded.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &summary.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        self.events_recorded += summary.events_recorded;
+        self.events_dropped += summary.events_dropped;
+        self.sessions += 1;
+        if let Some(c) = &self.session_count {
+            c.incr();
+        }
+    }
+
+    /// Number of session summaries absorbed.
+    pub fn sessions(&self) -> u64 {
+        self.sessions
+    }
+
+    /// The merged fleet summary, in the same shape a single spine
+    /// exports — so every existing consumer ([`ObsSummary::channel`],
+    /// `to_json`, the snapshot wire codec) works on a whole fleet.
+    pub fn merged(&self) -> ObsSummary {
+        ObsSummary {
+            counters: self.counters.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.clone()))
+                .collect(),
+            sharded: self.sharded.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+            events_recorded: self.events_recorded,
+            events_dropped: self.events_dropped,
+        }
+    }
+
+    /// The operator-facing rollup derived from the merged summary.
+    pub fn rollup(&self) -> FleetRollup {
+        FleetRollup::of(&self.merged(), self.sessions)
+    }
+}
+
+/// Quantile digest of one merged histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QuantileRollup {
+    /// Samples across the fleet.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median estimate (sketch midpoint, ≤ sketch relative error).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+impl QuantileRollup {
+    /// Digest of `h` (all-zero when `h` is `None` or empty).
+    pub fn of(h: Option<&HistogramSnapshot>) -> Self {
+        match h {
+            Some(h) if h.count > 0 => Self {
+                count: h.count,
+                mean: h.mean(),
+                p50: h.quantile(0.50),
+                p90: h.quantile(0.90),
+                p99: h.quantile(0.99),
+                max: h.max,
+            },
+            _ => Self::default(),
+        }
+    }
+}
+
+/// Controller activity across the fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ControllerRollup {
+    /// Health-triggered backoff commands.
+    pub backoffs: u64,
+    /// Health-triggered restore commands.
+    pub restores: u64,
+    /// Windowed error-rate adaptations.
+    pub adapts: u64,
+    /// Current modulation amplitude δ (last writer wins).
+    pub delta: f32,
+    /// Current cycle length τ in frames.
+    pub tau: u64,
+    /// 1 while the feedback loop is closed.
+    pub loop_closed: bool,
+    /// Cycles since the last fresh feedback report.
+    pub feedback_age: u64,
+}
+
+/// Selective-repeat ARQ activity across the fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ArqRollup {
+    /// NACK bitmap entries received.
+    pub nacks_rx: u64,
+    /// Symbols queued for retransmission.
+    pub retransmits: u64,
+    /// Per-destination timeouts expired.
+    pub timeouts: u64,
+    /// Flows degraded to pure fountain repair.
+    pub degraded: u64,
+    /// Flows restored to ARQ.
+    pub restored: u64,
+}
+
+/// Everything the operator console renders, derived from one merged
+/// [`ObsSummary`] by well-known instrument names.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetRollup {
+    /// Session summaries folded in.
+    pub sessions: u64,
+    /// Receivers simulated/served across the fleet.
+    pub receivers: u64,
+    /// Receivers that completed their object set.
+    pub completions: u64,
+    /// Most recent displayed cycle (the fleet's progress marker).
+    pub cycle: u64,
+    /// Channel accounting roll-up (availability, error rate, bits).
+    pub channel: ChannelSummary,
+    /// Per-receiver mean GOB availability (milli-ratio).
+    pub availability_milli: QuantileRollup,
+    /// Completion time per completed receiver (cycles since join).
+    pub completion_cycle: QuantileRollup,
+    /// Decode overhead ε per completed object (milli-units).
+    pub eps_milli: QuantileRollup,
+    /// Phase-tracker time-in-state (µs) — the relock-latency digest.
+    pub in_state_us: QuantileRollup,
+    /// Lock losses declared across the fleet.
+    pub lock_losses: u64,
+    /// Re-locks achieved across the fleet.
+    pub relocks: u64,
+    /// Controller activity.
+    pub controller: ControllerRollup,
+    /// ARQ activity.
+    pub arq: ArqRollup,
+    /// Events recorded across all spines.
+    pub events_recorded: u64,
+    /// Events dropped by non-blocking recorder/ring paths.
+    pub events_dropped: u64,
+}
+
+impl FleetRollup {
+    /// Derives the rollup from a merged summary.
+    pub fn of(merged: &ObsSummary, sessions: u64) -> Self {
+        // ε lives under the fleet name once a fleet run has folded its
+        // shards; a raw session spine still carries the session name.
+        let eps = merged
+            .histogram(names::fleet::EPS_MILLI)
+            .filter(|h| h.count > 0)
+            .or_else(|| merged.histogram(names::session::DECODE_EPS_MILLI));
+        Self {
+            sessions,
+            receivers: merged.counter(names::fleet::RECEIVERS),
+            completions: merged.counter(names::fleet::COMPLETIONS),
+            cycle: merged.gauge(names::fleet::CYCLE).unwrap_or(0),
+            channel: merged.channel(),
+            availability_milli: QuantileRollup::of(
+                merged.histogram(names::fleet::AVAILABILITY_MILLI),
+            ),
+            completion_cycle: QuantileRollup::of(merged.histogram(names::fleet::COMPLETION_CYCLE)),
+            eps_milli: QuantileRollup::of(eps),
+            in_state_us: QuantileRollup::of(merged.histogram(names::sync::IN_STATE_US)),
+            lock_losses: merged.counter(names::sync::LOCK_LOSSES)
+                + merged.counter(names::session::RESYNCS),
+            relocks: merged.counter(names::sync::RELOCKS),
+            controller: ControllerRollup {
+                backoffs: merged.counter(names::control::BACKOFFS),
+                restores: merged.counter(names::control::RESTORES),
+                adapts: merged.counter(names::control::ADAPTS),
+                delta: merged.gauge_f32(names::control::DELTA).unwrap_or(0.0),
+                tau: merged.gauge(names::control::TAU).unwrap_or(0),
+                loop_closed: merged.gauge(names::ctrl_loop::CLOSED).unwrap_or(0) == 1,
+                feedback_age: merged.gauge(names::ctrl_loop::FEEDBACK_AGE).unwrap_or(0),
+            },
+            arq: ArqRollup {
+                nacks_rx: merged.counter(names::arq::NACKS_RX),
+                retransmits: merged.counter(names::arq::RETRANSMITS),
+                timeouts: merged.counter(names::arq::TIMEOUTS),
+                degraded: merged.counter(names::arq::DEGRADED),
+                restored: merged.counter(names::arq::RESTORED),
+            },
+            events_recorded: merged.events_recorded,
+            events_dropped: merged.events_dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::bucket_index;
+
+    fn session(availability: &[u64], cycles: u64) -> ObsSummary {
+        let mut h = HistogramSnapshot::default();
+        for &v in availability {
+            h.buckets[bucket_index(v)] += 1;
+            h.count += 1;
+            h.sum += v;
+            h.min = h.min.min(v);
+            h.max = h.max.max(v);
+        }
+        ObsSummary {
+            counters: vec![
+                (names::chan::CYCLES.to_string(), cycles),
+                (
+                    names::fleet::RECEIVERS.to_string(),
+                    availability.len() as u64,
+                ),
+            ],
+            gauges: vec![(names::fleet::CYCLE.to_string(), cycles)],
+            histograms: vec![(names::fleet::AVAILABILITY_MILLI.to_string(), h)],
+            sharded: vec![],
+            events_recorded: cycles,
+            events_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn fold_is_order_independent() {
+        let a = session(&[900, 950, 980], 10);
+        let b = session(&[400, 500], 20);
+        let c = session(&[999], 30);
+        let mut fwd = FleetAggregator::new();
+        for s in [&a, &b, &c] {
+            fwd.absorb(s);
+        }
+        let mut rev = FleetAggregator::new();
+        for s in [&c, &b, &a] {
+            rev.absorb(s);
+        }
+        let (mf, mr) = (fwd.merged(), rev.merged());
+        assert_eq!(mf.counters, mr.counters);
+        assert_eq!(mf.histograms, mr.histograms);
+        assert_eq!(mf.events_recorded, mr.events_recorded);
+        // Gauges are last-writer-wins, so *those* depend on order — the
+        // forward fold ends on c's cycle gauge.
+        assert_eq!(mf.gauge(names::fleet::CYCLE), Some(30));
+    }
+
+    #[test]
+    fn rollup_reads_the_well_known_names() {
+        let mut agg = FleetAggregator::new();
+        agg.absorb(&session(&[900, 950, 980], 10));
+        agg.absorb(&session(&[400, 500], 20));
+        let r = agg.rollup();
+        assert_eq!(r.sessions, 2);
+        assert_eq!(r.receivers, 5);
+        assert_eq!(r.cycle, 20);
+        assert_eq!(r.availability_milli.count, 5);
+        assert_eq!(r.availability_milli.max, 980);
+        assert_eq!(r.channel.cycles, 30);
+        assert_eq!(r.events_recorded, 30);
+    }
+
+    #[test]
+    fn merged_summary_round_trips_the_snapshot_codec() {
+        let mut agg = FleetAggregator::new();
+        agg.absorb(&session(&[900, 950], 5));
+        agg.absorb(&session(&[123], 6));
+        let merged = agg.merged();
+        let mut buf = Vec::new();
+        crate::wire::encode_snapshot(&mut buf, &merged);
+        let decoded = crate::wire::decode_snapshot(&buf).expect("decodes");
+        assert_eq!(decoded.counters, merged.counters);
+        assert_eq!(decoded.histograms, merged.histograms);
+        assert_eq!(decoded.events_recorded, merged.events_recorded);
+    }
+
+    #[test]
+    fn aggregator_self_instruments() {
+        let t = Telemetry::new();
+        let mut agg = FleetAggregator::with_telemetry(&t);
+        agg.absorb(&session(&[800], 1));
+        agg.absorb(&session(&[810], 2));
+        let s = t.summary();
+        assert_eq!(s.counter(names::obs::AGG_SESSIONS), 2);
+        assert_eq!(
+            s.histogram(names::obs::AGG_MERGE_NS).map(|h| h.count),
+            Some(2)
+        );
+    }
+}

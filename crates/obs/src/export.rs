@@ -8,11 +8,19 @@
 //! is built. The summary subsumes the report: everything Figure 7 needs
 //! (available ratio, error rate, raw rate) is a pure function of the
 //! well-known counters in [`crate::names`].
+//!
+//! Since the live operations plane landed, JSONL is the **offline**
+//! shape: an on-box session streams the binary ring format
+//! ([`crate::wire`]) and [`binary_to_jsonl`] converts a captured ring
+//! back into the line format the validator and human tooling speak.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
+use crate::event::encode_event;
 use crate::metrics::HistogramSnapshot;
 use crate::names;
+use crate::tail::TailReader;
 
 /// Point-in-time copy of every instrument registered on a spine, sorted
 /// by name for deterministic output.
@@ -28,6 +36,9 @@ pub struct ObsSummary {
     pub sharded: Vec<(String, u64)>,
     /// Total events recorded on the spine.
     pub events_recorded: u64,
+    /// Events dropped by the non-blocking recorder/ring paths (also
+    /// surfaced as the `obs.recorder.dropped` counter).
+    pub events_dropped: u64,
 }
 
 impl ObsSummary {
@@ -114,8 +125,9 @@ impl ObsSummary {
         let ch = self.channel();
         let _ = write!(
             out,
-            "}},\"events_recorded\":{},\"channel\":{{\"cycles\":{},\"gobs_ok\":{},\"gobs_erroneous\":{},\"gobs_unavailable\":{},\"available_ratio\":{:.4},\"error_rate\":{:.4},\"bit_accuracy\":{:.4}}}}}",
+            "}},\"events_recorded\":{},\"events_dropped\":{},\"channel\":{{\"cycles\":{},\"gobs_ok\":{},\"gobs_erroneous\":{},\"gobs_unavailable\":{},\"available_ratio\":{:.4},\"error_rate\":{:.4},\"bit_accuracy\":{:.4}}}}}",
             self.events_recorded,
+            self.events_dropped,
             ch.cycles,
             ch.gobs_ok,
             ch.gobs_erroneous,
@@ -135,7 +147,7 @@ fn lookup(list: &[(String, u64)], name: &str) -> Option<u64> {
 /// Channel accounting rolled up from the well-known counters — the
 /// single source the throughput report is derived from (Figure 7's
 /// `goodput = raw × available × (1 − error)` decomposition).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ChannelSummary {
     /// Modulation cycles decoded.
     pub cycles: u64,
@@ -202,8 +214,25 @@ pub struct ParsedLine {
     pub fields: BTreeMap<String, String>,
 }
 
+/// Phase-state names a `from`/`to`/`state` field may carry.
+const PHASE_NAMES: &[&str] = &["acquiring", "locked", "suspect", "reacquiring"];
+/// Command causes a `cause` field may carry.
+const CAUSE_NAMES: &[&str] = &["backoff", "restore", "adapt"];
+/// Fault classes a `fault` field may carry.
+const FAULT_NAMES: &[&str] = &[
+    "drop",
+    "duplicate",
+    "clock_skew",
+    "exposure_drift",
+    "occlusion",
+    "desync",
+];
+
 /// Validates one JSONL line against the event schema: a flat JSON object
-/// with `seq`, `t_us`, and `kind`, plus the kind's required fields.
+/// with `seq`, `t_us`, and `kind`, the kind's required fields and **no
+/// others**; enum fields must carry known values and every numeric field
+/// except the controller's `delta` (an `f32`) must be an unsigned
+/// integer.
 pub fn validate_jsonl_line(line: &str) -> Result<ParsedLine, String> {
     let fields = parse_flat_object(line)?;
     for required in ["seq", "t_us", "kind"] {
@@ -227,6 +256,41 @@ pub fn validate_jsonl_line(line: &str) -> Result<ParsedLine, String> {
     for key in required {
         if !fields.contains_key(*key) {
             return Err(format!("kind `{kind}` missing key `{key}`: {line}"));
+        }
+    }
+    // Closed schema: a key outside the kind's field set means encoder
+    // drift (or a forged line) and must fail loudly.
+    for key in fields.keys() {
+        if !(key == "seq" || key == "t_us" || key == "kind" || required.contains(&key.as_str())) {
+            return Err(format!("kind `{kind}` has unknown key `{key}`: {line}"));
+        }
+    }
+    for (key, value) in &fields {
+        if key == "kind" {
+            continue;
+        }
+        let allowed: Option<&[&str]> = match key.as_str() {
+            "from" | "to" | "state" => Some(PHASE_NAMES),
+            "cause" => Some(CAUSE_NAMES),
+            "fault" => Some(FAULT_NAMES),
+            _ => None,
+        };
+        match allowed {
+            Some(names) => {
+                if !names.contains(&value.as_str()) {
+                    return Err(format!("unknown `{key}` value `{value}`: {line}"));
+                }
+            }
+            None if key == "delta" => {
+                if value.parse::<f32>().is_err() {
+                    return Err(format!("non-float `delta` value `{value}`: {line}"));
+                }
+            }
+            None => {
+                if value.parse::<u64>().is_err() {
+                    return Err(format!("non-integer `{key}` value `{value}`: {line}"));
+                }
+            }
         }
     }
     Ok(ParsedLine { kind, fields })
@@ -257,6 +321,26 @@ pub fn validate_jsonl(log: &str) -> Result<usize, String> {
         count += 1;
     }
     Ok(count)
+}
+
+/// Offline converter from the binary ring format ([`crate::wire`]) back
+/// to the JSONL event log: opens the ring at `path`, drains every
+/// committed event frame, and renders one JSONL line per record — the
+/// same bytes the live JSONL sink would have produced for the same
+/// events. Registry snapshots embedded in the stream are skipped (they
+/// have no JSONL shape). The output passes [`validate_jsonl`] whenever
+/// the ring never wrapped; a wrapped ring yields the surviving suffix.
+pub fn binary_to_jsonl<P: AsRef<Path>>(path: P) -> std::io::Result<String> {
+    let mut tail = TailReader::open(path)?;
+    let mut events = Vec::new();
+    let mut snapshots = Vec::new();
+    tail.poll(&mut events, &mut snapshots)?;
+    let mut out = String::with_capacity(events.len() * 64);
+    for rec in &events {
+        encode_event(&mut out, rec);
+        out.push('\n');
+    }
+    Ok(out)
 }
 
 /// Parses a flat JSON object of string/number/bool values — exactly the
@@ -430,6 +514,30 @@ mod tests {
             encoded(5, Event::CycleRendered { cycle: 1 })
         );
         assert!(validate_jsonl(&log).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_unknown_keys_bad_enums_and_non_integers() {
+        // Extra key beyond the kind's schema.
+        assert!(validate_jsonl_line(
+            "{\"seq\":1,\"t_us\":2,\"kind\":\"cycle_rendered\",\"cycle\":3,\"extra\":4}"
+        )
+        .is_err());
+        // Enum value outside the table.
+        assert!(validate_jsonl_line(
+            "{\"seq\":1,\"t_us\":2,\"kind\":\"session_health\",\"cycle\":3,\"state\":\"confused\"}"
+        )
+        .is_err());
+        // Integer field carrying a float.
+        assert!(validate_jsonl_line(
+            "{\"seq\":1,\"t_us\":2,\"kind\":\"cycle_rendered\",\"cycle\":3.5}"
+        )
+        .is_err());
+        // `delta` is the one float field — it must still pass.
+        assert!(validate_jsonl_line(
+            "{\"seq\":1,\"t_us\":2,\"kind\":\"command\",\"cycle\":3,\"delta\":0.25,\"tau\":14,\"cause\":\"adapt\"}"
+        )
+        .is_ok());
     }
 
     #[test]

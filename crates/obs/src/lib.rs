@@ -4,7 +4,8 @@
 //! fault injection) reports into one [`Telemetry`] handle:
 //!
 //! - **Metrics** — lock-free typed [`Counter`]s, [`Gauge`]s,
-//!   log₂-bucketed [`Histogram`]s, and band-sharded counters that
+//!   sketch-bucketed [`Histogram`]s (a mergeable log-linear quantile
+//!   sketch, [`sketch`]), and band-sharded counters that
 //!   aggregate compatibly with `ParallelEngine` workers. Updates are
 //!   relaxed atomics; the hot paths stay allocation-free.
 //! - **Events** — a `Copy` vocabulary ([`Event`]) fed to a
@@ -13,6 +14,12 @@
 //! - **Exporters** — [`ObsSummary`] (a point-in-time copy of every
 //!   instrument, subsuming the channel's `ThroughputReport`) and the
 //!   JSONL event log with a schema checker ([`export::validate_jsonl`]).
+//! - **Live operations plane** — a compact binary wire format
+//!   ([`wire`]) written into a file-backed ring that an out-of-process
+//!   tailer ([`tail::TailReader`]) follows live; fleet-wide aggregation
+//!   ([`aggregate::FleetAggregator`]) folding many session spines into
+//!   one operator rollup; and mergeable quantile sketches ([`sketch`])
+//!   behind every [`Histogram`], accurate to ≈1.6% relative error.
 //!
 //! The handle is `Clone` and cheap: a disabled handle is `None` inside,
 //! so every instrumented call site costs one well-predicted branch —
@@ -24,22 +31,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod names;
 pub mod recorder;
+pub mod sketch;
+pub mod tail;
+pub mod wire;
 
 use std::collections::HashMap;
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+pub use aggregate::{FleetAggregator, FleetRollup, QuantileRollup};
 pub use event::{CommandCause, Event, EventRecord, FaultClass, PhaseState};
 pub use export::{ChannelSummary, ObsSummary};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, ShardedCounter, SpanGuard};
 pub use recorder::FlightRecorder;
+pub use tail::{TailReader, TailStats};
+pub use wire::{RingConfig, RingWriter};
 
 use metrics::{HistogramCore, PaddedCell, COUNTER_SHARDS};
 
@@ -81,6 +95,17 @@ struct Spine {
     histograms: Mutex<HashMap<&'static str, Arc<HistogramCore>>>,
     sharded: Mutex<HashMap<&'static str, Arc<[PaddedCell; COUNTER_SHARDS]>>>,
     jsonl: Mutex<Option<JsonlSink>>,
+    /// Binary ring sink (live operations plane). `ring_attached`
+    /// mirrors `ring.is_some()` so the hot path skips the `try_lock`
+    /// entirely when no ring was ever attached.
+    ring: Mutex<Option<RingWriter>>,
+    ring_attached: AtomicBool,
+    /// Events the non-blocking flight recorder dropped (contended).
+    recorder_dropped: AtomicU64,
+    /// Events the ring sink dropped (writer contended).
+    ring_dropped: AtomicU64,
+    /// Events lost to ring-file I/O errors.
+    ring_io_errors: AtomicU64,
 }
 
 /// Handle to the telemetry spine. Cloning shares the spine; a
@@ -114,6 +139,11 @@ impl Telemetry {
                 histograms: Mutex::new(HashMap::new()),
                 sharded: Mutex::new(HashMap::new()),
                 jsonl: Mutex::new(None),
+                ring: Mutex::new(None),
+                ring_attached: AtomicBool::new(false),
+                recorder_dropped: AtomicU64::new(0),
+                ring_dropped: AtomicU64::new(0),
+                ring_io_errors: AtomicU64::new(0),
             })),
         }
     }
@@ -210,7 +240,25 @@ impl Telemetry {
             t_us: s.epoch.elapsed().as_micros() as u64,
             event,
         };
-        s.recorder.record(rec);
+        if !s.recorder.record(rec) {
+            s.recorder_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        if s.ring_attached.load(Ordering::Relaxed) {
+            // Never block the hot path on the ring: a contended writer
+            // means the event is dropped and counted, not waited for.
+            match s.ring.try_lock() {
+                Ok(mut ring) => {
+                    if let Some(w) = ring.as_mut() {
+                        if w.append(&rec).is_err() {
+                            s.ring_io_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Err(_) => {
+                    s.ring_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let mut sink = s.jsonl.lock().expect("jsonl sink poisoned");
         if let Some(sink) = sink.as_mut() {
             sink.buf.clear();
@@ -238,6 +286,57 @@ impl Telemetry {
                 let _ = sink.out.flush();
             }
         }
+    }
+
+    /// Attaches a binary ring sink ([`RingWriter`]); every subsequent
+    /// event is appended to the ring for out-of-process tailing.
+    /// Replaces any previous ring.
+    pub fn attach_ring(&self, writer: RingWriter) {
+        if let Some(s) = &self.inner {
+            *s.ring.lock().expect("ring sink poisoned") = Some(writer);
+            s.ring_attached.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Commits any events buffered in the ring sink's open frame so the
+    /// tailer can see them — call at a natural boundary (cycle end,
+    /// scenario end).
+    pub fn flush_ring(&self) {
+        if let Some(s) = &self.inner {
+            if let Some(w) = s.ring.lock().expect("ring sink poisoned").as_mut() {
+                if w.flush().is_err() {
+                    s.ring_io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Writes a point-in-time registry snapshot ([`ObsSummary`]) into
+    /// the ring stream, so a tailer gets metrics as well as events.
+    pub fn publish_snapshot(&self) {
+        let Some(s) = &self.inner else { return };
+        let summary = self.summary();
+        if let Some(w) = s.ring.lock().expect("ring sink poisoned").as_mut() {
+            if w.write_snapshot(&summary).is_err() {
+                s.ring_io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Flushes and detaches the ring sink, returning the writer (so a
+    /// caller can inspect its frame/event counts). `None` when no ring
+    /// was attached.
+    pub fn detach_ring(&self) -> Option<RingWriter> {
+        let s = self.inner.as_ref()?;
+        let mut ring = s.ring.lock().expect("ring sink poisoned");
+        let mut w = ring.take();
+        s.ring_attached.store(false, Ordering::Relaxed);
+        if let Some(w) = w.as_mut() {
+            if w.flush().is_err() {
+                s.ring_io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        w
     }
 
     /// The live flight-recorder contents, oldest first (empty for a
@@ -292,6 +391,17 @@ impl Telemetry {
             .iter()
             .map(|(name, cell)| (name.to_string(), cell.load(Ordering::Relaxed)))
             .collect();
+        // The spine's own drop accounting is surfaced as counters even
+        // though it lives in dedicated cells — a truncated forensics
+        // dump must be visible in every export path.
+        let recorder_dropped = s.recorder_dropped.load(Ordering::Relaxed);
+        let ring_dropped = s.ring_dropped.load(Ordering::Relaxed);
+        let ring_io_errors = s.ring_io_errors.load(Ordering::Relaxed);
+        counters.push((names::obs::RECORDER_DROPPED.to_string(), recorder_dropped));
+        if ring_dropped > 0 || s.ring_attached.load(Ordering::Relaxed) {
+            counters.push((names::obs::RING_DROPPED.to_string(), ring_dropped));
+            counters.push((names::obs::RING_IO_ERRORS.to_string(), ring_io_errors));
+        }
         counters.sort();
         let mut gauges: Vec<(String, u64)> = s
             .gauges
@@ -333,6 +443,7 @@ impl Telemetry {
             histograms,
             sharded,
             events_recorded: s.seq.load(Ordering::Relaxed),
+            events_dropped: recorder_dropped + ring_dropped + ring_io_errors,
         }
     }
 }
@@ -406,6 +517,32 @@ mod tests {
         let dump = t.lock_loss_dump();
         assert_eq!(dump.len(), 2);
         assert!(dump[1].event.is_lock_loss());
+    }
+
+    #[test]
+    fn ring_sink_streams_events_to_a_tailer() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("inframe-spine-ring-{}", std::process::id()));
+        let t = Telemetry::new();
+        t.attach_ring(RingWriter::create(&path, wire::RingConfig::default()).unwrap());
+        for c in 0..20 {
+            t.event(Event::CycleRendered { cycle: c });
+        }
+        t.publish_snapshot();
+        let w = t.detach_ring().expect("ring was attached");
+        assert_eq!(w.events_appended(), 20);
+        let mut tail = TailReader::open(&path).unwrap();
+        let (mut events, mut snapshots) = (Vec::new(), Vec::new());
+        tail.poll(&mut events, &mut snapshots).unwrap();
+        assert_eq!(events, t.recorder_dump());
+        assert_eq!(snapshots.len(), 1);
+        // Drop accounting is surfaced in both the live summary and the
+        // streamed snapshot.
+        let s = t.summary();
+        assert_eq!(s.counter(names::obs::RECORDER_DROPPED), 0);
+        assert_eq!(s.events_dropped, 0);
+        assert_eq!(snapshots[0].counter(names::obs::RING_DROPPED), 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

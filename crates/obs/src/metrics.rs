@@ -1,4 +1,4 @@
-//! Lock-free metric instruments: counters, gauges, log₂-bucketed
+//! Lock-free metric instruments: counters, gauges, sketch-bucketed
 //! histograms, and band-sharded counters.
 //!
 //! Every instrument is a thin handle around an `Option<Arc<…>>`: a handle
@@ -9,15 +9,21 @@
 //! locks, no allocation — which is what lets the instrumented render and
 //! demux hot paths keep their zero-steady-state-allocation guarantee
 //! (enforced by `tests/alloc_steady_state.rs` in the workspace root).
+//!
+//! Histograms bucket samples on the [`crate::sketch`] log-linear grid:
+//! quantile queries are accurate to [`crate::sketch::RELATIVE_ERROR`]
+//! (≈1.6%), and merging snapshots is element-wise bucket addition —
+//! associative, commutative, and independent of shard order.
 
+use crate::sketch;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Number of log₂ buckets in a [`Histogram`]. Bucket `i` holds values
-/// whose bit length is `i` (bucket 0 holds the value zero), so the full
-/// `u64` range is covered.
-pub const HISTOGRAM_BUCKETS: usize = 65;
+/// Number of sketch buckets in a [`Histogram`] (see [`crate::sketch`]:
+/// one zero bucket, exact buckets below `sketch::LINEAR_MAX`, then 32
+/// linear sub-buckets per octave over the full `u64` range).
+pub const HISTOGRAM_BUCKETS: usize = sketch::SKETCH_BUCKETS;
 
 /// Number of shards in a [`ShardedCounter`] — comfortably above the
 /// engine's 8-worker cap so band indices never collide after the modulo.
@@ -130,27 +136,23 @@ impl HistogramCore {
     }
 }
 
-/// Index of the log₂ bucket holding `v`: zero maps to bucket 0, any other
-/// value to its bit length (`64 - leading_zeros`).
+/// Index of the sketch bucket holding `v` (re-exported from
+/// [`crate::sketch::bucket_index`]).
 #[inline]
 pub fn bucket_index(v: u64) -> usize {
-    (64 - v.leading_zeros()) as usize
+    sketch::bucket_index(v)
 }
 
-/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket;
+/// re-exported from [`crate::sketch::bucket_upper_bound`]).
 pub fn bucket_upper_bound(i: usize) -> u64 {
-    if i == 0 {
-        0
-    } else if i >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << i) - 1
-    }
+    sketch::bucket_upper_bound(i)
 }
 
-/// A log₂-bucketed histogram for timings (nanoseconds) and score margins
-/// (milli-units). Recording is four relaxed atomic ops; there is no
-/// per-recording allocation or lock.
+/// A sketch-bucketed histogram for timings (nanoseconds) and score
+/// margins (milli-units). Recording is four relaxed atomic ops; there is
+/// no per-recording allocation or lock. Quantiles are accurate to
+/// [`sketch::RELATIVE_ERROR`].
 #[derive(Debug, Clone, Default)]
 pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
 
@@ -290,7 +292,7 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest sample.
     pub max: u64,
-    /// Per-bucket sample counts (log₂ buckets, see [`bucket_index`]).
+    /// Per-bucket sample counts (sketch buckets, see [`bucket_index`]).
     pub buckets: [u64; HISTOGRAM_BUCKETS],
 }
 
@@ -345,22 +347,37 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper bound of the bucket containing quantile `q` (0 ≤ q ≤ 1) —
-    /// a log₂-resolution quantile, exact enough for order-of-magnitude
-    /// latency reporting.
-    pub fn quantile_bound(&self, q: f64) -> u64 {
+    /// Index of the bucket containing quantile `q` (0 ≤ q ≤ 1), or
+    /// `None` when the snapshot is empty.
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= rank {
-                return bucket_upper_bound(i);
+                return Some(i);
             }
         }
-        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+        Some(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Estimate of quantile `q` (0 ≤ q ≤ 1): the midpoint of the
+    /// quantile's sketch bucket, within [`sketch::RELATIVE_ERROR`]
+    /// (≈1.6%) of the true order statistic. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bucket(q)
+            .map_or(0, |i| sketch::bucket_value(i).clamp(self.min, self.max))
+    }
+
+    /// Upper bound of the bucket containing quantile `q` — a guaranteed
+    /// bound on the order statistic, at most [`sketch::RELATIVE_ERROR`]
+    /// ×2 above it. Returns 0 when empty.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        self.quantile_bucket(q)
+            .map_or(0, |i| sketch::bucket_upper_bound(i).min(self.max))
     }
 }
 
@@ -385,15 +402,18 @@ mod tests {
     }
 
     #[test]
-    fn bucket_index_is_bit_length() {
+    fn bucket_index_follows_the_sketch_grid() {
+        // Small values are exact buckets...
         assert_eq!(bucket_index(0), 0);
         assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index(u64::MAX), 64);
-        assert_eq!(bucket_upper_bound(2), 3);
-        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        assert_eq!(bucket_index(3), 3);
+        assert_eq!(bucket_index(63), 63);
+        for v in 0..64u64 {
+            assert_eq!(bucket_upper_bound(bucket_index(v)), v);
+        }
+        // ...then log-linear sub-buckets up to the top of the range.
+        assert!(bucket_index(u64::MAX) < HISTOGRAM_BUCKETS);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
     }
 
     #[test]

@@ -165,6 +165,35 @@ pub mod fleet {
     /// Histogram (milli-units): decode overhead ε merged from the
     /// per-shard session spines (see `link.session.decode_eps_milli`).
     pub const EPS_MILLI: &str = "sim.fleet.eps_milli";
+    /// Gauge: most recent displayed cycle flushed to the fleet — the
+    /// live progress marker the operator console keys its tick off.
+    pub const CYCLE: &str = "sim.fleet.cycle";
+}
+
+/// Batched fleet-scorer instruments (`core::batch`).
+pub mod batch {
+    /// Histogram (ns): one `score_classes` fan-out over all receiver
+    /// classes of a capture batch.
+    pub const SCORE_NS: &str = "core.batch.score_ns";
+    /// Counter: per-receiver scorings fanned out (classes × assignments).
+    pub const FANOUT: &str = "core.batch.fanout";
+}
+
+/// Self-instruments of the observability plane itself (`inframe-obs`).
+pub mod obs {
+    /// Counter: events dropped by the flight recorder's non-blocking
+    /// hot path (ring contended) — nonzero means forensics dumps are
+    /// truncated.
+    pub const RECORDER_DROPPED: &str = "obs.recorder.dropped";
+    /// Counter: events dropped by the binary ring sink (writer
+    /// contended).
+    pub const RING_DROPPED: &str = "obs.ring.dropped";
+    /// Counter: events lost to ring-file I/O errors.
+    pub const RING_IO_ERRORS: &str = "obs.ring.io_errors";
+    /// Histogram (ns): one `FleetAggregator` absorb+rollup pass.
+    pub const AGG_MERGE_NS: &str = "obs.aggregate.merge_ns";
+    /// Counter: session summaries absorbed by the aggregator.
+    pub const AGG_SESSIONS: &str = "obs.aggregate.sessions";
 }
 
 /// Closed-loop control-plane instruments (`net::sender` /

@@ -80,14 +80,23 @@ impl FlightRecorder {
     /// Appends one event; if it marks a dump trigger (lock loss or a
     /// decode-watchdog expiry), snapshots the ring (including this
     /// event) into the last-dump buffer.
-    pub fn record(&self, rec: EventRecord) {
+    ///
+    /// The hot path never blocks: when another thread holds the ring
+    /// (a concurrent `dump` or recording), the event is **dropped** and
+    /// `false` returned so the caller can count it — a truncated
+    /// forensics dump must be detectable (`obs.recorder.dropped` in the
+    /// summary), not silent.
+    pub fn record(&self, rec: EventRecord) -> bool {
         let is_loss = rec.event.is_dump_trigger();
-        let ring = &mut *self.ring.lock().expect("recorder ring poisoned");
+        let Ok(mut ring) = self.ring.try_lock() else {
+            return false;
+        };
         ring.push(rec);
         if is_loss {
             let mut dump = self.last_dump.lock().expect("recorder dump poisoned");
             ring.snapshot_into(&mut dump);
         }
+        true
     }
 
     /// The current ring contents, oldest first.

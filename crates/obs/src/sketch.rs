@@ -1,0 +1,188 @@
+//! Mergeable relative-error quantile buckets — the math behind
+//! [`crate::Histogram`].
+//!
+//! The PR 5 spine bucketed histogram samples by bit length (log₂), so a
+//! quantile query could only ever answer with a power-of-two upper
+//! bound: p99 of a 170 µs distribution reported 262 µs. This module
+//! replaces that grid with a **log-linear sketch** in the DDSketch
+//! family: each octave `[2^e, 2^{e+1})` is split into
+//! [`SUBBUCKETS`] equal-width linear sub-buckets, indexed straight off
+//! the operand's bit pattern — no float log, no branch-heavy search —
+//! and values below [`LINEAR_MAX`] get one bucket each (they are
+//! *exact*, which matters for cycle counts and small millis).
+//!
+//! Reporting the arithmetic midpoint of a bucket bounds the relative
+//! error of any quantile estimate by `1 / (2·SUBBUCKETS)` ≈ 1.56%
+//! ([`RELATIVE_ERROR`]), comfortably inside the operations plane's 2%
+//! budget, at a fixed cost of [`SKETCH_BUCKETS`] · 8 bytes ≈ 15 KiB per
+//! histogram. Because a sketch is nothing but a bucket-count vector,
+//! **merge is element-wise addition** — associative, commutative, and
+//! exactly the whole-population sketch regardless of how samples were
+//! sharded, which is what lets `FleetAggregator` fold thousands of
+//! receiver spines in any order and still quote the same tails.
+
+/// Linear sub-buckets per octave (a power of two so indexing is a shift).
+pub const SUBBUCKETS: u64 = 32;
+
+/// log₂ of [`SUBBUCKETS`].
+const SUB_BITS: u32 = 5;
+
+/// Values strictly below this get one exact bucket each.
+pub const LINEAR_MAX: u64 = 2 * SUBBUCKETS; // 64
+
+/// First exponent handled by the log-linear grid (values ≥ [`LINEAR_MAX`]).
+const FIRST_EXP: u32 = SUB_BITS + 1; // 6
+
+/// Total bucket count: one zero bucket, [`LINEAR_MAX`]−1 exact buckets,
+/// then 32 sub-buckets for each exponent 6..=63.
+pub const SKETCH_BUCKETS: usize = LINEAR_MAX as usize + (64 - FIRST_EXP as usize) * 32;
+
+/// Guaranteed bound on the relative error of a bucket's midpoint
+/// estimate: half a bucket width over the bucket's lower bound,
+/// `1 / (2·SUBBUCKETS)`.
+pub const RELATIVE_ERROR: f64 = 1.0 / (2 * SUBBUCKETS) as f64;
+
+/// Index of the bucket holding `v`.
+///
+/// `0 → 0`; `v < 64` maps to itself (exact); otherwise the bucket is
+/// `(exponent, top-5-mantissa-bits)`, read directly off the bit pattern.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // MSB position, ≥ 6 here
+        let sub = (v >> (exp - SUB_BITS)) & (SUBBUCKETS - 1);
+        LINEAR_MAX as usize + ((exp - FIRST_EXP) as usize * SUBBUCKETS as usize) + sub as usize
+    }
+}
+
+/// Smallest value in bucket `i`.
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i < LINEAR_MAX as usize {
+        i as u64
+    } else {
+        let off = i - LINEAR_MAX as usize;
+        let exp = FIRST_EXP + (off / SUBBUCKETS as usize) as u32;
+        let sub = (off % SUBBUCKETS as usize) as u64;
+        (SUBBUCKETS + sub) << (exp - SUB_BITS)
+    }
+}
+
+/// Largest value in bucket `i` (inclusive; `u64::MAX` for the top
+/// bucket).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i < LINEAR_MAX as usize {
+        i as u64
+    } else {
+        let off = i - LINEAR_MAX as usize;
+        let exp = FIRST_EXP + (off / SUBBUCKETS as usize) as u32;
+        bucket_lower_bound(i) + ((1u64 << (exp - SUB_BITS)) - 1)
+    }
+}
+
+/// The value a quantile query reports for bucket `i`: the bucket
+/// midpoint, whose distance to any member of the bucket is at most
+/// [`RELATIVE_ERROR`] of that member. Exact buckets report themselves.
+#[inline]
+pub fn bucket_value(i: usize) -> u64 {
+    if i < LINEAR_MAX as usize {
+        i as u64
+    } else {
+        let lo = bucket_lower_bound(i);
+        let off = i - LINEAR_MAX as usize;
+        let exp = FIRST_EXP + (off / SUBBUCKETS as usize) as u32;
+        lo + (1u64 << (exp - SUB_BITS)) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..LINEAR_MAX {
+            let i = bucket_index(v);
+            assert_eq!(bucket_lower_bound(i), v);
+            assert_eq!(bucket_upper_bound(i), v);
+            assert_eq!(bucket_value(i), v);
+        }
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket() {
+        let probes = [
+            64u64,
+            65,
+            100,
+            127,
+            128,
+            1000,
+            4095,
+            4096,
+            123_456,
+            170_000,
+            u32::MAX as u64,
+            1 << 50,
+            (1 << 60) + 12345,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < SKETCH_BUCKETS, "index {i} out of range for {v}");
+            assert!(
+                bucket_lower_bound(i) <= v && v <= bucket_upper_bound(i),
+                "{v} outside bucket {i}: [{}, {}]",
+                bucket_lower_bound(i),
+                bucket_upper_bound(i)
+            );
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_range_monotonically() {
+        // Consecutive buckets abut exactly: upper(i) + 1 == lower(i+1).
+        for i in 1..SKETCH_BUCKETS - 1 {
+            assert_eq!(
+                bucket_upper_bound(i).wrapping_add(1),
+                bucket_lower_bound(i + 1),
+                "gap or overlap between buckets {i} and {}",
+                i + 1
+            );
+        }
+        assert_eq!(bucket_upper_bound(SKETCH_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn midpoint_relative_error_is_bounded() {
+        // The worst case over a dense sweep plus tail probes: the
+        // midpoint estimate must stay within RELATIVE_ERROR of the
+        // recorded value.
+        let mut worst = 0.0f64;
+        let sweep = (1u64..100_000).step_by(7);
+        let tails = (0..1000u64).map(|k| (1u64 << 40) + k * 0x1_0042_1337);
+        for v in sweep.chain(tails) {
+            let est = bucket_value(bucket_index(v));
+            let rel = (est as f64 - v as f64).abs() / v as f64;
+            worst = worst.max(rel);
+        }
+        assert!(
+            worst <= RELATIVE_ERROR + 1e-12,
+            "relative error {worst} exceeds the {RELATIVE_ERROR} bound"
+        );
+    }
+
+    #[test]
+    fn p99_of_a_170us_distribution_is_no_longer_262us() {
+        // The motivating regression: a tight distribution around 170 µs
+        // must report ~170 µs, not the next power of two.
+        let v = 170_000u64; // ns
+        let est = bucket_value(bucket_index(v));
+        let rel = (est as f64 - v as f64).abs() / v as f64;
+        assert!(rel < 0.02, "170 µs estimated as {est} ns ({rel:.4} rel)");
+    }
+}

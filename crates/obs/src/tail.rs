@@ -1,0 +1,419 @@
+//! Out-of-process tailer for the binary flight-recorder ring.
+//!
+//! A deployed receiver writes its event stream into a file-backed ring
+//! ([`crate::wire::RingWriter`]); an operator-side process opens the
+//! same file **read-only** with its own handle and follows the writer's
+//! progress — no shared memory, no IPC handshake, no pause of the
+//! session under observation. The protocol is deliberately one-sided:
+//!
+//! 1. The tailer polls the header's *committed* counter. New frames
+//!    exist exactly when it advanced past the tailer's cursor.
+//! 2. Each expected frame is read from its slot (`seq % frame_count`)
+//!    and accepted only if its header seq matches the cursor **and**
+//!    its CRC-32 verifies — a slot the writer lapped or is mid-rewrite
+//!    fails one of the two and is skipped, counted, never trusted.
+//! 3. Falling more than `frame_count` frames behind is an **overrun**:
+//!    the cursor jumps to the oldest surviving frame and the gap is
+//!    counted in [`TailStats::frames_lost`].
+//!
+//! The stream's schema frame (frame 0, re-readable until the ring
+//! wraps) is verified against this build's event vocabulary, so a
+//! version-drifted tailer reports the drift instead of misdecoding.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use crate::event::EventRecord;
+use crate::export::ObsSummary;
+use crate::wire::{
+    self, CodecState, RingHeader, FLAG_FIRST, FLAG_LAST, FRAME_EVENTS, FRAME_HEADER_BYTES,
+    FRAME_SCHEMA, FRAME_SNAPSHOT,
+};
+
+/// Cumulative tailer health counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TailStats {
+    /// Frames read and accepted.
+    pub frames_read: u64,
+    /// Frames skipped because the writer lapped the tailer (overrun).
+    pub frames_lost: u64,
+    /// Frames rejected by CRC or a seq mismatch (torn or lapped writes).
+    pub frames_corrupt: u64,
+    /// Event records decoded.
+    pub events_decoded: u64,
+    /// Registry snapshots decoded.
+    pub snapshots_decoded: u64,
+    /// Set when the stream's schema frame drifted from this build's
+    /// vocabulary.
+    pub schema_drift: Option<String>,
+}
+
+/// Follows a [`crate::wire::RingWriter`]'s ring file from another
+/// process (or thread) through an independent read-only file handle.
+#[derive(Debug)]
+pub struct TailReader {
+    file: File,
+    frame_size: u64,
+    frame_count: u64,
+    /// Next frame seq to consume.
+    cursor: u64,
+    /// Reused frame read buffer.
+    frame_buf: Vec<u8>,
+    /// Reassembly buffer for fragmented payloads (schema and registry
+    /// snapshots routinely span several frames).
+    frag_buf: Vec<u8>,
+    frag_kind: u8,
+    frag_open: bool,
+    stats: TailStats,
+}
+
+impl TailReader {
+    /// Opens the ring at `path` read-only and validates its header. The
+    /// cursor starts at frame 0 (the schema frame) when the ring has
+    /// not wrapped, else at the oldest surviving frame.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let header = wire::read_header(&mut file)?;
+        let RingHeader {
+            config, committed, ..
+        } = header;
+        let frame_count = u64::from(config.frame_count);
+        let cursor = committed.saturating_sub(frame_count);
+        Ok(Self {
+            file,
+            frame_size: u64::from(config.frame_size),
+            frame_count,
+            cursor,
+            frame_buf: vec![0u8; config.frame_size as usize],
+            frag_buf: Vec::new(),
+            frag_kind: 0,
+            frag_open: false,
+            stats: TailStats {
+                frames_lost: cursor,
+                ..TailStats::default()
+            },
+        })
+    }
+
+    /// Drains every frame committed since the last poll, appending
+    /// decoded records to `events` and decoded registry snapshots to
+    /// `snapshots` (neither is cleared). Returns the number of event
+    /// records appended. Non-blocking: when the writer has committed
+    /// nothing new this returns `Ok(0)` immediately.
+    pub fn poll(
+        &mut self,
+        events: &mut Vec<EventRecord>,
+        snapshots: &mut Vec<ObsSummary>,
+    ) -> io::Result<usize> {
+        let mut appended = 0usize;
+        let mut committed = wire::read_committed(&mut self.file)?;
+        while self.cursor < committed {
+            // Overrun: jump to the oldest frame that can still exist.
+            let oldest = committed.saturating_sub(self.frame_count);
+            if self.cursor < oldest {
+                self.stats.frames_lost += oldest - self.cursor;
+                self.cursor = oldest;
+                self.frag_open = false;
+            }
+            match self.read_frame(self.cursor)? {
+                FrameRead::Ok { kind, flags, len } => {
+                    appended += self.consume(kind, flags, len, events, snapshots);
+                    self.stats.frames_read += 1;
+                }
+                FrameRead::Reject => {
+                    self.stats.frames_corrupt += 1;
+                    self.frag_open = false;
+                }
+            }
+            self.cursor += 1;
+            // The writer may have advanced while we drained.
+            if self.cursor >= committed {
+                committed = wire::read_committed(&mut self.file)?;
+            }
+        }
+        Ok(appended)
+    }
+
+    /// Reads the slot for frame `seq` and validates its header + CRC.
+    fn read_frame(&mut self, seq: u64) -> io::Result<FrameRead> {
+        let offset = wire::HEADER_BYTES + (seq % self.frame_count) * self.frame_size;
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(&mut self.frame_buf)?;
+        let buf = &self.frame_buf;
+        let got_seq = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        let len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        let kind = buf[12];
+        let flags = buf[13];
+        let crc = u32::from_le_bytes(buf[16..20].try_into().unwrap());
+        if got_seq != seq
+            || len > self.frame_buf.len() - FRAME_HEADER_BYTES
+            || wire::crc32(&buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len]) != crc
+        {
+            return Ok(FrameRead::Reject);
+        }
+        Ok(FrameRead::Ok { kind, flags, len })
+    }
+
+    /// Reassembles one accepted frame into the current fragmented
+    /// payload; decodes the payload when its LAST fragment lands.
+    /// Returns events appended.
+    fn consume(
+        &mut self,
+        kind: u8,
+        flags: u8,
+        len: usize,
+        events: &mut Vec<EventRecord>,
+        snapshots: &mut Vec<ObsSummary>,
+    ) -> usize {
+        let payload = &self.frame_buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len];
+        if flags & FLAG_FIRST != 0 {
+            self.frag_buf.clear();
+            self.frag_kind = kind;
+            self.frag_open = true;
+        }
+        if !self.frag_open || self.frag_kind != kind {
+            // A continuation whose FIRST fragment was lost to an
+            // overrun or a corrupt frame: nothing to anchor it to.
+            self.frag_open = false;
+            self.stats.frames_corrupt += 1;
+            return 0;
+        }
+        self.frag_buf.extend_from_slice(payload);
+        if flags & FLAG_LAST == 0 {
+            return 0;
+        }
+        self.frag_open = false;
+        match kind {
+            FRAME_SCHEMA => {
+                if let Err(drift) = wire::verify_schema(&self.frag_buf) {
+                    self.stats.schema_drift = Some(drift);
+                }
+                0
+            }
+            FRAME_EVENTS => {
+                let mut state = CodecState::default();
+                let mut pos = 0usize;
+                let mut appended = 0usize;
+                while pos < self.frag_buf.len() {
+                    match wire::decode_record(&self.frag_buf, &mut pos, &mut state) {
+                        Some(rec) => {
+                            events.push(rec);
+                            appended += 1;
+                        }
+                        None => {
+                            self.stats.frames_corrupt += 1;
+                            break;
+                        }
+                    }
+                }
+                self.stats.events_decoded += appended as u64;
+                appended
+            }
+            FRAME_SNAPSHOT => {
+                match wire::decode_snapshot(&self.frag_buf) {
+                    Some(summary) => {
+                        snapshots.push(summary);
+                        self.stats.snapshots_decoded += 1;
+                    }
+                    None => self.stats.frames_corrupt += 1,
+                }
+                0
+            }
+            _ => {
+                self.stats.frames_corrupt += 1;
+                0
+            }
+        }
+    }
+
+    /// Next frame seq the tailer will consume.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Cumulative health counters.
+    pub fn stats(&self) -> &TailStats {
+        &self.stats
+    }
+}
+
+enum FrameRead {
+    Ok { kind: u8, flags: u8, len: usize },
+    Reject,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::wire::{RingConfig, RingWriter};
+
+    fn temp_ring(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("inframe-tail-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn records(n: u64) -> Vec<EventRecord> {
+        (0..n)
+            .map(|i| EventRecord {
+                seq: i,
+                t_us: i * 777,
+                event: Event::CycleRendered { cycle: i / 12 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tailer_round_trips_the_stream_losslessly() {
+        let path = temp_ring("roundtrip");
+        let mut w = RingWriter::create(
+            &path,
+            RingConfig {
+                frame_size: 512,
+                frame_count: 64,
+            },
+        )
+        .unwrap();
+        let sent = records(300);
+        for rec in &sent {
+            w.append(rec).unwrap();
+        }
+        w.flush().unwrap();
+        let mut tail = TailReader::open(&path).unwrap();
+        let mut events = Vec::new();
+        let mut snapshots = Vec::new();
+        tail.poll(&mut events, &mut snapshots).unwrap();
+        assert_eq!(events, sent);
+        assert_eq!(tail.stats().frames_lost, 0);
+        assert_eq!(tail.stats().frames_corrupt, 0);
+        // A second poll with no new commits yields nothing.
+        assert_eq!(tail.poll(&mut events, &mut snapshots).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tailer_follows_incremental_commits() {
+        let path = temp_ring("incremental");
+        let mut w = RingWriter::create(&path, RingConfig::default()).unwrap();
+        let mut tail = TailReader::open(&path).unwrap();
+        let mut events = Vec::new();
+        let mut snapshots = Vec::new();
+        let sent = records(40);
+        for chunk in sent.chunks(10) {
+            for rec in chunk {
+                w.append(rec).unwrap();
+            }
+            w.flush().unwrap();
+            tail.poll(&mut events, &mut snapshots).unwrap();
+        }
+        assert_eq!(events, sent);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overrun_resyncs_to_surviving_suffix() {
+        let path = temp_ring("overrun");
+        // Tiny ring: 8 slots of 256 bytes. Write far more frames than
+        // fit, flushing every few records so frames stay small.
+        let mut w = RingWriter::create(
+            &path,
+            RingConfig {
+                frame_size: 256,
+                frame_count: 8,
+            },
+        )
+        .unwrap();
+        let sent = records(400);
+        for (i, rec) in sent.iter().enumerate() {
+            w.append(rec).unwrap();
+            if i % 4 == 3 {
+                w.flush().unwrap();
+            }
+        }
+        w.flush().unwrap();
+        let mut tail = TailReader::open(&path).unwrap();
+        let mut events = Vec::new();
+        let mut snapshots = Vec::new();
+        tail.poll(&mut events, &mut snapshots).unwrap();
+        assert!(tail.stats().frames_lost > 0, "ring must have wrapped");
+        assert!(!events.is_empty());
+        // Whatever survives is an ordered suffix of what was sent.
+        assert_eq!(events.as_slice(), &sent[sent.len() - events.len()..]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshots_flow_through_fragmentation() {
+        let path = temp_ring("snapshot");
+        let mut w = RingWriter::create(
+            &path,
+            RingConfig {
+                frame_size: 256,
+                frame_count: 512,
+            },
+        )
+        .unwrap();
+        // A summary with a populated histogram spans several 232-byte
+        // payload frames.
+        let mut summary = ObsSummary::default();
+        let mut h = crate::metrics::HistogramSnapshot::default();
+        for v in 0..200u64 {
+            h.buckets[crate::metrics::bucket_index(v * 37)] += 1;
+            h.count += 1;
+            h.sum += v * 37;
+            h.min = h.min.min(v * 37);
+            h.max = h.max.max(v * 37);
+        }
+        summary.histograms.push(("fleet.eps".into(), h));
+        summary.counters.push(("chan.cycles".into(), 99));
+        summary.events_recorded = 1234;
+        w.write_snapshot(&summary).unwrap();
+        let mut tail = TailReader::open(&path).unwrap();
+        let mut events = Vec::new();
+        let mut snapshots = Vec::new();
+        tail.poll(&mut events, &mut snapshots).unwrap();
+        assert_eq!(snapshots.len(), 1);
+        assert_eq!(snapshots[0].counter("chan.cycles"), 99);
+        assert_eq!(snapshots[0].events_recorded, 1234);
+        assert_eq!(
+            snapshots[0].histogram("fleet.eps").unwrap(),
+            summary.histogram("fleet.eps").unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_frame_is_skipped_not_trusted() {
+        use std::io::{Seek, SeekFrom, Write};
+        let path = temp_ring("corrupt");
+        let mut w = RingWriter::create(
+            &path,
+            RingConfig {
+                frame_size: 256,
+                frame_count: 16,
+            },
+        )
+        .unwrap();
+        for rec in records(12) {
+            w.append(&rec).unwrap();
+            w.flush().unwrap();
+        }
+        // Scribble over frame 3's payload (slot 3; frame 0 is schema).
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(
+            wire::HEADER_BYTES + 3 * 256 + FRAME_HEADER_BYTES as u64,
+        ))
+        .unwrap();
+        f.write_all(&[0xAB; 8]).unwrap();
+        drop(f);
+        let mut tail = TailReader::open(&path).unwrap();
+        let mut events = Vec::new();
+        let mut snapshots = Vec::new();
+        tail.poll(&mut events, &mut snapshots).unwrap();
+        assert_eq!(tail.stats().frames_corrupt, 1);
+        assert_eq!(events.len(), 11, "one frame's record lost, rest intact");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -378,6 +378,38 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
 
 /// [`run_fleet`] reporting into an explicit telemetry spine.
 pub fn run_fleet_with_telemetry(cfg: &FleetConfig, telemetry: &Telemetry) -> FleetReport {
+    // Per-worker telemetry shards for the sessions; folded into the main
+    // spine at the end via `Histogram::merge`.
+    let shards: Vec<Telemetry> = (0..cfg.workers.max(1)).map(|_| Telemetry::new()).collect();
+    run_fleet_inner(cfg, telemetry, &shards, true)
+}
+
+/// [`run_fleet`] with the per-receiver session spines supplied by the
+/// caller — the live-operations entry point: an operator console hands
+/// in long-lived spines (receiver `r` reports into
+/// `session_spines[r % len]`) and aggregates their summaries *while the
+/// run is in flight*, keyed off the `sim.fleet.cycle` gauge on
+/// `telemetry`. Unlike [`run_fleet_with_telemetry`], ε is **not**
+/// folded into `telemetry` at the end: the caller aggregates the
+/// session spines directly, and folding both would double-count.
+pub fn run_fleet_with_spines(
+    cfg: &FleetConfig,
+    telemetry: &Telemetry,
+    session_spines: &[Telemetry],
+) -> FleetReport {
+    assert!(
+        !session_spines.is_empty(),
+        "need at least one session spine"
+    );
+    run_fleet_inner(cfg, telemetry, session_spines, false)
+}
+
+fn run_fleet_inner(
+    cfg: &FleetConfig,
+    telemetry: &Telemetry,
+    session_spines: &[Telemetry],
+    fold_eps: bool,
+) -> FleetReport {
     let c = &cfg.sim;
     c.inframe.validate();
     c.display.validate();
@@ -426,14 +458,12 @@ pub fn run_fleet_with_telemetry(cfg: &FleetConfig, telemetry: &Telemetry) -> Fle
     );
     let engine = Arc::new(ParallelEngine::new(cfg.workers));
     let cache = RegionCache::build(&c.inframe, &registration, c.camera.width, c.camera.height);
-    let mut scorer = BatchScorer::new(c.inframe, cache, Arc::clone(&engine));
+    let mut scorer =
+        BatchScorer::new(c.inframe, cache, Arc::clone(&engine)).with_telemetry(telemetry);
     let nb = scorer.num_blocks();
 
     let pop = draw_population(cfg, c.camera.width, c.camera.height);
 
-    // Per-worker telemetry shards for the sessions; folded into the main
-    // spine at the end via `Histogram::merge`.
-    let shards: Vec<Telemetry> = (0..cfg.workers.max(1)).map(|_| Telemetry::new()).collect();
     let mut sessions: Vec<ReceiverSession> = (0..cfg.receivers)
         .map(|r| {
             ReceiverSession::new(
@@ -441,7 +471,7 @@ pub fn run_fleet_with_telemetry(cfg: &FleetConfig, telemetry: &Telemetry) -> Fle
                 geometry,
                 CompletionTarget::AllOf(vec![cfg.object_id]),
             )
-            .with_telemetry(&shards[r % shards.len()])
+            .with_telemetry(&session_spines[r % session_spines.len()])
         })
         .collect();
 
@@ -468,6 +498,8 @@ pub fn run_fleet_with_telemetry(cfg: &FleetConfig, telemetry: &Telemetry) -> Fle
     let mut bin_cycle: Vec<i64> = vec![-1; cfg.phase_bins];
     let mut captures_scored: u64 = 0;
     let mut dropped: u64 = 0;
+    // Live progress marker for a concurrently-polling operator console.
+    let fleet_cycle = telemetry.gauge(names::fleet::CYCLE);
 
     let mut window: VecDeque<FrameEmission> = VecDeque::new();
     let total_display_frames = c.cycles as u64 * c.inframe.tau as u64;
@@ -567,6 +599,7 @@ pub fn run_fleet_with_telemetry(cfg: &FleetConfig, telemetry: &Telemetry) -> Fle
             std::mem::swap(&mut best, &mut next_best);
             next_best.fill(inframe_core::batch::UNREADABLE);
             current_cycle += 1;
+            fleet_cycle.set(current_cycle);
         }
     }
     // Flush whatever cycles are still in flight.
@@ -587,6 +620,7 @@ pub fn run_fleet_with_telemetry(cfg: &FleetConfig, telemetry: &Telemetry) -> Fle
         std::mem::swap(&mut best, &mut next_best);
         next_best.fill(inframe_core::batch::UNREADABLE);
         current_cycle += 1;
+        fleet_cycle.set(current_cycle);
     }
 
     // Fleet aggregation through the obs spine.
@@ -616,10 +650,12 @@ pub fn run_fleet_with_telemetry(cfg: &FleetConfig, telemetry: &Telemetry) -> Fle
     availability.sort_unstable_by(f64::total_cmp);
 
     let mut eps = HistogramSnapshot::default();
-    for shard in &shards {
+    for shard in session_spines {
         eps.merge(&shard.histogram(names::session::DECODE_EPS_MILLI).snapshot());
     }
-    telemetry.histogram(names::fleet::EPS_MILLI).merge(&eps);
+    if fold_eps {
+        telemetry.histogram(names::fleet::EPS_MILLI).merge(&eps);
+    }
     telemetry
         .counter(names::fleet::RECEIVERS)
         .add(cfg.receivers as u64);
@@ -718,6 +754,39 @@ mod tests {
                 .map_or(0, |h| h.count),
             report.completed as u64
         );
+    }
+
+    #[test]
+    fn external_session_spines_see_the_fleet() {
+        let mut cfg = FleetConfig::quick(16, 12, 7);
+        cfg.workers = 2;
+        let tele = Telemetry::new();
+        let spines: Vec<Telemetry> = (0..2).map(|_| Telemetry::new()).collect();
+        let report = run_fleet_with_spines(&cfg, &tele, &spines);
+        // The fleet spine tracked live progress and the scorer.
+        let s = tele.summary();
+        assert_eq!(s.gauge(names::fleet::CYCLE), Some(report.cycles));
+        assert!(s.histogram(names::batch::SCORE_NS).unwrap().count > 0);
+        assert!(s.counter(names::batch::FANOUT) > 0);
+        // ε lives on the session spines, NOT folded into the fleet spine
+        // (the aggregator reads the session spines directly).
+        assert!(s.histogram(names::fleet::EPS_MILLI).is_none());
+        let mut agg = inframe_obs::FleetAggregator::new();
+        agg.absorb(&s);
+        for spine in &spines {
+            agg.absorb(&spine.summary());
+        }
+        let rollup = agg.rollup();
+        assert_eq!(rollup.sessions, 3);
+        assert_eq!(rollup.receivers, 16);
+        assert_eq!(rollup.availability_milli.count, 16);
+        assert_eq!(rollup.completions, report.completed as u64);
+        if report.completed > 0 {
+            assert!(
+                rollup.eps_milli.count > 0,
+                "session ε must reach the rollup"
+            );
+        }
     }
 
     #[test]

@@ -63,6 +63,8 @@ pub use link::Link;
 pub use linksim::{
     run_link_scenario, LinkScenarioConfig, LinkScenarioOutcome, RegionChannel, RegionOcclusion,
 };
-pub use netsim::{run_net_scenario, NetScenarioConfig, NetScenarioOutcome};
+pub use netsim::{
+    run_net_scenario, run_net_scenario_with_telemetry, NetScenarioConfig, NetScenarioOutcome,
+};
 pub use pipeline::{SimOutcome, Simulation, SimulationConfig};
 pub use scenarios::{Scale, Scenario};

@@ -25,6 +25,7 @@ use inframe_net::{
     AddressFilter, ArqMode, ArqPolicy, MacAddr, NetReceiver, NetSender, RegionControllerBank,
     StreamQos,
 };
+use inframe_obs::{names, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// One logical stream opened on the sender and on every receiver.
@@ -530,10 +531,101 @@ pub fn run_net_scenario(config: &NetScenarioConfig) -> NetScenarioOutcome {
     }
 }
 
+/// Runs [`run_net_scenario`] and publishes its outcome onto `telemetry`
+/// so network scenarios fold into the same live-ops rollups
+/// ([`inframe_obs::FleetAggregator`]) as the optical-chain fleets.
+///
+/// The scenario loop itself stays uninstrumented — netsim works at GOB
+/// granularity where per-cycle handles would dominate the run — so the
+/// spine is fed post-hoc from the outcome ledgers: MAC frame and
+/// datagram counts under `net.*`, completions and completion cycles
+/// under `sim.fleet.*`, and (for closed-loop runs) the feedback/ARQ
+/// accounting under `ctrl.loop.*` and `arq.*`.
+pub fn run_net_scenario_with_telemetry(
+    config: &NetScenarioConfig,
+    telemetry: &Telemetry,
+) -> NetScenarioOutcome {
+    let out = run_net_scenario(config);
+    telemetry
+        .gauge(names::net::REGIONS)
+        .set((config.tiles_x * config.tiles_y) as u64);
+    telemetry
+        .counter(names::fleet::RECEIVERS)
+        .add(out.receivers.len() as u64);
+    telemetry.counter(names::fleet::CYCLES).add(out.cycles_run);
+    telemetry.gauge(names::fleet::CYCLE).set(out.cycles_run);
+    let frames_rx = telemetry.counter(names::net::FRAMES_RX);
+    let frames_filtered = telemetry.counter(names::net::FRAMES_FILTERED);
+    let datagrams_rx = telemetry.counter(names::net::DATAGRAMS_RX);
+    let bytes_rx = telemetry.counter(names::net::BYTES_RX);
+    let completions = telemetry.counter(names::fleet::COMPLETIONS);
+    let completion_cycle = telemetry.histogram(names::fleet::COMPLETION_CYCLE);
+    for r in &out.receivers {
+        frames_rx.add(r.frames_rx);
+        frames_filtered.add(r.frames_filtered);
+        for f in &r.flows {
+            datagrams_rx.add(f.delivered_datagrams);
+            bytes_rx.add(f.delivered_bytes);
+        }
+        if let Some(c) = r.completed_cycle {
+            completions.add(1);
+            completion_cycle.record(c);
+        }
+    }
+    if let Some(ls) = &out.loop_stats {
+        telemetry
+            .counter(names::ctrl_loop::REPORTS_RX)
+            .add(ls.reports_delivered);
+        telemetry
+            .counter(names::ctrl_loop::REPORTS_STALE)
+            .add(ls.reports_stale);
+        telemetry
+            .counter(names::ctrl_loop::REPORTS_LOST)
+            .add(ls.reports_lost);
+        telemetry
+            .counter(names::ctrl_loop::COMMANDS_APPLIED)
+            .add(ls.commands_applied);
+        telemetry
+            .counter(names::ctrl_loop::FALLBACKS)
+            .add(ls.fallbacks);
+        telemetry
+            .counter(names::ctrl_loop::RECOVERIES)
+            .add(ls.recoveries);
+        telemetry
+            .counter(names::arq::RETRANSMITS)
+            .add(ls.retransmits);
+        telemetry.gauge(names::ctrl_loop::CLOSED).set(1);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use inframe_net::stream::DeadlineClass;
+
+    #[test]
+    fn telemetry_wrapper_publishes_the_outcome() {
+        let tele = Telemetry::new();
+        let out = run_net_scenario_with_telemetry(&NetScenarioConfig::smoke(0xA11CE), &tele);
+        assert!(out.all_complete());
+        let s = tele.summary();
+        assert_eq!(s.counter(names::fleet::RECEIVERS), 2);
+        assert_eq!(s.counter(names::fleet::COMPLETIONS), 2);
+        assert_eq!(s.gauge(names::fleet::CYCLE), Some(out.cycles_run));
+        let frames: u64 = out.receivers.iter().map(|r| r.frames_rx).sum();
+        assert_eq!(s.counter(names::net::FRAMES_RX), frames);
+        let bytes: u64 = out
+            .receivers
+            .iter()
+            .flat_map(|r| &r.flows)
+            .map(|f| f.delivered_bytes)
+            .sum();
+        assert_eq!(s.counter(names::net::BYTES_RX), bytes);
+        // Open-loop run: no feedback accounting on the spine.
+        assert_eq!(s.counter(names::ctrl_loop::REPORTS_RX), 0);
+        assert!(s.gauge(names::ctrl_loop::CLOSED).is_none());
+    }
 
     #[test]
     fn smoke_scenario_delivers_addressed_traffic_only() {

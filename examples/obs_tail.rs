@@ -1,0 +1,102 @@
+//! Out-of-process flight-recorder tailer: follows a binary ring file
+//! written by a live spine (`Telemetry::attach_ring`) and streams the
+//! decoded events as JSONL on stdout — the same line format the in-process
+//! JSONL sink writes, so the two can be compared byte for byte.
+//!
+//! ```sh
+//! cargo run --release --example obs_tail -- RING_PATH [--follow MILLIS]
+//! ```
+//!
+//! One-shot by default: drains everything committed, prints the events,
+//! then reports tail statistics (frames read / lost / corrupt, embedded
+//! registry snapshots, schema drift) on stderr. With `--follow N` it
+//! keeps polling every N ms until the writer goes idle for three
+//! consecutive polls — the live mode an operator points at the ring of a
+//! running sender. Exits non-zero on corrupt frames or schema drift, so
+//! CI can assert the wire survived the trip between processes.
+
+use inframe::obs::event::encode_event;
+use inframe::obs::TailReader;
+use std::io::Write;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: obs_tail RING_PATH [--follow MILLIS]");
+        std::process::exit(2);
+    };
+    let follow_ms: Option<u64> = match args.next().as_deref() {
+        Some("--follow") => Some(args.next().and_then(|v| v.parse().ok()).unwrap_or(100)),
+        Some(other) => {
+            eprintln!("unknown argument: {other}");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+
+    let mut tail = TailReader::open(&path).unwrap_or_else(|e| {
+        eprintln!("cannot open ring {path}: {e}");
+        std::process::exit(1);
+    });
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut line = String::with_capacity(256);
+    let mut events = Vec::new();
+    let mut snapshots = Vec::new();
+    let mut idle_polls = 0u32;
+    loop {
+        events.clear();
+        let got = tail.poll(&mut events, &mut snapshots).unwrap_or_else(|e| {
+            eprintln!("ring read failed: {e}");
+            std::process::exit(1);
+        });
+        for rec in &events {
+            line.clear();
+            encode_event(&mut line, rec);
+            line.push('\n');
+            out.write_all(line.as_bytes()).expect("write stdout");
+        }
+        let Some(ms) = follow_ms else { break };
+        if got == 0 {
+            idle_polls += 1;
+            if idle_polls >= 3 {
+                break;
+            }
+        } else {
+            idle_polls = 0;
+        }
+        out.flush().expect("flush stdout");
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    out.flush().expect("flush stdout");
+
+    let stats = tail.stats();
+    eprintln!(
+        "tail: {} frame(s) read, {} lost, {} corrupt, {} event(s), {} snapshot(s)",
+        stats.frames_read,
+        stats.frames_lost,
+        stats.frames_corrupt,
+        stats.events_decoded,
+        stats.snapshots_decoded,
+    );
+    for snap in &snapshots {
+        eprintln!(
+            "snapshot: {} counter(s), {} gauge(s), {} histogram(s), \
+             {} event(s) recorded, {} dropped",
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.histograms.len(),
+            snap.events_recorded,
+            snap.events_dropped,
+        );
+    }
+    if let Some(drift) = &stats.schema_drift {
+        eprintln!("schema drift: {drift}");
+        std::process::exit(1);
+    }
+    if stats.frames_corrupt > 0 {
+        eprintln!("corrupt frames on the wire");
+        std::process::exit(1);
+    }
+}

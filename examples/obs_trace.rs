@@ -3,16 +3,21 @@
 //! the log against the event schema and prints the end-of-run summary.
 //!
 //! ```sh
-//! cargo run --release --example obs_trace -- [LOG_PATH]
+//! cargo run --release --example obs_trace -- [LOG_PATH] [RING_PATH]
 //! ```
 //!
-//! The log defaults to `obs_trace.jsonl` in the current directory. CI
-//! runs this example under both kernel backends and fails if the
-//! captured stream does not validate, so the exporter schema and the
-//! instrumented crates cannot drift apart. Exits non-zero on a schema
-//! violation.
+//! The log defaults to `obs_trace.jsonl` in the current directory. When
+//! `RING_PATH` is given the same events are simultaneously streamed
+//! through the binary flight-recorder wire format into a file-backed
+//! ring sized so this run never wraps, closed with a registry snapshot —
+//! so the `obs_tail` example (or any out-of-process tailer) can decode
+//! the run and CI can compare its JSONL byte-for-byte against the
+//! in-process log. CI runs this example under both kernel backends and
+//! fails if the captured stream does not validate, so the exporter
+//! schema and the instrumented crates cannot drift apart. Exits non-zero
+//! on a schema violation.
 
-use inframe::obs::{export, ObsConfig, Telemetry};
+use inframe::obs::{export, ObsConfig, RingConfig, RingWriter, Telemetry};
 use inframe::sim::faults::{
     run_fault_scenario_with_telemetry, FaultKind, FaultScenarioConfig, FaultWindow,
 };
@@ -25,6 +30,7 @@ fn main() {
     let path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "obs_trace.jsonl".to_string());
+    let ring_path = std::env::args().nth(2);
     let s = Scale::Quick;
     let cfg = FaultScenarioConfig {
         sim: SimulationConfig {
@@ -53,8 +59,31 @@ fn main() {
     });
     let sink = BufWriter::new(File::create(&path).expect("create log file"));
     tele.attach_jsonl(Box::new(sink));
+    if let Some(rp) = &ring_path {
+        // Sized so this run never wraps: a Quick desync run emits a few
+        // thousand records, well under 1024 × ~4 KiB frames.
+        let writer = RingWriter::create(
+            rp,
+            RingConfig {
+                frame_size: 4096,
+                frame_count: 1024,
+            },
+        )
+        .expect("create ring file");
+        tele.attach_ring(writer);
+    }
     let outcome = run_fault_scenario_with_telemetry(&cfg, &tele);
     tele.detach_jsonl();
+    if ring_path.is_some() {
+        tele.publish_snapshot();
+        if let Some(writer) = tele.detach_ring() {
+            println!(
+                "ring: {} event(s) in {} committed frame(s)",
+                writer.events_appended(),
+                writer.frames_committed(),
+            );
+        }
+    }
 
     println!(
         "scenario: half-cycle desync, adaptive controller — delivered: {}, \

@@ -1,0 +1,198 @@
+//! Live fleet operator console: a dependency-free ANSI dashboard over
+//! the observability plane's fleet rollups.
+//!
+//! ```sh
+//! cargo run --release --example ops_console -- [RECEIVERS] [CYCLES] [--headless]
+//! ```
+//!
+//! Runs a heterogeneous Quick-scale fleet (default 512 receivers) on a
+//! worker thread with one fleet spine plus two concurrent session
+//! spines, while the main thread polls all three live: every tick it
+//! folds the spines through [`FleetAggregator`], derives a
+//! [`FleetRollup`], and redraws the dashboard — cycle progress,
+//! availability and decode-ε quantiles, relock latency, controller and
+//! ARQ activity, and the recorder's own drop accounting. `--headless`
+//! drops the ANSI redraw (one status line per tick plus the final
+//! dashboard) so CI can run the console end-to-end and assert the
+//! rollups; it exits non-zero if the live plane never saw the fleet.
+//!
+//! [`FleetAggregator`]: inframe::obs::FleetAggregator
+//! [`FleetRollup`]: inframe::obs::FleetRollup
+
+use inframe::obs::{FleetAggregator, FleetRollup, QuantileRollup, Telemetry};
+use inframe::sim::fleet::{run_fleet_with_spines, FleetConfig};
+use std::time::Duration;
+
+fn quantile_line(label: &str, unit: &str, q: &QuantileRollup) -> String {
+    if q.count == 0 {
+        return format!("{label:<22} (no samples yet)");
+    }
+    format!(
+        "{label:<22} n={:<7} mean={:<9.1} p50={:<7} p90={:<7} p99={:<7} max={} {unit}",
+        q.count, q.mean, q.p50, q.p90, q.p99, q.max
+    )
+}
+
+fn render(r: &FleetRollup, total_cycles: u64, done: bool, ansi: bool) -> String {
+    let mut s = String::with_capacity(1536);
+    let (bold, dim, reset) = if ansi {
+        ("\x1b[1m", "\x1b[2m", "\x1b[0m")
+    } else {
+        ("", "", "")
+    };
+    let width = 30usize;
+    let filled = if total_cycles == 0 {
+        0
+    } else {
+        (r.cycle.min(total_cycles) as usize * width) / total_cycles as usize
+    };
+    let bar: String = std::iter::repeat_n('█', filled)
+        .chain(std::iter::repeat_n('░', width - filled))
+        .collect();
+    let state = if done { "complete" } else { "running " };
+    s.push_str(&format!(
+        "{bold}InFrame live operations{reset} — {} session spine(s), {} receiver(s)\n",
+        r.sessions, r.receivers
+    ));
+    s.push_str(&format!(
+        "  cycle {bar} {}/{} [{state}]   completions {}/{}\n",
+        r.cycle, total_cycles, r.completions, r.receivers
+    ));
+    s.push_str(&format!(
+        "  {dim}channel{reset}  gobs={} available={:.3} error_rate={:.4} bit_accuracy={:.4}\n",
+        r.channel.total_gobs(),
+        r.channel.available_ratio(),
+        r.channel.error_rate(),
+        r.channel.bit_accuracy()
+    ));
+    s.push_str(&format!(
+        "  {}\n",
+        quantile_line("availability (milli)", "", &r.availability_milli)
+    ));
+    s.push_str(&format!(
+        "  {}\n",
+        quantile_line("decode ε (milli)", "", &r.eps_milli)
+    ));
+    s.push_str(&format!(
+        "  {}\n",
+        quantile_line("completion (cycles)", "", &r.completion_cycle)
+    ));
+    s.push_str(&format!(
+        "  {}\n",
+        quantile_line("time-in-state (µs)", "", &r.in_state_us)
+    ));
+    s.push_str(&format!(
+        "  {dim}sync{reset}     lock_losses={} relocks={}\n",
+        r.lock_losses, r.relocks
+    ));
+    s.push_str(&format!(
+        "  {dim}control{reset}  backoffs={} restores={} adapts={} δ={:.2} τ={} loop={} fb_age={}\n",
+        r.controller.backoffs,
+        r.controller.restores,
+        r.controller.adapts,
+        r.controller.delta,
+        r.controller.tau,
+        if r.controller.loop_closed {
+            "closed"
+        } else {
+            "open"
+        },
+        r.controller.feedback_age
+    ));
+    s.push_str(&format!(
+        "  {dim}arq{reset}      nacks={} retransmits={} timeouts={} degraded={} restored={}\n",
+        r.arq.nacks_rx, r.arq.retransmits, r.arq.timeouts, r.arq.degraded, r.arq.restored
+    ));
+    s.push_str(&format!(
+        "  {dim}plane{reset}    events={} dropped={}\n",
+        r.events_recorded, r.events_dropped
+    ));
+    s
+}
+
+fn main() {
+    let mut receivers = 512usize;
+    let mut cycles = 16u32;
+    let mut headless = false;
+    let mut positional = 0;
+    for arg in std::env::args().skip(1) {
+        if arg == "--headless" {
+            headless = true;
+        } else if let Ok(v) = arg.parse::<u64>() {
+            match positional {
+                0 => receivers = v as usize,
+                1 => cycles = v as u32,
+                _ => {}
+            }
+            positional += 1;
+        } else {
+            eprintln!("usage: ops_console [RECEIVERS] [CYCLES] [--headless]");
+            std::process::exit(2);
+        }
+    }
+
+    let cfg = FleetConfig::quick(receivers, cycles, 7);
+    let fleet_tele = Telemetry::new();
+    // Two concurrent session spines: the fleet's receiver sessions are
+    // sharded across them round-robin, exactly how several independent
+    // capture processes would each own a spine.
+    let session_spines: Vec<Telemetry> = (0..2).map(|_| Telemetry::new()).collect();
+
+    let worker = {
+        let cfg = cfg.clone();
+        let fleet = fleet_tele.clone();
+        let sessions = session_spines.clone();
+        std::thread::spawn(move || run_fleet_with_spines(&cfg, &fleet, &sessions))
+    };
+
+    let rollup_now = || {
+        let mut agg = FleetAggregator::new();
+        agg.absorb(&fleet_tele.summary());
+        for s in &session_spines {
+            agg.absorb(&s.summary());
+        }
+        agg.rollup()
+    };
+
+    let tick = Duration::from_millis(if headless { 40 } else { 100 });
+    let mut ticks = 0u64;
+    while !worker.is_finished() {
+        let r = rollup_now();
+        ticks += 1;
+        if headless {
+            println!(
+                "tick {ticks}: cycle {}/{} completions {}/{} events {}",
+                r.cycle, cycles, r.completions, r.receivers, r.events_recorded
+            );
+        } else {
+            print!("\x1b[H\x1b[2J{}", render(&r, cycles as u64, false, true));
+        }
+        std::thread::sleep(tick);
+    }
+    let report = worker.join().expect("fleet worker panicked");
+
+    let r = rollup_now();
+    if headless {
+        print!("{}", render(&r, cycles as u64, true, false));
+    } else {
+        print!("\x1b[H\x1b[2J{}", render(&r, cycles as u64, true, true));
+    }
+    println!(
+        "fleet report: {}/{} completed over {} cycles ({} live tick(s) observed)",
+        report.completed, report.receivers, report.cycles, ticks
+    );
+
+    // The live plane must agree with the authoritative report.
+    if r.sessions != 3
+        || r.receivers != receivers as u64
+        || r.completions != report.completed as u64
+        || r.cycle != report.cycles
+    {
+        eprintln!("live rollup disagrees with the fleet report: {r:?}");
+        std::process::exit(1);
+    }
+    if report.completed == 0 {
+        eprintln!("no receiver completed — nothing for the console to show");
+        std::process::exit(1);
+    }
+}

@@ -16,7 +16,11 @@
 //! * the feedback/ARQ loop — receiver report build, wire codec, sender
 //!   aggregation, mode bookkeeping, selective-repeat queueing — performs
 //!   **0 heap allocations** once the per-object records, the NACK fold
-//!   and every shard's retransmit ring are warm.
+//!   and every shard's retransmit ring are warm, and
+//! * the live-ops event path — flight-recorder push plus binary wire
+//!   encode into the file-backed ring, including the frame commits that
+//!   publish to an out-of-process tailer — performs **0 heap
+//!   allocations** once the writer's frame buffers are sized.
 //!
 //! Both paths are proven twice: with the disabled no-op telemetry handle
 //! and with a live spine attached — instrumentation resolves its
@@ -458,6 +462,75 @@ fn feedback_arq_steady_state_is_allocation_free(telemetry: &Telemetry) {
     assert_eq!(agg.accepted(), rounds as u64, "reports lost in the fold");
 }
 
+fn obs_ring_writer_steady_state_is_allocation_free() {
+    use inframe::obs::event::Event;
+    use inframe::obs::{ObsConfig, RingConfig, RingWriter};
+
+    let dir = std::env::temp_dir().join(format!("inframe_alloc_ring_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("ring.bin");
+    let tele = Telemetry::with_config(ObsConfig {
+        recorder_capacity: 64,
+    });
+    // Minimum-size frames so the steady-state window crosses many frame
+    // commits (encode + CRC + two file writes), not just buffer appends.
+    let writer = RingWriter::create(
+        &path,
+        RingConfig {
+            frame_size: 256,
+            frame_count: 8,
+        },
+    )
+    .expect("create ring");
+    tele.attach_ring(writer);
+    // Warm-up: exercise every event shape once (sizing the recorder ring
+    // slots) and cross at least one frame commit.
+    for cycle in 0..16u64 {
+        tele.event(Event::CycleRendered { cycle });
+        tele.event(Event::CycleDecoded {
+            cycle,
+            ok: 700,
+            erroneous: 3,
+            unavailable: 40,
+            captures: 9,
+        });
+        tele.event(Event::ObjectComplete {
+            object: 7,
+            cycle,
+            eps_milli: 125,
+        });
+    }
+    tele.flush_ring();
+    // Steady state: recorder push + wire encode + frame commit all stay
+    // off the allocator.
+    for cycle in 16..64u64 {
+        let before = allocation_count();
+        tele.event(Event::CycleRendered { cycle });
+        tele.event(Event::CycleDecoded {
+            cycle,
+            ok: 700,
+            erroneous: 3,
+            unavailable: 40,
+            captures: 9,
+        });
+        tele.event(Event::ObjectComplete {
+            object: 7,
+            cycle,
+            eps_milli: 125,
+        });
+        tele.flush_ring();
+        let delta = allocation_count() - before;
+        assert_eq!(
+            delta, 0,
+            "obs ring cycle {cycle}: event path allocated {delta} times in steady state"
+        );
+    }
+    let writer = tele.detach_ring().expect("ring attached");
+    assert_eq!(writer.events_appended(), 3 * 64, "events lost on the way");
+    assert_eq!(tele.summary().events_dropped, 0, "hot path dropped events");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn steady_state_hot_paths_allocate_nothing() {
     // Every supported SIMD dispatch tier must preserve the guarantee —
@@ -481,4 +554,7 @@ fn steady_state_hot_paths_allocate_nothing() {
         net_steady_state_is_allocation_free(&telemetry);
         feedback_arq_steady_state_is_allocation_free(&telemetry);
     }
+    // Likewise for the live-ops event path — pure byte processing over
+    // preallocated buffers.
+    obs_ring_writer_steady_state_is_allocation_free();
 }

@@ -1,0 +1,263 @@
+//! Integration proofs for the live operations plane: the mergeable
+//! quantile sketch behind [`HistogramSnapshot`], the binary
+//! flight-recorder wire format, and the out-of-process tail path.
+//!
+//! * Snapshot merge is **associative and commutative** — the fold order
+//!   of a fleet's shards can never change a rollup.
+//! * Merging per-shard sketches (≥ 8 shards, arbitrary order) yields
+//!   exactly the whole-population sketch, and its p50/p90/p99 land
+//!   within the sketch's guaranteed relative error of the exact
+//!   rank statistics.
+//! * A ring written by a live spine and decoded by [`TailReader`] is
+//!   lossless, ordered, and bit-identical to the in-process
+//!   [`Telemetry::recorder_dump`]; the JSONL converter over the same
+//!   ring passes the strict schema validator line for line.
+
+use inframe::obs::event::{CommandCause, Event, EventRecord, FaultClass, PhaseState};
+use inframe::obs::export::{binary_to_jsonl, validate_jsonl};
+use inframe::obs::metrics::HistogramSnapshot;
+use inframe::obs::sketch::RELATIVE_ERROR;
+use inframe::obs::{ObsConfig, RingConfig, RingWriter, TailReader, Telemetry};
+use proptest::prelude::*;
+
+/// Sketch snapshot of a value population, built through the public
+/// histogram API.
+fn snap(values: &[u64]) -> HistogramSnapshot {
+    let tele = Telemetry::new();
+    let h = tele.histogram("test.population");
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn merged(parts: &[HistogramSnapshot]) -> HistogramSnapshot {
+    let mut out = HistogramSnapshot::default();
+    for p in parts {
+        out.merge(p);
+    }
+    out
+}
+
+/// Exact rank statistic matching the sketch's rank convention
+/// (`rank = ceil(q·count)`, 1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: snapshot merge is associative and commutative, so any
+    /// fold order over fleet shards produces the same aggregate.
+    #[test]
+    fn snapshot_merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..1_000_000_000, 1..80),
+        b in proptest::collection::vec(0u64..1_000_000_000, 1..80),
+        c in proptest::collection::vec(0u64..1_000_000_000, 1..80),
+    ) {
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right, "merge is not associative");
+        // a ⊕ b == b ⊕ a
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba, "merge is not commutative");
+    }
+
+    /// Property: sharding a population across 8 spines and merging the
+    /// snapshots in an arbitrary order reproduces the whole-population
+    /// sketch exactly, and its quantiles track the exact rank statistics
+    /// within the sketch's guaranteed relative error.
+    #[test]
+    fn sharded_merge_equals_whole_population(
+        values in proptest::collection::vec(0u64..1_000_000_000, 16..300),
+        order_seed in 0u64..1_000_000,
+    ) {
+        const SHARDS: usize = 8;
+        let whole = snap(&values);
+        let mut shards: Vec<Vec<u64>> = vec![Vec::new(); SHARDS];
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % SHARDS].push(v);
+        }
+        let mut parts: Vec<HistogramSnapshot> =
+            shards.iter().map(|s| snap(s)).collect();
+        // Fisher–Yates off a SplitMix64 stream: merge order is arbitrary.
+        let mut state = order_seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..parts.len()).rev() {
+            parts.swap(i, next() as usize % (i + 1));
+        }
+        let folded = merged(&parts);
+        prop_assert_eq!(&folded, &whole, "sharded merge diverged from the population");
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.50, 0.90, 0.99] {
+            let exact = exact_quantile(&sorted, q);
+            let est = folded.quantile(q);
+            let tol = (exact as f64 * RELATIVE_ERROR).max(0.5);
+            prop_assert!(
+                (est as f64 - exact as f64).abs() <= tol,
+                "p{} estimate {} vs exact {} (tol {:.1})",
+                (q * 100.0) as u32, est, exact, tol
+            );
+            // The one-sided bound really bounds the rank statistic.
+            prop_assert!(folded.quantile_bound(q) >= exact, "quantile_bound below exact");
+        }
+    }
+}
+
+/// Fires a deterministic mix of every event shape at a spine.
+fn emit_events(tele: &Telemetry, n: u64) {
+    for cycle in 0..n {
+        tele.event(Event::CycleRendered { cycle });
+        tele.event(Event::CycleDecoded {
+            cycle,
+            ok: 700 + cycle as u32,
+            erroneous: (cycle % 5) as u32,
+            unavailable: 40,
+            captures: 9,
+        });
+        match cycle % 4 {
+            0 => tele.event(Event::SyncTransition {
+                from: PhaseState::Locked,
+                to: PhaseState::Suspect,
+                in_state_us: 10_000 + cycle,
+            }),
+            1 => tele.event(Event::Command {
+                cycle,
+                delta: 2.0 + cycle as f32 * 0.25,
+                tau: 10,
+                cause: CommandCause::Backoff,
+            }),
+            2 => tele.event(Event::FaultStart {
+                kind: FaultClass::Desync,
+                from_cycle: cycle,
+                until_cycle: cycle + 1,
+            }),
+            _ => tele.event(Event::ObjectComplete {
+                object: 7,
+                cycle,
+                eps_milli: 125 + cycle as u32,
+            }),
+        }
+    }
+}
+
+#[test]
+fn ring_round_trip_is_bit_identical_to_the_recorder() {
+    let dir = std::env::temp_dir().join(format!("inframe_obs_plane_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("roundtrip.ring");
+
+    let tele = Telemetry::with_config(ObsConfig {
+        recorder_capacity: 4096,
+    });
+    tele.attach_ring(
+        RingWriter::create(
+            &path,
+            RingConfig {
+                frame_size: 512,
+                frame_count: 256,
+            },
+        )
+        .expect("create ring"),
+    );
+    emit_events(&tele, 120);
+    tele.publish_snapshot();
+    // Taken while the ring is still attached, so the registry carries
+    // the same `obs.ring.*` drop counters the snapshot embedded.
+    let summary = tele.summary();
+    tele.detach_ring().expect("ring was attached");
+
+    let mut tail = TailReader::open(&path).expect("open ring");
+    let mut events: Vec<EventRecord> = Vec::new();
+    let mut snapshots = Vec::new();
+    tail.poll(&mut events, &mut snapshots).expect("poll ring");
+
+    // Lossless and ordered: exactly what the in-process recorder holds,
+    // record for record.
+    let dump = tele.recorder_dump();
+    assert_eq!(events.len(), dump.len(), "tailer lost or invented events");
+    assert_eq!(events, dump, "tailer records differ from the recorder");
+    assert!(
+        events.windows(2).all(|w| w[0].seq + 1 == w[1].seq),
+        "sequence numbers are not contiguous"
+    );
+    let stats = tail.stats();
+    assert_eq!(stats.frames_lost, 0);
+    assert_eq!(stats.frames_corrupt, 0);
+    assert!(stats.schema_drift.is_none(), "schema drifted in-process");
+
+    // The embedded registry snapshot round-trips the summary.
+    assert_eq!(snapshots.len(), 1);
+    assert_eq!(snapshots[0].events_recorded, summary.events_recorded);
+    assert_eq!(snapshots[0].counters, summary.counters);
+
+    // The offline converter's JSONL passes the strict validator with
+    // every event accounted for.
+    let jsonl = binary_to_jsonl(&path).expect("convert ring");
+    let validated = validate_jsonl(&jsonl).unwrap_or_else(|e| panic!("schema violation: {e}"));
+    assert_eq!(validated, dump.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrapped_ring_yields_the_ordered_suffix() {
+    let dir = std::env::temp_dir().join(format!("inframe_obs_wrap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("wrap.ring");
+
+    let tele = Telemetry::with_config(ObsConfig {
+        recorder_capacity: 4096,
+    });
+    // A tiny ring (4 slots × 256 B) that hundreds of events must lap.
+    tele.attach_ring(
+        RingWriter::create(
+            &path,
+            RingConfig {
+                frame_size: 256,
+                frame_count: 4,
+            },
+        )
+        .expect("create ring"),
+    );
+    emit_events(&tele, 200);
+    tele.detach_ring();
+
+    let mut tail = TailReader::open(&path).expect("open ring");
+    let mut events: Vec<EventRecord> = Vec::new();
+    let mut snapshots = Vec::new();
+    tail.poll(&mut events, &mut snapshots).expect("poll ring");
+
+    // The survivors are a contiguous, in-order suffix of the stream.
+    assert!(!events.is_empty(), "nothing survived the wrap");
+    assert!(
+        events.windows(2).all(|w| w[0].seq + 1 == w[1].seq),
+        "suffix is not contiguous"
+    );
+    let dump = tele.recorder_dump();
+    let tail_of_dump = &dump[dump.len() - events.len()..];
+    assert_eq!(events, tail_of_dump, "suffix diverged from the recorder");
+    assert!(tail.stats().frames_lost > 0, "the ring never wrapped");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
